@@ -1,0 +1,182 @@
+// Command iqnbench regenerates the paper's figures and the ablation
+// experiments as text tables (and optionally CSV).
+//
+// Usage:
+//
+//	iqnbench -exp fig2left                        # Figure 2, left panel
+//	iqnbench -exp fig2right -runs 50              # Figure 2, right panel
+//	iqnbench -exp fig3left  -docs 60000           # Figure 3, (6 choose 3)
+//	iqnbench -exp fig3right -docs 60000           # Figure 3, sliding window
+//	iqnbench -exp aggregation|histogram|budget|hetero|prior
+//	iqnbench -exp all                             # everything, default sizes
+//
+// The defaults are laptop-scale (20k documents); raise -docs for runs
+// closer to the paper's 1.5M-document GOV corpus.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"iqn/internal/eval"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: fig2left|fig2right|fig3left|fig3right|aggregation|histogram|budget|hetero|prior|cost|churn|load|all")
+		docs   = flag.Int("docs", 20000, "corpus size for fig3-style experiments")
+		vocab  = flag.Int("vocab", 0, "vocabulary size (0: docs/10)")
+		runs   = flag.Int("runs", 50, "runs per point for fig2-style experiments")
+		sizeRt = flag.Int("fixedsize", 10000, "fixed collection size for fig2right (paper text: 10000, chart label: 5000)")
+		numQ   = flag.Int("queries", 10, "query workload size")
+		k      = flag.Int("k", 50, "result-list depth")
+		seed   = flag.Int64("seed", 2006, "master seed")
+		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		sll    = flag.Bool("sll", false, "add a super-LogLog series to fig2 experiments")
+		svgDir = flag.String("svgdir", "", "also write each experiment's chart as an SVG file into this directory")
+		peers  = flag.String("peers", "", "comma-separated peer counts (default 1..10)")
+	)
+	flag.Parse()
+
+	peerCounts := []int(nil)
+	if *peers != "" {
+		for _, s := range strings.Split(*peers, ",") {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil {
+				fmt.Fprintf(os.Stderr, "iqnbench: bad -peers entry %q\n", s)
+				os.Exit(2)
+			}
+			peerCounts = append(peerCounts, n)
+		}
+	}
+
+	f2 := eval.Fig2Config{Runs: *runs, Seed: *seed, FixedSize: *sizeRt, IncludeSuperLogLog: *sll}
+	f3 := func(strategy eval.Strategy) eval.Fig3Config {
+		return eval.Fig3Config{
+			CorpusDocs: *docs,
+			VocabSize:  *vocab,
+			Strategy:   strategy,
+			Queries:    *numQ,
+			K:          *k,
+			Seed:       *seed,
+			PeerCounts: peerCounts,
+		}
+	}
+	left := eval.Strategy{F: 6, S: 3}
+	right := eval.Strategy{Fragments: 100, R: 10, Offset: 2}
+
+	expName := "exp"
+	emit := func(title, xlabel, xfmt string, series []eval.Series, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iqnbench: %s: %v\n", title, err)
+			os.Exit(1)
+		}
+		if *svgDir != "" {
+			ylabel := "relative recall"
+			if strings.HasPrefix(xlabel, "docs") || xlabel == "overlap" {
+				ylabel = "relative error"
+			}
+			svg := eval.SVG(series, eval.SVGOptions{Title: title, XLabel: xlabel, YLabel: ylabel})
+			path := *svgDir + "/" + expName + ".svg"
+			if werr := os.WriteFile(path, []byte(svg), 0o644); werr != nil {
+				fmt.Fprintf(os.Stderr, "iqnbench: write %s: %v\n", path, werr)
+			} else {
+				fmt.Fprintf(os.Stderr, "[wrote %s]\n", path)
+			}
+		}
+		if *csv {
+			fmt.Printf("# %s\n%s\n", title, eval.CSV(xlabel, series))
+			return
+		}
+		fmt.Println(eval.Table(title, xlabel, series, xfmt, "%.3f"))
+	}
+
+	run := func(name string) {
+		start := time.Now()
+		expName = name
+		switch name {
+		case "fig2left":
+			emit("Figure 2 (left): relative error of resemblance estimation vs collection size (33% overlap)",
+				"docs", "%.0f", eval.Fig2Left(f2), nil)
+		case "fig2right":
+			emit(fmt.Sprintf("Figure 2 (right): relative error vs mutual overlap (collection size %d)", *sizeRt),
+				"overlap", "%.3f", eval.Fig2Right(f2), nil)
+		case "fig3left":
+			s, err := eval.Fig3(f3(left))
+			emit("Figure 3 (left): recall vs queried peers, (6 choose 3) = 20 peers",
+				"peers", "%.0f", s, err)
+		case "fig3right":
+			s, err := eval.Fig3(f3(right))
+			emit("Figure 3 (right): recall vs queried peers, sliding window = 50 peers",
+				"peers", "%.0f", s, err)
+		case "aggregation":
+			s, err := eval.AblationAggregation(f3(right))
+			emit("Ablation: per-peer vs per-term aggregation (Section 6)",
+				"peers", "%.0f", s, err)
+		case "histogram":
+			s, err := eval.AblationHistogram(f3(right))
+			emit("Ablation: plain vs score-histogram IQN (Section 7.1)",
+				"peers", "%.0f", s, err)
+		case "budget":
+			s, err := eval.AblationBudget(f3(right), 0)
+			emit("Ablation: uniform vs adaptive synopsis budgets (Section 7.2)",
+				"peers", "%.0f", s, err)
+		case "hetero":
+			emit("Ablation: heterogeneous MIPs lengths (Section 3.4)",
+				"docs", "%.0f", eval.Fig2Hetero(f2), nil)
+		case "prior":
+			s, err := eval.AblationPrior(f3(right))
+			emit("Ablation: IQN vs prior SIGIR'05 method",
+				"peers", "%.0f", s, err)
+		case "cost":
+			points, err := eval.Cost(eval.CostConfig{
+				CorpusDocs: *docs, VocabSize: *vocab, Strategy: right,
+				Queries: *numQ, K: *k, Seed: *seed, MaxPeers: 5,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "iqnbench: cost: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(eval.CostTable(points, 5))
+		case "load":
+			points, err := eval.Load(eval.LoadConfig{
+				CorpusDocs: *docs, VocabSize: *vocab, Strategy: right,
+				Queries: 50, K: *k, Seed: *seed, MaxPeers: 5,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "iqnbench: load: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(eval.LoadTable(points))
+		case "churn":
+			res, err := eval.Churn(eval.ChurnConfig{
+				CorpusDocs: *docs, VocabSize: *vocab, Strategy: right,
+				Queries: *numQ, K: *k, Seed: *seed, MaxPeers: 5,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "iqnbench: churn: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("# Churn: %d peers killed mid-workload\n", res.Killed)
+			fmt.Printf("recall before      %0.3f\n", res.Before)
+			fmt.Printf("recall degraded    %0.3f (stale posts still name dead peers)\n", res.Degraded)
+			fmt.Printf("recall healed      %0.3f (after republish + prune of %d posts)\n", res.Healed, res.Pruned)
+		default:
+			fmt.Fprintf(os.Stderr, "iqnbench: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"fig2left", "fig2right", "fig3left", "fig3right",
+			"aggregation", "histogram", "budget", "hetero", "prior", "cost", "churn", "load"} {
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}

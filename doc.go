@@ -1,0 +1,27 @@
+// Package iqn is a from-scratch Go reproduction of "IQN Routing:
+// Integrating Quality and Novelty in P2P Querying and Ranking" (Michel,
+// Bender, Triantafillou, Weikum; EDBT 2006) — the MINERVA P2P web-search
+// engine's overlap-aware query routing.
+//
+// The implementation lives under internal/:
+//
+//   - internal/synopsis — Bloom filters, min-wise permutations, hash
+//     sketches, with resemblance/novelty estimators (paper Section 3)
+//   - internal/chord — the Chord DHT the directory is layered on
+//   - internal/transport — in-process and TCP RPC
+//   - internal/directory — the term-partitioned PeerList directory
+//   - internal/ir, internal/cori — local IR engine and CORI selection
+//   - internal/core — the IQN routing algorithm itself (Sections 5–7)
+//   - internal/histogram — score-conscious synopses (Section 7.1)
+//   - internal/topk — threshold-algorithm PeerList trimming
+//   - internal/minerva — the peer engine tying everything together
+//   - internal/dataset, internal/eval — workloads and the experiment
+//     harness regenerating every figure of the paper
+//
+// Entry points: cmd/minerva (run a network), cmd/iqnbench (regenerate
+// the paper's figures), cmd/synopsize (synopsis workbench), and the
+// runnable scenarios under examples/. The benchmark harness in
+// bench_test.go has one testing.B target per figure and per design
+// choice; see DESIGN.md for the experiment index and EXPERIMENTS.md for
+// paper-vs-measured results.
+package iqn

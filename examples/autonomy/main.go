@@ -1,0 +1,119 @@
+// Autonomy: the paper's strongest argument for MIPs (Section 3.4) made
+// runnable — peers in an open network do NOT coordinate synopsis
+// lengths. A space-constrained phone-class peer publishes 32-permutation
+// vectors, a server-class peer publishes 128-permutation vectors, and a
+// third sizes its synopses with the adaptive policy of the future-work
+// extension (core.Recommend). Because all share the permutation seed,
+// every pair remains comparable over its common prefix, and IQN routes
+// across the mixed network without any special handling.
+//
+//	go run ./examples/autonomy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"iqn/internal/core"
+	"iqn/internal/dataset"
+	"iqn/internal/ir"
+	"iqn/internal/minerva"
+	"iqn/internal/transport"
+)
+
+func main() {
+	const seed = 31
+	corpus := dataset.Generate(dataset.CorpusConfig{NumDocs: 3000, Seed: seed})
+	cols := dataset.AssignSlidingWindow(corpus, 12, 4, 1) // 12 peers, 75% overlap
+
+	// Three device classes pick their own synopsis budgets. The adaptive
+	// class derives its choice from a scenario profile.
+	rec := core.Recommend(core.Scenario{
+		TypicalListLength:    120,
+		TargetError:          0.08,
+		HeterogeneousLengths: true, // it knows the network is mixed
+		Seed:                 seed,
+	})
+	fmt.Printf("adaptive policy chose: %s at %d bits\n  because %s\n\n",
+		rec.Config.Kind, rec.Config.Bits, rec.Rationale)
+
+	classes := []struct {
+		name string
+		bits int
+	}{
+		{"phone (1024b)", 1024},
+		{"server (4096b)", 4096},
+		{"adaptive", rec.Config.Bits},
+	}
+
+	// Boot the peers one class at a time on a shared transport + ring.
+	net := transport.NewInMem()
+	var peers []*minerva.Peer
+	for i, col := range cols {
+		class := classes[i%len(classes)]
+		p, err := minerva.NewPeer(col.Name, net, minerva.Config{
+			SynopsisBits: class.bits,
+			SynopsisSeed: seed, // the one network-wide agreement MIPs need
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer p.Close()
+		if i == 0 {
+			p.CreateRing()
+		} else if err := p.JoinRing(peers[0].Name()); err != nil {
+			log.Fatal(err)
+		}
+		for round := 0; round < 3; round++ {
+			for _, q := range append(peers, p) {
+				q.Node().Stabilize()
+			}
+		}
+		peers = append(peers, p)
+	}
+	for round := 0; round < 2*len(peers); round++ {
+		for _, p := range peers {
+			p.Node().Stabilize()
+		}
+	}
+	for _, p := range peers {
+		p.Node().FixAllFingers()
+		p.IndexCollection(cols[indexOf(peers, p)].Docs)
+		if err := p.PublishPosts(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Central reference for recall.
+	ref := ir.NewIndex()
+	for _, d := range corpus.Docs {
+		ref.AddDocument(d.ID, d.Terms)
+	}
+	ref.Finalize()
+
+	queries := dataset.GenerateQueries(corpus, dataset.QueryConfig{Count: 5, Seed: seed})
+	var sum float64
+	for qi, q := range queries {
+		initiator := peers[qi%len(peers)]
+		res, err := initiator.Search(q.Terms, minerva.SearchOptions{K: 30, MaxPeers: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		recall := ir.RelativeRecall(res.Results, ref.Search(q.Terms, 30, ir.Disjunctive))
+		sum += recall
+		fmt.Printf("query %d %v → plan %v, recall@30 %.2f\n", q.ID, q.Terms, res.Plan.Peers, recall)
+	}
+	fmt.Printf("\nmixed 1024/4096/adaptive-bit network, macro recall: %.3f\n", sum/float64(len(queries)))
+	fmt.Println("no length negotiation anywhere: MIPs compare over min(N1,N2)")
+	fmt.Println("common permutations, exactly as Section 3.4 promises.")
+}
+
+// indexOf finds a peer's position (the example keeps slices parallel).
+func indexOf(peers []*minerva.Peer, p *minerva.Peer) int {
+	for i, q := range peers {
+		if q == p {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,125 @@
+// Churn: the P2P operations story — peers die mid-workload and a new
+// peer joins, while the directory keeps answering and queries keep
+// routing.
+//
+// The example runs a query, kills two peers (including one that the
+// previous routing plan selected), lets Chord stabilization heal the
+// ring, re-runs the query, then joins a fresh peer with new documents
+// and shows it being selected once its posts are published. Directory
+// entries are replicated (Replicas: 3), so term ownership survives the
+// failures.
+//
+//	go run ./examples/churn
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"iqn/internal/dataset"
+	"iqn/internal/ir"
+	"iqn/internal/minerva"
+	"iqn/internal/transport"
+)
+
+func main() {
+	corpus := dataset.Generate(dataset.CorpusConfig{NumDocs: 3000, Seed: 5})
+	// Hold fragment 19 back: the late joiner will bring it.
+	cols := dataset.AssignSlidingWindow(corpus, 20, 4, 2)
+	inmem := transport.NewInMem()
+	cfg := minerva.Config{SynopsisSeed: 5, Replicas: 3}
+	net, err := minerva.BuildNetwork(inmem, corpus, cols, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer net.Close()
+	query := dataset.GenerateQueries(corpus, dataset.QueryConfig{Count: 1, Seed: 5})[0]
+	ref := net.ReferenceTopK(query.Terms, 30, false)
+	initiator := net.Peers[0]
+	opts := minerva.SearchOptions{K: 30, MaxPeers: 4}
+
+	run := func(label string) *minerva.SearchResult {
+		res, err := initiator.Search(query.Terms, opts)
+		if err != nil {
+			log.Fatalf("%s: %v", label, err)
+		}
+		fmt.Printf("%-28s plan=%v recall@30=%.2f\n",
+			label, res.Plan.Peers, ir.RelativeRecall(res.Results, ref))
+		return res
+	}
+
+	fmt.Printf("query: %v over %d peers (directory replicas: 3)\n\n", query.Terms, len(net.Peers))
+	before := run("before churn:")
+
+	// Kill the first selected remote peer plus one more.
+	victims := []string{string(before.Plan.Peers[0]), net.Peers[7].Name()}
+	if victims[0] == initiator.Name() {
+		victims[0] = string(before.Plan.Peers[1])
+	}
+	for _, v := range victims {
+		inmem.SetPartitioned(v, true)
+	}
+	fmt.Printf("\nkilled peers: %v — stabilizing ring...\n", victims)
+	alive := net.Peers[:0:0]
+	for _, p := range net.Peers {
+		if p.Name() != victims[0] && p.Name() != victims[1] {
+			alive = append(alive, p)
+		}
+	}
+	for round := 0; round < 2*len(alive); round++ {
+		for _, p := range alive {
+			p.Node().Stabilize()
+		}
+	}
+	for _, p := range alive {
+		p.Node().FixAllFingers()
+	}
+	after := run("after failures:")
+	for _, peer := range after.Plan.Peers {
+		if string(peer) == victims[0] || string(peer) == victims[1] {
+			fmt.Printf("  note: %s is dead but still posted — it contributed %d results\n", peer, after.PerPeer[peer])
+		}
+	}
+
+	// Directory maintenance: live peers republish at the next epoch and
+	// the stale posts of the dead peers are pruned, so they age out of
+	// future routing plans.
+	fmt.Println("\nmaintenance round: republishing at epoch 1, pruning epoch < 1...")
+	for _, p := range alive {
+		if err := p.PublishPostsEpoch(1); err != nil {
+			log.Fatal(err)
+		}
+	}
+	dropped := initiator.Directory().PruneBelow(1)
+	fmt.Printf("pruned %d stale posts\n", dropped)
+	run("after maintenance:")
+
+	// A fresh peer joins with its own crawl and publishes.
+	fresh, err := minerva.NewPeer("peer-fresh", inmem, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fresh.Close()
+	if err := fresh.JoinRing(initiator.Name()); err != nil {
+		log.Fatal(err)
+	}
+	all := append(append([]*minerva.Peer{}, alive...), fresh)
+	for round := 0; round < 2*len(all); round++ {
+		for _, p := range all {
+			p.Node().Stabilize()
+		}
+	}
+	for _, p := range all {
+		p.Node().FixAllFingers()
+	}
+	// The fresh peer crawled the tail of the corpus — documents the
+	// surviving peers cover thinly.
+	fresh.IndexCollection(corpus.Docs[2400:])
+	if err := fresh.PublishPostsEpoch(1); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\npeer-fresh joined, indexed 600 documents, published posts")
+	run("after join:")
+	fmt.Println("\nthe directory absorbed the churn: dead peers dropped out of")
+	fmt.Println("plans, and the newcomer became routable as soon as it posted.")
+}

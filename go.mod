@@ -1,0 +1,3 @@
+module iqn
+
+go 1.22

@@ -1,0 +1,152 @@
+package chord
+
+import (
+	"iqn/internal/transport"
+)
+
+// This file implements Chord's ring-maintenance protocol: stabilize,
+// notify, fix-fingers, and successor-list refresh. The background loop
+// (Node.Start) runs these periodically; tests drive them deterministically
+// by calling StabilizeAll-style rounds directly.
+
+// Stabilize runs one round of the stabilization protocol:
+//
+//  1. skip dead successors (fail-over to the successor list),
+//  2. ask the live successor for its predecessor x; if x lies between us
+//     and the successor, adopt x as the new successor,
+//  3. notify the successor of our existence,
+//  4. refresh the successor list from the successor's list.
+//
+// Stabilize is also how a freshly-joined node becomes visible: its
+// notify call teaches the successor about it, and the predecessor's next
+// stabilization discovers it in turn.
+func (n *Node) Stabilize() {
+	succ := n.liveSuccessor()
+	if succ.IsZero() {
+		// Every known successor is dead; collapse to a self-ring so the
+		// node stays usable and can be re-joined.
+		n.mu.Lock()
+		n.succs = []NodeRef{n.self}
+		n.mu.Unlock()
+		return
+	}
+	if succ.Addr != n.self.Addr {
+		var pred NodeRef
+		if err := transport.Invoke(n.net, succ.Addr, methodGetPredecessor, struct{}{}, &pred); err == nil &&
+			!pred.IsZero() && between(n.self.ID, pred.ID, succ.ID) {
+			// A node slipped in between: verify it's alive before
+			// adopting it.
+			if n.ping(pred) {
+				succ = pred
+			}
+		}
+		_ = transport.Invoke(n.net, succ.Addr, methodNotify, n.self, nil)
+	} else if pred := n.Predecessor(); !pred.IsZero() && pred.Addr != n.self.Addr {
+		// Self-successor but a predecessor is known (e.g. we were the
+		// seed of a two-node ring): the predecessor is our successor on
+		// a two-node ring.
+		if n.ping(pred) {
+			succ = pred
+			_ = transport.Invoke(n.net, succ.Addr, methodNotify, n.self, nil)
+		}
+	}
+	n.refreshSuccessors(succ)
+	n.checkPredecessor()
+}
+
+// liveSuccessor returns the first responsive entry of the successor
+// list, shifting dead ones off. A node is only declared dead after two
+// failed pings: on lossy networks a single dropped probe must not evict
+// a live successor — skipping one can wedge the ring into disjoint
+// stable cycles that stabilization cannot merge.
+func (n *Node) liveSuccessor() NodeRef {
+	n.mu.RLock()
+	succs := append([]NodeRef(nil), n.succs...)
+	n.mu.RUnlock()
+	for _, s := range succs {
+		if s.Addr == n.self.Addr || n.ping(s) || n.ping(s) {
+			return s
+		}
+	}
+	return NodeRef{}
+}
+
+// refreshSuccessors rebuilds the successor list as succ followed by
+// succ's own list, truncated to the configured length.
+func (n *Node) refreshSuccessors(succ NodeRef) {
+	list := []NodeRef{succ}
+	if succ.Addr != n.self.Addr {
+		var remote []NodeRef
+		if err := transport.Invoke(n.net, succ.Addr, methodSuccessors, struct{}{}, &remote); err == nil {
+			for _, s := range remote {
+				if s.Addr == n.self.Addr || s.IsZero() {
+					continue
+				}
+				list = append(list, s)
+				if len(list) >= n.cfg.successors() {
+					break
+				}
+			}
+		}
+	}
+	n.mu.Lock()
+	n.succs = list
+	n.mu.Unlock()
+}
+
+// checkPredecessor clears a dead predecessor so a live candidate can
+// claim the slot at the next notify.
+func (n *Node) checkPredecessor() {
+	pred := n.Predecessor()
+	if pred.IsZero() || pred.Addr == n.self.Addr {
+		return
+	}
+	if !n.ping(pred) {
+		n.mu.Lock()
+		if n.pred.Addr == pred.Addr {
+			n.pred = NodeRef{}
+		}
+		n.mu.Unlock()
+	}
+}
+
+// notify handles a peer's claim to be our predecessor.
+func (n *Node) notify(cand NodeRef) {
+	if cand.IsZero() || cand.Addr == n.self.Addr {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.pred.IsZero() || between(n.pred.ID, cand.ID, n.self.ID) {
+		n.pred = cand
+	}
+}
+
+// FixFinger recomputes the i-th finger-table entry (i in [0, M)) by
+// looking up the successor of self + 2^i.
+func (n *Node) FixFinger(i int) {
+	if i < 0 || i >= M {
+		return
+	}
+	ref, err := n.FindSuccessor(fingerStart(n.self.ID, i))
+	if err != nil {
+		return
+	}
+	n.mu.Lock()
+	n.fingers[i] = ref
+	n.mu.Unlock()
+}
+
+// FixAllFingers recomputes the whole finger table (test/benchmark
+// convenience; the background loop fixes one finger per tick).
+func (n *Node) FixAllFingers() {
+	for i := 0; i < M; i++ {
+		n.FixFinger(i)
+	}
+}
+
+// ping reports whether a node answers its ping RPC.
+func (n *Node) ping(ref NodeRef) bool {
+	var ok bool
+	return transport.Invoke(n.net, ref.Addr, methodPing, struct{}{}, &ok) == nil && ok
+}

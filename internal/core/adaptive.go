@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math"
+
+	"iqn/internal/synopsis"
+)
+
+// This file implements the paper's first future-work direction
+// (Section 9): "strategies for adaptively choosing the synopses types
+// and lengths depending on the P2P usage scenario". The selection rules
+// encode the Section 3.4 discussion as an executable policy, so a peer
+// (or a whole deployment) can derive its synopsis configuration from its
+// workload profile instead of hard-coding one.
+
+// Scenario profiles a deployment for synopsis selection.
+type Scenario struct {
+	// TypicalListLength is the expected per-term set cardinality the
+	// synopses must summarize (a peer's median index-list length).
+	TypicalListLength int
+	// TargetError is the acceptable standard error of resemblance
+	// estimates (default 0.1).
+	TargetError float64
+	// ConjunctiveQueries indicates the workload needs synopsis
+	// intersections (Section 6.1).
+	ConjunctiveQueries bool
+	// HeterogeneousLengths indicates peers will publish synopses of
+	// different lengths for the same term (autonomy, adaptive budgets) —
+	// only MIPs remain comparable then (Section 3.4).
+	HeterogeneousLengths bool
+	// CardinalityOnly indicates the application only needs distinct
+	// counts and unions (no resemblance), e.g. result-size estimation.
+	CardinalityOnly bool
+	// MaxBitsPerTerm caps the per-term budget (0: 4096).
+	MaxBitsPerTerm int
+	// Seed is the network-wide MIPs seed to embed in the recommendation.
+	Seed uint64
+}
+
+// Recommendation is a synopsis configuration plus the reasoning that
+// produced it.
+type Recommendation struct {
+	// Config is ready to use with synopsis.Config.New / minerva.Config.
+	Config synopsis.Config
+	// Rationale explains the choice in one sentence.
+	Rationale string
+}
+
+// Recommend derives a synopsis configuration from a scenario, following
+// the paper's qualitative guidance:
+//
+//   - heterogeneous lengths force MIPs (the only family whose vectors of
+//     different lengths remain comparable);
+//   - cardinality-only workloads get the cheapest counting sketch
+//     (super-LogLog);
+//   - conjunctive workloads prefer Bloom filters when the budget can
+//     hold the typical list without overload (their intersection is
+//     exact on the bit level), MIPs otherwise;
+//   - everything else gets MIPs sized so the resemblance standard error
+//     √(p(1−p)/N) meets the target at the worst case p = ½.
+func Recommend(s Scenario) Recommendation {
+	maxBits := s.MaxBitsPerTerm
+	if maxBits <= 0 {
+		maxBits = 4096
+	}
+	targetErr := s.TargetError
+	if targetErr <= 0 {
+		targetErr = 0.1
+	}
+	// MIPs length for the error target: N ≥ 0.25/se², 32-bit granularity.
+	perms := int(math.Ceil(0.25 / (targetErr * targetErr)))
+	mipsBits := roundUpPow2(perms) * 32
+	if mipsBits > maxBits {
+		mipsBits = maxBits - maxBits%32
+		if mipsBits < 32 {
+			mipsBits = 32
+		}
+	}
+	mips := synopsis.Config{Kind: synopsis.KindMIPs, Bits: mipsBits, Seed: s.Seed}
+
+	switch {
+	case s.HeterogeneousLengths:
+		return Recommendation{
+			Config:    mips,
+			Rationale: "peers publish different lengths; only MIPs stay comparable under min-length truncation (Section 3.4)",
+		}
+	case s.CardinalityOnly:
+		bits := maxBits
+		if bits > 2048 {
+			bits = 2048 // ≈6.6% counting error; more rarely pays off
+		}
+		return Recommendation{
+			Config:    synopsis.Config{Kind: synopsis.KindSuperLogLog, Bits: bits, Seed: s.Seed},
+			Rationale: "only distinct counts and unions are needed; super-LogLog gives the best accuracy per bit",
+		}
+	case s.ConjunctiveQueries:
+		// A Bloom filter serves conjunctions exactly (bit-wise AND) but
+		// only below overload: demand ≥ 8 bits per expected element.
+		if n := s.TypicalListLength; n > 0 && maxBits >= 8*n {
+			m := roundUpPow2(8 * n)
+			if m > maxBits {
+				m = maxBits
+			}
+			return Recommendation{
+				Config: synopsis.Config{
+					Kind:        synopsis.KindBloom,
+					Bits:        m,
+					BloomHashes: synopsis.OptimalBloomHashes(m, n),
+					Seed:        s.Seed,
+				},
+				Rationale: "conjunctive workload within Bloom capacity; bit-wise AND gives exact intersections (Section 6.1)",
+			}
+		}
+		return Recommendation{
+			Config:    mips,
+			Rationale: "conjunctive workload but lists overload any affordable Bloom filter; MIPs with the max-heuristic intersection (Sections 3.4, 6.1)",
+		}
+	default:
+		return Recommendation{
+			Config:    mips,
+			Rationale: "general ranked retrieval: MIPs meet the resemblance error target at the lowest cost (Section 3.4)",
+		}
+	}
+}
+
+// roundUpPow2 rounds n up to the next power of two (minimum 1).
+func roundUpPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

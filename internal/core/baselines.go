@@ -1,0 +1,84 @@
+package core
+
+import "sort"
+
+// This file implements the comparison methods of the paper's Section 8:
+// quality-only CORI routing and the authors' prior SIGIR'05 method [5].
+
+// RouteCORI is the quality-driven baseline: candidates ranked by their
+// collection score alone, overlap-blind. This is the paper's main
+// comparison method ("among the very best database selection methods for
+// distributed IR", Section 8.1).
+func RouteCORI(q Query, cands []Candidate, maxPeers int) (Plan, error) {
+	if err := validateQuery(q); err != nil {
+		return Plan{}, err
+	}
+	sorted := sortCandidates(cands)
+	if maxPeers > 0 && len(sorted) > maxPeers {
+		sorted = sorted[:maxPeers]
+	}
+	var plan Plan
+	for _, c := range sorted {
+		plan.Peers = append(plan.Peers, c.Peer)
+		plan.Steps = append(plan.Steps, Step{Peer: c.Peer, Quality: c.Quality, Score: c.Quality})
+	}
+	return plan, nil
+}
+
+// RoutePrior reimplements the authors' prior overlap-aware method [5]
+// (Bender et al., SIGIR 2005) as the paper characterizes it: "only Bloom
+// filters and a fairly simple algorithm for aggregating synopses and
+// making the actual routing decisions". Concretely:
+//
+//   - novelty is estimated ONCE per candidate, against the initiator's
+//     reference synopsis only — the reference is never re-aggregated as
+//     peers are selected, which is exactly the deficit IQN's iterative
+//     Aggregate-Synopses step fixes;
+//   - candidates are then ranked by the one-shot quality × novelty score.
+//
+// The synopsis family is whatever the candidates carry (the historical
+// method used Bloom filters; the experiments pass them accordingly).
+func RoutePrior(q Query, initiator *Candidate, cands []Candidate, opts Options) (Plan, error) {
+	if err := validateQuery(q); err != nil {
+		return Plan{}, err
+	}
+	state, err := newReferenceState(q, opts)
+	if err != nil {
+		return Plan{}, err
+	}
+	if initiator != nil {
+		if _, err := state.absorb(initiator); err != nil {
+			return Plan{}, err
+		}
+	}
+	type scored struct {
+		c        Candidate
+		novelty  float64
+		combined float64
+	}
+	sorted := sortCandidates(cands)
+	scs := make([]scored, 0, len(sorted))
+	for i := range sorted {
+		nov, err := state.novelty(&sorted[i])
+		if err != nil {
+			return Plan{}, err
+		}
+		scs = append(scs, scored{
+			c:        sorted[i],
+			novelty:  nov,
+			combined: powWeight(sorted[i].Quality, opts.qualityWeight()) * powWeight(nov, opts.noveltyWeight()),
+		})
+	}
+	sort.SliceStable(scs, func(i, j int) bool { return scs[i].combined > scs[j].combined })
+	if opts.MaxPeers > 0 && len(scs) > opts.MaxPeers {
+		scs = scs[:opts.MaxPeers]
+	}
+	var plan Plan
+	for _, s := range scs {
+		plan.Peers = append(plan.Peers, s.c.Peer)
+		plan.Steps = append(plan.Steps, Step{
+			Peer: s.c.Peer, Quality: s.c.Quality, Novelty: s.novelty, Score: s.combined,
+		})
+	}
+	return plan, nil
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"sort"
+
+	"iqn/internal/ir"
+)
+
+// This file implements the adaptive synopsis lengths of Section 7.2: a
+// peer with a total space budget B (bits) for all its per-term synopses
+// chooses each term's synopsis length in proportion to a notion of
+// benefit for that term — a knapsack-like heuristic.
+
+// BenefitPolicy selects the benefit notion of Section 7.2.
+type BenefitPolicy int
+
+const (
+	// BenefitListLength weighs a term by its index-list length: longer
+	// lists get longer synopses.
+	BenefitListLength BenefitPolicy = iota
+	// BenefitAboveThreshold weighs a term by the number of list entries
+	// whose relevance score exceeds a threshold.
+	BenefitAboveThreshold
+	// BenefitQuantileMass weighs a term by the number of its top entries
+	// whose accumulated score mass reaches the 90% quantile of the
+	// list's score distribution.
+	BenefitQuantileMass
+)
+
+// String names the policy.
+func (p BenefitPolicy) String() string {
+	switch p {
+	case BenefitAboveThreshold:
+		return "above-threshold"
+	case BenefitQuantileMass:
+		return "quantile-mass"
+	default:
+		return "list-length"
+	}
+}
+
+// TermBenefit computes the benefit weight of one term's postings list
+// under a policy. threshold only applies to BenefitAboveThreshold.
+// Postings must be sorted by descending score (ir.Index order).
+func TermBenefit(postings []ir.Posting, policy BenefitPolicy, threshold float64) float64 {
+	switch policy {
+	case BenefitAboveThreshold:
+		n := 0
+		for _, p := range postings {
+			if p.Score > threshold {
+				n++
+			}
+		}
+		return float64(n)
+	case BenefitQuantileMass:
+		var total float64
+		for _, p := range postings {
+			total += p.Score
+		}
+		if total <= 0 {
+			return 0
+		}
+		var acc float64
+		for i, p := range postings {
+			acc += p.Score
+			if acc >= 0.9*total {
+				return float64(i + 1)
+			}
+		}
+		return float64(len(postings))
+	default:
+		return float64(len(postings))
+	}
+}
+
+// AllocateBudget splits a total bit budget across terms proportionally to
+// their benefits, honoring a per-term minimum and a granularity (e.g. 32
+// bits per MIPs permutation). Every term with positive benefit receives
+// at least minBits (if the budget allows); leftover bits go to the
+// highest-benefit terms first (largest-remainder rounding). Terms with
+// zero benefit receive zero bits. The returned allocations sum to at most
+// totalBits.
+func AllocateBudget(benefits map[string]float64, totalBits, minBits, granularity int) map[string]int {
+	if granularity < 1 {
+		granularity = 1
+	}
+	if minBits < granularity {
+		minBits = granularity
+	}
+	type tb struct {
+		term    string
+		benefit float64
+	}
+	terms := make([]tb, 0, len(benefits))
+	var total float64
+	for t, b := range benefits {
+		if b <= 0 {
+			continue
+		}
+		terms = append(terms, tb{t, b})
+		total += b
+	}
+	out := make(map[string]int, len(terms))
+	if len(terms) == 0 || totalBits < granularity {
+		return out
+	}
+	// Deterministic processing order: descending benefit, then term.
+	sort.Slice(terms, func(i, j int) bool {
+		if terms[i].benefit != terms[j].benefit {
+			return terms[i].benefit > terms[j].benefit
+		}
+		return terms[i].term < terms[j].term
+	})
+	// If even minimums don't fit, serve the top terms only.
+	maxTerms := totalBits / minBits
+	if len(terms) > maxTerms {
+		terms = terms[:maxTerms]
+		total = 0
+		for _, t := range terms {
+			total += t.benefit
+		}
+	}
+	remaining := totalBits
+	for _, t := range terms {
+		share := int(float64(totalBits) * t.benefit / total)
+		share -= share % granularity
+		if share < minBits {
+			share = minBits
+		}
+		if share > remaining {
+			share = remaining - remaining%granularity
+		}
+		if share < minBits {
+			break
+		}
+		out[t.term] = share
+		remaining -= share
+	}
+	// Hand leftover granules to the highest-benefit terms.
+	for _, t := range terms {
+		if remaining < granularity {
+			break
+		}
+		if _, ok := out[t.term]; !ok {
+			continue
+		}
+		out[t.term] += granularity
+		remaining -= granularity
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+
+	"iqn/internal/ir"
+)
+
+func postingsDesc(n int) []ir.Posting {
+	ps := make([]ir.Posting, n)
+	for i := range ps {
+		ps[i] = ir.Posting{DocID: uint64(i), Score: float64(n - i)}
+	}
+	return ps
+}
+
+func TestTermBenefitListLength(t *testing.T) {
+	if got := TermBenefit(postingsDesc(42), BenefitListLength, 0); got != 42 {
+		t.Fatalf("list-length benefit = %v, want 42", got)
+	}
+	if got := TermBenefit(nil, BenefitListLength, 0); got != 0 {
+		t.Fatalf("empty list benefit = %v", got)
+	}
+}
+
+func TestTermBenefitAboveThreshold(t *testing.T) {
+	ps := postingsDesc(10) // scores 10..1
+	if got := TermBenefit(ps, BenefitAboveThreshold, 7); got != 3 {
+		t.Fatalf("above-threshold benefit = %v, want 3 (scores 10,9,8)", got)
+	}
+	if got := TermBenefit(ps, BenefitAboveThreshold, 100); got != 0 {
+		t.Fatalf("unreachable threshold benefit = %v", got)
+	}
+}
+
+func TestTermBenefitQuantileMass(t *testing.T) {
+	// Uniform scores: 90% of the mass needs 90% of the entries.
+	ps := make([]ir.Posting, 10)
+	for i := range ps {
+		ps[i] = ir.Posting{DocID: uint64(i), Score: 1}
+	}
+	if got := TermBenefit(ps, BenefitQuantileMass, 0); got != 9 {
+		t.Fatalf("uniform quantile benefit = %v, want 9", got)
+	}
+	// Skewed scores: one huge head entry covers the quantile alone.
+	ps = []ir.Posting{{DocID: 1, Score: 1000}, {DocID: 2, Score: 1}, {DocID: 3, Score: 1}}
+	if got := TermBenefit(ps, BenefitQuantileMass, 0); got != 1 {
+		t.Fatalf("skewed quantile benefit = %v, want 1", got)
+	}
+	if got := TermBenefit(nil, BenefitQuantileMass, 0); got != 0 {
+		t.Fatalf("empty quantile benefit = %v", got)
+	}
+}
+
+func TestAllocateBudgetProportional(t *testing.T) {
+	benefits := map[string]float64{"big": 300, "mid": 150, "small": 50}
+	alloc := AllocateBudget(benefits, 10000, 64, 32)
+	if len(alloc) != 3 {
+		t.Fatalf("allocated %d terms, want 3: %v", len(alloc), alloc)
+	}
+	if alloc["big"] <= alloc["mid"] || alloc["mid"] <= alloc["small"] {
+		t.Fatalf("allocation not benefit-ordered: %v", alloc)
+	}
+	total := 0
+	for term, bits := range alloc {
+		if bits%32 != 0 {
+			t.Fatalf("%s allocation %d not a multiple of granularity", term, bits)
+		}
+		if bits < 64 {
+			t.Fatalf("%s allocation %d below minimum", term, bits)
+		}
+		total += bits
+	}
+	if total > 10000 {
+		t.Fatalf("allocated %d bits over budget 10000", total)
+	}
+	// Roughly proportional: big ≈ 2× mid.
+	ratio := float64(alloc["big"]) / float64(alloc["mid"])
+	if ratio < 1.5 || ratio > 2.6 {
+		t.Fatalf("big/mid ratio = %v, want ≈2", ratio)
+	}
+}
+
+func TestAllocateBudgetZeroBenefitExcluded(t *testing.T) {
+	alloc := AllocateBudget(map[string]float64{"a": 10, "zero": 0, "neg": -5}, 1000, 32, 32)
+	if _, ok := alloc["zero"]; ok {
+		t.Fatal("zero-benefit term allocated")
+	}
+	if _, ok := alloc["neg"]; ok {
+		t.Fatal("negative-benefit term allocated")
+	}
+	if alloc["a"] == 0 {
+		t.Fatal("positive-benefit term not allocated")
+	}
+}
+
+func TestAllocateBudgetTightBudget(t *testing.T) {
+	// Budget fits only two minimum allocations: highest-benefit terms win.
+	benefits := map[string]float64{"a": 3, "b": 2, "c": 1}
+	alloc := AllocateBudget(benefits, 128, 64, 32)
+	if len(alloc) > 2 {
+		t.Fatalf("tight budget allocated %d terms: %v", len(alloc), alloc)
+	}
+	if _, ok := alloc["a"]; !ok {
+		t.Fatalf("highest-benefit term missing: %v", alloc)
+	}
+	total := 0
+	for _, b := range alloc {
+		total += b
+	}
+	if total > 128 {
+		t.Fatalf("over budget: %v", alloc)
+	}
+}
+
+func TestAllocateBudgetDegenerate(t *testing.T) {
+	if got := AllocateBudget(nil, 1000, 32, 32); len(got) != 0 {
+		t.Fatalf("nil benefits allocated %v", got)
+	}
+	if got := AllocateBudget(map[string]float64{"a": 1}, 0, 32, 32); len(got) != 0 {
+		t.Fatalf("zero budget allocated %v", got)
+	}
+	// Granularity and minimum clamp to sane values.
+	got := AllocateBudget(map[string]float64{"a": 1}, 100, 0, 0)
+	if got["a"] <= 0 {
+		t.Fatalf("degenerate params allocated %v", got)
+	}
+}
+
+func TestAllocateBudgetDeterministic(t *testing.T) {
+	benefits := map[string]float64{"a": 5, "b": 5, "c": 5, "d": 5}
+	first := AllocateBudget(benefits, 500, 64, 32)
+	for i := 0; i < 10; i++ {
+		if got := AllocateBudget(benefits, 500, 64, 32); len(got) != len(first) {
+			t.Fatalf("allocation varies across runs: %v vs %v", got, first)
+		} else {
+			for k, v := range first {
+				if got[k] != v {
+					t.Fatalf("allocation varies for %s: %d vs %d", k, got[k], v)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,611 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"iqn/internal/histogram"
+	"iqn/internal/ir"
+	"iqn/internal/synopsis"
+)
+
+var testCfg = synopsis.Config{Kind: synopsis.KindMIPs, Bits: 2048, Seed: 1234}
+
+// cand builds a candidate from explicit per-term ID sets.
+func cand(peer string, quality float64, cfg synopsis.Config, termIDs map[string][]uint64) Candidate {
+	c := Candidate{
+		Peer:              PeerID(peer),
+		Quality:           quality,
+		TermSynopses:      map[string]synopsis.Set{},
+		TermCardinalities: map[string]float64{},
+	}
+	for t, ids := range termIDs {
+		c.TermSynopses[t] = cfg.FromIDs(ids)
+		c.TermCardinalities[t] = float64(len(ids))
+	}
+	return c
+}
+
+// idRange returns the IDs [lo, hi).
+func idRange(lo, hi uint64) []uint64 {
+	ids := make([]uint64, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		ids = append(ids, i)
+	}
+	return ids
+}
+
+func TestRouteRejectsEmptyQuery(t *testing.T) {
+	if _, err := Route(Query{}, nil, nil, Options{}); err == nil {
+		t.Fatal("Route accepted empty query")
+	}
+	if _, err := RouteCORI(Query{}, nil, 3); err == nil {
+		t.Fatal("RouteCORI accepted empty query")
+	}
+	if _, err := RoutePrior(Query{}, nil, nil, Options{}); err == nil {
+		t.Fatal("RoutePrior accepted empty query")
+	}
+}
+
+func TestRouteAvoidsOverlapWhereCORIDoesNot(t *testing.T) {
+	// Peers A and B hold the SAME 1000 documents (both high quality);
+	// peer C holds 1000 different documents at slightly lower quality.
+	// Quality-only routing picks {A, B} and gets 1000 distinct docs;
+	// IQN must pick {A, C} and get 2000.
+	q := Query{Terms: []string{"x"}}
+	shared := idRange(0, 1000)
+	other := idRange(5000, 6000)
+	cands := []Candidate{
+		cand("A", 1.0, testCfg, map[string][]uint64{"x": shared}),
+		cand("B", 0.99, testCfg, map[string][]uint64{"x": shared}),
+		cand("C", 0.9, testCfg, map[string][]uint64{"x": other}),
+	}
+	for _, agg := range []AggregationMode{PerPeer, PerTerm} {
+		plan, err := Route(q, nil, cands, Options{MaxPeers: 2, Aggregation: agg})
+		if err != nil {
+			t.Fatalf("%v: %v", agg, err)
+		}
+		want := []PeerID{"A", "C"}
+		if !reflect.DeepEqual(plan.Peers, want) {
+			t.Fatalf("%v: IQN plan = %v, want %v", agg, plan.Peers, want)
+		}
+	}
+	coriPlan, err := RouteCORI(q, cands, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(coriPlan.Peers, []PeerID{"A", "B"}) {
+		t.Fatalf("CORI plan = %v, want [A B] (overlap-blind)", coriPlan.Peers)
+	}
+}
+
+func TestRouteSeedsFromInitiator(t *testing.T) {
+	// The initiator already holds A's documents, so A has zero novelty
+	// from the start and C must win immediately — the paper's reference
+	// seeding from the local query result.
+	q := Query{Terms: []string{"x"}}
+	docsA := idRange(0, 800)
+	docsC := idRange(5000, 5400)
+	initiator := cand("self", 0, testCfg, map[string][]uint64{"x": docsA})
+	cands := []Candidate{
+		cand("A", 1.0, testCfg, map[string][]uint64{"x": docsA}),
+		cand("C", 0.5, testCfg, map[string][]uint64{"x": docsC}),
+	}
+	plan, err := Route(q, &initiator, cands, Options{MaxPeers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plan.Peers, []PeerID{"C"}) {
+		t.Fatalf("plan = %v, want [C]", plan.Peers)
+	}
+	if plan.Steps[0].Novelty < 300 {
+		t.Fatalf("selected novelty = %v, want ≈400", plan.Steps[0].Novelty)
+	}
+}
+
+func TestRouteMaxPeers(t *testing.T) {
+	q := Query{Terms: []string{"x"}}
+	var cands []Candidate
+	for i := 0; i < 10; i++ {
+		lo := uint64(i * 1000)
+		cands = append(cands, cand(string(rune('a'+i)), 1, testCfg,
+			map[string][]uint64{"x": idRange(lo, lo+500)}))
+	}
+	for _, max := range []int{1, 3, 10, 0} {
+		plan, err := Route(q, nil, cands, Options{MaxPeers: max})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := max
+		if max <= 0 || max > len(cands) {
+			want = len(cands)
+		}
+		if len(plan.Peers) != want {
+			t.Fatalf("MaxPeers=%d: %d peers selected, want %d", max, len(plan.Peers), want)
+		}
+	}
+}
+
+func TestRouteTargetCoverage(t *testing.T) {
+	q := Query{Terms: []string{"x"}}
+	var cands []Candidate
+	for i := 0; i < 8; i++ {
+		lo := uint64(i * 1000)
+		cands = append(cands, cand(string(rune('a'+i)), 1, testCfg,
+			map[string][]uint64{"x": idRange(lo, lo+500)}))
+	}
+	plan, err := Route(q, nil, cands, Options{TargetCoverage: 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each disjoint peer adds ≈500 docs; coverage crosses 1200 after the
+	// third selection.
+	if len(plan.Peers) != 3 {
+		t.Fatalf("%d peers to reach coverage 1200, want 3 (steps: %+v)", len(plan.Peers), plan.Steps)
+	}
+	if last := plan.Steps[len(plan.Steps)-1].Covered; last < 1200 {
+		t.Fatalf("final covered = %v, want ≥ 1200", last)
+	}
+}
+
+func TestRouteCoveredMonotone(t *testing.T) {
+	q := Query{Terms: []string{"x", "y"}}
+	rng := rand.New(rand.NewSource(5))
+	var cands []Candidate
+	for i := 0; i < 6; i++ {
+		ids := make([]uint64, 600)
+		for j := range ids {
+			ids[j] = uint64(rng.Intn(3000))
+		}
+		cands = append(cands, cand(string(rune('a'+i)), 1, testCfg,
+			map[string][]uint64{"x": ids[:300], "y": ids[300:]}))
+	}
+	for _, agg := range []AggregationMode{PerPeer, PerTerm} {
+		plan, err := Route(q, nil, cands, Options{Aggregation: agg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plan.Steps) != len(plan.Peers) {
+			t.Fatalf("%d steps for %d peers", len(plan.Steps), len(plan.Peers))
+		}
+		prev := 0.0
+		for _, s := range plan.Steps {
+			if s.Covered < prev {
+				t.Fatalf("%v: covered not monotone: %v after %v", agg, s.Covered, prev)
+			}
+			prev = s.Covered
+		}
+	}
+}
+
+func TestRouteQualityNoveltyTradeoff(t *testing.T) {
+	// A high-quality peer with little novelty vs a mediocre peer with
+	// high novelty: the product decides; weights can flip the decision.
+	q := Query{Terms: []string{"x"}}
+	refDocs := idRange(0, 1000)
+	initiator := cand("self", 0, testCfg, map[string][]uint64{"x": refDocs})
+	// "big" re-serves 950 covered docs plus 50 new; "fresh" has 500 new.
+	big := append(append([]uint64{}, refDocs[:950]...), idRange(9000, 9050)...)
+	cands := []Candidate{
+		cand("big", 1.0, testCfg, map[string][]uint64{"x": big}),
+		cand("fresh", 0.5, testCfg, map[string][]uint64{"x": idRange(20000, 20500)}),
+	}
+	plan, err := Route(q, &initiator, cands, Options{MaxPeers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// product: big ≈ 1.0·50 = 50, fresh ≈ 0.5·500 = 250 → fresh.
+	if !reflect.DeepEqual(plan.Peers, []PeerID{"fresh"}) {
+		t.Fatalf("plan = %v, want [fresh]", plan.Peers)
+	}
+	// Quality-only weighting degrades IQN to CORI ordering.
+	plan, err = Route(q, &initiator, cands, Options{MaxPeers: 1, QualityWeight: 1, NoveltyWeight: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plan.Peers, []PeerID{"big"}) {
+		t.Fatalf("quality-only plan = %v, want [big]", plan.Peers)
+	}
+}
+
+func TestRouteDeterministic(t *testing.T) {
+	q := Query{Terms: []string{"x", "y"}}
+	rng := rand.New(rand.NewSource(7))
+	var cands []Candidate
+	for i := 0; i < 12; i++ {
+		ids := make([]uint64, 400)
+		for j := range ids {
+			ids[j] = uint64(rng.Intn(5000))
+		}
+		cands = append(cands, cand(string(rune('a'+i)), 0.5+float64(i%3)*0.1, testCfg,
+			map[string][]uint64{"x": ids[:200], "y": ids[200:]}))
+	}
+	p1, err := Route(q, nil, cands, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shuffle the candidate order; the plan must not change.
+	shuffled := append([]Candidate(nil), cands...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	p2, err := Route(q, nil, shuffled, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p1.Peers, p2.Peers) {
+		t.Fatalf("plans differ across input orders:\n%v\n%v", p1.Peers, p2.Peers)
+	}
+}
+
+func TestRouteConjunctiveBloom(t *testing.T) {
+	// Conjunctive queries intersect per-term synopses. Peer "both" holds
+	// documents matching x∧y; peer "xonly" has x matches but disjoint y
+	// docs, so its conjunctive novelty ≈ 0.
+	cfg := synopsis.Config{Kind: synopsis.KindBloom, Bits: 1 << 14}
+	q := Query{Terms: []string{"x", "y"}, Type: Conjunctive}
+	both := cand("both", 0.5, cfg, map[string][]uint64{
+		"x": idRange(0, 600), "y": idRange(0, 600),
+	})
+	xonly := cand("xonly", 1.0, cfg, map[string][]uint64{
+		"x": idRange(1000, 1600), "y": idRange(9000, 9600),
+	})
+	plan, err := Route(q, nil, []Candidate{both, xonly}, Options{MaxPeers: 1, Aggregation: PerPeer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plan.Peers, []PeerID{"both"}) {
+		t.Fatalf("conjunctive plan = %v, want [both]", plan.Peers)
+	}
+}
+
+func TestRouteConjunctiveMissingTerm(t *testing.T) {
+	// A peer lacking a conjunctive term cannot contribute and must score
+	// zero novelty under per-peer aggregation.
+	q := Query{Terms: []string{"x", "y"}, Type: Conjunctive}
+	full := cand("full", 0.1, testCfg, map[string][]uint64{
+		"x": idRange(0, 100), "y": idRange(0, 100),
+	})
+	missing := cand("missing", 1.0, testCfg, map[string][]uint64{
+		"x": idRange(500, 900),
+	})
+	plan, err := Route(q, nil, []Candidate{full, missing}, Options{MaxPeers: 1, Aggregation: PerPeer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plan.Peers, []PeerID{"full"}) {
+		t.Fatalf("plan = %v, want [full]", plan.Peers)
+	}
+}
+
+func TestRouteConjunctiveHashSketchFallsBack(t *testing.T) {
+	// Hash sketches have no intersection; conjunctive per-peer routing
+	// must fall back to the union superset without erroring
+	// (Section 6.1's crude approach).
+	cfg := synopsis.Config{Kind: synopsis.KindHashSketch, Bits: 2048}
+	q := Query{Terms: []string{"x", "y"}, Type: Conjunctive}
+	cands := []Candidate{
+		cand("a", 1, cfg, map[string][]uint64{"x": idRange(0, 300), "y": idRange(0, 300)}),
+		cand("b", 1, cfg, map[string][]uint64{"x": idRange(500, 800), "y": idRange(500, 800)}),
+	}
+	plan, err := Route(q, nil, cands, Options{MaxPeers: 2, Aggregation: PerPeer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Peers) != 2 {
+		t.Fatalf("plan = %v, want both peers", plan.Peers)
+	}
+}
+
+func TestRoutePerTermHandlesConjunctiveWithoutIntersection(t *testing.T) {
+	// Section 6.3's selling point: per-term aggregation needs no
+	// intersections even for conjunctive queries, for any synopsis kind.
+	cfg := synopsis.Config{Kind: synopsis.KindHashSketch, Bits: 2048}
+	q := Query{Terms: []string{"x", "y"}, Type: Conjunctive}
+	cands := []Candidate{
+		cand("a", 1, cfg, map[string][]uint64{"x": idRange(0, 300), "y": idRange(0, 300)}),
+		cand("b", 1, cfg, map[string][]uint64{"x": idRange(0, 300), "y": idRange(0, 300)}),
+		cand("c", 1, cfg, map[string][]uint64{"x": idRange(900, 1200), "y": idRange(900, 1200)}),
+	}
+	plan, err := Route(q, nil, cands, Options{MaxPeers: 2, Aggregation: PerTerm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plan.Peers, []PeerID{"a", "c"}) {
+		t.Fatalf("plan = %v, want [a c] (b duplicates a)", plan.Peers)
+	}
+}
+
+func TestRoutePriorVsIQN(t *testing.T) {
+	// The scenario that separates IQN from the SIGIR'05 one-shot method:
+	// twins T1/T2 are identical to each other but novel w.r.t. the
+	// initiator; C is half-covered by the twins. One-shot novelty ranks
+	// T1, T2 on top (both fully novel at scoring time) and returns
+	// duplicates; IQN re-aggregates and picks C second.
+	q := Query{Terms: []string{"x"}}
+	twins := idRange(0, 1000)
+	cDocs := append(append([]uint64{}, twins[:500]...), idRange(5000, 5500)...)
+	cands := []Candidate{
+		cand("T1", 1.0, testCfg, map[string][]uint64{"x": twins}),
+		cand("T2", 0.99, testCfg, map[string][]uint64{"x": twins}),
+		cand("C", 0.9, testCfg, map[string][]uint64{"x": cDocs}),
+	}
+	iqn, err := Route(q, nil, cands, Options{MaxPeers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(iqn.Peers, []PeerID{"T1", "C"}) {
+		t.Fatalf("IQN plan = %v, want [T1 C]", iqn.Peers)
+	}
+	prior, err := RoutePrior(q, nil, cands, Options{MaxPeers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(prior.Peers, []PeerID{"T1", "T2"}) {
+		t.Fatalf("prior plan = %v, want [T1 T2] (one-shot novelty cannot see the duplicate)", prior.Peers)
+	}
+}
+
+func TestRoutePriorSeedsFromInitiator(t *testing.T) {
+	// The prior method does use the initiator's reference synopsis — it
+	// just never updates it.
+	q := Query{Terms: []string{"x"}}
+	initiator := cand("self", 0, testCfg, map[string][]uint64{"x": idRange(0, 500)})
+	cands := []Candidate{
+		cand("covered", 1.0, testCfg, map[string][]uint64{"x": idRange(0, 500)}),
+		cand("fresh", 0.8, testCfg, map[string][]uint64{"x": idRange(9000, 9500)}),
+	}
+	plan, err := RoutePrior(q, &initiator, cands, Options{MaxPeers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plan.Peers, []PeerID{"fresh"}) {
+		t.Fatalf("prior plan = %v, want [fresh]", plan.Peers)
+	}
+}
+
+func TestRouteHistogramPrefersHighScoreNovelty(t *testing.T) {
+	// Build histograms from postings. The reference covers the HIGH-score
+	// documents of peer "tail" (so its remaining novelty is low-score
+	// tail) and the LOW-score documents of peer "head" (so its novelty
+	// is high-score). Score-conscious IQN must prefer "head"; both peers
+	// tie under plain cardinality novelty.
+	mk := func(lo uint64, n int, descending bool) []ir.Posting {
+		ps := make([]ir.Posting, n)
+		for i := range ps {
+			score := float64(i + 1)
+			if descending {
+				score = float64(n - i)
+			}
+			ps[i] = ir.Posting{DocID: lo + uint64(i), Score: score}
+		}
+		return ps
+	}
+	const cells = 4
+	// Peer "head": docs 0..999, scores ascending with ID (docs 750+ are
+	// the high-score band). Reference covers IDs 0..499 (low bands).
+	head := histogram.Build(mk(0, 1000, false), cells, testCfg)
+	// Peer "tail": docs 5000..5999, scores DESCENDING with ID (docs
+	// 5000..5249 high band). Reference covers IDs 5000..5499 (high bands).
+	tail := histogram.Build(mk(5000, 1000, true), cells, testCfg)
+	refIDs := append(idRange(0, 500), idRange(5000, 5500)...)
+	initiator := cand("self", 0, testCfg, map[string][]uint64{"x": refIDs})
+	cands := []Candidate{
+		{
+			Peer: "head", Quality: 1,
+			TermSynopses:      map[string]synopsis.Set{"x": testCfg.FromIDs(idRange(0, 1000))},
+			TermCardinalities: map[string]float64{"x": 1000},
+			TermHistograms:    map[string]*histogram.Histogram{"x": head},
+		},
+		{
+			Peer: "tail", Quality: 1,
+			TermSynopses:      map[string]synopsis.Set{"x": testCfg.FromIDs(idRange(5000, 6000))},
+			TermCardinalities: map[string]float64{"x": 1000},
+			TermHistograms:    map[string]*histogram.Histogram{"x": tail},
+		},
+	}
+	q := Query{Terms: []string{"x"}}
+	plan, err := Route(q, &initiator, cands, Options{MaxPeers: 1, UseHistograms: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plan.Peers, []PeerID{"head"}) {
+		t.Fatalf("histogram plan = %v, want [head] (novelty in high-score cells)", plan.Peers)
+	}
+}
+
+func TestRouteHistogramFallsBackToPlainSynopses(t *testing.T) {
+	// Candidates without histograms still route under UseHistograms.
+	q := Query{Terms: []string{"x"}}
+	cands := []Candidate{
+		cand("a", 1, testCfg, map[string][]uint64{"x": idRange(0, 300)}),
+		cand("b", 1, testCfg, map[string][]uint64{"x": idRange(0, 300)}),
+	}
+	plan, err := Route(q, nil, cands, Options{MaxPeers: 2, UseHistograms: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Peers) != 2 {
+		t.Fatalf("plan = %v", plan.Peers)
+	}
+	// The duplicate must carry ≈0 novelty on its step.
+	if plan.Steps[1].Novelty > 50 {
+		t.Fatalf("duplicate's novelty = %v, want ≈0", plan.Steps[1].Novelty)
+	}
+}
+
+func TestRouteCORIOrder(t *testing.T) {
+	q := Query{Terms: []string{"x"}}
+	cands := []Candidate{
+		cand("low", 0.1, testCfg, nil),
+		cand("high", 0.9, testCfg, nil),
+		cand("mid", 0.5, testCfg, nil),
+	}
+	plan, err := RouteCORI(q, cands, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plan.Peers, []PeerID{"high", "mid", "low"}) {
+		t.Fatalf("CORI order = %v", plan.Peers)
+	}
+	plan, err = RouteCORI(q, cands, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Peers) != 2 {
+		t.Fatalf("CORI maxPeers: %v", plan.Peers)
+	}
+}
+
+func TestPowWeight(t *testing.T) {
+	cases := []struct{ x, w, want float64 }{
+		{5, 0, 1},
+		{0, 0, 1},
+		{0, 1, 0},
+		{-3, 2, 0},
+		{4, 1, 4},
+		{4, 0.5, 2},
+		{9, 2, 81},
+	}
+	for _, c := range cases {
+		if got := powWeight(c.x, c.w); got != c.want {
+			t.Errorf("powWeight(%v,%v) = %v, want %v", c.x, c.w, got, c.want)
+		}
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if Disjunctive.String() != "disjunctive" || Conjunctive.String() != "conjunctive" {
+		t.Fatal("QueryType strings wrong")
+	}
+	if PerPeer.String() != "per-peer" || PerTerm.String() != "per-term" {
+		t.Fatal("AggregationMode strings wrong")
+	}
+	for _, p := range []BenefitPolicy{BenefitListLength, BenefitAboveThreshold, BenefitQuantileMass} {
+		if p.String() == "" || strings.Contains(p.String(), " ") {
+			t.Fatalf("policy string %q", p.String())
+		}
+	}
+}
+
+func TestRouteMixedSynopsisLengths(t *testing.T) {
+	// Peers publish MIPs of different lengths (Section 7.2 autonomy);
+	// routing must keep working via min-length comparison.
+	long := synopsis.Config{Kind: synopsis.KindMIPs, Bits: 4096, Seed: 1234}
+	short := synopsis.Config{Kind: synopsis.KindMIPs, Bits: 1024, Seed: 1234}
+	q := Query{Terms: []string{"x"}}
+	cands := []Candidate{
+		cand("long", 1.0, long, map[string][]uint64{"x": idRange(0, 500)}),
+		cand("short", 0.9, short, map[string][]uint64{"x": idRange(0, 500)}),
+		cand("other", 0.8, short, map[string][]uint64{"x": idRange(8000, 8500)}),
+	}
+	plan, err := Route(q, nil, cands, Options{MaxPeers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plan.Peers, []PeerID{"long", "other"}) {
+		t.Fatalf("mixed-length plan = %v, want [long other]", plan.Peers)
+	}
+}
+
+func TestRoutePlanProperties(t *testing.T) {
+	// Plans contain no duplicates and only candidate peers, for random
+	// candidate sets in both aggregation modes.
+	f := func(seed int64, maxRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numCands := rng.Intn(8) + 2
+		var cands []Candidate
+		for i := 0; i < numCands; i++ {
+			ids := make([]uint64, rng.Intn(200)+10)
+			for j := range ids {
+				ids[j] = uint64(rng.Intn(1000))
+			}
+			cands = append(cands, cand(fmt.Sprintf("p%02d", i), rng.Float64(), testCfg,
+				map[string][]uint64{"x": ids}))
+		}
+		max := int(maxRaw)%numCands + 1
+		for _, agg := range []AggregationMode{PerPeer, PerTerm} {
+			plan, err := Route(Query{Terms: []string{"x"}}, nil, cands, Options{MaxPeers: max, Aggregation: agg})
+			if err != nil {
+				return false
+			}
+			if len(plan.Peers) != max || len(plan.Steps) != max {
+				return false
+			}
+			seen := map[PeerID]bool{}
+			valid := map[PeerID]bool{}
+			for _, c := range cands {
+				valid[c.Peer] = true
+			}
+			for _, p := range plan.Peers {
+				if seen[p] || !valid[p] {
+					return false
+				}
+				seen[p] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteQualityOnlyMatchesCORI(t *testing.T) {
+	// With NoveltyWeight 0, IQN degenerates to quality-only ordering —
+	// the same plan RouteCORI produces.
+	rng := rand.New(rand.NewSource(17))
+	var cands []Candidate
+	for i := 0; i < 12; i++ {
+		ids := make([]uint64, 100)
+		for j := range ids {
+			ids[j] = uint64(rng.Intn(500))
+		}
+		cands = append(cands, cand(fmt.Sprintf("p%02d", i), rng.Float64(), testCfg,
+			map[string][]uint64{"x": ids}))
+	}
+	q := Query{Terms: []string{"x"}}
+	iqn, err := Route(q, nil, cands, Options{MaxPeers: 6, QualityWeight: 1, NoveltyWeight: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coriPlan, err := RouteCORI(q, cands, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(iqn.Peers, coriPlan.Peers) {
+		t.Fatalf("quality-only IQN %v != CORI %v", iqn.Peers, coriPlan.Peers)
+	}
+}
+
+func TestRouteAbsorbOrderInvariance(t *testing.T) {
+	// Absorbing A then B yields the same reference as B then A for MIPs
+	// (union commutes), so a third candidate's novelty is identical.
+	a := cand("a", 1, testCfg, map[string][]uint64{"x": idRange(0, 400)})
+	b := cand("b", 1, testCfg, map[string][]uint64{"x": idRange(300, 700)})
+	c := cand("c", 1, testCfg, map[string][]uint64{"x": idRange(500, 900)})
+	noveltyAfter := func(first, second Candidate) float64 {
+		state, err := newReferenceState(Query{Terms: []string{"x"}}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := state.absorb(&first); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := state.absorb(&second); err != nil {
+			t.Fatal(err)
+		}
+		nov, err := state.novelty(&c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nov
+	}
+	ab := noveltyAfter(a, b)
+	ba := noveltyAfter(b, a)
+	if ab != ba {
+		t.Fatalf("novelty depends on absorb order: %v vs %v", ab, ba)
+	}
+}

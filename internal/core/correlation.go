@@ -1,0 +1,141 @@
+package core
+
+import (
+	"sort"
+
+	"iqn/internal/synopsis"
+)
+
+// This file implements the paper's second future-work direction
+// (Section 9): "incorporating statistics about correlations between
+// different index lists on the same peer … into the synopses
+// management". The per-term synopses a peer publishes already contain
+// everything needed to estimate how correlated two of its index lists
+// are — their resemblance — and that correlation sharpens the combined
+// cardinality estimates conjunctive routing depends on.
+
+// TermCorrelation is the estimated relationship between two index lists
+// of the same peer.
+type TermCorrelation struct {
+	// TermA and TermB name the lists (TermA < TermB lexicographically).
+	TermA, TermB string
+	// Resemblance is the synopsis-estimated |A∩B| / |A∪B|.
+	Resemblance float64
+	// Overlap is the derived |A∩B| using the published list lengths.
+	Overlap float64
+}
+
+// CorrelationMatrix estimates the pair-wise correlations between a
+// candidate's index lists for the given terms, from its published
+// synopses alone. Terms without a synopsis are skipped. The result is
+// sorted by (TermA, TermB).
+func CorrelationMatrix(c Candidate, terms []string) ([]TermCorrelation, error) {
+	uniq := make([]string, 0, len(terms))
+	seen := map[string]struct{}{}
+	for _, t := range terms {
+		if _, dup := seen[t]; dup {
+			continue
+		}
+		seen[t] = struct{}{}
+		if c.TermSynopses[t] != nil {
+			uniq = append(uniq, t)
+		}
+	}
+	sort.Strings(uniq)
+	var out []TermCorrelation
+	for i := 0; i < len(uniq); i++ {
+		for j := i + 1; j < len(uniq); j++ {
+			a, b := uniq[i], uniq[j]
+			r, err := c.TermSynopses[a].Resemblance(c.TermSynopses[b])
+			if err != nil {
+				return nil, err
+			}
+			cardA := c.termCard(a)
+			cardB := c.termCard(b)
+			out = append(out, TermCorrelation{
+				TermA:       a,
+				TermB:       b,
+				Resemblance: r,
+				Overlap:     synopsis.OverlapFromResemblance(r, cardA, cardB),
+			})
+		}
+	}
+	return out, nil
+}
+
+// termCard returns the published cardinality of a term's list, falling
+// back to the synopsis estimate.
+func (c Candidate) termCard(t string) float64 {
+	if card, ok := c.TermCardinalities[t]; ok {
+		return card
+	}
+	if s := c.TermSynopses[t]; s != nil {
+		return s.Cardinality()
+	}
+	return 0
+}
+
+// EstimateConjunctiveCardinality estimates how many of the candidate's
+// documents match ALL the given terms, by chaining pair-wise overlap
+// estimates: starting from the rarest term's list, each further term t
+// keeps the fraction Containment(t_prev…, t) ≈ overlap/|prev| of the
+// running estimate. This is the correlation-aware refinement of the
+// crude "cardinality of the heuristic intersection synopsis" that plain
+// per-peer aggregation uses; it assumes conditional independence beyond
+// pair-wise overlaps (the usual selectivity-estimation compromise).
+//
+// Terms without synopses make the conjunction impossible to verify;
+// they degrade the estimate to 0 exactly as combinePerPeer treats a
+// missing term.
+func EstimateConjunctiveCardinality(c Candidate, terms []string) (float64, error) {
+	uniq := make([]string, 0, len(terms))
+	seen := map[string]struct{}{}
+	for _, t := range terms {
+		if _, dup := seen[t]; dup {
+			continue
+		}
+		seen[t] = struct{}{}
+		uniq = append(uniq, t)
+	}
+	if len(uniq) == 0 {
+		return 0, nil
+	}
+	for _, t := range uniq {
+		if c.TermSynopses[t] == nil {
+			return 0, nil
+		}
+	}
+	// Rarest-first ordering minimizes the running estimate early, which
+	// keeps the independence error one-sided and small.
+	sort.Slice(uniq, func(i, j int) bool {
+		ci, cj := c.termCard(uniq[i]), c.termCard(uniq[j])
+		if ci != cj {
+			return ci < cj
+		}
+		return uniq[i] < uniq[j]
+	})
+	est := c.termCard(uniq[0])
+	if len(uniq) == 1 || est == 0 {
+		return est, nil
+	}
+	prev := uniq[0]
+	prevCard := est
+	for _, t := range uniq[1:] {
+		r, err := c.TermSynopses[prev].Resemblance(c.TermSynopses[t])
+		if err != nil {
+			return 0, err
+		}
+		overlap := synopsis.OverlapFromResemblance(r, prevCard, c.termCard(t))
+		if prevCard <= 0 {
+			return 0, nil
+		}
+		frac := overlap / prevCard
+		if frac > 1 {
+			frac = 1
+		}
+		est *= frac
+		prev = t
+		prevCard = c.termCard(t)
+	}
+	return est, nil
+}

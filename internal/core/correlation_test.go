@@ -1,0 +1,177 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"iqn/internal/synopsis"
+)
+
+// corrCand builds a candidate whose term lists have controlled overlap:
+// x = [0,1000), y = [500,1500) (50% overlap with x), z = [5000,5500)
+// (disjoint from both).
+func corrCand() Candidate {
+	return cand("p", 1, testCfg, map[string][]uint64{
+		"x": idRange(0, 1000),
+		"y": idRange(500, 1500),
+		"z": idRange(5000, 5500),
+	})
+}
+
+func TestCorrelationMatrix(t *testing.T) {
+	c := corrCand()
+	m, err := CorrelationMatrix(c, []string{"x", "y", "z", "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 3 {
+		t.Fatalf("%d pairs, want 3", len(m))
+	}
+	byPair := map[[2]string]TermCorrelation{}
+	for _, tc := range m {
+		if tc.TermA >= tc.TermB {
+			t.Fatalf("pair not ordered: %s/%s", tc.TermA, tc.TermB)
+		}
+		byPair[[2]string{tc.TermA, tc.TermB}] = tc
+	}
+	xy := byPair[[2]string{"x", "y"}]
+	// True: |x∩y|=500, resemblance 500/1500=0.333.
+	if math.Abs(xy.Resemblance-1.0/3) > 0.12 {
+		t.Fatalf("x/y resemblance = %v, want ≈0.33", xy.Resemblance)
+	}
+	if math.Abs(xy.Overlap-500) > 180 {
+		t.Fatalf("x/y overlap = %v, want ≈500", xy.Overlap)
+	}
+	xz := byPair[[2]string{"x", "z"}]
+	if xz.Overlap > 120 {
+		t.Fatalf("x/z overlap = %v, want ≈0", xz.Overlap)
+	}
+}
+
+func TestCorrelationMatrixSkipsMissingSynopses(t *testing.T) {
+	c := corrCand()
+	delete(c.TermSynopses, "y")
+	m, err := CorrelationMatrix(c, []string{"x", "y", "z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 1 { // only x/z remains
+		t.Fatalf("%d pairs, want 1", len(m))
+	}
+}
+
+func TestEstimateConjunctiveCardinality(t *testing.T) {
+	c := corrCand()
+	// x∧y: true 500.
+	est, err := EstimateConjunctiveCardinality(c, []string{"x", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-500) > 200 {
+		t.Fatalf("x∧y estimate = %v, want ≈500", est)
+	}
+	// x∧z: true 0.
+	est, err = EstimateConjunctiveCardinality(c, []string{"x", "z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est > 150 {
+		t.Fatalf("x∧z estimate = %v, want ≈0", est)
+	}
+	// Single term: the published length.
+	est, err = EstimateConjunctiveCardinality(c, []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 1000 {
+		t.Fatalf("single-term estimate = %v, want 1000", est)
+	}
+	// Missing synopsis: conjunction unverifiable → 0.
+	delete(c.TermSynopses, "y")
+	est, err = EstimateConjunctiveCardinality(c, []string{"x", "y"})
+	if err != nil || est != 0 {
+		t.Fatalf("missing-term estimate = %v, %v", est, err)
+	}
+	// Empty query.
+	if est, _ := EstimateConjunctiveCardinality(corrCand(), nil); est != 0 {
+		t.Fatalf("empty query estimate = %v", est)
+	}
+}
+
+func TestEstimateConjunctiveCardinalityChain(t *testing.T) {
+	// Three terms with a nested structure: w ⊃ v ⊃ u. True conj = |u|.
+	c := cand("p", 1, testCfg, map[string][]uint64{
+		"w": idRange(0, 2000),
+		"v": idRange(0, 1000),
+		"u": idRange(0, 250),
+	})
+	est, err := EstimateConjunctiveCardinality(c, []string{"w", "v", "u"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-250) > 150 {
+		t.Fatalf("nested conj estimate = %v, want ≈250", est)
+	}
+}
+
+func TestRecommend(t *testing.T) {
+	// Heterogeneous lengths force MIPs regardless of anything else.
+	r := Recommend(Scenario{HeterogeneousLengths: true, ConjunctiveQueries: true, TypicalListLength: 10})
+	if r.Config.Kind != synopsis.KindMIPs {
+		t.Fatalf("heterogeneous: %v", r.Config.Kind)
+	}
+	// Cardinality-only: super-LogLog.
+	r = Recommend(Scenario{CardinalityOnly: true})
+	if r.Config.Kind != synopsis.KindSuperLogLog {
+		t.Fatalf("cardinality-only: %v", r.Config.Kind)
+	}
+	// Conjunctive with small lists and room: Bloom with sane k.
+	r = Recommend(Scenario{ConjunctiveQueries: true, TypicalListLength: 100, MaxBitsPerTerm: 4096})
+	if r.Config.Kind != synopsis.KindBloom {
+		t.Fatalf("conjunctive small: %v", r.Config.Kind)
+	}
+	if r.Config.BloomHashes < 1 || r.Config.Bits < 800 {
+		t.Fatalf("bloom config: %+v", r.Config)
+	}
+	// Conjunctive with huge lists: budget can't hold a filter → MIPs.
+	r = Recommend(Scenario{ConjunctiveQueries: true, TypicalListLength: 1_000_000, MaxBitsPerTerm: 4096})
+	if r.Config.Kind != synopsis.KindMIPs {
+		t.Fatalf("conjunctive overloaded: %v", r.Config.Kind)
+	}
+	// Default: MIPs sized for the error target. se=0.05 → ≥100 perms.
+	r = Recommend(Scenario{TargetError: 0.05})
+	if r.Config.Kind != synopsis.KindMIPs {
+		t.Fatalf("default kind: %v", r.Config.Kind)
+	}
+	if perms := r.Config.Bits / 32; perms < 100 {
+		t.Fatalf("perms = %d for se 0.05, want ≥100", perms)
+	}
+	// The budget cap binds.
+	r = Recommend(Scenario{TargetError: 0.01, MaxBitsPerTerm: 1024})
+	if r.Config.Bits > 1024 {
+		t.Fatalf("cap violated: %d bits", r.Config.Bits)
+	}
+	// Every recommendation explains itself and builds a working synopsis.
+	for _, s := range []Scenario{
+		{}, {HeterogeneousLengths: true}, {CardinalityOnly: true},
+		{ConjunctiveQueries: true, TypicalListLength: 50},
+	} {
+		rec := Recommend(s)
+		if rec.Rationale == "" {
+			t.Fatalf("no rationale for %+v", s)
+		}
+		set := rec.Config.New()
+		set.Add(42)
+		if set.Cardinality() != 1 {
+			t.Fatalf("recommended config unusable: %+v", rec.Config)
+		}
+	}
+}
+
+func TestRoundUpPow2(t *testing.T) {
+	for in, want := range map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 5: 8, 64: 64, 100: 128} {
+		if got := roundUpPow2(in); got != want {
+			t.Errorf("roundUpPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,377 @@
+package core
+
+import (
+	"math"
+
+	"iqn/internal/histogram"
+	"iqn/internal/synopsis"
+)
+
+// Route runs the IQN routing algorithm (Section 5.1) and returns the
+// query execution plan.
+//
+// initiator, when non-nil, describes the query initiator's own local
+// result (or its local per-term synopses) and seeds the reference
+// synopsis, exactly as the paper prescribes; pass nil for an initiator
+// with no local collection. cands are the prospective peers assembled
+// from the directory PeerLists. The input slices and candidates are not
+// modified.
+//
+// Route only manipulates synopses — no candidate peer is contacted.
+func Route(q Query, initiator *Candidate, cands []Candidate, opts Options) (Plan, error) {
+	if err := validateQuery(q); err != nil {
+		return Plan{}, err
+	}
+	state, err := newReferenceState(q, opts)
+	if err != nil {
+		return Plan{}, err
+	}
+	if initiator != nil {
+		if _, err := state.absorb(initiator); err != nil {
+			return Plan{}, err
+		}
+	}
+	remaining := sortCandidates(cands)
+	var plan Plan
+	for len(remaining) > 0 {
+		if opts.MaxPeers > 0 && len(plan.Peers) >= opts.MaxPeers {
+			break
+		}
+		if opts.TargetCoverage > 0 && state.covered() >= opts.TargetCoverage {
+			break
+		}
+		// Select-Best-Peer: rank remaining candidates by
+		// quality^qw · novelty^nw against the current reference.
+		bestIdx := -1
+		var bestScore, bestQuality, bestNovelty float64
+		for i := range remaining {
+			nov, err := state.novelty(&remaining[i])
+			if err != nil {
+				return Plan{}, err
+			}
+			score := powWeight(remaining[i].Quality, opts.qualityWeight()) *
+				powWeight(nov, opts.noveltyWeight())
+			// Strict > keeps the earliest (highest-quality, then lowest
+			// peer ID) candidate on ties, making plans deterministic.
+			if bestIdx < 0 || score > bestScore {
+				bestIdx, bestScore, bestQuality, bestNovelty = i, score, remaining[i].Quality, nov
+			}
+		}
+		selected := remaining[bestIdx]
+		// Aggregate-Synopses: fold the winner into the reference.
+		if _, err := state.absorb(&selected); err != nil {
+			return Plan{}, err
+		}
+		plan.Peers = append(plan.Peers, selected.Peer)
+		plan.Steps = append(plan.Steps, Step{
+			Peer:    selected.Peer,
+			Quality: bestQuality,
+			Novelty: bestNovelty,
+			Score:   bestScore,
+			Covered: state.covered(),
+		})
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	return plan, nil
+}
+
+// powWeight computes x^w with the routing conventions: weight 0 switches
+// the factor off (returns 1), and non-positive bases score 0 so a peer
+// with zero novelty or quality never outranks one with any.
+func powWeight(x, w float64) float64 {
+	if w == 0 {
+		return 1
+	}
+	if x <= 0 {
+		return 0
+	}
+	if w == 1 {
+		return x
+	}
+	return math.Pow(x, w)
+}
+
+// referenceState is the mutable "result space already covered" side of
+// IQN: novelty estimation against it (Select-Best-Peer) and absorption of
+// a selected peer (Aggregate-Synopses). Implementations differ in how
+// multi-keyword queries aggregate (Section 6) and whether score
+// histograms refine the estimates (Section 7.1).
+type referenceState interface {
+	// novelty estimates how many new result documents the candidate
+	// would add beyond the current reference.
+	novelty(c *Candidate) (float64, error)
+	// absorb folds the candidate into the reference and returns the
+	// plain (unweighted) novelty it contributed.
+	absorb(c *Candidate) (float64, error)
+	// covered returns the estimated cardinality of the covered result
+	// space — the stopping-criterion quantity.
+	covered() float64
+}
+
+// newReferenceState picks the implementation for the options.
+func newReferenceState(q Query, opts Options) (referenceState, error) {
+	switch {
+	case opts.UseHistograms:
+		return &histogramState{q: q, refs: map[string]synopsis.Set{}, cards: map[string]float64{}}, nil
+	case opts.Aggregation == PerTerm:
+		return &perTermState{q: q, refs: map[string]synopsis.Set{}, cards: map[string]float64{}}, nil
+	default:
+		return &perPeerState{q: q, combined: map[PeerID]combinedSynopsis{}}, nil
+	}
+}
+
+// combinedSynopsis caches a candidate's query-specific synopsis.
+type combinedSynopsis struct {
+	set  synopsis.Set
+	card float64
+}
+
+// perPeerState implements Section 6.2: one combined synopsis per peer,
+// one reference synopsis overall.
+type perPeerState struct {
+	q        Query
+	ref      synopsis.Set
+	card     float64
+	combined map[PeerID]combinedSynopsis
+}
+
+func (s *perPeerState) combine(c *Candidate) (combinedSynopsis, error) {
+	if cs, ok := s.combined[c.Peer]; ok {
+		return cs, nil
+	}
+	set, card, err := combinePerPeer(*c, s.q)
+	if err != nil {
+		return combinedSynopsis{}, err
+	}
+	cs := combinedSynopsis{set: set, card: card}
+	s.combined[c.Peer] = cs
+	return cs, nil
+}
+
+func (s *perPeerState) novelty(c *Candidate) (float64, error) {
+	cs, err := s.combine(c)
+	if err != nil {
+		return 0, err
+	}
+	if cs.set == nil {
+		return 0, nil
+	}
+	if s.ref == nil {
+		return cs.card, nil // empty reference: everything is new
+	}
+	return synopsis.EstimateNovelty(s.ref, cs.set, s.card, cs.card)
+}
+
+func (s *perPeerState) absorb(c *Candidate) (float64, error) {
+	nov, err := s.novelty(c)
+	if err != nil {
+		return 0, err
+	}
+	cs, err := s.combine(c)
+	if err != nil {
+		return 0, err
+	}
+	if cs.set == nil {
+		return 0, nil
+	}
+	if s.ref == nil {
+		s.ref = cs.set.Clone()
+	} else {
+		u, err := s.ref.Union(cs.set)
+		if err != nil {
+			return 0, err
+		}
+		s.ref = u
+	}
+	// The covered cardinality grows by the selected peer's estimated
+	// novelty: additive updates are monotone and avoid re-estimating the
+	// whole union each round.
+	s.card += nov
+	return nov, nil
+}
+
+func (s *perPeerState) covered() float64 { return s.card }
+
+// perTermState implements Section 6.3: term-specific reference synopses
+// σ_prev(t), candidate novelty summed over terms. No intersections are
+// needed even for conjunctive queries — the trade-off the paper
+// highlights for this strategy.
+type perTermState struct {
+	q     Query
+	refs  map[string]synopsis.Set
+	cards map[string]float64
+}
+
+func (s *perTermState) termNovelty(c *Candidate, t string) (float64, error) {
+	cs := c.TermSynopses[t]
+	if cs == nil {
+		return 0, nil
+	}
+	card, ok := c.TermCardinalities[t]
+	if !ok {
+		card = cs.Cardinality()
+	}
+	ref := s.refs[t]
+	if ref == nil {
+		return card, nil
+	}
+	return synopsis.EstimateNovelty(ref, cs, s.cards[t], card)
+}
+
+func (s *perTermState) novelty(c *Candidate) (float64, error) {
+	var sum float64
+	for _, t := range s.q.Terms {
+		n, err := s.termNovelty(c, t)
+		if err != nil {
+			return 0, err
+		}
+		sum += n
+	}
+	return sum, nil
+}
+
+func (s *perTermState) absorb(c *Candidate) (float64, error) {
+	var total float64
+	for _, t := range s.q.Terms {
+		n, err := s.termNovelty(c, t)
+		if err != nil {
+			return 0, err
+		}
+		cs := c.TermSynopses[t]
+		if cs == nil {
+			continue
+		}
+		if ref := s.refs[t]; ref == nil {
+			s.refs[t] = cs.Clone()
+		} else {
+			u, err := ref.Union(cs)
+			if err != nil {
+				return 0, err
+			}
+			s.refs[t] = u
+		}
+		s.cards[t] += n
+		total += n
+	}
+	return total, nil
+}
+
+func (s *perTermState) covered() float64 {
+	// Term-wise sums over-count documents matching several terms; this
+	// is the same deliberate crudeness as the per-term novelty sum
+	// (Section 6.3), adequate for relative stopping decisions.
+	var sum float64
+	for _, c := range s.cards {
+		sum += c
+	}
+	return sum
+}
+
+// histogramState implements Section 7.1: per-term reference synopses as
+// in perTermState, but candidate novelty is the score-weighted sum over
+// the candidate's histogram cells, so peers whose *high-scoring*
+// documents are new win. Candidates without a histogram for a term fall
+// back to their plain synopsis at full weight.
+type histogramState struct {
+	q     Query
+	refs  map[string]synopsis.Set
+	cards map[string]float64
+}
+
+func (s *histogramState) termNovelty(c *Candidate, t string) (weighted, plain float64, err error) {
+	h := c.TermHistograms[t]
+	if h == nil {
+		// Plain-synopsis fallback, weight 1.
+		cs := c.TermSynopses[t]
+		if cs == nil {
+			return 0, 0, nil
+		}
+		card, ok := c.TermCardinalities[t]
+		if !ok {
+			card = cs.Cardinality()
+		}
+		ref := s.refs[t]
+		if ref == nil {
+			return card, card, nil
+		}
+		n, err := synopsis.EstimateNovelty(ref, cs, s.cards[t], card)
+		return n, n, err
+	}
+	ref := s.refs[t]
+	if ref == nil {
+		// Empty reference: every cell is fully novel.
+		var w float64
+		n := len(h.Cells)
+		for i, cell := range h.Cells {
+			w += histogram.CellWeight(i, n) * float64(cell.Count)
+		}
+		return w, float64(h.Count()), nil
+	}
+	w, err := histogram.WeightedNovelty(ref, s.cards[t], h)
+	if err != nil {
+		return 0, 0, err
+	}
+	flat, err := h.Flatten()
+	if err != nil {
+		return 0, 0, err
+	}
+	p, err := synopsis.EstimateNovelty(ref, flat, s.cards[t], float64(h.Count()))
+	if err != nil {
+		return 0, 0, err
+	}
+	return w, p, nil
+}
+
+func (s *histogramState) novelty(c *Candidate) (float64, error) {
+	var sum float64
+	for _, t := range s.q.Terms {
+		w, _, err := s.termNovelty(c, t)
+		if err != nil {
+			return 0, err
+		}
+		sum += w
+	}
+	return sum, nil
+}
+
+func (s *histogramState) absorb(c *Candidate) (float64, error) {
+	var total float64
+	for _, t := range s.q.Terms {
+		_, plain, err := s.termNovelty(c, t)
+		if err != nil {
+			return 0, err
+		}
+		var flat synopsis.Set
+		if h := c.TermHistograms[t]; h != nil {
+			flat, err = h.Flatten()
+			if err != nil {
+				return 0, err
+			}
+		} else if cs := c.TermSynopses[t]; cs != nil {
+			flat = cs.Clone()
+		}
+		if flat == nil {
+			continue
+		}
+		if ref := s.refs[t]; ref == nil {
+			s.refs[t] = flat
+		} else {
+			u, err := ref.Union(flat)
+			if err != nil {
+				return 0, err
+			}
+			s.refs[t] = u
+		}
+		s.cards[t] += plain
+		total += plain
+	}
+	return total, nil
+}
+
+func (s *histogramState) covered() float64 {
+	var sum float64
+	for _, c := range s.cards {
+		sum += c
+	}
+	return sum
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"errors"
+
+	"iqn/internal/synopsis"
+)
+
+// This file implements the per-peer synopsis aggregation of Section 6.2:
+// combining a peer's term-specific synopses into one query-specific
+// synopsis, by union for disjunctive queries and by intersection for
+// conjunctive queries.
+
+// combinePerPeer folds a candidate's per-term synopses into one synopsis
+// plus a cardinality estimate for the combined set. Missing terms count
+// as empty sets: for a disjunctive query they contribute nothing; for a
+// conjunctive query they empty the whole combination (a peer lacking a
+// term cannot hold conjunctive matches).
+//
+// The returned cardinality is an estimate: for disjunctive queries the
+// sum of published list lengths is an upper bound that double-counts
+// documents matching several terms, so the synopsis's own estimate is
+// used when it is defined (unknown exact count), clamped by the upper
+// bound. For conjunctive queries the combination synopsis has no sound
+// cardinality, so the synopsis estimate is used directly.
+//
+// Hash sketches have no intersection; per the paper's Section 6.1 the
+// crude-but-valid fallback is to use the union (a superset of the
+// intersection), degrading accuracy but never correctness.
+func combinePerPeer(c Candidate, q Query) (synopsis.Set, float64, error) {
+	var acc synopsis.Set
+	var cardUpper float64
+	for _, t := range q.Terms {
+		s := c.TermSynopses[t]
+		if s == nil {
+			if q.Type == Conjunctive {
+				return nil, 0, nil // no conjunctive matches possible
+			}
+			continue
+		}
+		if card, ok := c.TermCardinalities[t]; ok {
+			cardUpper += card
+		} else {
+			cardUpper += s.Cardinality()
+		}
+		if acc == nil {
+			acc = s.Clone()
+			continue
+		}
+		var err error
+		var next synopsis.Set
+		if q.Type == Conjunctive {
+			next, err = intersectWithFallback(acc, s)
+		} else {
+			next, err = acc.Union(s)
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		acc = next
+	}
+	if acc == nil {
+		return nil, 0, nil
+	}
+	card := acc.Cardinality()
+	if q.Type == Disjunctive && card > cardUpper {
+		card = cardUpper
+	}
+	if len(q.Terms) == 1 {
+		// Single-term queries keep the exact published length.
+		if c, ok := c.TermCardinalities[q.Terms[0]]; ok {
+			card = c
+		}
+	}
+	return acc, card, nil
+}
+
+// intersectWithFallback intersects two synopses, falling back to union
+// for families without an intersection (hash sketches): the union is a
+// superset of the intersection, so the result is a valid — if very
+// conservative — synopsis (Section 6.1).
+func intersectWithFallback(a, b synopsis.Set) (synopsis.Set, error) {
+	if ix, ok := a.(synopsis.Intersecter); ok {
+		s, err := ix.Intersect(b)
+		if err == nil {
+			return s, nil
+		}
+		if !errors.Is(err, synopsis.ErrUnsupported) {
+			return nil, err
+		}
+	}
+	return a.Union(b)
+}

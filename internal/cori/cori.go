@@ -1,0 +1,104 @@
+// Package cori implements the CORI collection-selection score (Callan,
+// Lu, Croft, SIGIR 1995), the quality component of IQN routing and the
+// paper's quality-only baseline (Sections 5.1 and 8).
+//
+// For a query Q = {t1,…,tn}, the collection score of peer i is
+//
+//	s_i = Σ_{t∈Q} s_{i,t} / |Q|
+//	s_{i,t} = α + (1−α) · T_{i,t} · I_{i,t}
+//	T_{i,t} = cdf_{i,t} / (cdf_{i,t} + 50 + 150·|V_i|/|V_avg|)
+//	I_{i,t} = log((np + 0.5)/cf_t) / log(np + 1)
+//
+// with α = 0.4, cdf the term's document frequency in the collection,
+// |V_i| the collection's term-space size, |V_avg| the average term-space
+// size over collections containing the term, np the number of peers, and
+// cf_t the number of peers containing t. The paper approximates |V_avg|
+// by averaging over the collections found in the fetched PeerLists
+// (Section 5.1); this package takes whatever average the caller supplies.
+package cori
+
+import "math"
+
+// Alpha is CORI's smoothing constant α = 0.4 (Callan et al.).
+const Alpha = 0.4
+
+// CollectionStats is the per-peer statistical metadata CORI needs; in
+// MINERVA it is assembled from the directory Posts of the query terms.
+type CollectionStats struct {
+	// DocFreq maps each query term to cdf_{i,t}, the number of documents
+	// of the collection containing the term (0 for absent terms).
+	DocFreq map[string]int
+	// TermSpaceSize is |V_i|, the number of distinct terms in the
+	// collection's index.
+	TermSpaceSize int
+}
+
+// GlobalStats is the network-wide statistical context for one query.
+type GlobalStats struct {
+	// NumPeers is np, the number of peers in the system.
+	NumPeers int
+	// CollectionFreq maps each query term to cf_t, the number of peers
+	// whose collections contain the term.
+	CollectionFreq map[string]int
+	// AvgTermSpaceSize is |V_avg|; the paper approximates it by the
+	// average over all collections in the fetched PeerLists.
+	AvgTermSpaceSize float64
+}
+
+// TermScore returns s_{i,t} for one term.
+func TermScore(term string, c CollectionStats, g GlobalStats) float64 {
+	return Alpha + (1-Alpha)*T(term, c, g)*I(term, g)
+}
+
+// T returns the df component T_{i,t}.
+func T(term string, c CollectionStats, g GlobalStats) float64 {
+	cdf := float64(c.DocFreq[term])
+	if cdf == 0 {
+		return 0
+	}
+	avg := g.AvgTermSpaceSize
+	if avg <= 0 {
+		avg = float64(c.TermSpaceSize)
+	}
+	if avg <= 0 {
+		avg = 1
+	}
+	return cdf / (cdf + 50 + 150*float64(c.TermSpaceSize)/avg)
+}
+
+// I returns the inverse-collection-frequency component I_{i,t}. Terms no
+// peer holds score 0.
+func I(term string, g GlobalStats) float64 {
+	cf := float64(g.CollectionFreq[term])
+	if cf == 0 {
+		return 0
+	}
+	np := float64(g.NumPeers)
+	if np < 1 {
+		np = 1
+	}
+	num := math.Log((np + 0.5) / cf)
+	den := math.Log(np + 1)
+	if den == 0 {
+		return 0
+	}
+	v := num / den
+	if v < 0 {
+		// cf can exceed np+0.5 only through inconsistent inputs; clamp.
+		v = 0
+	}
+	return v
+}
+
+// Score returns the CORI collection score s_i of one peer for the query.
+// An empty query scores 0.
+func Score(query []string, c CollectionStats, g GlobalStats) float64 {
+	if len(query) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, t := range query {
+		sum += TermScore(t, c, g)
+	}
+	return sum / float64(len(query))
+}

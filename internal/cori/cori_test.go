@@ -1,0 +1,127 @@
+package cori
+
+import (
+	"math"
+	"testing"
+)
+
+func global() GlobalStats {
+	return GlobalStats{
+		NumPeers:         20,
+		CollectionFreq:   map[string]int{"fire": 10, "forest": 5, "rare": 1},
+		AvgTermSpaceSize: 1000,
+	}
+}
+
+func stats(df map[string]int, v int) CollectionStats {
+	return CollectionStats{DocFreq: df, TermSpaceSize: v}
+}
+
+func TestTermScoreBounds(t *testing.T) {
+	g := global()
+	c := stats(map[string]int{"fire": 100}, 1000)
+	s := TermScore("fire", c, g)
+	if s < Alpha || s > 1 {
+		t.Fatalf("term score %v outside [α,1]", s)
+	}
+	// A term the peer lacks contributes exactly α (T=0).
+	if got := TermScore("forest", c, g); got != Alpha {
+		t.Fatalf("absent term score = %v, want α", got)
+	}
+}
+
+func TestTMonotoneInDF(t *testing.T) {
+	g := global()
+	prev := -1.0
+	for _, df := range []int{0, 1, 10, 100, 1000, 10000} {
+		c := stats(map[string]int{"fire": df}, 1000)
+		v := T("fire", c, g)
+		if v < prev {
+			t.Fatalf("T not monotone at df=%d: %v < %v", df, v, prev)
+		}
+		if v < 0 || v >= 1 {
+			t.Fatalf("T(df=%d) = %v outside [0,1)", df, v)
+		}
+		prev = v
+	}
+}
+
+func TestTTermSpacePenalty(t *testing.T) {
+	// Larger term space (relative to average) lowers T for the same df:
+	// big heterogeneous collections are normalized down.
+	g := global()
+	small := T("fire", stats(map[string]int{"fire": 50}, 500), g)
+	big := T("fire", stats(map[string]int{"fire": 50}, 5000), g)
+	if big >= small {
+		t.Fatalf("term-space penalty missing: T(big)=%v >= T(small)=%v", big, small)
+	}
+}
+
+func TestTDefaultAvg(t *testing.T) {
+	// Zero average falls back to the peer's own size (ratio 1).
+	g := global()
+	g.AvgTermSpaceSize = 0
+	v := T("fire", stats(map[string]int{"fire": 50}, 777), g)
+	want := 50.0 / (50 + 50 + 150)
+	if math.Abs(v-want) > 1e-12 {
+		t.Fatalf("T with default avg = %v, want %v", v, want)
+	}
+}
+
+func TestIRarerTermsScoreHigher(t *testing.T) {
+	g := global()
+	if I("rare", g) <= I("fire", g) {
+		t.Fatalf("I(rare)=%v <= I(fire)=%v", I("rare", g), I("fire", g))
+	}
+	if got := I("unknown", g); got != 0 {
+		t.Fatalf("I(unknown) = %v, want 0", got)
+	}
+	// cf = np: I approaches 0 but stays non-negative.
+	g.CollectionFreq["everywhere"] = 20
+	if v := I("everywhere", g); v < 0 || v > 0.1 {
+		t.Fatalf("I(everywhere) = %v, want ≈0", v)
+	}
+	// Inconsistent cf > np clamps to 0 instead of going negative.
+	g.CollectionFreq["toomany"] = 40
+	if v := I("toomany", g); v != 0 {
+		t.Fatalf("I with cf>np = %v, want 0", v)
+	}
+}
+
+func TestScoreAveragesOverQuery(t *testing.T) {
+	g := global()
+	c := stats(map[string]int{"fire": 100, "forest": 100}, 1000)
+	s1 := Score([]string{"fire"}, c, g)
+	s2 := Score([]string{"fire", "forest"}, c, g)
+	want := (TermScore("fire", c, g) + TermScore("forest", c, g)) / 2
+	if math.Abs(s2-want) > 1e-12 {
+		t.Fatalf("Score = %v, want mean of term scores %v", s2, want)
+	}
+	if s1 <= Alpha {
+		t.Fatalf("single-term score %v not above α", s1)
+	}
+	if got := Score(nil, c, g); got != 0 {
+		t.Fatalf("empty query score = %v, want 0", got)
+	}
+}
+
+func TestScoreRanksRicherPeerHigher(t *testing.T) {
+	// The peer with more matching documents must win — the quality
+	// ordering IQN multiplies novelty into.
+	g := global()
+	rich := stats(map[string]int{"fire": 500, "forest": 300}, 1000)
+	poor := stats(map[string]int{"fire": 5, "forest": 3}, 1000)
+	q := []string{"fire", "forest"}
+	if Score(q, rich, g) <= Score(q, poor, g) {
+		t.Fatalf("rich peer %v not above poor peer %v", Score(q, rich, g), Score(q, poor, g))
+	}
+}
+
+func TestScoreDegenerateGlobals(t *testing.T) {
+	c := stats(map[string]int{"fire": 10}, 100)
+	g := GlobalStats{NumPeers: 0, CollectionFreq: map[string]int{"fire": 1}}
+	s := Score([]string{"fire"}, c, g)
+	if math.IsNaN(s) || math.IsInf(s, 0) {
+		t.Fatalf("degenerate globals produced %v", s)
+	}
+}

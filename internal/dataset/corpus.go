@@ -1,0 +1,164 @@
+// Package dataset generates the reproducible test collections and query
+// workloads for the IQN experiments.
+//
+// The paper evaluates on the TREC 2003 GOV crawl (≈1.5 M documents) and 10
+// topic-distillation queries. Neither is redistributable, so this package
+// provides a seeded synthetic substitute that preserves the properties the
+// routing experiments actually depend on:
+//
+//   - a Zipf-distributed vocabulary (popular terms appear in many
+//     documents, the long tail in few), matching web text statistics;
+//   - controlled inter-peer overlap via the paper's own two collection
+//     assignment strategies — all (f choose s) fragment combinations, and
+//     the sliding-window scheme (Section 8.1);
+//   - short multi-keyword queries drawn from mid-frequency terms, the
+//     selectivity profile of TREC topic-distillation topics.
+//
+// Everything is deterministic in the seeds, so experiments reproduce
+// run-to-run and peer-to-peer.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Document is one indexable unit: a global ID (a URL fingerprint in the
+// paper's setting) and its term sequence. Terms repeat according to their
+// within-document frequency.
+type Document struct {
+	// ID is the globally unique document identifier. Two peers holding
+	// the same document hold the same ID — the basis of overlap.
+	ID uint64
+	// Terms is the tokenized body.
+	Terms []string
+}
+
+// Corpus is the full reference collection, the ground truth against which
+// relative recall is measured.
+type Corpus struct {
+	// Docs holds every document exactly once, ordered by ID.
+	Docs []Document
+	// Vocab is the vocabulary actually used, indexed by term rank
+	// (rank 0 = most popular).
+	Vocab []string
+}
+
+// CorpusConfig parameterizes the synthetic corpus generator.
+type CorpusConfig struct {
+	// NumDocs is the number of documents to generate.
+	NumDocs int
+	// VocabSize is the number of distinct terms available. Defaults to
+	// max(1000, NumDocs/10) when zero.
+	VocabSize int
+	// ZipfS is the Zipf skew parameter (> 1). Defaults to 1.2.
+	ZipfS float64
+	// MinDocLen and MaxDocLen bound the number of term occurrences per
+	// document. Default 40..200.
+	MinDocLen, MaxDocLen int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c *CorpusConfig) fillDefaults() {
+	if c.VocabSize <= 0 {
+		c.VocabSize = c.NumDocs / 10
+		if c.VocabSize < 1000 {
+			c.VocabSize = 1000
+		}
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.2
+	}
+	if c.MinDocLen <= 0 {
+		c.MinDocLen = 40
+	}
+	if c.MaxDocLen < c.MinDocLen {
+		c.MaxDocLen = c.MinDocLen + 160
+	}
+}
+
+// syllables for synthetic but pronounceable term names, so examples and
+// logs stay readable.
+var syllables = []string{
+	"ba", "ce", "di", "fo", "gu", "ha", "ki", "lo", "mu", "na",
+	"pe", "qui", "ro", "su", "ta", "ve", "wi", "xo", "yu", "za",
+	"bren", "cor", "dal", "fir", "gol", "hem", "jun", "kal", "lin", "mor",
+}
+
+// TermName returns the deterministic name of the term with the given
+// popularity rank (0 = most popular). Names are distinct across ranks.
+func TermName(rank int) string {
+	var sb strings.Builder
+	n := rank
+	for i := 0; i < 3; i++ {
+		sb.WriteString(syllables[n%len(syllables)])
+		n /= len(syllables)
+	}
+	if n > 0 || true {
+		// Suffix the rank to guarantee uniqueness regardless of syllable
+		// collisions.
+		fmt.Fprintf(&sb, "%d", rank)
+	}
+	return sb.String()
+}
+
+// Generate builds the corpus described by the configuration.
+func Generate(cfg CorpusConfig) *Corpus {
+	cfg.fillDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.VocabSize-1))
+	vocab := make([]string, cfg.VocabSize)
+	for i := range vocab {
+		vocab[i] = TermName(i)
+	}
+	docs := make([]Document, cfg.NumDocs)
+	for i := range docs {
+		length := cfg.MinDocLen
+		if cfg.MaxDocLen > cfg.MinDocLen {
+			length += rng.Intn(cfg.MaxDocLen - cfg.MinDocLen + 1)
+		}
+		terms := make([]string, length)
+		for j := range terms {
+			terms[j] = vocab[zipf.Uint64()]
+		}
+		// IDs are dense 1..NumDocs; synopsis mixers de-correlate them.
+		docs[i] = Document{ID: uint64(i + 1), Terms: terms}
+	}
+	return &Corpus{Docs: docs, Vocab: vocab}
+}
+
+// DocumentFrequencies returns, for every term occurring in the corpus, the
+// number of documents containing it.
+func (c *Corpus) DocumentFrequencies() map[string]int {
+	df := make(map[string]int, len(c.Vocab))
+	for _, d := range c.Docs {
+		seen := make(map[string]struct{}, len(d.Terms))
+		for _, t := range d.Terms {
+			if _, dup := seen[t]; dup {
+				continue
+			}
+			seen[t] = struct{}{}
+			df[t]++
+		}
+	}
+	return df
+}
+
+// Collection is the document set assigned to one peer.
+type Collection struct {
+	// Name identifies the peer the collection is destined for.
+	Name string
+	// Docs are the documents, each appearing once.
+	Docs []Document
+}
+
+// IDs returns the document IDs of the collection.
+func (c *Collection) IDs() []uint64 {
+	ids := make([]uint64, len(c.Docs))
+	for i, d := range c.Docs {
+		ids[i] = d.ID
+	}
+	return ids
+}

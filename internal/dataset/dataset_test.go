@@ -1,0 +1,280 @@
+package dataset
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := CorpusConfig{NumDocs: 200, Seed: 42}
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if len(a.Docs) != 200 || len(b.Docs) != 200 {
+		t.Fatalf("doc counts %d/%d, want 200", len(a.Docs), len(b.Docs))
+	}
+	for i := range a.Docs {
+		if a.Docs[i].ID != b.Docs[i].ID || !reflect.DeepEqual(a.Docs[i].Terms, b.Docs[i].Terms) {
+			t.Fatalf("doc %d differs between identically-seeded runs", i)
+		}
+	}
+	c := Generate(CorpusConfig{NumDocs: 200, Seed: 43})
+	same := true
+	for i := range a.Docs {
+		if !reflect.DeepEqual(a.Docs[i].Terms, c.Docs[i].Terms) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := CorpusConfig{NumDocs: 500, VocabSize: 300, MinDocLen: 10, MaxDocLen: 20, Seed: 1}
+	c := Generate(cfg)
+	if len(c.Vocab) != 300 {
+		t.Fatalf("vocab size %d, want 300", len(c.Vocab))
+	}
+	ids := map[uint64]struct{}{}
+	for _, d := range c.Docs {
+		if len(d.Terms) < 10 || len(d.Terms) > 20 {
+			t.Fatalf("doc %d length %d outside [10,20]", d.ID, len(d.Terms))
+		}
+		if _, dup := ids[d.ID]; dup {
+			t.Fatalf("duplicate doc ID %d", d.ID)
+		}
+		ids[d.ID] = struct{}{}
+	}
+}
+
+func TestGenerateZipfSkew(t *testing.T) {
+	c := Generate(CorpusConfig{NumDocs: 2000, VocabSize: 5000, Seed: 7})
+	df := c.DocumentFrequencies()
+	// The most popular term must appear in far more documents than the
+	// median term — the Zipf head.
+	counts := make([]int, 0, len(df))
+	for _, d := range df {
+		counts = append(counts, d)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	if counts[0] < 10*counts[len(counts)/2] {
+		t.Fatalf("head df %d not ≫ median df %d: vocabulary not Zipfian", counts[0], counts[len(counts)/2])
+	}
+}
+
+func TestTermNameUnique(t *testing.T) {
+	seen := map[string]int{}
+	for i := 0; i < 20000; i++ {
+		n := TermName(i)
+		if prev, dup := seen[n]; dup {
+			t.Fatalf("TermName collision: rank %d and %d both %q", prev, i, n)
+		}
+		seen[n] = i
+	}
+}
+
+func TestSplitFragments(t *testing.T) {
+	c := Generate(CorpusConfig{NumDocs: 103, Seed: 1})
+	frags := SplitFragments(c, 10)
+	if len(frags) != 10 {
+		t.Fatalf("%d fragments, want 10", len(frags))
+	}
+	total := 0
+	sizes := map[int]bool{}
+	for _, f := range frags {
+		total += len(f)
+		sizes[len(f)] = true
+	}
+	if total != 103 {
+		t.Fatalf("fragments cover %d docs, want 103", total)
+	}
+	if len(sizes) > 2 {
+		t.Fatalf("fragment sizes %v differ by more than one", sizes)
+	}
+	// Disjointness.
+	seen := map[uint64]struct{}{}
+	for _, f := range frags {
+		for _, d := range f {
+			if _, dup := seen[d.ID]; dup {
+				t.Fatalf("doc %d in two fragments", d.ID)
+			}
+			seen[d.ID] = struct{}{}
+		}
+	}
+}
+
+func TestSplitFragmentsPanics(t *testing.T) {
+	c := Generate(CorpusConfig{NumDocs: 5, Seed: 1})
+	for _, f := range []int{0, -1, 6} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SplitFragments(%d) did not panic", f)
+				}
+			}()
+			SplitFragments(c, f)
+		}()
+	}
+}
+
+func TestCombinations(t *testing.T) {
+	got := Combinations(4, 2)
+	want := [][]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Combinations(4,2) = %v, want %v", got, want)
+	}
+	if n := len(Combinations(6, 3)); n != 20 {
+		t.Fatalf("(6 choose 3) = %d, want 20", n)
+	}
+	if n := len(Combinations(5, 0)); n != 1 {
+		t.Fatalf("(5 choose 0) = %d combos, want 1 (the empty set)", n)
+	}
+	if n := len(Combinations(5, 5)); n != 1 {
+		t.Fatalf("(5 choose 5) = %d, want 1", n)
+	}
+}
+
+func TestAssignChooseS(t *testing.T) {
+	// The paper's Figure 3 left setting: f=6, s=3 → 20 peers.
+	c := Generate(CorpusConfig{NumDocs: 600, Seed: 3})
+	cols := AssignChooseS(c, 6, 3)
+	if len(cols) != 20 {
+		t.Fatalf("%d collections, want 20", len(cols))
+	}
+	for _, col := range cols {
+		if len(col.Docs) != 300 {
+			t.Fatalf("collection %s has %d docs, want 300 (3 fragments of 100)", col.Name, len(col.Docs))
+		}
+	}
+	// Two peers sharing 2 of 3 fragments overlap in exactly 200 docs.
+	m := OverlapMatrix(cols)
+	// cols[0] = {0,1,2}, cols[1] = {0,1,3} per lexicographic order.
+	if m[0][1] != 200 {
+		t.Fatalf("overlap(peers 0,1) = %d, want 200", m[0][1])
+	}
+	// cols[0] = {0,1,2} vs cols[19] = {3,4,5}: disjoint.
+	if m[0][19] != 0 {
+		t.Fatalf("overlap(peers 0,19) = %d, want 0", m[0][19])
+	}
+	// Every collection overlaps fully with itself.
+	for i := range m {
+		if m[i][i] != len(cols[i].Docs) {
+			t.Fatalf("self overlap %d != size %d", m[i][i], len(cols[i].Docs))
+		}
+	}
+}
+
+func TestAssignSlidingWindow(t *testing.T) {
+	// The paper's Figure 3 right setting: 100 fragments, r=10, offset=2
+	// → 50 peers; consecutive peers share 8 fragments.
+	c := Generate(CorpusConfig{NumDocs: 1000, Seed: 4})
+	cols := AssignSlidingWindow(c, 100, 10, 2)
+	if len(cols) != 50 {
+		t.Fatalf("%d collections, want 50", len(cols))
+	}
+	for _, col := range cols {
+		if len(col.Docs) != 100 {
+			t.Fatalf("collection %s has %d docs, want 100 (10 fragments of 10)", col.Name, len(col.Docs))
+		}
+	}
+	m := OverlapMatrix(cols)
+	if m[0][1] != 80 {
+		t.Fatalf("adjacent overlap = %d, want 80 (8 shared fragments of 10 docs)", m[0][1])
+	}
+	if m[0][2] != 60 {
+		t.Fatalf("distance-2 overlap = %d, want 60", m[0][2])
+	}
+	if m[0][5] != 0 {
+		t.Fatalf("distance-5 overlap = %d, want 0", m[0][5])
+	}
+}
+
+func TestAssignSlidingWindowWraps(t *testing.T) {
+	c := Generate(CorpusConfig{NumDocs: 100, Seed: 5})
+	cols := AssignSlidingWindow(c, 10, 4, 2)
+	// Peer 4 starts at fragment 8 and wraps to fragments {8,9,0,1}.
+	last := cols[len(cols)-1]
+	if len(last.Docs) != 40 {
+		t.Fatalf("wrapped collection has %d docs, want 40", len(last.Docs))
+	}
+	m := OverlapMatrix([]Collection{cols[0], last})
+	if m[0][1] != 20 {
+		t.Fatalf("wrap overlap = %d, want 20 (fragments 0,1 shared)", m[0][1])
+	}
+}
+
+func TestCollectionIDs(t *testing.T) {
+	col := Collection{Name: "p", Docs: []Document{{ID: 3}, {ID: 9}}}
+	if got := col.IDs(); !reflect.DeepEqual(got, []uint64{3, 9}) {
+		t.Fatalf("IDs = %v", got)
+	}
+}
+
+func TestGenerateQueries(t *testing.T) {
+	c := Generate(CorpusConfig{NumDocs: 2000, Seed: 6})
+	qs := GenerateQueries(c, QueryConfig{Count: 10, Seed: 6})
+	if len(qs) != 10 {
+		t.Fatalf("%d queries, want 10", len(qs))
+	}
+	df := c.DocumentFrequencies()
+	n := float64(len(c.Docs))
+	for _, q := range qs {
+		if len(q.Terms) < 2 || len(q.Terms) > 3 {
+			t.Fatalf("query %d has %d terms, want 2..3", q.ID, len(q.Terms))
+		}
+		seen := map[string]struct{}{}
+		for _, term := range q.Terms {
+			if _, dup := seen[term]; dup {
+				t.Fatalf("query %d repeats term %q", q.ID, term)
+			}
+			seen[term] = struct{}{}
+			frac := float64(df[term]) / n
+			if frac < 0.01 || frac > 0.20 {
+				t.Fatalf("query term %q df fraction %v outside mid band", term, frac)
+			}
+		}
+	}
+	// Determinism.
+	qs2 := GenerateQueries(c, QueryConfig{Count: 10, Seed: 6})
+	if !reflect.DeepEqual(qs, qs2) {
+		t.Fatal("identically-seeded workloads differ")
+	}
+}
+
+func TestGenerateQueriesDegenerateCorpus(t *testing.T) {
+	// A corpus whose vocabulary has no mid-frequency band must still
+	// yield a workload (fallback to full vocabulary).
+	c := &Corpus{
+		Docs:  []Document{{ID: 1, Terms: []string{"a"}}, {ID: 2, Terms: []string{"a"}}},
+		Vocab: []string{"a"},
+	}
+	qs := GenerateQueries(c, QueryConfig{Count: 3, Seed: 1})
+	if len(qs) != 3 {
+		t.Fatalf("%d queries, want 3", len(qs))
+	}
+	for _, q := range qs {
+		if len(q.Terms) == 0 {
+			t.Fatal("empty query from degenerate corpus")
+		}
+	}
+}
+
+func TestFragmentCoverageProperty(t *testing.T) {
+	f := func(nDocs uint8, nFrags uint8) bool {
+		n := int(nDocs)%200 + 10
+		fr := int(nFrags)%9 + 1
+		c := Generate(CorpusConfig{NumDocs: n, Seed: int64(n * fr)})
+		frags := SplitFragments(c, fr)
+		total := 0
+		for _, fs := range frags {
+			total += len(fs)
+		}
+		return total == n && len(frags) == fr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+package dataset
+
+import "fmt"
+
+// This file implements the paper's two collection-assignment strategies
+// (Section 8.1). Both first split the corpus into disjoint fragments and
+// then compose per-peer collections from fragments, which gives precise
+// control over the degree of inter-peer overlap:
+//
+//   - ChooseS: split into f fragments and assign every s-subset of
+//     fragments to one peer, yielding (f choose s) peers. With f=6, s=3
+//     (the paper's Figure 3 left) this gives 20 peers where any two peers
+//     share between 0 and 2 of their 3 fragments.
+//   - SlidingWindow: split into many fragments; peer i receives r
+//     consecutive fragments starting at i·offset (wrapping around), so
+//     adjacent peers overlap in r−offset fragments. The paper's Figure 3
+//     right uses 100 fragments, r=10, offset=2 → 50 peers.
+
+// SplitFragments partitions the corpus documents into f equal contiguous
+// fragments. Remainder documents go to the leading fragments, so sizes
+// differ by at most one. It panics if f is not in [1, len(docs)].
+func SplitFragments(c *Corpus, f int) [][]Document {
+	if f < 1 || f > len(c.Docs) {
+		panic(fmt.Sprintf("dataset: cannot split %d docs into %d fragments", len(c.Docs), f))
+	}
+	frags := make([][]Document, f)
+	n := len(c.Docs)
+	base, rem := n/f, n%f
+	start := 0
+	for i := range frags {
+		size := base
+		if i < rem {
+			size++
+		}
+		frags[i] = c.Docs[start : start+size]
+		start += size
+	}
+	return frags
+}
+
+// Combinations returns all k-subsets of {0,…,n−1} in lexicographic order.
+// It panics for k < 0 or k > n.
+func Combinations(n, k int) [][]int {
+	if k < 0 || k > n {
+		panic(fmt.Sprintf("dataset: combinations(%d,%d)", n, k))
+	}
+	var out [][]int
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		out = append(out, append([]int(nil), idx...))
+		// Advance to the next combination.
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			break
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+	return out
+}
+
+// AssignChooseS splits the corpus into f fragments and builds one
+// collection per s-subset of fragments, (f choose s) collections total.
+func AssignChooseS(c *Corpus, f, s int) []Collection {
+	frags := SplitFragments(c, f)
+	combos := Combinations(f, s)
+	cols := make([]Collection, len(combos))
+	for i, combo := range combos {
+		var docs []Document
+		for _, fi := range combo {
+			docs = append(docs, frags[fi]...)
+		}
+		cols[i] = Collection{Name: fmt.Sprintf("peer-c%02d", i), Docs: docs}
+	}
+	return cols
+}
+
+// AssignSlidingWindow splits the corpus into numFragments fragments and
+// assigns peer i the r consecutive fragments starting at i·offset,
+// wrapping around the fragment ring; peers are created until the window
+// start would wrap past the origin (numFragments/offset peers). This is
+// the paper's systematic-overlap strategy: consecutive peers share
+// r−offset fragments.
+func AssignSlidingWindow(c *Corpus, numFragments, r, offset int) []Collection {
+	if r < 1 || r > numFragments {
+		panic(fmt.Sprintf("dataset: sliding window r=%d of %d fragments", r, numFragments))
+	}
+	if offset < 1 {
+		panic(fmt.Sprintf("dataset: sliding window offset=%d", offset))
+	}
+	frags := SplitFragments(c, numFragments)
+	numPeers := numFragments / offset
+	cols := make([]Collection, numPeers)
+	for i := range cols {
+		var docs []Document
+		for j := 0; j < r; j++ {
+			docs = append(docs, frags[(i*offset+j)%numFragments]...)
+		}
+		cols[i] = Collection{Name: fmt.Sprintf("peer-w%02d", i), Docs: docs}
+	}
+	return cols
+}
+
+// OverlapMatrix returns, for a set of collections, the pair-wise overlap
+// |A∩B| computed exactly from document IDs — ground truth for validating
+// synopsis estimates in tests and experiments.
+func OverlapMatrix(cols []Collection) [][]int {
+	sets := make([]map[uint64]struct{}, len(cols))
+	for i, c := range cols {
+		sets[i] = make(map[uint64]struct{}, len(c.Docs))
+		for _, d := range c.Docs {
+			sets[i][d.ID] = struct{}{}
+		}
+	}
+	m := make([][]int, len(cols))
+	for i := range m {
+		m[i] = make([]int, len(cols))
+		for j := range m[i] {
+			small, large := sets[i], sets[j]
+			if len(small) > len(large) {
+				small, large = large, small
+			}
+			n := 0
+			for id := range small {
+				if _, ok := large[id]; ok {
+					n++
+				}
+			}
+			m[i][j] = n
+		}
+	}
+	return m
+}

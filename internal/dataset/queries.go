@@ -1,0 +1,97 @@
+package dataset
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Query is a multi-keyword information need, the unit of the routing
+// benchmark. The paper uses 10 short topic-distillation queries from the
+// TREC 2003 Web Track ("forest fire", "pest safety control", …).
+type Query struct {
+	// ID numbers the query within its workload.
+	ID int
+	// Terms are the (distinct) keywords.
+	Terms []string
+}
+
+// QueryConfig parameterizes the synthetic workload generator.
+type QueryConfig struct {
+	// Count is the number of queries (the paper uses 10).
+	Count int
+	// MinTerms and MaxTerms bound the keyword count per query
+	// (default 2..3, matching the paper's examples).
+	MinTerms, MaxTerms int
+	// Seed drives the randomness.
+	Seed int64
+	// MinDF and MaxDF bound the document frequency of eligible terms as
+	// fractions of the corpus size. Topic-distillation keywords are
+	// mid-frequency: frequent enough to have results everywhere, rare
+	// enough to be selective. Defaults 0.01 and 0.20.
+	MinDF, MaxDF float64
+}
+
+func (q *QueryConfig) fillDefaults() {
+	if q.Count <= 0 {
+		q.Count = 10
+	}
+	if q.MinTerms <= 0 {
+		q.MinTerms = 2
+	}
+	if q.MaxTerms < q.MinTerms {
+		q.MaxTerms = q.MinTerms + 1
+	}
+	if q.MinDF <= 0 {
+		q.MinDF = 0.01
+	}
+	if q.MaxDF <= q.MinDF {
+		q.MaxDF = 0.20
+	}
+}
+
+// GenerateQueries builds a seeded query workload over the corpus,
+// sampling keywords from the mid-frequency band of the vocabulary.
+func GenerateQueries(c *Corpus, cfg QueryConfig) []Query {
+	cfg.fillDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	df := c.DocumentFrequencies()
+	n := float64(len(c.Docs))
+	var eligible []string
+	for t, d := range df {
+		frac := float64(d) / n
+		if frac >= cfg.MinDF && frac <= cfg.MaxDF {
+			eligible = append(eligible, t)
+		}
+	}
+	// Deterministic iteration order before shuffling.
+	sort.Strings(eligible)
+	if len(eligible) == 0 {
+		// Degenerate corpora (tiny vocabularies) have no mid-band; fall
+		// back to the full vocabulary so callers still get a workload.
+		eligible = append(eligible, c.Vocab...)
+		sort.Strings(eligible)
+	}
+	queries := make([]Query, cfg.Count)
+	for i := range queries {
+		k := cfg.MinTerms
+		if cfg.MaxTerms > cfg.MinTerms {
+			k += rng.Intn(cfg.MaxTerms - cfg.MinTerms + 1)
+		}
+		if k > len(eligible) {
+			k = len(eligible)
+		}
+		terms := make([]string, 0, k)
+		seen := make(map[string]struct{}, k)
+		for len(terms) < k {
+			t := eligible[rng.Intn(len(eligible))]
+			if _, dup := seen[t]; dup {
+				continue
+			}
+			seen[t] = struct{}{}
+			terms = append(terms, t)
+		}
+		sort.Strings(terms)
+		queries[i] = Query{ID: i + 1, Terms: terms}
+	}
+	return queries
+}

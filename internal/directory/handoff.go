@@ -1,0 +1,83 @@
+package directory
+
+import (
+	"fmt"
+	"sort"
+
+	"iqn/internal/chord"
+	"iqn/internal/transport"
+)
+
+// This file implements directory key handoff: when a node joins the
+// ring, it becomes the owner of every term whose hash falls between its
+// predecessor and itself, but the posts for those terms still live on
+// the previous owner (its successor). Without a transfer, lookups route
+// to the newcomer and find nothing until every peer republishes. The
+// handoff closes that window: the newcomer pulls the posts for its
+// interval from its successor (which keeps its copy — it is now the
+// first replica).
+
+// methodHandoff serves range extraction.
+const methodHandoff = "dir.handoff"
+
+// handoffRequest asks for all posts whose term hashes into (From, To].
+type handoffRequest struct {
+	From, To chord.ID
+}
+
+// registerHandoff wires the handoff RPC; called from NewService.
+func (s *Service) registerHandoff() {
+	s.node.Mux().Handle(methodHandoff, func(req []byte) ([]byte, error) {
+		var hr handoffRequest
+		if err := transport.Unmarshal(req, &hr); err != nil {
+			return nil, err
+		}
+		return transport.Marshal(s.PostsInRange(hr.From, hr.To))
+	})
+}
+
+// PostsInRange snapshots every stored post whose term hashes into the
+// ring interval (from, to], ordered by (term, peer).
+func (s *Service) PostsInRange(from, to chord.ID) []Post {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Post
+	for term, byPeer := range s.data {
+		if !chord.InInterval(from, chord.HashKey(term), to) {
+			continue
+		}
+		for _, p := range byPeer {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Term != out[j].Term {
+			return out[i].Term < out[j].Term
+		}
+		return out[i].Peer < out[j].Peer
+	})
+	return out
+}
+
+// AcquireOwnedRange pulls the posts this node now owns — the interval
+// (predecessor, self] — from its successor and stores them locally.
+// Call it after joining once the ring has stabilized (the predecessor
+// must be known). Returns the number of posts acquired. A node whose
+// successor is itself (single-node ring) or whose predecessor is unknown
+// acquires nothing.
+func (s *Service) AcquireOwnedRange() (int, error) {
+	self := s.node.Self()
+	pred := s.node.Predecessor()
+	succ := s.node.Successor()
+	if pred.IsZero() || succ.IsZero() || succ.Addr == self.Addr {
+		return 0, nil
+	}
+	var posts []Post
+	err := transport.Invoke(s.node.Network(), succ.Addr, methodHandoff,
+		handoffRequest{From: pred.ID, To: self.ID}, &posts)
+	if err != nil {
+		return 0, fmt.Errorf("directory: handoff from %s: %w", succ.Addr, err)
+	}
+	s.store(posts)
+	return len(posts), nil
+}

@@ -1,0 +1,153 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"iqn/internal/dataset"
+	"iqn/internal/minerva"
+	"iqn/internal/transport"
+)
+
+// This file measures routing under churn — the operating condition the
+// paper's introduction claims P2P systems must tolerate ("resilience to
+// failures and churn"). A fraction of peers is killed mid-workload; the
+// experiment reports recall before the failures, immediately after
+// (stale directory posts still name dead peers), and after one
+// maintenance round (republish + prune).
+
+// ChurnResult is the outcome of one churn experiment.
+type ChurnResult struct {
+	// Killed is the number of peers killed.
+	Killed int
+	// Before, Degraded and Healed are the micro-averaged recalls at the
+	// three phases.
+	Before, Degraded, Healed float64
+	// Pruned is the number of stale posts maintenance removed.
+	Pruned int
+}
+
+// ChurnConfig parameterizes the experiment.
+type ChurnConfig struct {
+	// CorpusDocs, VocabSize, Strategy, Queries, K, Seed as in Fig3Config.
+	CorpusDocs, VocabSize int
+	Strategy              Strategy
+	Queries               int
+	K                     int
+	Seed                  int64
+	// MaxPeers is the per-query routing budget (default 5).
+	MaxPeers int
+	// KillFraction is the fraction of peers to kill (default 0.2).
+	KillFraction float64
+	// Replicas is the directory replication factor (default 3 — churn
+	// without replication loses directory fractions by design).
+	Replicas int
+}
+
+// Churn runs the experiment.
+func Churn(cfg ChurnConfig) (*ChurnResult, error) {
+	f3 := Fig3Config{
+		CorpusDocs: cfg.CorpusDocs,
+		VocabSize:  cfg.VocabSize,
+		Strategy:   cfg.Strategy,
+		Queries:    cfg.Queries,
+		K:          cfg.K,
+		Seed:       cfg.Seed,
+	}
+	f3.fillDefaults()
+	maxPeers := cfg.MaxPeers
+	if maxPeers <= 0 {
+		maxPeers = 5
+	}
+	killFrac := cfg.KillFraction
+	if killFrac <= 0 {
+		killFrac = 0.2
+	}
+	replicas := cfg.Replicas
+	if replicas <= 0 {
+		replicas = 3
+	}
+	corpus := dataset.Generate(dataset.CorpusConfig{
+		NumDocs:   f3.CorpusDocs,
+		VocabSize: f3.VocabSize,
+		Seed:      f3.Seed,
+	})
+	cols, err := f3.Strategy.assign(corpus)
+	if err != nil {
+		return nil, err
+	}
+	queries := dataset.GenerateQueries(corpus, dataset.QueryConfig{Count: f3.Queries, Seed: f3.Seed})
+	inmem := transport.NewInMem()
+	net, err := minerva.BuildNetwork(inmem, corpus, cols, minerva.Config{
+		SynopsisSeed: uint64(f3.Seed) + 99,
+		Replicas:     replicas,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer net.Close()
+
+	measure := func(alive []*minerva.Peer) (float64, error) {
+		var found, total int
+		for qi, q := range queries {
+			initiator := alive[qi%len(alive)]
+			ref := net.ReferenceTopK(q.Terms, f3.K, false)
+			res, err := initiator.Search(q.Terms, minerva.SearchOptions{K: f3.K, MaxPeers: maxPeers})
+			if err != nil {
+				return 0, fmt.Errorf("eval: churn query %d: %w", q.ID, err)
+			}
+			got := map[uint64]struct{}{}
+			for _, r := range res.Results {
+				got[r.DocID] = struct{}{}
+			}
+			for _, r := range ref {
+				total++
+				if _, ok := got[r.DocID]; ok {
+					found++
+				}
+			}
+		}
+		if total == 0 {
+			return 0, nil
+		}
+		return float64(found) / float64(total), nil
+	}
+
+	result := &ChurnResult{}
+	if result.Before, err = measure(net.Peers); err != nil {
+		return nil, err
+	}
+	// Kill a random fraction of peers.
+	rng := rand.New(rand.NewSource(f3.Seed + 1))
+	perm := rng.Perm(len(net.Peers))
+	result.Killed = int(killFrac * float64(len(net.Peers)))
+	dead := map[string]struct{}{}
+	for _, idx := range perm[:result.Killed] {
+		dead[net.Peers[idx].Name()] = struct{}{}
+		inmem.SetPartitioned(net.Peers[idx].Name(), true)
+	}
+	var alive []*minerva.Peer
+	for _, p := range net.Peers {
+		if _, isDead := dead[p.Name()]; !isDead {
+			alive = append(alive, p)
+		}
+	}
+	// Heal the ring so lookups route around the corpses.
+	for round := 0; round < 2*len(alive); round++ {
+		for _, p := range alive {
+			p.Node().Stabilize()
+		}
+	}
+	for _, p := range alive {
+		p.Node().FixAllFingers()
+	}
+	if result.Degraded, err = measure(alive); err != nil {
+		return nil, err
+	}
+	// One maintenance round: republish + prune the dead peers' posts.
+	result.Pruned = net.MaintenanceRound(1)
+	if result.Healed, err = measure(alive); err != nil {
+		return nil, err
+	}
+	return result, nil
+}

@@ -1,0 +1,249 @@
+package eval
+
+import (
+	"fmt"
+
+	"iqn/internal/core"
+	"iqn/internal/dataset"
+	"iqn/internal/ir"
+	"iqn/internal/minerva"
+	"iqn/internal/synopsis"
+	"iqn/internal/transport"
+)
+
+// This file regenerates Figure 3 (Section 8.2): relative recall as a
+// function of the number of queried peers, comparing CORI (quality-only)
+// against IQN with MIPs and Bloom-filter synopses at two lengths, on the
+// paper's two collection-assignment strategies.
+
+// Strategy selects how the corpus is spread over peers (Section 8.1).
+type Strategy struct {
+	// F and S activate the (F choose S) fragment-combination strategy.
+	F, S int
+	// Fragments, R and Offset activate the sliding-window strategy.
+	Fragments, R, Offset int
+}
+
+// assign builds the per-peer collections.
+func (s Strategy) assign(c *dataset.Corpus) ([]dataset.Collection, error) {
+	switch {
+	case s.F > 0:
+		return dataset.AssignChooseS(c, s.F, s.S), nil
+	case s.Fragments > 0:
+		return dataset.AssignSlidingWindow(c, s.Fragments, s.R, s.Offset), nil
+	default:
+		return nil, fmt.Errorf("eval: empty strategy")
+	}
+}
+
+// String names the strategy.
+func (s Strategy) String() string {
+	if s.F > 0 {
+		return fmt.Sprintf("(%d choose %d)", s.F, s.S)
+	}
+	return fmt.Sprintf("sliding(%d,r=%d,off=%d)", s.Fragments, s.R, s.Offset)
+}
+
+// SeriesSpec describes one curve: a routing method over a synopsis
+// deployment.
+type SeriesSpec struct {
+	// Name labels the curve.
+	Name string
+	// Method is the routing strategy.
+	Method minerva.Method
+	// Kind and Bits configure the synopses peers publish for this curve.
+	Kind synopsis.Kind
+	Bits int
+	// Aggregation selects the multi-keyword aggregation (Section 6).
+	Aggregation core.AggregationMode
+	// Conjunctive switches the query model.
+	Conjunctive bool
+	// HistogramCells > 0 publishes and uses score histograms.
+	HistogramCells int
+	// TotalBudgetBits > 0 activates adaptive synopsis lengths.
+	TotalBudgetBits int
+	// BudgetPolicy selects the adaptive-length benefit notion.
+	BudgetPolicy core.BenefitPolicy
+}
+
+// Fig3Config parameterizes a recall-vs-peers experiment.
+type Fig3Config struct {
+	// CorpusDocs and VocabSize size the synthetic GOV substitute
+	// (defaults 20000 docs; the paper's corpus is 1.5M — adjust with the
+	// CLI flags for bigger runs).
+	CorpusDocs, VocabSize int
+	// Strategy spreads the corpus over peers.
+	Strategy Strategy
+	// Queries is the workload size (default 10, the paper's).
+	Queries int
+	// K is the result-list depth recall is measured at (default 50).
+	K int
+	// PeerCounts is the x-axis sweep (default 1..10).
+	PeerCounts []int
+	// Seed drives corpus and workload generation.
+	Seed int64
+	// Series are the curves; default: the paper's five.
+	Series []SeriesSpec
+	// Replicas is the directory replication factor.
+	Replicas int
+}
+
+func (c *Fig3Config) fillDefaults() {
+	if c.CorpusDocs <= 0 {
+		c.CorpusDocs = 20000
+	}
+	if c.VocabSize <= 0 {
+		c.VocabSize = c.CorpusDocs / 10
+	}
+	if c.Strategy.F == 0 && c.Strategy.Fragments == 0 {
+		c.Strategy = Strategy{Fragments: 100, R: 10, Offset: 2}
+	}
+	if c.Queries <= 0 {
+		c.Queries = 10
+	}
+	if c.K <= 0 {
+		c.K = 50
+	}
+	if len(c.PeerCounts) == 0 {
+		c.PeerCounts = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	}
+	if len(c.Series) == 0 {
+		c.Series = DefaultFig3Series()
+	}
+}
+
+// DefaultFig3Series returns the paper's five curves: CORI plus IQN with
+// MIPs/Bloom synopses at 1024 and 2048 bits.
+func DefaultFig3Series() []SeriesSpec {
+	return []SeriesSpec{
+		{Name: "CORI", Method: minerva.MethodCORI, Kind: synopsis.KindMIPs, Bits: 1024},
+		{Name: "MIPs 32", Method: minerva.MethodIQN, Kind: synopsis.KindMIPs, Bits: 1024},
+		{Name: "BF 1024", Method: minerva.MethodIQN, Kind: synopsis.KindBloom, Bits: 1024},
+		{Name: "MIPs 64", Method: minerva.MethodIQN, Kind: synopsis.KindMIPs, Bits: 2048},
+		{Name: "BF 2048", Method: minerva.MethodIQN, Kind: synopsis.KindBloom, Bits: 2048},
+	}
+}
+
+// PriorSeries returns the SIGIR'05 baseline curve (abl-prior).
+func PriorSeries() SeriesSpec {
+	return SeriesSpec{Name: "Prior(SIGIR05)", Method: minerva.MethodPrior, Kind: synopsis.KindBloom, Bits: 2048}
+}
+
+// deployKey identifies a reusable network deployment: series differing
+// only in routing method share one network.
+type deployKey struct {
+	kind            synopsis.Kind
+	bits            int
+	histCells       int
+	totalBudgetBits int
+	policy          core.BenefitPolicy
+}
+
+// Fig3 runs the experiment and returns one recall curve per series,
+// micro-averaged over the query workload (total reference results found
+// over total reference results, per peer count).
+func Fig3(cfg Fig3Config) ([]Series, error) {
+	cfg.fillDefaults()
+	corpus := dataset.Generate(dataset.CorpusConfig{
+		NumDocs:   cfg.CorpusDocs,
+		VocabSize: cfg.VocabSize,
+		Seed:      cfg.Seed,
+	})
+	cols, err := cfg.Strategy.assign(corpus)
+	if err != nil {
+		return nil, err
+	}
+	queries := dataset.GenerateQueries(corpus, dataset.QueryConfig{Count: cfg.Queries, Seed: cfg.Seed})
+	networks := map[deployKey]*minerva.Network{}
+	defer func() {
+		for _, n := range networks {
+			n.Close()
+		}
+	}()
+	getNetwork := func(spec SeriesSpec) (*minerva.Network, error) {
+		key := deployKey{spec.Kind, spec.Bits, spec.HistogramCells, spec.TotalBudgetBits, spec.BudgetPolicy}
+		if n, ok := networks[key]; ok {
+			return n, nil
+		}
+		n, err := minerva.BuildNetwork(transport.NewInMem(), corpus, cols, minerva.Config{
+			SynopsisKind:    spec.Kind,
+			SynopsisBits:    spec.Bits,
+			SynopsisSeed:    uint64(cfg.Seed) + 99,
+			Replicas:        cfg.Replicas,
+			HistogramCells:  spec.HistogramCells,
+			TotalBudgetBits: spec.TotalBudgetBits,
+			BudgetPolicy:    spec.BudgetPolicy,
+		})
+		if err != nil {
+			return nil, err
+		}
+		networks[key] = n
+		return n, nil
+	}
+	out := make([]Series, len(cfg.Series))
+	for si, spec := range cfg.Series {
+		net, err := getNetwork(spec)
+		if err != nil {
+			return nil, fmt.Errorf("eval: deploy %s: %w", spec.Name, err)
+		}
+		out[si].Name = spec.Name
+		for _, peers := range cfg.PeerCounts {
+			if peers > len(net.Peers) {
+				continue
+			}
+			var found, total int
+			for qi, q := range queries {
+				initiator := net.Peers[qi%len(net.Peers)]
+				ref := net.ReferenceTopK(q.Terms, cfg.K, spec.Conjunctive)
+				res, err := initiator.Search(q.Terms, minerva.SearchOptions{
+					K:             cfg.K,
+					MaxPeers:      peers,
+					Method:        spec.Method,
+					Aggregation:   spec.Aggregation,
+					Conjunctive:   spec.Conjunctive,
+					UseHistograms: spec.HistogramCells > 0,
+					// The paper measures what the network contributes:
+					// the initiator's local result is merged in for every
+					// method identically, so keep it.
+				})
+				if err != nil {
+					return nil, fmt.Errorf("eval: %s query %d: %w", spec.Name, q.ID, err)
+				}
+				got := map[uint64]struct{}{}
+				for _, r := range res.Results {
+					got[r.DocID] = struct{}{}
+				}
+				for _, r := range ref {
+					total++
+					if _, ok := got[r.DocID]; ok {
+						found++
+					}
+				}
+			}
+			recall := 0.0
+			if total > 0 {
+				recall = float64(found) / float64(total)
+			}
+			out[si].Points = append(out[si].Points, Point{X: float64(peers), Y: recall})
+		}
+	}
+	return out, nil
+}
+
+// ReferenceOnly returns the per-query reference result sizes (diagnostic
+// helper for the CLI).
+func ReferenceOnly(cfg Fig3Config) (map[int]int, error) {
+	cfg.fillDefaults()
+	corpus := dataset.Generate(dataset.CorpusConfig{NumDocs: cfg.CorpusDocs, VocabSize: cfg.VocabSize, Seed: cfg.Seed})
+	ref := ir.NewIndex()
+	for _, d := range corpus.Docs {
+		ref.AddDocument(d.ID, d.Terms)
+	}
+	ref.Finalize()
+	queries := dataset.GenerateQueries(corpus, dataset.QueryConfig{Count: cfg.Queries, Seed: cfg.Seed})
+	out := map[int]int{}
+	for _, q := range queries {
+		out[q.ID] = len(ref.Search(q.Terms, cfg.K, ir.Disjunctive))
+	}
+	return out, nil
+}

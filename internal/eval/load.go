@@ -1,0 +1,158 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"iqn/internal/dataset"
+	"iqn/internal/minerva"
+	"iqn/internal/synopsis"
+	"iqn/internal/transport"
+)
+
+// This file measures per-peer load distribution. Section 8.2 closes on
+// the observation that "response times are a highly superlinear function
+// of load when peers … are heavily utilized": a router that concentrates
+// queries on a few "best" peers hurts latency even at equal recall.
+// Quality-only routing sends every query for popular terms to the same
+// top peers; IQN's novelty term naturally spreads plans across
+// complementary peers. This experiment quantifies that spread.
+
+// LoadPoint is one method's load-distribution measurement over a
+// workload.
+type LoadPoint struct {
+	// Series names the method.
+	Series string
+	// Total is the total number of forwarded queries served.
+	Total int64
+	// Max is the busiest peer's load.
+	Max int64
+	// P90 is the 90th-percentile per-peer load.
+	P90 int64
+	// Imbalance is Max divided by the ideal per-peer share
+	// (Total/#peers): 1.0 is a perfect spread.
+	Imbalance float64
+	// Recall is the micro-averaged recall, so spread isn't bought with
+	// result quality.
+	Recall float64
+}
+
+// LoadConfig parameterizes the experiment.
+type LoadConfig struct {
+	// CorpusDocs, VocabSize, Strategy, K, Seed as in Fig3Config.
+	CorpusDocs, VocabSize int
+	Strategy              Strategy
+	K                     int
+	Seed                  int64
+	// Queries is the workload size (default 50 — load needs volume).
+	Queries int
+	// MaxPeers is the per-query routing budget (default 5).
+	MaxPeers int
+	// Series are the methods to compare (default CORI vs IQN MIPs 64).
+	Series []SeriesSpec
+}
+
+// Load runs the workload under each method on a fresh deployment and
+// reports the load distribution.
+func Load(cfg LoadConfig) ([]LoadPoint, error) {
+	f3 := Fig3Config{
+		CorpusDocs: cfg.CorpusDocs,
+		VocabSize:  cfg.VocabSize,
+		Strategy:   cfg.Strategy,
+		K:          cfg.K,
+		Seed:       cfg.Seed,
+		Series:     cfg.Series,
+	}
+	f3.fillDefaults()
+	queriesN := cfg.Queries
+	if queriesN <= 0 {
+		queriesN = 50
+	}
+	maxPeers := cfg.MaxPeers
+	if maxPeers <= 0 {
+		maxPeers = 5
+	}
+	if len(cfg.Series) == 0 {
+		f3.Series = []SeriesSpec{
+			{Name: "CORI", Method: minerva.MethodCORI, Kind: synopsis.KindMIPs, Bits: 2048},
+			{Name: "IQN MIPs 64", Method: minerva.MethodIQN, Kind: synopsis.KindMIPs, Bits: 2048},
+		}
+	}
+	corpus := dataset.Generate(dataset.CorpusConfig{
+		NumDocs:   f3.CorpusDocs,
+		VocabSize: f3.VocabSize,
+		Seed:      f3.Seed,
+	})
+	cols, err := f3.Strategy.assign(corpus)
+	if err != nil {
+		return nil, err
+	}
+	queries := dataset.GenerateQueries(corpus, dataset.QueryConfig{Count: queriesN, Seed: f3.Seed})
+	var out []LoadPoint
+	for _, spec := range f3.Series {
+		net, err := minerva.BuildNetwork(transport.NewInMem(), corpus, cols, minerva.Config{
+			SynopsisKind: spec.Kind,
+			SynopsisBits: spec.Bits,
+			SynopsisSeed: uint64(f3.Seed) + 99,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("eval: load deploy %s: %w", spec.Name, err)
+		}
+		var found, total int
+		for qi, q := range queries {
+			initiator := net.Peers[qi%len(net.Peers)]
+			ref := net.ReferenceTopK(q.Terms, f3.K, false)
+			res, err := initiator.Search(q.Terms, minerva.SearchOptions{
+				K: f3.K, MaxPeers: maxPeers, Method: spec.Method,
+			})
+			if err != nil {
+				net.Close()
+				return nil, fmt.Errorf("eval: load %s query %d: %w", spec.Name, q.ID, err)
+			}
+			got := map[uint64]struct{}{}
+			for _, r := range res.Results {
+				got[r.DocID] = struct{}{}
+			}
+			for _, r := range ref {
+				total++
+				if _, ok := got[r.DocID]; ok {
+					found++
+				}
+			}
+		}
+		loads := make([]int64, 0, len(net.Peers))
+		var sum int64
+		for _, p := range net.Peers {
+			l := p.QueriesServed()
+			loads = append(loads, l)
+			sum += l
+		}
+		sort.Slice(loads, func(i, j int) bool { return loads[i] < loads[j] })
+		point := LoadPoint{Series: spec.Name, Total: sum}
+		if len(loads) > 0 {
+			point.Max = loads[len(loads)-1]
+			point.P90 = loads[(len(loads)*9)/10]
+			ideal := float64(sum) / float64(len(loads))
+			if ideal > 0 {
+				point.Imbalance = float64(point.Max) / ideal
+			}
+		}
+		if total > 0 {
+			point.Recall = float64(found) / float64(total)
+		}
+		out = append(out, point)
+		net.Close()
+	}
+	return out, nil
+}
+
+// LoadTable renders load points as an aligned text table.
+func LoadTable(points []LoadPoint) string {
+	out := "# Per-peer load distribution (forwarded queries served)\n"
+	out += fmt.Sprintf("%-14s %8s %8s %8s %10s %8s\n", "series", "total", "max", "p90", "imbalance", "recall")
+	for _, p := range points {
+		out += fmt.Sprintf("%-14s %8d %8d %8d %10.2f %8.3f\n",
+			p.Series, p.Total, p.Max, p.P90, p.Imbalance, p.Recall)
+	}
+	return out
+}

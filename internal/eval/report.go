@@ -1,0 +1,143 @@
+// Package eval is the experiment harness: it regenerates every figure of
+// the paper's evaluation (Figure 2, Section 3.3; Figure 3, Section 8.2)
+// plus the ablations DESIGN.md calls out, as data series rendered to
+// aligned text tables and CSV.
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Point is one measurement: X is the independent variable (collection
+// size, overlap fraction, number of queried peers), Y the measured value
+// (relative error, relative recall).
+type Point struct {
+	X, Y float64
+}
+
+// Series is one labelled curve of a figure.
+type Series struct {
+	// Name labels the curve (e.g. "MIPs 64", "CORI").
+	Name string
+	// Points are the measurements, ordered by X.
+	Points []Point
+}
+
+// Table renders series sharing the same X values as an aligned text
+// table, X formatted by xfmt ("%.0f" style), Y by yfmt.
+func Table(title, xlabel string, series []Series, xfmt, yfmt string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# %s\n", title)
+	// Collect the union of X values.
+	xsSeen := map[float64]struct{}{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			xsSeen[p.X] = struct{}{}
+		}
+	}
+	xs := make([]float64, 0, len(xsSeen))
+	for x := range xsSeen {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	// Header.
+	widths := make([]int, len(series)+1)
+	header := make([]string, len(series)+1)
+	header[0] = xlabel
+	for i, s := range series {
+		header[i+1] = s.Name
+	}
+	rows := [][]string{header}
+	for _, x := range xs {
+		row := make([]string, len(series)+1)
+		row[0] = fmt.Sprintf(xfmt, x)
+		for i, s := range series {
+			row[i+1] = "-"
+			for _, p := range s.Points {
+				if p.X == x {
+					row[i+1] = fmt.Sprintf(yfmt, p.Y)
+					break
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// CSV renders series sharing X values as comma-separated rows with a
+// header line.
+func CSV(xlabel string, series []Series) string {
+	var sb strings.Builder
+	sb.WriteString(xlabel)
+	for _, s := range series {
+		sb.WriteByte(',')
+		sb.WriteString(strings.ReplaceAll(s.Name, ",", ";"))
+	}
+	sb.WriteByte('\n')
+	xsSeen := map[float64]struct{}{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			xsSeen[p.X] = struct{}{}
+		}
+	}
+	xs := make([]float64, 0, len(xsSeen))
+	for x := range xsSeen {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	for _, x := range xs {
+		fmt.Fprintf(&sb, "%g", x)
+		for _, s := range series {
+			val := ""
+			for _, p := range s.Points {
+				if p.X == x {
+					val = fmt.Sprintf("%g", p.Y)
+					break
+				}
+			}
+			sb.WriteByte(',')
+			sb.WriteString(val)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// FindSeries returns the series with the given name, nil if absent.
+func FindSeries(series []Series, name string) *Series {
+	for i := range series {
+		if series[i].Name == name {
+			return &series[i]
+		}
+	}
+	return nil
+}
+
+// YAt returns the Y value of the point with the given X, false if absent.
+func (s *Series) YAt(x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,162 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// This file renders experiment series as self-contained SVG line charts,
+// so `iqnbench -svg` regenerates the paper's figures as figures — same
+// axes as the published charts (relative error or recall on Y, size /
+// overlap / peers on X) — with no plotting dependency.
+
+// svgPalette cycles through distinguishable stroke colors.
+var svgPalette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd",
+	"#8c564b", "#17becf", "#7f7f7f",
+}
+
+// SVGOptions tune chart rendering.
+type SVGOptions struct {
+	// Title is drawn above the plot.
+	Title string
+	// XLabel and YLabel name the axes.
+	XLabel, YLabel string
+	// Width and Height are the canvas size (defaults 640×420).
+	Width, Height int
+	// YMax forces the Y-axis maximum (0: data maximum).
+	YMax float64
+}
+
+// SVG renders the series as a line chart.
+func SVG(series []Series, opts SVGOptions) string {
+	w, h := opts.Width, opts.Height
+	if w <= 0 {
+		w = 640
+	}
+	if h <= 0 {
+		h = 420
+	}
+	const (
+		marginL = 70
+		marginR = 20
+		marginT = 40
+		marginB = 70
+	)
+	plotW := float64(w - marginL - marginR)
+	plotH := float64(h - marginT - marginB)
+
+	// Data ranges.
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMax := opts.YMax
+	for _, s := range series {
+		for _, p := range s.Points {
+			xMin = math.Min(xMin, p.X)
+			xMax = math.Max(xMax, p.X)
+			if opts.YMax <= 0 {
+				yMax = math.Max(yMax, p.Y)
+			}
+		}
+	}
+	if math.IsInf(xMin, 1) {
+		xMin, xMax = 0, 1
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax <= 0 {
+		yMax = 1
+	}
+	yMax *= 1.05 // headroom
+
+	toX := func(x float64) float64 { return marginL + (x-xMin)/(xMax-xMin)*plotW }
+	toY := func(y float64) float64 { return marginT + plotH - y/yMax*plotH }
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n", w, h)
+	fmt.Fprintf(&sb, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	fmt.Fprintf(&sb, `<text x="%d" y="22" font-size="14" font-weight="bold">%s</text>`+"\n", marginL, escape(opts.Title))
+
+	// Axes.
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, h-marginB)
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, h-marginB, w-marginR, h-marginB)
+	// Y ticks (5).
+	for i := 0; i <= 5; i++ {
+		y := yMax * float64(i) / 5
+		py := toY(y)
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, py, w-marginR, py)
+		fmt.Fprintf(&sb, `<text x="%d" y="%.1f" text-anchor="end">%s</text>`+"\n",
+			marginL-6, py+4, trimNum(y))
+	}
+	// X ticks: at data points (up to 10 distinct).
+	xsSeen := map[float64]struct{}{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			xsSeen[p.X] = struct{}{}
+		}
+	}
+	xs := make([]float64, 0, len(xsSeen))
+	for x := range xsSeen {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	step := 1
+	if len(xs) > 10 {
+		step = len(xs)/10 + 1
+	}
+	for i := 0; i < len(xs); i += step {
+		px := toX(xs[i])
+		fmt.Fprintf(&sb, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`+"\n",
+			px, h-marginB, px, h-marginB+4)
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n",
+			px, h-marginB+18, trimNum(xs[i]))
+	}
+	// Axis labels.
+	fmt.Fprintf(&sb, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n",
+		marginL+plotW/2, h-marginB+38, escape(opts.XLabel))
+	fmt.Fprintf(&sb, `<text x="16" y="%.1f" text-anchor="middle" transform="rotate(-90 16 %.1f)">%s</text>`+"\n",
+		marginT+plotH/2, marginT+plotH/2, escape(opts.YLabel))
+
+	// Series polylines + legend.
+	for si, s := range series {
+		color := svgPalette[si%len(svgPalette)]
+		pts := append([]Point(nil), s.Points...)
+		sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+		var poly []string
+		for _, p := range pts {
+			poly = append(poly, fmt.Sprintf("%.1f,%.1f", toX(p.X), toY(math.Min(p.Y, yMax))))
+		}
+		fmt.Fprintf(&sb, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(poly, " "), color)
+		for _, p := range pts {
+			fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n",
+				toX(p.X), toY(math.Min(p.Y, yMax)), color)
+		}
+		// Legend entry.
+		lx, ly := w-marginR-150, marginT+14+si*18
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			lx, ly-4, lx+22, ly-4, color)
+		fmt.Fprintf(&sb, `<text x="%d" y="%d">%s</text>`+"\n", lx+28, ly, escape(s.Name))
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+// trimNum formats a tick value compactly (1000 → 1k).
+func trimNum(v float64) string {
+	if v >= 1000 && v == math.Trunc(v) {
+		return fmt.Sprintf("%gk", v/1000)
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+// escape makes a string XML-safe.
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

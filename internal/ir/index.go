@@ -1,0 +1,172 @@
+package ir
+
+// Posting is one inverted-list entry: a document and its relevance score
+// for the list's term.
+type Posting struct {
+	// DocID is the global document identifier.
+	DocID uint64
+	// Score is the term's TF·IDF weight in the document.
+	Score float64
+}
+
+// Index is a peer's local inverted index. Build it with AddDocument (or
+// AddText) followed by Finalize; queries and statistics are only valid on
+// a finalized index.
+//
+// Scores are TF·IDF with the peer's local collection statistics:
+//
+//	score(t,d) = (1 + ln tf(t,d)) · ln(1 + N/df(t))
+//
+// the standard formulation the paper's "IR-style relevance measures"
+// refer to. Postings lists are kept sorted by descending score, the order
+// both local top-k evaluation and the histogram synopses of Section 7.1
+// consume.
+type Index struct {
+	postings  map[string][]Posting
+	tf        map[string]map[uint64]int // term → doc → term frequency (pre-finalize)
+	docs      map[uint64]struct{}
+	docLen    map[uint64]int // doc → token count (BM25 length normalization)
+	scoring   Scoring
+	finalized bool
+}
+
+// NewIndex returns an empty index with TF·IDF scoring; see SetScoring
+// for BM25.
+func NewIndex() *Index {
+	return &Index{
+		postings: make(map[string][]Posting),
+		tf:       make(map[string]map[uint64]int),
+		docs:     make(map[uint64]struct{}),
+		docLen:   make(map[uint64]int),
+	}
+}
+
+// AddDocument indexes a tokenized document. Adding the same docID twice
+// replaces nothing and double-counts term frequencies; callers are
+// expected to feed each document once. Panics if called after Finalize.
+func (x *Index) AddDocument(docID uint64, terms []string) {
+	if x.finalized {
+		panic("ir: AddDocument after Finalize")
+	}
+	x.docs[docID] = struct{}{}
+	x.docLen[docID] += len(terms)
+	for _, t := range terms {
+		m := x.tf[t]
+		if m == nil {
+			m = make(map[uint64]int)
+			x.tf[t] = m
+		}
+		m[docID]++
+	}
+}
+
+// AddText tokenizes and indexes free text.
+func (x *Index) AddText(docID uint64, text string) {
+	x.AddDocument(docID, Tokenize(text))
+}
+
+// Finalize computes relevance scores under the configured model
+// (TF·IDF by default, see SetScoring) and sorts every postings list by
+// descending score (ties broken by ascending docID for determinism).
+// The index is immutable afterwards.
+func (x *Index) Finalize() {
+	if x.finalized {
+		return
+	}
+	x.finalizeScores()
+	x.tf = nil
+	x.finalized = true
+}
+
+// NumDocs returns the number of indexed documents.
+func (x *Index) NumDocs() int { return len(x.docs) }
+
+// TermSpaceSize returns |V_i|, the number of distinct terms in the index —
+// the quantity CORI's T component normalizes by.
+func (x *Index) TermSpaceSize() int {
+	if x.finalized {
+		return len(x.postings)
+	}
+	return len(x.tf)
+}
+
+// Terms returns the indexed terms in unspecified order.
+func (x *Index) Terms() []string {
+	x.mustFinal()
+	ts := make([]string, 0, len(x.postings))
+	for t := range x.postings {
+		ts = append(ts, t)
+	}
+	return ts
+}
+
+// Postings returns the postings list for a term, sorted by descending
+// score. The returned slice is shared; callers must not modify it.
+func (x *Index) Postings(term string) []Posting {
+	x.mustFinal()
+	return x.postings[term]
+}
+
+// DocFreq returns df(term), the number of documents containing the term.
+func (x *Index) DocFreq(term string) int {
+	x.mustFinal()
+	return len(x.postings[term])
+}
+
+// MaxDocFreq returns the largest document frequency of any term in the
+// index (CORI's cdf_max).
+func (x *Index) MaxDocFreq() int {
+	x.mustFinal()
+	m := 0
+	for _, list := range x.postings {
+		if len(list) > m {
+			m = len(list)
+		}
+	}
+	return m
+}
+
+// MaxScore returns the highest score in the term's postings list, 0 if
+// the term is absent. Published in directory Posts as a quality signal.
+func (x *Index) MaxScore(term string) float64 {
+	x.mustFinal()
+	list := x.postings[term]
+	if len(list) == 0 {
+		return 0
+	}
+	return list[0].Score
+}
+
+// AvgScore returns the mean score of the term's postings list, 0 if the
+// term is absent.
+func (x *Index) AvgScore(term string) float64 {
+	x.mustFinal()
+	list := x.postings[term]
+	if len(list) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range list {
+		sum += p.Score
+	}
+	return sum / float64(len(list))
+}
+
+// DocIDs returns the document IDs of the term's postings list, in list
+// order (descending score). This is the set a peer summarizes into its
+// per-term synopsis.
+func (x *Index) DocIDs(term string) []uint64 {
+	x.mustFinal()
+	list := x.postings[term]
+	ids := make([]uint64, len(list))
+	for i, p := range list {
+		ids[i] = p.DocID
+	}
+	return ids
+}
+
+func (x *Index) mustFinal() {
+	if !x.finalized {
+		panic("ir: index not finalized")
+	}
+}

@@ -1,0 +1,382 @@
+package ir
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"iqn/internal/dataset"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := map[string][]string{
+		"Forest FIRE":              {"forest", "fire"},
+		"pest-safety  control!":    {"pest", "safety", "control"},
+		"the cat and the hat":      {"cat", "hat"},
+		"a I x":                    nil,
+		"MP3 files by Theodorakis": {"mp3", "files", "theodorakis"},
+		"":                         nil,
+		"öffnen die tür":           {"öffnen", "die", "tür"},
+	}
+	for in, want := range cases {
+		if got := Tokenize(in); !reflect.DeepEqual(got, want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func buildSmall(t *testing.T) *Index {
+	t.Helper()
+	x := NewIndex()
+	x.AddText(1, "forest fire burns forest")
+	x.AddText(2, "forest service")
+	x.AddText(3, "fire safety control")
+	x.AddText(4, "pest control safety control")
+	x.Finalize()
+	return x
+}
+
+func TestIndexStats(t *testing.T) {
+	x := buildSmall(t)
+	if x.NumDocs() != 4 {
+		t.Fatalf("NumDocs = %d, want 4", x.NumDocs())
+	}
+	if x.DocFreq("forest") != 2 || x.DocFreq("control") != 2 || x.DocFreq("missing") != 0 {
+		t.Fatalf("doc freqs wrong: forest=%d control=%d", x.DocFreq("forest"), x.DocFreq("control"))
+	}
+	if x.MaxDocFreq() != 2 {
+		t.Fatalf("MaxDocFreq = %d, want 2", x.MaxDocFreq())
+	}
+	// Vocabulary: forest fire burns service safety control pest = 7.
+	if x.TermSpaceSize() != 7 {
+		t.Fatalf("TermSpaceSize = %d, want 7", x.TermSpaceSize())
+	}
+	if len(x.Terms()) != 7 {
+		t.Fatalf("Terms() has %d entries", len(x.Terms()))
+	}
+}
+
+func TestPostingsSortedByScore(t *testing.T) {
+	x := buildSmall(t)
+	for _, term := range x.Terms() {
+		list := x.Postings(term)
+		for i := 1; i < len(list); i++ {
+			if list[i].Score > list[i-1].Score {
+				t.Fatalf("postings for %q not score-sorted", term)
+			}
+		}
+	}
+	// Doc 1 has tf(forest)=2 and must outrank doc 2 with tf=1.
+	forest := x.Postings("forest")
+	if forest[0].DocID != 1 {
+		t.Fatalf("top forest doc = %d, want 1 (higher tf)", forest[0].DocID)
+	}
+	if x.MaxScore("forest") != forest[0].Score {
+		t.Fatalf("MaxScore mismatch")
+	}
+	if x.MaxScore("missing") != 0 || x.AvgScore("missing") != 0 {
+		t.Fatal("absent term must score 0")
+	}
+	avg := x.AvgScore("forest")
+	if avg <= 0 || avg > x.MaxScore("forest") {
+		t.Fatalf("AvgScore = %v out of range", avg)
+	}
+}
+
+func TestDocIDs(t *testing.T) {
+	x := buildSmall(t)
+	ids := x.DocIDs("control")
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if !reflect.DeepEqual(ids, []uint64{3, 4}) {
+		t.Fatalf("DocIDs(control) = %v, want [3 4]", ids)
+	}
+}
+
+func TestIdfOrdering(t *testing.T) {
+	// Rarer terms must carry higher idf: "pest" (df 1) beats "control"
+	// (df 2) for the same tf.
+	x := buildSmall(t)
+	pest := x.Postings("pest")[0].Score
+	// control appears twice in doc 4, so compare idf directly via a tf-1 doc.
+	controlDoc3 := x.Postings("control")
+	var c3 float64
+	for _, p := range controlDoc3 {
+		if p.DocID == 3 {
+			c3 = p.Score
+		}
+	}
+	if pest <= c3 {
+		t.Fatalf("idf ordering violated: pest %v <= control %v", pest, c3)
+	}
+}
+
+func TestSearchDisjunctive(t *testing.T) {
+	x := buildSmall(t)
+	rs := x.Search([]string{"forest", "fire"}, 10, Disjunctive)
+	if len(rs) != 3 {
+		t.Fatalf("%d results, want 3 (docs 1,2,3)", len(rs))
+	}
+	if rs[0].DocID != 1 {
+		t.Fatalf("top doc = %d, want 1 (matches both terms)", rs[0].DocID)
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Score > rs[i-1].Score {
+			t.Fatal("results not score-sorted")
+		}
+	}
+}
+
+func TestSearchConjunctive(t *testing.T) {
+	x := buildSmall(t)
+	rs := x.Search([]string{"forest", "fire"}, 10, Conjunctive)
+	if len(rs) != 1 || rs[0].DocID != 1 {
+		t.Fatalf("conjunctive results = %v, want only doc 1", rs)
+	}
+	rs = x.Search([]string{"safety", "control"}, 10, Conjunctive)
+	if len(rs) != 2 {
+		t.Fatalf("conjunctive safety∧control = %d results, want 2", len(rs))
+	}
+	// A term nobody has kills every conjunctive result.
+	if rs := x.Search([]string{"forest", "zzz"}, 10, Conjunctive); len(rs) != 0 {
+		t.Fatalf("conjunctive with absent term returned %v", rs)
+	}
+}
+
+func TestSearchTopK(t *testing.T) {
+	x := buildSmall(t)
+	rs := x.Search([]string{"forest", "fire", "control", "safety"}, 2, Disjunctive)
+	if len(rs) != 2 {
+		t.Fatalf("top-2 returned %d results", len(rs))
+	}
+	all := x.Search([]string{"forest", "fire", "control", "safety"}, 0, Disjunctive)
+	if len(all) != 4 {
+		t.Fatalf("unlimited returned %d results, want 4", len(all))
+	}
+	// Top-2 must equal the head of the full ranking.
+	if rs[0] != all[0] || rs[1] != all[1] {
+		t.Fatalf("top-k %v disagrees with full ranking head %v", rs, all[:2])
+	}
+	// Duplicate query terms collapse.
+	dup := x.Search([]string{"forest", "forest"}, 0, Disjunctive)
+	single := x.Search([]string{"forest"}, 0, Disjunctive)
+	if !reflect.DeepEqual(dup, single) {
+		t.Fatalf("duplicate terms changed scores: %v vs %v", dup, single)
+	}
+}
+
+func TestSearchMissingTermOnly(t *testing.T) {
+	x := buildSmall(t)
+	if rs := x.Search([]string{"zzz"}, 5, Disjunctive); len(rs) != 0 {
+		t.Fatalf("absent term returned %v", rs)
+	}
+	if rs := x.Search(nil, 5, Disjunctive); len(rs) != 0 {
+		t.Fatalf("empty query returned %v", rs)
+	}
+}
+
+func TestFinalizeGuards(t *testing.T) {
+	x := NewIndex()
+	x.AddText(1, "hello world")
+	mustPanic(t, func() { x.Search([]string{"hello"}, 1, Disjunctive) })
+	mustPanic(t, func() { x.Postings("hello") })
+	x.Finalize()
+	x.Finalize() // idempotent
+	mustPanic(t, func() { x.AddText(2, "late") })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestMerge(t *testing.T) {
+	a := []Result{{1, 5}, {2, 4}, {3, 3}}
+	b := []Result{{2, 6}, {4, 2}}
+	m := Merge([][]Result{a, b}, 0)
+	want := []Result{{2, 6}, {1, 5}, {3, 3}, {4, 2}}
+	if !reflect.DeepEqual(m, want) {
+		t.Fatalf("Merge = %v, want %v", m, want)
+	}
+	m2 := Merge([][]Result{a, b}, 2)
+	if !reflect.DeepEqual(m2, want[:2]) {
+		t.Fatalf("Merge top-2 = %v, want %v", m2, want[:2])
+	}
+	if got := Merge(nil, 5); len(got) != 0 {
+		t.Fatalf("Merge(nil) = %v", got)
+	}
+}
+
+func TestRelativeRecall(t *testing.T) {
+	ref := []Result{{1, 9}, {2, 8}, {3, 7}, {4, 6}}
+	cases := []struct {
+		got  []Result
+		want float64
+	}{
+		{nil, 0},
+		{[]Result{{1, 1}}, 0.25},
+		{[]Result{{1, 1}, {3, 1}}, 0.5},
+		{[]Result{{1, 1}, {2, 1}, {3, 1}, {4, 1}, {99, 1}}, 1},
+	}
+	for _, c := range cases {
+		if got := RelativeRecall(c.got, ref); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("RelativeRecall(%v) = %v, want %v", c.got, got, c.want)
+		}
+	}
+	if got := RelativeRecall(nil, nil); got != 1 {
+		t.Fatalf("recall against empty reference = %v, want 1", got)
+	}
+}
+
+func TestPartitionedRecallIsComplete(t *testing.T) {
+	// Indexing a corpus on one peer must reproduce the centralized
+	// ranking exactly: recall 1 at full k.
+	corpus := dataset.Generate(dataset.CorpusConfig{NumDocs: 300, Seed: 5})
+	central := NewIndex()
+	for _, d := range corpus.Docs {
+		central.AddDocument(d.ID, d.Terms)
+	}
+	central.Finalize()
+	q := dataset.GenerateQueries(corpus, dataset.QueryConfig{Count: 3, Seed: 5})
+	for _, query := range q {
+		ref := central.Search(query.Terms, 20, Disjunctive)
+		got := central.Search(query.Terms, 20, Disjunctive)
+		if r := RelativeRecall(got, ref); r != 1 {
+			t.Fatalf("self recall = %v", r)
+		}
+	}
+}
+
+func TestSearchTopKConsistencyProperty(t *testing.T) {
+	// For random tiny corpora, top-k is always a prefix of the full
+	// ranking.
+	f := func(seed int64, kRaw uint8) bool {
+		k := int(kRaw)%10 + 1
+		corpus := dataset.Generate(dataset.CorpusConfig{NumDocs: 50, VocabSize: 100, MinDocLen: 5, MaxDocLen: 15, Seed: seed})
+		x := NewIndex()
+		for _, d := range corpus.Docs {
+			x.AddDocument(d.ID, d.Terms)
+		}
+		x.Finalize()
+		terms := []string{corpus.Vocab[0], corpus.Vocab[1]}
+		full := x.Search(terms, 0, Disjunctive)
+		top := x.Search(terms, k, Disjunctive)
+		if len(top) > k {
+			return false
+		}
+		for i := range top {
+			if top[i] != full[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBM25Scoring(t *testing.T) {
+	x := NewIndex()
+	x.SetScoring(ScoringBM25)
+	if x.Scoring() != ScoringBM25 || ScoringBM25.String() != "bm25" || ScoringTFIDF.String() != "tfidf" {
+		t.Fatal("scoring accessors wrong")
+	}
+	// Two docs with the same tf for "fire", different lengths: BM25's
+	// length normalization must rank the shorter one higher.
+	x.AddDocument(1, []string{"fire", "fire"})
+	x.AddDocument(2, append([]string{"fire", "fire"}, Tokenize("lots more words about forests pests controls services burns today maybe")...))
+	x.AddDocument(3, []string{"water"})
+	x.Finalize()
+	fire := x.Postings("fire")
+	if len(fire) != 2 || fire[0].DocID != 1 {
+		t.Fatalf("BM25 length normalization: top doc %v", fire)
+	}
+	// Search works identically under BM25.
+	rs := x.Search([]string{"fire"}, 10, Disjunctive)
+	if len(rs) != 2 || rs[0].DocID != 1 {
+		t.Fatalf("BM25 search = %v", rs)
+	}
+}
+
+func TestBM25TermFrequencySaturates(t *testing.T) {
+	// BM25's tf component saturates: going from tf=1 to tf=2 gains more
+	// than tf=10 to tf=11.
+	build := func(tf int) float64 {
+		x := NewIndex()
+		x.SetScoring(ScoringBM25)
+		terms := make([]string, tf)
+		for i := range terms {
+			terms[i] = "fire"
+		}
+		x.AddDocument(1, terms)
+		x.AddDocument(2, []string{"other"})
+		x.Finalize()
+		return x.MaxScore("fire")
+	}
+	gainLow := build(2) - build(1)
+	gainHigh := build(11) - build(10)
+	if gainHigh >= gainLow {
+		t.Fatalf("BM25 tf not saturating: gain %v then %v", gainLow, gainHigh)
+	}
+}
+
+func TestSetScoringAfterFinalizePanics(t *testing.T) {
+	x := NewIndex()
+	x.AddDocument(1, []string{"a"})
+	x.Finalize()
+	mustPanic(t, func() { x.SetScoring(ScoringBM25) })
+}
+
+func TestLMScoring(t *testing.T) {
+	x := NewIndex()
+	x.SetScoring(ScoringLM)
+	if ScoringLM.String() != "lm" {
+		t.Fatal("LM string")
+	}
+	x.AddDocument(1, []string{"fire", "fire", "forest"})
+	x.AddDocument(2, []string{"fire", "water", "water", "water", "water", "water"})
+	x.AddDocument(3, []string{"water"})
+	x.Finalize()
+	fire := x.Postings("fire")
+	if len(fire) != 2 {
+		t.Fatalf("fire postings: %v", fire)
+	}
+	// Doc 1 (tf 2 of 3 tokens) must outrank doc 2 (tf 1 of 6 tokens).
+	if fire[0].DocID != 1 {
+		t.Fatalf("LM top fire doc = %d, want 1", fire[0].DocID)
+	}
+	for _, p := range fire {
+		if p.Score < 0 {
+			t.Fatalf("negative LM score %v", p.Score)
+		}
+	}
+	rs := x.Search([]string{"fire", "water"}, 10, Disjunctive)
+	if len(rs) == 0 {
+		t.Fatal("LM search empty")
+	}
+}
+
+func FuzzTokenize(f *testing.F) {
+	f.Add("Forest FIRE burns")
+	f.Add("")
+	f.Add("MP3-files; by Theodorakis!")
+	f.Add("日本語 text ümlaut")
+	f.Fuzz(func(t *testing.T, text string) {
+		for _, tok := range Tokenize(text) {
+			if len(tok) < 2 {
+				t.Fatalf("token %q shorter than 2 bytes", tok)
+			}
+			if tok != strings.ToLower(tok) {
+				t.Fatalf("token %q not lower-cased", tok)
+			}
+		}
+	})
+}

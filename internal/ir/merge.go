@@ -1,0 +1,60 @@
+package ir
+
+import "sort"
+
+// Merge combines per-peer result lists into one ranking: duplicates
+// (documents returned by several peers) collapse to their highest score,
+// and the merged list is re-sorted by descending score, truncated to k
+// (k ≤ 0 keeps everything).
+//
+// Score comparability across peers is the usual distributed-IR caveat:
+// peers score with local statistics, so merged ranks are approximate.
+// Relative recall — the paper's metric — only asks whether a reference
+// document was retrieved at all, so it is unaffected.
+func Merge(lists [][]Result, k int) []Result {
+	best := make(map[uint64]float64)
+	for _, list := range lists {
+		for _, r := range list {
+			if s, ok := best[r.DocID]; !ok || r.Score > s {
+				best[r.DocID] = r.Score
+			}
+		}
+	}
+	out := make([]Result, 0, len(best))
+	for d, s := range best {
+		out = append(out, Result{DocID: d, Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].DocID < out[j].DocID
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// RelativeRecall returns the fraction of the reference result list that
+// the retrieved list found, the paper's evaluation measure (Section 8.1):
+// "a recall of x percent means that the P2P system found x percent of the
+// results that a centralized search engine found in the entire reference
+// collection". Rank within the retrieved list does not matter.
+// An empty reference yields recall 1.
+func RelativeRecall(retrieved, reference []Result) float64 {
+	if len(reference) == 0 {
+		return 1
+	}
+	got := make(map[uint64]struct{}, len(retrieved))
+	for _, r := range retrieved {
+		got[r.DocID] = struct{}{}
+	}
+	hit := 0
+	for _, r := range reference {
+		if _, ok := got[r.DocID]; ok {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(reference))
+}

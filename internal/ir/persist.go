@@ -1,0 +1,120 @@
+package ir
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// This file implements index snapshots, so a peer can restart without
+// re-indexing its crawl: WriteTo/ReadFrom stream a finalized index as a
+// gob-encoded snapshot, and SaveFile/LoadFile wrap them with atomic file
+// handling (write to a temp file, then rename).
+
+// snapshotVersion guards the snapshot layout.
+const snapshotVersion = 1
+
+// indexSnapshot is the serialized form of a finalized index.
+type indexSnapshot struct {
+	Version  int
+	Scoring  Scoring
+	Postings map[string][]Posting
+	DocLen   map[uint64]int
+	Docs     []uint64
+}
+
+// WriteSnapshot streams a snapshot of a finalized index (named to avoid
+// colliding with io.WriterTo's signature — gob writes directly and byte
+// counts are not tracked). Panics if the index is not finalized.
+func (x *Index) WriteSnapshot(w io.Writer) error {
+	x.mustFinal()
+	snap := indexSnapshot{
+		Version:  snapshotVersion,
+		Scoring:  x.scoring,
+		Postings: x.postings,
+		DocLen:   x.docLen,
+		Docs:     make([]uint64, 0, len(x.docs)),
+	}
+	for d := range x.docs {
+		snap.Docs = append(snap.Docs, d)
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("ir: encode snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot reconstructs a finalized index from a snapshot stream.
+func ReadSnapshot(r io.Reader) (*Index, error) {
+	var snap indexSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("ir: decode snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("ir: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	x := &Index{
+		postings:  snap.Postings,
+		docLen:    snap.DocLen,
+		docs:      make(map[uint64]struct{}, len(snap.Docs)),
+		scoring:   snap.Scoring,
+		finalized: true,
+	}
+	if x.postings == nil {
+		x.postings = map[string][]Posting{}
+	}
+	if x.docLen == nil {
+		x.docLen = map[uint64]int{}
+	}
+	for _, d := range snap.Docs {
+		x.docs[d] = struct{}{}
+	}
+	return x, nil
+}
+
+// SaveFile writes the index snapshot atomically: to path+".tmp" first,
+// fsynced, then renamed over path.
+func (x *Index) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("ir: save: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	if err := x.WriteSnapshot(w); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("ir: save: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("ir: save: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ir: save: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ir: save: %w", err)
+	}
+	return nil
+}
+
+// LoadFile reads a snapshot written by SaveFile.
+func LoadFile(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ir: load: %w", err)
+	}
+	defer f.Close()
+	return ReadSnapshot(bufio.NewReader(f))
+}

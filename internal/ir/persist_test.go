@@ -1,0 +1,92 @@
+package ir
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"iqn/internal/dataset"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	corpus := dataset.Generate(dataset.CorpusConfig{NumDocs: 300, Seed: 9})
+	x := NewIndex()
+	x.SetScoring(ScoringBM25)
+	for _, d := range corpus.Docs {
+		x.AddDocument(d.ID, d.Terms)
+	}
+	x.Finalize()
+
+	var buf bytes.Buffer
+	if err := x.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumDocs() != x.NumDocs() || got.TermSpaceSize() != x.TermSpaceSize() {
+		t.Fatalf("restored shape %d/%d, want %d/%d",
+			got.NumDocs(), got.TermSpaceSize(), x.NumDocs(), x.TermSpaceSize())
+	}
+	if got.Scoring() != ScoringBM25 {
+		t.Fatalf("scoring lost: %v", got.Scoring())
+	}
+	// Queries give identical rankings.
+	q := dataset.GenerateQueries(corpus, dataset.QueryConfig{Count: 3, Seed: 9})
+	for _, query := range q {
+		want := x.Search(query.Terms, 20, Disjunctive)
+		have := got.Search(query.Terms, 20, Disjunctive)
+		if !reflect.DeepEqual(want, have) {
+			t.Fatalf("query %v results differ after restore", query.Terms)
+		}
+	}
+	// Restored indexes are immutable like any finalized index.
+	mustPanic(t, func() { got.AddDocument(999, []string{"late"}) })
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "index.snap")
+	x := NewIndex()
+	x.AddText(1, "forest fire safety")
+	x.AddText(2, "pest control")
+	x.Finalize()
+	if err := x.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// No temp file remains.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DocFreq("forest") != 1 || got.NumDocs() != 2 {
+		t.Fatalf("restored index wrong: df=%d docs=%d", got.DocFreq("forest"), got.NumDocs())
+	}
+}
+
+func TestLoadFileErrors(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Fatal("loading a missing file succeeded")
+	}
+	// Corrupt payloads fail cleanly.
+	path := filepath.Join(t.TempDir(), "garbage")
+	if err := os.WriteFile(path, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err == nil || !strings.Contains(err.Error(), "decode") {
+		t.Fatalf("garbage load error = %v", err)
+	}
+}
+
+func TestWriteToRequiresFinalized(t *testing.T) {
+	x := NewIndex()
+	x.AddText(1, "a b")
+	mustPanic(t, func() { _ = x.WriteSnapshot(&bytes.Buffer{}) })
+}

@@ -1,0 +1,125 @@
+package ir
+
+import (
+	"math"
+	"sort"
+)
+
+// Scoring selects the relevance model the index computes at Finalize.
+// The paper's quality metadata ("tf*idf-based scores, scores derived
+// from statistical language models", Section 5.1) is model-agnostic;
+// both models below produce the <term, docID, score> postings the rest
+// of the system consumes.
+type Scoring int
+
+const (
+	// ScoringTFIDF is the default model:
+	// score(t,d) = (1 + ln tf) · ln(1 + N/df).
+	ScoringTFIDF Scoring = iota
+	// ScoringBM25 is Okapi BM25 with k1 = 1.2, b = 0.75:
+	// score(t,d) = idf(t) · tf·(k1+1) / (tf + k1·(1−b+b·|d|/avgdl)),
+	// idf(t) = ln(1 + (N−df+0.5)/(df+0.5)).
+	ScoringBM25
+	// ScoringLM is Dirichlet-smoothed query likelihood (µ = 2000):
+	// score(t,d) = ln( (tf + µ·p(t|C)) / ((|d| + µ)·p(t|C)) ),
+	// where p(t|C) is the term's collection language-model probability.
+	// The per-term scores sum to the document's query log-likelihood up
+	// to a query-constant, so ranking is exact.
+	ScoringLM
+)
+
+// String names the scoring model.
+func (s Scoring) String() string {
+	switch s {
+	case ScoringBM25:
+		return "bm25"
+	case ScoringLM:
+		return "lm"
+	default:
+		return "tfidf"
+	}
+}
+
+// BM25 constants (standard Okapi parameterization).
+const (
+	bm25K1 = 1.2
+	bm25B  = 0.75
+)
+
+// lmMu is the Dirichlet smoothing mass (Zhai/Lafferty's standard 2000).
+const lmMu = 2000.0
+
+// SetScoring selects the relevance model. It must be called before
+// Finalize; afterwards it panics.
+func (x *Index) SetScoring(s Scoring) {
+	if x.finalized {
+		panic("ir: SetScoring after Finalize")
+	}
+	x.scoring = s
+}
+
+// Scoring returns the index's relevance model.
+func (x *Index) Scoring() Scoring { return x.scoring }
+
+// finalizeScores computes the postings lists for the configured model.
+// Called by Finalize with x.tf still populated.
+func (x *Index) finalizeScores() {
+	n := float64(len(x.docs))
+	var avgdl, totalTokens float64
+	if x.scoring == ScoringBM25 || x.scoring == ScoringLM {
+		var total int
+		for _, l := range x.docLen {
+			total += l
+		}
+		totalTokens = float64(total)
+		if len(x.docLen) > 0 {
+			avgdl = float64(total) / float64(len(x.docLen))
+		}
+		if avgdl == 0 {
+			avgdl = 1
+		}
+		if totalTokens == 0 {
+			totalTokens = 1
+		}
+	}
+	for t, m := range x.tf {
+		df := float64(len(m))
+		list := make([]Posting, 0, len(m))
+		switch x.scoring {
+		case ScoringLM:
+			// Collection frequency of the term (total occurrences).
+			var cf float64
+			for _, f := range m {
+				cf += float64(f)
+			}
+			pc := cf / totalTokens
+			for d, f := range m {
+				tf := float64(f)
+				score := math.Log((tf + lmMu*pc) / ((float64(x.docLen[d]) + lmMu) * pc))
+				if score < 0 {
+					score = 0 // below-background terms carry no evidence
+				}
+				list = append(list, Posting{DocID: d, Score: score})
+			}
+		case ScoringBM25:
+			idf := math.Log(1 + (n-df+0.5)/(df+0.5))
+			for d, f := range m {
+				tf := float64(f)
+				norm := tf + bm25K1*(1-bm25B+bm25B*float64(x.docLen[d])/avgdl)
+				list = append(list, Posting{DocID: d, Score: idf * tf * (bm25K1 + 1) / norm})
+			}
+		default:
+			idf := math.Log(1 + n/df)
+			for d, f := range m {
+				list = append(list, Posting{DocID: d, Score: (1 + math.Log(float64(f))) * idf})
+			}
+		}
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].Score != list[j].Score {
+				return list[i].Score > list[j].Score
+			}
+			return list[i].DocID < list[j].DocID
+		})
+		x.postings[t] = list
+	}
+}

@@ -1,0 +1,49 @@
+// Package ir is the local information-retrieval engine of a MINERVA peer:
+// an in-memory inverted index with <term, docID, score> postings (the
+// paper's Section 1.2 data model), TF·IDF scoring, top-k query execution
+// in conjunctive and disjunctive modes, cross-peer result merging, and
+// relative-recall measurement against a centralized reference index
+// (Section 8.1's evaluation metric).
+package ir
+
+import (
+	"strings"
+	"unicode"
+)
+
+// stopwords is a minimal English stopword list; enough to keep synthetic
+// and example text indexes from drowning in glue words.
+var stopwords = map[string]struct{}{
+	"a": {}, "an": {}, "and": {}, "are": {}, "as": {}, "at": {}, "be": {},
+	"by": {}, "for": {}, "from": {}, "has": {}, "he": {}, "in": {}, "is": {},
+	"it": {}, "its": {}, "of": {}, "on": {}, "or": {}, "that": {}, "the": {},
+	"to": {}, "was": {}, "were": {}, "will": {}, "with": {},
+}
+
+// Tokenize splits free text into index terms: lower-cased maximal runs of
+// letters and digits, with stopwords and single-character tokens dropped.
+func Tokenize(text string) []string {
+	var terms []string
+	var sb strings.Builder
+	flush := func() {
+		if sb.Len() < 2 {
+			sb.Reset()
+			return
+		}
+		t := sb.String()
+		sb.Reset()
+		if _, stop := stopwords[t]; stop {
+			return
+		}
+		terms = append(terms, t)
+	}
+	for _, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			sb.WriteRune(unicode.ToLower(r))
+			continue
+		}
+		flush()
+	}
+	flush()
+	return terms
+}

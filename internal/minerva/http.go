@@ -1,0 +1,173 @@
+package minerva
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"iqn/internal/ir"
+)
+
+// This file gives a peer the small HTTP surface the MINERVA prototype
+// exposed to users: a search endpoint and a status endpoint. It is
+// intentionally independent of the peer-to-peer transport — the HTTP
+// side faces the peer's human (or service) user, the RPC side faces the
+// network.
+
+// httpSearchResponse is the JSON shape of /search.
+type httpSearchResponse struct {
+	Query      []string       `json:"query"`
+	Method     string         `json:"method"`
+	Plan       []string       `json:"plan"`
+	Candidates int            `json:"candidates"`
+	Results    []httpResult   `json:"results"`
+	Steps      []httpPlanStep `json:"steps,omitempty"`
+	PerPeer    map[string]int `json:"perPeer,omitempty"`
+}
+
+type httpResult struct {
+	DocID uint64  `json:"docId"`
+	Score float64 `json:"score"`
+}
+
+type httpPlanStep struct {
+	Peer    string  `json:"peer"`
+	Quality float64 `json:"quality"`
+	Novelty float64 `json:"novelty"`
+	Covered float64 `json:"covered"`
+}
+
+// httpStatusResponse is the JSON shape of /status.
+type httpStatusResponse struct {
+	Peer          string `json:"peer"`
+	Docs          int    `json:"docs"`
+	Terms         int    `json:"terms"`
+	QueriesServed int64  `json:"queriesServed"`
+	Successor     string `json:"successor"`
+	Predecessor   string `json:"predecessor"`
+}
+
+// HTTPHandler returns the peer's HTTP API:
+//
+//	GET /search?q=<terms>&peers=<n>&k=<n>&method=iqn|cori|prior&conj=1
+//	GET /status
+//
+// Search terms are space-separated in q. Errors return JSON with an
+// "error" field and a 4xx/5xx status.
+func (p *Peer) HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
+		terms := strings.Fields(r.URL.Query().Get("q"))
+		if len(terms) == 0 {
+			httpError(w, http.StatusBadRequest, "missing or empty q parameter")
+			return
+		}
+		opts := SearchOptions{
+			K:        intParam(r, "k", 20),
+			MaxPeers: intParam(r, "peers", 5),
+			MergeK:   intParam(r, "k", 20),
+		}
+		switch r.URL.Query().Get("method") {
+		case "", "iqn":
+			opts.Method = MethodIQN
+		case "cori":
+			opts.Method = MethodCORI
+		case "prior":
+			opts.Method = MethodPrior
+		default:
+			httpError(w, http.StatusBadRequest, "unknown method")
+			return
+		}
+		if r.URL.Query().Get("conj") == "1" {
+			opts.Conjunctive = true
+		}
+		res, err := p.Search(terms, opts)
+		if err != nil {
+			httpError(w, http.StatusBadGateway, err.Error())
+			return
+		}
+		resp := httpSearchResponse{
+			Query:      terms,
+			Method:     opts.Method.String(),
+			Candidates: res.Candidates,
+			PerPeer:    map[string]int{},
+		}
+		for _, peer := range res.Plan.Peers {
+			resp.Plan = append(resp.Plan, string(peer))
+		}
+		for _, s := range res.Plan.Steps {
+			resp.Steps = append(resp.Steps, httpPlanStep{
+				Peer: string(s.Peer), Quality: s.Quality, Novelty: s.Novelty, Covered: s.Covered,
+			})
+		}
+		for peer, n := range res.PerPeer {
+			resp.PerPeer[string(peer)] = n
+		}
+		for _, hit := range res.Results {
+			resp.Results = append(resp.Results, httpResult{DocID: hit.DocID, Score: hit.Score})
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		status := httpStatusResponse{
+			Peer:          p.Name(),
+			QueriesServed: p.QueriesServed(),
+			Successor:     p.Node().Successor().Addr,
+			Predecessor:   p.Node().Predecessor().Addr,
+		}
+		if idx := p.Index(); idx != nil {
+			status.Docs = idx.NumDocs()
+			status.Terms = idx.TermSpaceSize()
+		}
+		writeJSON(w, http.StatusOK, status)
+	})
+	return mux
+}
+
+// intParam parses a positive integer query parameter with a default.
+func intParam(r *http.Request, name string, def int) int {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n <= 0 {
+		return def
+	}
+	return n
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// SaveIndex snapshots the peer's local index to a file (see ir.SaveFile)
+// so a restart can skip re-indexing.
+func (p *Peer) SaveIndex(path string) error {
+	idx := p.Index()
+	if idx == nil {
+		return fmt.Errorf("minerva: %s has no index to save", p.name)
+	}
+	return idx.SaveFile(path)
+}
+
+// LoadIndex restores a snapshot written by SaveIndex. The peer still
+// needs to PublishPosts afterwards to re-enter directories.
+func (p *Peer) LoadIndex(path string) error {
+	idx, err := ir.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.index = idx
+	p.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,110 @@
+package minerva
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+)
+
+func TestHTTPSearch(t *testing.T) {
+	net, _, queries := buildTestNetwork(t, Config{SynopsisSeed: 7})
+	srv := httptest.NewServer(net.Peers[0].HTTPHandler())
+	defer srv.Close()
+	q := queries[0]
+	u := srv.URL + "/search?q=" + q.Terms[0] + "+" + q.Terms[1] + "&peers=3&k=10"
+	resp, err := srv.Client().Get(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var body httpSearchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Results) == 0 || len(body.Plan) == 0 || len(body.Plan) > 3 {
+		t.Fatalf("body = %+v", body)
+	}
+	if body.Method != "iqn" {
+		t.Fatalf("method = %q", body.Method)
+	}
+	if len(body.Results) > 10 {
+		t.Fatalf("k ignored: %d results", len(body.Results))
+	}
+	// Steps carry novelty diagnostics.
+	if len(body.Steps) == 0 || body.Steps[0].Peer == "" {
+		t.Fatalf("steps = %+v", body.Steps)
+	}
+}
+
+func TestHTTPSearchErrors(t *testing.T) {
+	net, _, _ := buildTestNetwork(t, Config{SynopsisSeed: 7})
+	srv := httptest.NewServer(net.Peers[0].HTTPHandler())
+	defer srv.Close()
+	for _, path := range []string{"/search", "/search?q=x&method=bogus"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 400 {
+			t.Fatalf("%s: status %d, want 400", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestHTTPStatus(t *testing.T) {
+	net, _, _ := buildTestNetwork(t, Config{SynopsisSeed: 7})
+	srv := httptest.NewServer(net.Peers[2].HTTPHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body httpStatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Peer != net.Peers[2].Name() || body.Docs == 0 || body.Terms == 0 {
+		t.Fatalf("status = %+v", body)
+	}
+	if body.Successor == "" {
+		t.Fatal("no successor in status")
+	}
+}
+
+func TestPeerIndexPersistence(t *testing.T) {
+	net, _, queries := buildTestNetwork(t, Config{SynopsisSeed: 7})
+	p := net.Peers[1]
+	path := filepath.Join(t.TempDir(), "peer.idx")
+	if err := p.SaveIndex(path); err != nil {
+		t.Fatal(err)
+	}
+	before := p.LocalSearch(queries[0].Terms, 10, false)
+	// Wipe and restore.
+	if err := p.LoadIndex(path); err != nil {
+		t.Fatal(err)
+	}
+	after := p.LocalSearch(queries[0].Terms, 10, false)
+	if len(before) != len(after) {
+		t.Fatalf("results differ after restore: %d vs %d", len(before), len(after))
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("result %d differs after restore", i)
+		}
+	}
+	// A fresh peer with no index cannot save.
+	fresh, err := NewPeer("no-index-peer", net.Transport, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	if err := fresh.SaveIndex(path); err == nil {
+		t.Fatal("saving a nil index succeeded")
+	}
+}

@@ -1,0 +1,112 @@
+package minerva
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Maintainer runs a peer's periodic directory maintenance: republish all
+// posts at a fresh epoch, then prune everything below it. Live peers
+// that keep maintaining stay routable; peers that crash stop
+// republishing and their posts age out of the directory — the dynamics
+// Section 7.2 assumes when it discusses frequent update posting.
+//
+// Epochs are logical rounds, not wall-clock times, so deterministic
+// tests and experiments can drive RunRound directly while long-running
+// deployments use Start.
+type Maintainer struct {
+	peer *Peer
+
+	mu    sync.Mutex
+	epoch int64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewMaintainer wraps a peer. The first round publishes at epoch 1.
+func NewMaintainer(p *Peer) *Maintainer {
+	return &Maintainer{peer: p}
+}
+
+// Epoch returns the last completed round's epoch (0 before any round).
+func (m *Maintainer) Epoch() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch
+}
+
+// RunRound executes one maintenance round: republish at epoch+1, prune
+// below the new epoch, and return the epoch and the number of posts
+// pruned network-wide. Pruning tolerates unreachable nodes.
+func (m *Maintainer) RunRound() (epoch int64, pruned int, err error) {
+	m.mu.Lock()
+	m.epoch++
+	epoch = m.epoch
+	m.mu.Unlock()
+	if err := m.peer.PublishPostsEpoch(epoch); err != nil {
+		return epoch, 0, fmt.Errorf("minerva: maintenance republish: %w", err)
+	}
+	return epoch, m.peer.Directory().PruneBelow(epoch), nil
+}
+
+// Start launches rounds at the given interval until Stop. A zero or
+// negative interval defaults to one minute.
+func (m *Maintainer) Start(interval time.Duration) {
+	if m.stop != nil {
+		return
+	}
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	m.stop = make(chan struct{})
+	m.done = make(chan struct{})
+	go func() {
+		defer close(m.done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-ticker.C:
+				_, _, _ = m.RunRound() // unreachable directory: retry next tick
+			}
+		}
+	}()
+}
+
+// Stop halts the background rounds. Safe without Start.
+func (m *Maintainer) Stop() {
+	if m.stop == nil {
+		return
+	}
+	close(m.stop)
+	<-m.done
+	m.stop, m.done = nil, nil
+}
+
+// MaintenanceRound runs one synchronized maintenance round across every
+// live peer of the network: all live peers republish at the epoch, then
+// one prune pass drops stale posts. Returns the number of pruned posts.
+//
+// A peer counts as live when it is reachable through the transport (a
+// crashed or partitioned peer cannot republish in a real deployment;
+// the harness checks reachability explicitly because in-process peers
+// would otherwise happily keep posting).
+func (n *Network) MaintenanceRound(epoch int64) int {
+	var live []*Peer
+	for _, p := range n.Peers {
+		if !p.Reachable() {
+			continue
+		}
+		if err := p.PublishPostsEpoch(epoch); err == nil {
+			live = append(live, p)
+		}
+	}
+	if len(live) == 0 {
+		return 0
+	}
+	return live[0].Directory().PruneBelow(epoch)
+}

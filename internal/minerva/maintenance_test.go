@@ -1,0 +1,111 @@
+package minerva
+
+import (
+	"testing"
+	"time"
+
+	"iqn/internal/ir"
+	"iqn/internal/transport"
+)
+
+func TestMaintainerRounds(t *testing.T) {
+	net, _, queries := buildTestNetwork(t, Config{SynopsisSeed: 7})
+	m := NewMaintainer(net.Peers[0])
+	if m.Epoch() != 0 {
+		t.Fatalf("initial epoch = %d", m.Epoch())
+	}
+	epoch, pruned, err := m.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 || m.Epoch() != 1 {
+		t.Fatalf("epoch = %d/%d, want 1", epoch, m.Epoch())
+	}
+	// The first round prunes the other peers' epoch-0 posts — they have
+	// not republished yet.
+	if pruned == 0 {
+		t.Fatal("first round pruned nothing; epoch-0 posts should go")
+	}
+	// The peer can still find itself afterwards.
+	res, err := net.Peers[0].Search(queries[0].Terms, SearchOptions{K: 10, MaxPeers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Candidates != 0 && len(res.Results) == 0 {
+		t.Fatal("post-maintenance search broken")
+	}
+}
+
+func TestNetworkMaintenanceRoundDropsDeadPeers(t *testing.T) {
+	net, _, queries := buildTestNetwork(t, Config{SynopsisSeed: 7, Replicas: 2})
+	q := queries[0]
+	inmem := net.Transport.(*transport.InMem)
+	// Kill a peer that the current plan selects.
+	before, err := net.Peers[0].Search(q.Terms, SearchOptions{K: 10, MaxPeers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := string(before.Plan.Peers[0])
+	if victim == net.Peers[0].Name() {
+		victim = string(before.Plan.Peers[1])
+	}
+	inmem.SetPartitioned(victim, true)
+	var survivors []*Peer
+	for _, p := range net.Peers {
+		if p.Name() != victim {
+			survivors = append(survivors, p)
+		}
+	}
+	for round := 0; round < 2*len(survivors); round++ {
+		for _, p := range survivors {
+			p.Node().Stabilize()
+		}
+	}
+	for _, p := range survivors {
+		p.Node().FixAllFingers()
+	}
+	pruned := net.MaintenanceRound(1)
+	if pruned == 0 {
+		t.Fatal("maintenance pruned nothing despite a dead peer")
+	}
+	after, err := net.Peers[0].Search(q.Terms, SearchOptions{K: 10, MaxPeers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, peer := range after.Plan.Peers {
+		if string(peer) == victim {
+			t.Fatalf("dead peer %s still in plan after maintenance", victim)
+		}
+	}
+}
+
+func TestMaintainerStartStop(t *testing.T) {
+	net, _, _ := buildTestNetwork(t, Config{SynopsisSeed: 7})
+	m := NewMaintainer(net.Peers[1])
+	m.Start(2 * time.Millisecond)
+	deadline := time.After(5 * time.Second)
+	for m.Epoch() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("background maintainer never completed a round")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	m.Stop()
+	m.Stop() // idempotent
+	// Restartable.
+	m.Start(time.Hour)
+	m.Stop()
+}
+
+func TestSearchBM25Network(t *testing.T) {
+	// The engine runs end to end under BM25 scoring too.
+	net, _, queries := buildTestNetwork(t, Config{SynopsisSeed: 7, Scoring: ir.ScoringBM25})
+	res, err := net.Peers[0].Search(queries[0].Terms, SearchOptions{K: 10, MaxPeers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) == 0 {
+		t.Fatal("BM25 network search returned nothing")
+	}
+}

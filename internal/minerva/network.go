@@ -1,0 +1,116 @@
+package minerva
+
+import (
+	"fmt"
+
+	"iqn/internal/dataset"
+	"iqn/internal/ir"
+	"iqn/internal/transport"
+)
+
+// Network is a test/benchmark harness: a whole MINERVA deployment in one
+// process — N peers on a Chord ring over a transport, each indexing one
+// collection and publishing to the directory — plus the centralized
+// reference index that relative recall is measured against (Section 8.1).
+type Network struct {
+	// Peers are the live peers, in collection order.
+	Peers []*Peer
+	// Transport is the underlying network (an *transport.InMem for
+	// experiments, so failure injection and traffic metering are
+	// available).
+	Transport transport.Network
+	// Reference is the centralized index over the full corpus.
+	Reference *ir.Index
+
+	byName map[string]*Peer
+}
+
+// BuildNetwork boots one peer per collection on the given transport,
+// stabilizes the ring deterministically, indexes every collection, and
+// publishes all directory posts. corpus may be nil to skip building the
+// centralized reference index.
+func BuildNetwork(net transport.Network, corpus *dataset.Corpus, cols []dataset.Collection, cfg Config) (*Network, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("minerva: no collections")
+	}
+	n := &Network{Transport: net, byName: map[string]*Peer{}}
+	for _, col := range cols {
+		p, err := NewPeer(col.Name, net, cfg)
+		if err != nil {
+			n.Close()
+			return nil, err
+		}
+		n.Peers = append(n.Peers, p)
+		n.byName[col.Name] = p
+	}
+	// Deterministic ring construction: join everyone through the first
+	// peer, then run stabilization rounds to convergence.
+	n.Peers[0].CreateRing()
+	for _, p := range n.Peers[1:] {
+		if err := p.JoinRing(n.Peers[0].Name()); err != nil {
+			n.Close()
+			return nil, err
+		}
+		for round := 0; round < 3; round++ {
+			for _, q := range n.Peers {
+				q.Node().Stabilize()
+			}
+		}
+	}
+	n.StabilizeAll()
+	// Index and publish.
+	for i, col := range cols {
+		n.Peers[i].IndexCollection(col.Docs)
+	}
+	for _, p := range n.Peers {
+		if err := p.PublishPosts(); err != nil {
+			n.Close()
+			return nil, fmt.Errorf("minerva: publish %s: %w", p.Name(), err)
+		}
+	}
+	if corpus != nil {
+		ref := ir.NewIndex()
+		for _, d := range corpus.Docs {
+			ref.AddDocument(d.ID, d.Terms)
+		}
+		ref.Finalize()
+		n.Reference = ref
+	}
+	return n, nil
+}
+
+// StabilizeAll runs ring maintenance to convergence (deterministic
+// alternative to the peers' background loops).
+func (n *Network) StabilizeAll() {
+	for round := 0; round < 2*len(n.Peers); round++ {
+		for _, p := range n.Peers {
+			p.Node().Stabilize()
+		}
+	}
+	for _, p := range n.Peers {
+		p.Node().FixAllFingers()
+	}
+}
+
+// Peer returns a peer by name (nil if unknown).
+func (n *Network) Peer(name string) *Peer { return n.byName[name] }
+
+// Close shuts every peer down.
+func (n *Network) Close() {
+	for _, p := range n.Peers {
+		p.Close()
+	}
+}
+
+// ReferenceTopK returns the centralized top-k reference result for a
+// query — the denominator of relative recall.
+func (n *Network) ReferenceTopK(terms []string, k int, conjunctive bool) []ir.Result {
+	if n.Reference == nil {
+		return nil
+	}
+	mode := ir.Disjunctive
+	if conjunctive {
+		mode = ir.Conjunctive
+	}
+	return n.Reference.Search(terms, k, mode)
+}

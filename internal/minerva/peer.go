@@ -1,0 +1,279 @@
+// Package minerva is the peer engine tying the substrates together into
+// the prototype P2P Web search engine of the paper's Section 4: every
+// peer runs a local IR index, a Chord node, a slice of the distributed
+// directory, and the query-side machinery (PeerList retrieval, IQN or
+// baseline routing, query forwarding, result merging).
+package minerva
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"iqn/internal/chord"
+	"iqn/internal/core"
+	"iqn/internal/dataset"
+	"iqn/internal/directory"
+	"iqn/internal/histogram"
+	"iqn/internal/ir"
+	"iqn/internal/synopsis"
+	"iqn/internal/transport"
+)
+
+// methodQuery is the query-forwarding RPC every peer serves.
+const methodQuery = "peer.query"
+
+// Config is the network-wide peer configuration. All peers must agree on
+// SynopsisSeed (the shared MIPs permutation sequence); everything else
+// may vary per peer — MIPs tolerate heterogeneous lengths.
+type Config struct {
+	// SynopsisKind selects the synopsis family peers publish
+	// (default MIPs, the paper's synopsis of choice).
+	SynopsisKind synopsis.Kind
+	// SynopsisBits is the per-term synopsis budget in bits (default 2048).
+	SynopsisBits int
+	// SynopsisSeed is the network-wide MIPs permutation seed.
+	SynopsisSeed uint64
+	// Replicas is the directory replication factor (default 1).
+	Replicas int
+	// HistogramCells > 0 publishes Section 7.1 score histograms with
+	// that many cells per term.
+	HistogramCells int
+	// TotalBudgetBits > 0 activates Section 7.2 adaptive synopsis
+	// lengths: the peer splits this total budget over its terms by
+	// BudgetPolicy instead of giving every term SynopsisBits.
+	TotalBudgetBits int
+	// BudgetPolicy selects the benefit notion for adaptive lengths.
+	BudgetPolicy core.BenefitPolicy
+	// Scoring selects the local relevance model (TF·IDF default, BM25
+	// optional); it only affects local ranking, not the routing logic.
+	Scoring ir.Scoring
+}
+
+func (c Config) kind() synopsis.Kind {
+	if c.SynopsisKind == 0 {
+		return synopsis.KindMIPs
+	}
+	return c.SynopsisKind
+}
+
+func (c Config) bits() int {
+	if c.SynopsisBits <= 0 {
+		return 2048
+	}
+	return c.SynopsisBits
+}
+
+func (c Config) synopsisConfig(bits int) synopsis.Config {
+	return synopsis.Config{Kind: c.kind(), Bits: bits, Seed: c.SynopsisSeed}
+}
+
+// Peer is one MINERVA node.
+type Peer struct {
+	name string
+	cfg  Config
+	node *chord.Node
+	dir  *directory.Client
+	svc  *directory.Service
+
+	mu    sync.RWMutex
+	index *ir.Index
+
+	queriesServed atomic.Int64
+}
+
+// queryRequest is the wire form of a forwarded query.
+type queryRequest struct {
+	Terms       []string
+	K           int
+	Conjunctive bool
+}
+
+// NewPeer creates a peer serving at addr (its name) on the network. The
+// peer initially forms a ring of itself; call JoinRing to enter an
+// existing network.
+func NewPeer(addr string, net transport.Network, cfg Config) (*Peer, error) {
+	node, err := chord.New(addr, net, chord.Config{})
+	if err != nil {
+		return nil, err
+	}
+	replicas := cfg.Replicas
+	if replicas < 1 {
+		replicas = 1
+	}
+	p := &Peer{
+		name: addr,
+		cfg:  cfg,
+		node: node,
+		svc:  directory.NewService(node),
+		dir:  directory.NewClient(node, replicas),
+	}
+	node.Mux().Handle(methodQuery, func(req []byte) ([]byte, error) {
+		var q queryRequest
+		if err := transport.Unmarshal(req, &q); err != nil {
+			return nil, err
+		}
+		p.queriesServed.Add(1)
+		return transport.Marshal(p.LocalSearch(q.Terms, q.K, q.Conjunctive))
+	})
+	return p, nil
+}
+
+// Name returns the peer's name (= transport address).
+func (p *Peer) Name() string { return p.name }
+
+// Node exposes the peer's Chord node.
+func (p *Peer) Node() *chord.Node { return p.node }
+
+// Directory exposes the peer's directory client.
+func (p *Peer) Directory() *directory.Client { return p.dir }
+
+// CreateRing makes the peer the first node of a new network.
+func (p *Peer) CreateRing() { p.node.Create() }
+
+// JoinRing joins the network of an existing peer. Once the ring has
+// stabilized (the peer knows its predecessor), call AcquireDirectoryRange
+// to pull the directory fraction the peer now owns.
+func (p *Peer) JoinRing(seedAddr string) error { return p.node.Join(seedAddr) }
+
+// AcquireDirectoryRange pulls the directory posts this peer now owns
+// from its successor — the key-handoff step of a join. Returns the
+// number of posts acquired.
+func (p *Peer) AcquireDirectoryRange() (int, error) { return p.svc.AcquireOwnedRange() }
+
+// Close removes the peer from the network.
+func (p *Peer) Close() { p.node.Close() }
+
+// QueriesServed returns how many forwarded queries this peer has
+// answered — the per-peer load the paper's Section 8.2 worries about
+// ("response times are a highly superlinear function of load").
+func (p *Peer) QueriesServed() int64 { return p.queriesServed.Load() }
+
+// ResetQueriesServed zeroes the load counter (between experiment phases).
+func (p *Peer) ResetQueriesServed() { p.queriesServed.Store(0) }
+
+// Reachable reports whether the peer answers RPCs through the transport
+// under its own address — false once it has crashed, closed, or been
+// partitioned off.
+func (p *Peer) Reachable() bool {
+	return p.node.PingAddr(p.name)
+}
+
+// IndexCollection (re)builds the peer's local index over a document
+// collection.
+func (p *Peer) IndexCollection(docs []dataset.Document) {
+	idx := ir.NewIndex()
+	idx.SetScoring(p.cfg.Scoring)
+	for _, d := range docs {
+		idx.AddDocument(d.ID, d.Terms)
+	}
+	idx.Finalize()
+	p.mu.Lock()
+	p.index = idx
+	p.mu.Unlock()
+}
+
+// Index returns the peer's local index (nil before IndexCollection).
+func (p *Peer) Index() *ir.Index {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.index
+}
+
+// LocalSearch executes a query against the local index only.
+func (p *Peer) LocalSearch(terms []string, k int, conjunctive bool) []ir.Result {
+	idx := p.Index()
+	if idx == nil {
+		return nil
+	}
+	mode := ir.Disjunctive
+	if conjunctive {
+		mode = ir.Conjunctive
+	}
+	return idx.Search(terms, k, mode)
+}
+
+// BuildPosts assembles the peer's per-term directory publications: for
+// every term of the local index, the IR statistics of Section 4 plus the
+// term's synopsis (and histogram cells when configured). With
+// TotalBudgetBits set, synopsis lengths follow the Section 7.2 benefit
+// allocation; terms priced out of the budget are published without a
+// synopsis (statistics only).
+func (p *Peer) BuildPosts() ([]directory.Post, error) {
+	idx := p.Index()
+	if idx == nil {
+		return nil, fmt.Errorf("minerva: %s has no index", p.name)
+	}
+	terms := idx.Terms()
+	sort.Strings(terms)
+	var budget map[string]int
+	if p.cfg.TotalBudgetBits > 0 {
+		benefits := make(map[string]float64, len(terms))
+		for _, t := range terms {
+			benefits[t] = core.TermBenefit(idx.Postings(t), p.cfg.BudgetPolicy, 0)
+		}
+		granularity := 32
+		if p.cfg.kind() == synopsis.KindHashSketch {
+			granularity = 64
+		}
+		budget = core.AllocateBudget(benefits, p.cfg.TotalBudgetBits, granularity, granularity)
+	}
+	posts := make([]directory.Post, 0, len(terms))
+	for _, t := range terms {
+		post := directory.Post{
+			Peer:          p.name,
+			PeerAddr:      p.name,
+			Term:          t,
+			ListLength:    idx.DocFreq(t),
+			MaxScore:      idx.MaxScore(t),
+			AvgScore:      idx.AvgScore(t),
+			TermSpaceSize: idx.TermSpaceSize(),
+			NumDocs:       idx.NumDocs(),
+		}
+		bits := p.cfg.bits()
+		if budget != nil {
+			bits = budget[t] // 0 when priced out
+		}
+		if bits > 0 {
+			scfg := p.cfg.synopsisConfig(bits)
+			data, err := scfg.FromIDs(idx.DocIDs(t)).MarshalBinary()
+			if err != nil {
+				return nil, fmt.Errorf("minerva: synopsis for %q: %w", t, err)
+			}
+			post.Synopsis = data
+			if cells := p.cfg.HistogramCells; cells > 0 {
+				h := histogram.Build(idx.Postings(t), cells, scfg)
+				post.Histogram = make([]directory.HistCell, len(h.Cells))
+				for i, c := range h.Cells {
+					cd, err := c.Synopsis.MarshalBinary()
+					if err != nil {
+						return nil, err
+					}
+					post.Histogram[i] = directory.HistCell{Lo: c.Lo, Hi: c.Hi, Count: c.Count, Synopsis: cd}
+				}
+			}
+		}
+		posts = append(posts, post)
+	}
+	return posts, nil
+}
+
+// PublishPosts builds and publishes the peer's directory posts at epoch
+// zero (the single-round default).
+func (p *Peer) PublishPosts() error { return p.PublishPostsEpoch(0) }
+
+// PublishPostsEpoch publishes the peer's posts stamped with a logical
+// publication round. Periodic republication at increasing epochs plus
+// directory pruning (directory.Client.PruneBelow) ages out the posts of
+// crashed peers.
+func (p *Peer) PublishPostsEpoch(epoch int64) error {
+	posts, err := p.BuildPosts()
+	if err != nil {
+		return err
+	}
+	for i := range posts {
+		posts[i].Epoch = epoch
+	}
+	return p.dir.Publish(posts)
+}

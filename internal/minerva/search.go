@@ -1,0 +1,355 @@
+package minerva
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"iqn/internal/core"
+	"iqn/internal/cori"
+	"iqn/internal/directory"
+	"iqn/internal/histogram"
+	"iqn/internal/ir"
+	"iqn/internal/synopsis"
+	"iqn/internal/topk"
+	"iqn/internal/transport"
+)
+
+// Method selects the routing strategy of a search — the paper's
+// experimental series.
+type Method int
+
+const (
+	// MethodIQN is the paper's contribution: iterative quality×novelty.
+	MethodIQN Method = iota
+	// MethodCORI is the quality-only baseline.
+	MethodCORI
+	// MethodPrior is the SIGIR'05 one-shot overlap-aware baseline.
+	MethodPrior
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case MethodCORI:
+		return "cori"
+	case MethodPrior:
+		return "prior"
+	default:
+		return "iqn"
+	}
+}
+
+// SearchOptions tune a distributed search.
+type SearchOptions struct {
+	// K is the result-list depth: each queried peer returns its local
+	// top K (default 50).
+	K int
+	// MergeK truncates the merged result list when > 0. The default (0)
+	// keeps every returned document — the paper's recall measure counts
+	// a reference document as found if any queried peer returned it, so
+	// evaluation must not re-truncate after merging.
+	MergeK int
+	// MaxPeers bounds how many remote peers the query is forwarded to
+	// (default 5).
+	MaxPeers int
+	// Method selects the routing strategy.
+	Method Method
+	// Aggregation selects per-peer or per-term synopsis aggregation.
+	Aggregation core.AggregationMode
+	// Conjunctive switches to the conjunctive query model.
+	Conjunctive bool
+	// UseHistograms enables score-conscious routing (Section 7.1); it
+	// requires peers to have published histogram cells.
+	UseHistograms bool
+	// NoveltyOnly drops the quality factor (novelty-only selection).
+	NoveltyOnly bool
+	// CandidateLimit trims the candidate set to the top peers across the
+	// fetched PeerLists before routing, using the threshold algorithm
+	// over per-term quality scores — the paper's "top-k peers over all
+	// lists, calculated by a distributed top-k algorithm" (§4). Zero
+	// keeps every candidate.
+	CandidateLimit int
+	// DisableSelf excludes the initiator's local result from seeding the
+	// reference synopsis and from the merged results.
+	DisableSelf bool
+}
+
+func (o SearchOptions) k() int {
+	if o.K <= 0 {
+		return 50
+	}
+	return o.K
+}
+
+func (o SearchOptions) maxPeers() int {
+	if o.MaxPeers <= 0 {
+		return 5
+	}
+	return o.MaxPeers
+}
+
+// SearchResult is the outcome of one distributed search.
+type SearchResult struct {
+	// Results is the merged top-K result list.
+	Results []ir.Result
+	// Plan is the routing decision, including per-iteration diagnostics.
+	Plan core.Plan
+	// Candidates is the number of distinct peers the directory offered.
+	Candidates int
+	// PerPeer records each queried peer's raw result count.
+	PerPeer map[core.PeerID]int
+}
+
+// Search runs a full distributed query from this peer: fetch PeerLists
+// from the directory, assemble candidates, route, forward, merge.
+func (p *Peer) Search(terms []string, opts SearchOptions) (*SearchResult, error) {
+	if len(terms) == 0 {
+		return nil, fmt.Errorf("minerva: empty query")
+	}
+	lists, err := p.dir.FetchAll(terms)
+	if err != nil {
+		return nil, fmt.Errorf("minerva: fetch peerlists: %w", err)
+	}
+	if opts.CandidateLimit > 0 {
+		lists = trimPeerLists(lists, opts.CandidateLimit)
+	}
+	cands, err := p.assembleCandidates(terms, lists)
+	if err != nil {
+		return nil, err
+	}
+	q := core.Query{Terms: terms}
+	if opts.Conjunctive {
+		q.Type = core.Conjunctive
+	}
+	routeOpts := core.Options{
+		MaxPeers:      opts.maxPeers(),
+		Aggregation:   opts.Aggregation,
+		UseHistograms: opts.UseHistograms,
+	}
+	if opts.NoveltyOnly {
+		routeOpts.QualityWeight, routeOpts.NoveltyWeight = 0, 1
+	}
+	var initiator *core.Candidate
+	if !opts.DisableSelf {
+		initiator = p.selfCandidate(terms)
+	}
+	var plan core.Plan
+	switch opts.Method {
+	case MethodCORI:
+		plan, err = core.RouteCORI(q, cands, routeOpts.MaxPeers)
+	case MethodPrior:
+		plan, err = core.RoutePrior(q, initiator, cands, routeOpts)
+	default:
+		plan, err = core.Route(q, initiator, cands, routeOpts)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("minerva: route: %w", err)
+	}
+	resultLists, perPeer := p.forward(terms, plan.Peers, opts)
+	if !opts.DisableSelf {
+		resultLists = append(resultLists, p.LocalSearch(terms, opts.k(), opts.Conjunctive))
+	}
+	return &SearchResult{
+		Results:    ir.Merge(resultLists, opts.MergeK),
+		Plan:       plan,
+		Candidates: len(cands),
+		PerPeer:    perPeer,
+	}, nil
+}
+
+// forward sends the query to the planned peers concurrently and collects
+// their local top-k lists. Unreachable peers contribute nothing — the
+// search degrades instead of failing.
+func (p *Peer) forward(terms []string, peers []core.PeerID, opts SearchOptions) ([][]ir.Result, map[core.PeerID]int) {
+	req := queryRequest{Terms: terms, K: opts.k(), Conjunctive: opts.Conjunctive}
+	lists := make([][]ir.Result, len(peers))
+	var wg sync.WaitGroup
+	for i, peer := range peers {
+		if string(peer) == p.name {
+			lists[i] = p.LocalSearch(terms, opts.k(), opts.Conjunctive)
+			continue
+		}
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			var rs []ir.Result
+			if err := transport.Invoke(p.node.Network(), addr, methodQuery, req, &rs); err == nil {
+				lists[i] = rs
+			}
+		}(i, string(peer))
+	}
+	wg.Wait()
+	perPeer := make(map[core.PeerID]int, len(peers))
+	for i, peer := range peers {
+		perPeer[peer] = len(lists[i])
+	}
+	return lists, perPeer
+}
+
+// assembleCandidates turns the fetched PeerLists into routing candidates:
+// per peer, the per-term synopses, cardinalities, histograms, and the
+// CORI quality score computed from the posted statistics.
+func (p *Peer) assembleCandidates(terms []string, lists map[string]directory.PeerList) ([]core.Candidate, error) {
+	type peerInfo struct {
+		posts map[string]directory.Post
+	}
+	peers := map[string]*peerInfo{}
+	collectionFreq := map[string]int{}
+	var termSpaceSum float64
+	var termSpaceN int
+	for term, pl := range lists {
+		collectionFreq[term] = len(pl)
+		for _, post := range pl {
+			pi := peers[post.Peer]
+			if pi == nil {
+				pi = &peerInfo{posts: map[string]directory.Post{}}
+				peers[post.Peer] = pi
+			}
+			pi.posts[term] = post
+			termSpaceSum += float64(post.TermSpaceSize)
+			termSpaceN++
+		}
+	}
+	// CORI globals, with the paper's approximation: |V_avg| over the
+	// collections found in the PeerLists, np = distinct peers seen
+	// (excluding ourselves, which is not a routing candidate).
+	delete(peers, p.name)
+	g := cori.GlobalStats{
+		NumPeers:       len(peers),
+		CollectionFreq: collectionFreq,
+	}
+	if termSpaceN > 0 {
+		g.AvgTermSpaceSize = termSpaceSum / float64(termSpaceN)
+	}
+	names := make([]string, 0, len(peers))
+	for name := range peers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	cands := make([]core.Candidate, 0, len(names))
+	for _, name := range names {
+		pi := peers[name]
+		c := core.Candidate{
+			Peer:              core.PeerID(name),
+			TermSynopses:      map[string]synopsis.Set{},
+			TermCardinalities: map[string]float64{},
+		}
+		stats := cori.CollectionStats{DocFreq: map[string]int{}}
+		for term, post := range pi.posts {
+			stats.DocFreq[term] = post.ListLength
+			stats.TermSpaceSize = post.TermSpaceSize
+			c.TermCardinalities[term] = float64(post.ListLength)
+			if len(post.Synopsis) > 0 {
+				set, err := synopsis.Unmarshal(post.Synopsis)
+				if err != nil {
+					return nil, fmt.Errorf("minerva: synopsis of %s/%s: %w", name, term, err)
+				}
+				c.TermSynopses[term] = set
+			}
+			if len(post.Histogram) > 0 {
+				h, err := decodeHistogram(post.Histogram)
+				if err != nil {
+					return nil, fmt.Errorf("minerva: histogram of %s/%s: %w", name, term, err)
+				}
+				if c.TermHistograms == nil {
+					c.TermHistograms = map[string]*histogram.Histogram{}
+				}
+				c.TermHistograms[term] = h
+			}
+		}
+		c.Quality = cori.Score(terms, stats, g)
+		cands = append(cands, c)
+	}
+	return cands, nil
+}
+
+// trimPeerLists keeps only the posts of the top `limit` peers by summed
+// per-term quality, selected with the threshold algorithm over one
+// score-sorted list per term. The per-term quality is the CORI T
+// component of the post's list length — a pure function of the post, so
+// list owners could precompute and sort server-side exactly as §4
+// envisions.
+func trimPeerLists(lists map[string]directory.PeerList, limit int) map[string]directory.PeerList {
+	peerCount := map[string]struct{}{}
+	taLists := make([][]topk.Item, 0, len(lists))
+	for _, pl := range lists {
+		items := make([]topk.Item, 0, len(pl))
+		for _, post := range pl {
+			peerCount[post.Peer] = struct{}{}
+			df := float64(post.ListLength)
+			items = append(items, topk.Item{Key: post.Peer, Score: df / (df + 50 + 150)})
+		}
+		sort.Slice(items, func(i, j int) bool {
+			if items[i].Score != items[j].Score {
+				return items[i].Score > items[j].Score
+			}
+			return items[i].Key < items[j].Key
+		})
+		taLists = append(taLists, items)
+	}
+	if len(peerCount) <= limit {
+		return lists
+	}
+	top, _ := topk.Select(taLists, limit)
+	keep := make(map[string]struct{}, len(top))
+	for _, r := range top {
+		keep[r.Key] = struct{}{}
+	}
+	out := make(map[string]directory.PeerList, len(lists))
+	for term, pl := range lists {
+		kept := make(directory.PeerList, 0, len(pl))
+		for _, post := range pl {
+			if _, ok := keep[post.Peer]; ok {
+				kept = append(kept, post)
+			}
+		}
+		out[term] = kept
+	}
+	return out
+}
+
+// decodeHistogram rebuilds a histogram from its wire cells.
+func decodeHistogram(cells []directory.HistCell) (*histogram.Histogram, error) {
+	h := &histogram.Histogram{Cells: make([]histogram.Cell, len(cells))}
+	for i, wc := range cells {
+		cell := histogram.Cell{Lo: wc.Lo, Hi: wc.Hi, Count: wc.Count}
+		if len(wc.Synopsis) > 0 {
+			set, err := synopsis.Unmarshal(wc.Synopsis)
+			if err != nil {
+				return nil, err
+			}
+			cell.Synopsis = set
+		}
+		h.Cells[i] = cell
+	}
+	return h, nil
+}
+
+// selfCandidate builds the initiator's reference seed from its local
+// per-term synopses (Section 5.1's alternative to executing the query
+// locally first; equivalent for novelty purposes and cheaper).
+func (p *Peer) selfCandidate(terms []string) *core.Candidate {
+	idx := p.Index()
+	if idx == nil {
+		return nil
+	}
+	c := &core.Candidate{
+		Peer:              core.PeerID(p.name),
+		TermSynopses:      map[string]synopsis.Set{},
+		TermCardinalities: map[string]float64{},
+	}
+	scfg := p.cfg.synopsisConfig(p.cfg.bits())
+	for _, t := range terms {
+		ids := idx.DocIDs(t)
+		if len(ids) == 0 {
+			continue
+		}
+		c.TermSynopses[t] = scfg.FromIDs(ids)
+		c.TermCardinalities[t] = float64(len(ids))
+	}
+	if len(c.TermSynopses) == 0 {
+		return nil
+	}
+	return c
+}

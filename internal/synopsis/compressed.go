@@ -1,0 +1,196 @@
+package synopsis
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// This file implements compressed Bloom filters (Mitzenmacher,
+// IEEE/ACM ToN 2002 — reference [26] of the paper): a Bloom filter that
+// is large and sparse in memory can be transmitted and stored in far
+// fewer bits by entropy-coding the bit vector. Peers that publish Bloom
+// synopses to the directory care about *transmitted* size (Section 7.2's
+// bandwidth budget), so the wire form matters more than the in-memory
+// form.
+//
+// The encoding is Golomb-Rice coding of the gaps between consecutive set
+// bits: for a filter with m bits of which X are set, gaps are
+// geometrically distributed with mean m/X, and Rice coding with
+// parameter k = ⌊log2(m/X · ln 2)⌋ approaches the gap entropy within
+// half a bit per set bit. Dense filters (fill ratio near ½, the
+// false-positive-optimal operating point) do not compress — exactly
+// Mitzenmacher's observation that compression pays when the filter is
+// tuned for it (larger m, smaller k, lower fill).
+
+// compressedBloomVersion guards the compressed wire layout.
+const compressedBloomVersion = 1
+
+// CompressBloom encodes a Bloom filter into the compressed wire form:
+//
+//	kind(1)=KindBloom version(1)=0x81 m(4) k(4) n(8) rice(1) ones(4) payload
+//
+// The version byte's high bit distinguishes compressed from plain
+// encodings. DecompressBloom (and synopsis.Unmarshal via the Bloom
+// decoder) reverses it. The compressed form is lossless.
+func CompressBloom(b *Bloom) ([]byte, error) {
+	ones := b.OnesCount()
+	m := b.Bits()
+	rice := riceParam(m, ones)
+	buf := make([]byte, 0, 23+ones/4)
+	buf = append(buf, byte(KindBloom), 0x80|compressedBloomVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(b.k))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(b.n))
+	buf = append(buf, byte(rice))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(ones))
+	w := bitWriter{buf: buf}
+	prev := -1
+	for i := 0; i < m; i++ {
+		if b.bits[i/64]&(1<<(i%64)) == 0 {
+			continue
+		}
+		w.writeRice(uint32(i-prev-1), rice)
+		prev = i
+	}
+	return w.finish(), nil
+}
+
+// DecompressBloom decodes the CompressBloom form.
+func DecompressBloom(data []byte) (*Bloom, error) {
+	if len(data) < 23 || Kind(data[0]) != KindBloom || data[1] != 0x80|compressedBloomVersion {
+		return nil, fmt.Errorf("%w: not a compressed bloom encoding", ErrCorrupt)
+	}
+	m := binary.LittleEndian.Uint32(data[2:])
+	k := binary.LittleEndian.Uint32(data[6:])
+	n := int64(binary.LittleEndian.Uint64(data[10:]))
+	rice := int(data[18])
+	ones := binary.LittleEndian.Uint32(data[19:])
+	if m == 0 || m%64 != 0 || m > 1<<28 || k == 0 || k > 64 || n < -1 || rice > 31 || ones > m {
+		return nil, fmt.Errorf("%w: compressed bloom header", ErrCorrupt)
+	}
+	b := &Bloom{m: m, k: k, n: n, bits: make([]uint64, m/64)}
+	r := bitReader{buf: data[23:]}
+	pos := -1
+	for i := uint32(0); i < ones; i++ {
+		gap, err := r.readRice(rice)
+		if err != nil {
+			return nil, fmt.Errorf("%w: compressed bloom payload: %v", ErrCorrupt, err)
+		}
+		pos += int(gap) + 1
+		if pos >= int(m) {
+			return nil, fmt.Errorf("%w: compressed bloom bit %d beyond m=%d", ErrCorrupt, pos, m)
+		}
+		b.bits[pos/64] |= 1 << (pos % 64)
+	}
+	return b, nil
+}
+
+// CompressedSize returns the exact compressed byte size of a filter
+// without materializing the encoding twice (convenience for budgeting).
+func CompressedSize(b *Bloom) (int, error) {
+	data, err := CompressBloom(b)
+	if err != nil {
+		return 0, err
+	}
+	return len(data), nil
+}
+
+// riceParam picks the Rice parameter k ≈ log2(mean gap · ln 2) for m
+// bits with `ones` set.
+func riceParam(m, ones int) int {
+	if ones <= 0 {
+		return 0
+	}
+	mean := float64(m) / float64(ones)
+	k := int(math.Floor(math.Log2(mean * math.Ln2)))
+	if k < 0 {
+		return 0
+	}
+	if k > 31 {
+		return 31
+	}
+	return k
+}
+
+// bitWriter appends bits to a byte buffer, LSB-first within each byte.
+type bitWriter struct {
+	buf  []byte
+	cur  byte
+	nCur uint
+}
+
+func (w *bitWriter) writeBit(bit byte) {
+	w.cur |= (bit & 1) << w.nCur
+	w.nCur++
+	if w.nCur == 8 {
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.nCur = 0, 0
+	}
+}
+
+// writeRice emits v as unary(quotient) ++ binary(remainder, k bits).
+func (w *bitWriter) writeRice(v uint32, k int) {
+	q := v >> uint(k)
+	for i := uint32(0); i < q; i++ {
+		w.writeBit(1)
+	}
+	w.writeBit(0)
+	for i := 0; i < k; i++ {
+		w.writeBit(byte(v >> uint(i) & 1))
+	}
+}
+
+func (w *bitWriter) finish() []byte {
+	if w.nCur > 0 {
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.nCur = 0, 0
+	}
+	return w.buf
+}
+
+// bitReader consumes bits LSB-first.
+type bitReader struct {
+	buf  []byte
+	pos  int
+	nCur uint
+}
+
+func (r *bitReader) readBit() (byte, error) {
+	if r.pos >= len(r.buf) {
+		return 0, fmt.Errorf("bit stream exhausted")
+	}
+	bit := r.buf[r.pos] >> r.nCur & 1
+	r.nCur++
+	if r.nCur == 8 {
+		r.pos++
+		r.nCur = 0
+	}
+	return bit, nil
+}
+
+func (r *bitReader) readRice(k int) (uint32, error) {
+	var q uint32
+	for {
+		bit, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		if bit == 0 {
+			break
+		}
+		q++
+		if q > 1<<28 {
+			return 0, fmt.Errorf("unary run too long")
+		}
+	}
+	v := q << uint(k)
+	for i := 0; i < k; i++ {
+		bit, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		v |= uint32(bit) << uint(i)
+	}
+	return v, nil
+}

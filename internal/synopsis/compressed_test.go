@@ -1,0 +1,193 @@
+package synopsis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompressBloomRoundTrip(t *testing.T) {
+	b := NewBloom(1<<14, 2)
+	rng := rand.New(rand.NewSource(31))
+	ids := makeIDs(rng, 300)
+	for _, id := range ids {
+		b.Add(id)
+	}
+	data, err := CompressBloom(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecompressBloom(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Bits() != b.Bits() || got.Hashes() != b.Hashes() || got.Cardinality() != b.Cardinality() {
+		t.Fatalf("metadata mismatch: %d/%d/%v", got.Bits(), got.Hashes(), got.Cardinality())
+	}
+	for i := range b.bits {
+		if got.bits[i] != b.bits[i] {
+			t.Fatalf("bit word %d differs after round trip", i)
+		}
+	}
+	for _, id := range ids {
+		if !got.Contains(id) {
+			t.Fatalf("decompressed filter lost element %d", id)
+		}
+	}
+}
+
+func TestCompressBloomSavesSpaceWhenSparse(t *testing.T) {
+	// Mitzenmacher's point: a large sparse filter compresses well.
+	b := NewBloom(1<<15, 1) // 32768 bits, 1 hash → very sparse for 200 items
+	rng := rand.New(rand.NewSource(32))
+	for _, id := range makeIDs(rng, 200) {
+		b.Add(id)
+	}
+	plain, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := CompressBloom(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp) >= len(plain)/4 {
+		t.Fatalf("sparse filter compressed to %d of %d bytes, want ≥4x saving", len(comp), len(plain))
+	}
+	t.Logf("sparse: %d → %d bytes (%.1fx)", len(plain), len(comp), float64(len(plain))/float64(len(comp)))
+}
+
+func TestCompressBloomDenseDoesNotExplode(t *testing.T) {
+	// A fill-optimal (≈50%) filter has ≈1 bit of entropy per bit and
+	// must not blow up badly under compression.
+	b := NewBloom(2048, 4)
+	rng := rand.New(rand.NewSource(33))
+	for _, id := range makeIDs(rng, 400) { // ≈ m·ln2/k elements → ~50% fill
+		b.Add(id)
+	}
+	plain, _ := b.MarshalBinary()
+	comp, err := CompressBloom(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp) > 2*len(plain) {
+		t.Fatalf("dense filter compressed to %d of %d bytes", len(comp), len(plain))
+	}
+}
+
+func TestCompressBloomEmptyAndFull(t *testing.T) {
+	empty := NewBloom(256, 2)
+	data, err := CompressBloom(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecompressBloom(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.OnesCount() != 0 {
+		t.Fatalf("empty filter decompressed with %d bits set", got.OnesCount())
+	}
+	full := NewBloom(256, 2)
+	for i := 0; i < 10000; i++ {
+		full.Add(uint64(i))
+	}
+	data, err = CompressBloom(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = DecompressBloom(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.OnesCount() != full.OnesCount() {
+		t.Fatalf("saturated filter: %d vs %d bits", got.OnesCount(), full.OnesCount())
+	}
+}
+
+func TestDecompressBloomCorrupt(t *testing.T) {
+	b := NewBloom(256, 2)
+	b.Add(1)
+	b.Add(2)
+	data, _ := CompressBloom(b)
+	plain, _ := b.MarshalBinary()
+	cases := map[string][]byte{
+		"empty":          {},
+		"plain encoding": plain, // not the compressed form
+		"short":          data[:10],
+		"truncated":      data[:len(data)-1],
+	}
+	for name, d := range cases {
+		if _, err := DecompressBloom(d); err == nil {
+			t.Errorf("%s: DecompressBloom succeeded", name)
+		}
+	}
+}
+
+func TestCompressedSize(t *testing.T) {
+	b := NewBloom(4096, 2)
+	for i := 0; i < 50; i++ {
+		b.Add(uint64(i))
+	}
+	n, err := CompressedSize(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := CompressBloom(b)
+	if n != len(data) {
+		t.Fatalf("CompressedSize = %d, encoding = %d", n, len(data))
+	}
+}
+
+func TestRiceRoundTripProperty(t *testing.T) {
+	f := func(vals []uint32, kRaw uint8) bool {
+		k := int(kRaw) % 16
+		for i := range vals {
+			vals[i] %= 1 << 20 // keep unary runs bounded
+		}
+		w := bitWriter{}
+		for _, v := range vals {
+			w.writeRice(v, k)
+		}
+		data := w.finish()
+		r := bitReader{buf: data}
+		for _, v := range vals {
+			got, err := r.readRice(k)
+			if err != nil || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressBloomRandomFiltersProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw) % 500
+		b := NewBloom(4096, 3)
+		for i := 0; i < n; i++ {
+			b.Add(rng.Uint64())
+		}
+		data, err := CompressBloom(b)
+		if err != nil {
+			return false
+		}
+		got, err := DecompressBloom(data)
+		if err != nil {
+			return false
+		}
+		for i := range b.bits {
+			if got.bits[i] != b.bits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+package synopsis
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz targets for the wire decoders: any byte string must either decode
+// into a synopsis that re-encodes stably or be rejected — never panic,
+// never allocate absurdly. `go test` runs the seed corpus; `go test
+// -fuzz FuzzUnmarshal` explores further.
+
+func FuzzUnmarshal(f *testing.F) {
+	// Seed with valid encodings of every family plus mutations.
+	for _, set := range []Set{
+		Config{Kind: KindBloom, Bits: 256}.FromIDs([]uint64{1, 2, 3}),
+		Config{Kind: KindMIPs, Bits: 512, Seed: 9}.FromIDs([]uint64{4, 5}),
+		Config{Kind: KindHashSketch, Bits: 256}.FromIDs([]uint64{6}),
+		Config{Kind: KindSuperLogLog, Bits: 320}.FromIDs([]uint64{7, 8}),
+	} {
+		data, err := set.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		if len(data) > 4 {
+			f.Add(data[:len(data)-3]) // truncated
+			mutated := append([]byte{}, data...)
+			mutated[2] ^= 0xff
+			f.Add(mutated)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x01, 0x02})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		set, err := Unmarshal(data)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Whatever decoded must round-trip to an equal encoding.
+		out, err := set.MarshalBinary()
+		if err != nil {
+			t.Fatalf("decoded synopsis failed to re-encode: %v", err)
+		}
+		set2, err := Unmarshal(out)
+		if err != nil {
+			t.Fatalf("re-encoded synopsis failed to decode: %v", err)
+		}
+		out2, err := set2.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatal("encoding not stable across round trips")
+		}
+		// Estimators must stay finite.
+		if c := set.Cardinality(); c < 0 {
+			t.Fatalf("negative cardinality %v", c)
+		}
+	})
+}
+
+func FuzzDecompressBloom(f *testing.F) {
+	b := NewBloom(512, 3)
+	for i := 0; i < 40; i++ {
+		b.Add(uint64(i) * 31)
+	}
+	data, err := CompressBloom(b)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add(data[:len(data)-2])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecompressBloom(data)
+		if err != nil {
+			return
+		}
+		// A successful decode must re-compress to a decodable filter with
+		// identical bits.
+		again, err := CompressBloom(got)
+		if err != nil {
+			t.Fatalf("re-compress: %v", err)
+		}
+		got2, err := DecompressBloom(again)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if got.OnesCount() != got2.OnesCount() {
+			t.Fatal("bit count changed across round trip")
+		}
+	})
+}

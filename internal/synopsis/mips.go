@@ -1,0 +1,284 @@
+package synopsis
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// mipsPrime is the modulus U of the linear permutation hashes
+// h_i(x) = (a_i·x + b_i) mod U. It is the largest prime below 2^32, so
+// every permuted value fits in a uint32 and the fixed-point arithmetic
+// a·x+b never overflows uint64 (a, x, b < 2^32).
+const mipsPrime uint64 = 4294967291
+
+// mipsEmpty is the per-position sentinel for "no element seen yet". It is
+// ≥ U and therefore never produced by a permutation.
+const mipsEmpty uint32 = math.MaxUint32
+
+// MIPs is a min-wise independent permutations synopsis (Broder et al.).
+//
+// It stores, for each of N pseudo-random linear permutations
+// h_i(x) = (a_i·x + b_i) mod U, the minimum permuted value over all added
+// elements. Because every element of a set is equally likely to yield the
+// minimum under a random permutation, the fraction of positions in which
+// two MIPs vectors agree is an unbiased estimator of the sets'
+// resemblance |A∩B|/|A∪B| (Section 3.2 of the paper).
+//
+// The permutation parameters are derived deterministically from a network
+// wide seed, so synopses built independently by different peers are
+// directly comparable, and — uniquely among the three families — two MIPs
+// of different lengths remain comparable over their min(N1,N2) common
+// permutations (Section 3.4). This tolerance of heterogeneous lengths is
+// why the paper selects MIPs as the synopsis of choice for IQN.
+type MIPs struct {
+	seed uint64
+	mins []uint32
+	n    int64 // exact #adds, or -1 when unknown (after Union/Intersect)
+	// a and b are the permutation coefficients, derived from seed at
+	// construction (and after decoding) so Add stays cheap. They are not
+	// serialized — the seed regenerates them.
+	a, b []uint64
+}
+
+// NewMIPs returns an empty MIPs vector with n permutations derived from
+// the given network-wide seed. n must be ≥ 1; it is clamped otherwise.
+func NewMIPs(n int, seed uint64) *MIPs {
+	if n < 1 {
+		n = 1
+	}
+	m := &MIPs{seed: seed, mins: make([]uint32, n)}
+	for i := range m.mins {
+		m.mins[i] = mipsEmpty
+	}
+	m.deriveParams()
+	return m
+}
+
+// deriveParams (re)computes the permutation coefficients from the seed.
+func (m *MIPs) deriveParams() {
+	m.a = make([]uint64, len(m.mins))
+	m.b = make([]uint64, len(m.mins))
+	for i := range m.mins {
+		m.a[i], m.b[i] = mipsParams(m.seed, i)
+	}
+}
+
+// mipsParams returns the coefficients (a, b) of the i-th permutation for a
+// seed. a is drawn from [1, U), b from [0, U), both via SplitMix64 streams
+// keyed by (seed, i) so all peers derive identical permutations.
+func mipsParams(seed uint64, i int) (a, b uint64) {
+	h := splitmix64(seed ^ (0xa5a5a5a5a5a5a5a5 + uint64(i)*0x9e3779b97f4a7c15))
+	a = h%(mipsPrime-1) + 1
+	h = splitmix64(h ^ 0x5bd1e9955bd1e995)
+	b = h % mipsPrime
+	return a, b
+}
+
+// Kind reports KindMIPs.
+func (m *MIPs) Kind() Kind { return KindMIPs }
+
+// Permutations returns the number N of permutations (the vector length).
+func (m *MIPs) Permutations() int { return len(m.mins) }
+
+// Seed returns the permutation seed the vector was built with.
+func (m *MIPs) Seed() uint64 { return m.seed }
+
+// SizeBits returns the payload size: 32 bits per stored minimum.
+func (m *MIPs) SizeBits() int { return 32 * len(m.mins) }
+
+// Add inserts an element, updating every permutation's minimum.
+func (m *MIPs) Add(id uint64) {
+	// Elements are first mixed to a pseudo-uniform 32-bit value; the
+	// linear permutations then act on that value. x < 2^32 keeps a·x+b
+	// within uint64.
+	x := splitmix64(id) >> 32
+	for i := range m.mins {
+		v := uint32((m.a[i]*x + m.b[i]) % mipsPrime)
+		if v < m.mins[i] {
+			m.mins[i] = v
+		}
+	}
+	if m.n >= 0 {
+		m.n++
+	}
+}
+
+// Cardinality returns the exact number of added elements while known, and
+// otherwise estimates it from the minima: for an n-element set each
+// normalized minimum min_i/U is Beta(1,n) distributed with mean 1/(n+1),
+// so n ≈ N / Σ(min_i/U) − 1.
+func (m *MIPs) Cardinality() float64 {
+	if m.n >= 0 {
+		return float64(m.n)
+	}
+	var sum float64
+	empty := 0
+	for _, v := range m.mins {
+		if v == mipsEmpty {
+			empty++
+			continue
+		}
+		sum += (float64(v) + 1) / float64(mipsPrime)
+	}
+	if empty == len(m.mins) {
+		return 0
+	}
+	if sum == 0 {
+		return math.Inf(1)
+	}
+	est := float64(len(m.mins)-empty)/sum - 1
+	if est < 0 {
+		return 0
+	}
+	return est
+}
+
+// compatible verifies the other synopsis is a MIPs vector with the same
+// permutation seed.
+func (m *MIPs) compatible(other Set) (*MIPs, error) {
+	o, ok := other.(*MIPs)
+	if !ok {
+		return nil, fmt.Errorf("%w: MIPs vs %s", ErrIncompatible, other.Kind())
+	}
+	if o.seed != m.seed {
+		return nil, fmt.Errorf("%w: MIPs permutation seeds differ (%d vs %d)", ErrIncompatible, m.seed, o.seed)
+	}
+	return o, nil
+}
+
+// Resemblance estimates |A∩B| / |A∪B| as the fraction of common
+// permutations whose minima agree. Vectors of different lengths are
+// compared over their min(N1,N2) common permutations, which degrades
+// accuracy but keeps the estimator valid (Section 3.4).
+func (m *MIPs) Resemblance(other Set) (float64, error) {
+	o, err := m.compatible(other)
+	if err != nil {
+		return 0, err
+	}
+	n := min(len(m.mins), len(o.mins))
+	if n == 0 {
+		return 0, fmt.Errorf("%w: empty MIPs vector", ErrIncompatible)
+	}
+	match := 0
+	for i := 0; i < n; i++ {
+		if m.mins[i] == o.mins[i] {
+			match++
+		}
+	}
+	return float64(match) / float64(n), nil
+}
+
+// Union returns the MIPs vector of the set union: per permutation, the
+// minimum of the combined set is the minimum of the two minima
+// (Section 5.3). The result has min(N1,N2) permutations and no longer
+// knows its exact cardinality.
+func (m *MIPs) Union(other Set) (Set, error) {
+	o, err := m.compatible(other)
+	if err != nil {
+		return nil, err
+	}
+	n := min(len(m.mins), len(o.mins))
+	u := &MIPs{seed: m.seed, mins: make([]uint32, n), n: -1, a: m.a[:n], b: m.b[:n]}
+	for i := 0; i < n; i++ {
+		u.mins[i] = min(m.mins[i], o.mins[i])
+	}
+	return u, nil
+}
+
+// Intersect returns the paper's conservative intersection heuristic
+// (Section 6.1): per permutation the position-wise maximum. The result is
+// not the MIPs vector of the true intersection, but the true minimum can
+// be no lower than this value, so it is a usable upper-bound synopsis for
+// conjunctive queries.
+func (m *MIPs) Intersect(other Set) (Set, error) {
+	o, err := m.compatible(other)
+	if err != nil {
+		return nil, err
+	}
+	n := min(len(m.mins), len(o.mins))
+	x := &MIPs{seed: m.seed, mins: make([]uint32, n), n: -1, a: m.a[:n], b: m.b[:n]}
+	for i := 0; i < n; i++ {
+		x.mins[i] = max(m.mins[i], o.mins[i])
+	}
+	return x, nil
+}
+
+// DistinctRatio returns the fraction of distinct values in the vector,
+// the paper's ad-hoc estimator for the cardinality ratio of aggregated
+// vectors (Section 3.2, "no longer statistically sound"). Exposed for the
+// experimental comparison only; IQN itself uses Resemblance.
+func (m *MIPs) DistinctRatio() float64 {
+	if len(m.mins) == 0 {
+		return 0
+	}
+	seen := make(map[uint32]struct{}, len(m.mins))
+	for _, v := range m.mins {
+		seen[v] = struct{}{}
+	}
+	return float64(len(seen)) / float64(len(m.mins))
+}
+
+// Truncate returns a copy limited to the first n permutations, simulating
+// a peer that publishes a shorter synopsis for the same term (Section 7.2
+// adaptive lengths). n larger than the vector is clamped.
+func (m *MIPs) Truncate(n int) *MIPs {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(m.mins) {
+		n = len(m.mins)
+	}
+	t := &MIPs{seed: m.seed, mins: make([]uint32, n), n: m.n, a: m.a[:n], b: m.b[:n]}
+	copy(t.mins, m.mins[:n])
+	return t
+}
+
+// Clone returns a deep copy.
+func (m *MIPs) Clone() Set {
+	c := &MIPs{seed: m.seed, mins: make([]uint32, len(m.mins)), n: m.n, a: m.a, b: m.b}
+	copy(c.mins, m.mins)
+	return c
+}
+
+// mipsWireVersion guards the binary layout.
+const mipsWireVersion = 1
+
+// MarshalBinary encodes the vector as
+// kind(1) version(1) seed(8) n(8, two's complement) len(4) mins(4·len).
+func (m *MIPs) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 22+4*len(m.mins))
+	buf = append(buf, byte(KindMIPs), mipsWireVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, m.seed)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.n))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.mins)))
+	for _, v := range m.mins {
+		buf = binary.LittleEndian.AppendUint32(buf, v)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes the MarshalBinary form.
+func (m *MIPs) UnmarshalBinary(data []byte) error {
+	if len(data) < 22 || Kind(data[0]) != KindMIPs {
+		return fmt.Errorf("%w: not a MIPs encoding", ErrCorrupt)
+	}
+	if data[1] != mipsWireVersion {
+		return fmt.Errorf("%w: MIPs wire version %d", ErrCorrupt, data[1])
+	}
+	m.seed = binary.LittleEndian.Uint64(data[2:])
+	m.n = int64(binary.LittleEndian.Uint64(data[10:]))
+	if m.n < -1 {
+		return fmt.Errorf("%w: MIPs count %d", ErrCorrupt, m.n)
+	}
+	n := binary.LittleEndian.Uint32(data[18:])
+	if n == 0 || n > 1<<20 || len(data) != 22+4*int(n) {
+		return fmt.Errorf("%w: MIPs length %d for %d bytes", ErrCorrupt, n, len(data))
+	}
+	m.mins = make([]uint32, n)
+	for i := range m.mins {
+		m.mins[i] = binary.LittleEndian.Uint32(data[22+4*i:])
+	}
+	m.deriveParams()
+	return nil
+}

@@ -1,0 +1,157 @@
+package topk
+
+import (
+	"math"
+	"sort"
+)
+
+// This file implements a KLEE-style approximate top-k (Michel,
+// Triantafillou, Weikum, VLDB 2005 — the paper's reference [25] for
+// "top-k peers over all lists, calculated by a distributed top-k
+// algorithm"). Where the exact threshold algorithm (Select) performs
+// random accesses to resolve every partially-seen key, KLEE avoids them:
+// each list ships a short top prefix plus a coarse histogram of its
+// remaining score mass, and the coordinator scores candidates using the
+// histogram's expected values instead of exact lookups. The result is
+// approximate — a key's unseen contributions are estimated, not read —
+// in exchange for a fixed, small communication budget per list.
+
+// ListSummary is what one list's owner ships to the coordinator: the
+// exact top prefix and an equi-width histogram over the scores of the
+// remaining entries.
+type ListSummary struct {
+	// Prefix is the list's top entries (descending scores).
+	Prefix []Item
+	// HistLo and HistHi bound the score range of the non-prefix tail.
+	HistLo, HistHi float64
+	// HistCounts are the tail's entry counts per equi-width bucket,
+	// ascending by score.
+	HistCounts []int
+	// TailKeys is the number of tail entries (Σ HistCounts).
+	TailKeys int
+}
+
+// Summarize builds a ListSummary with the given prefix length and
+// histogram resolution. The list must be sorted by descending score.
+func Summarize(list []Item, prefixLen, buckets int) ListSummary {
+	if prefixLen < 0 {
+		prefixLen = 0
+	}
+	if prefixLen > len(list) {
+		prefixLen = len(list)
+	}
+	if buckets < 1 {
+		buckets = 1
+	}
+	s := ListSummary{Prefix: append([]Item(nil), list[:prefixLen]...)}
+	tail := list[prefixLen:]
+	if len(tail) == 0 {
+		s.HistCounts = make([]int, buckets)
+		return s
+	}
+	s.HistLo, s.HistHi = tail[len(tail)-1].Score, tail[0].Score
+	s.HistCounts = make([]int, buckets)
+	width := (s.HistHi - s.HistLo) / float64(buckets)
+	for _, it := range tail {
+		idx := buckets - 1
+		if width > 0 {
+			idx = int((it.Score - s.HistLo) / width)
+			if idx >= buckets {
+				idx = buckets - 1
+			}
+		}
+		s.HistCounts[idx]++
+		s.TailKeys++
+	}
+	return s
+}
+
+// tailMean returns the histogram's expected tail score.
+func (s ListSummary) tailMean() float64 {
+	if s.TailKeys == 0 {
+		return 0
+	}
+	buckets := len(s.HistCounts)
+	width := (s.HistHi - s.HistLo) / float64(buckets)
+	var sum float64
+	for i, c := range s.HistCounts {
+		mid := s.HistLo + (float64(i)+0.5)*width
+		sum += mid * float64(c)
+	}
+	return sum / float64(s.TailKeys)
+}
+
+// ApproxResult is one approximate aggregation entry with its score
+// bounds.
+type ApproxResult struct {
+	// Key identifies the object.
+	Key string
+	// Estimate is the expected total score: exact prefix contributions
+	// plus, for every list the key was not seen in, the probability-
+	// weighted expected tail contribution.
+	Estimate float64
+	// Low and High bound the true total: Low counts only seen
+	// contributions, High adds each unseen list's maximum tail score.
+	Low, High float64
+}
+
+// ApproxSelect aggregates the summaries and returns the approximate
+// top-k by estimated score, with per-key bounds. It performs no random
+// accesses: keys absent from a list's prefix are assumed to contribute
+// that list's expected tail score weighted by the fraction of tail keys
+// per universe key (estimated from universeSize; pass ≤ 0 to use the
+// number of distinct prefix keys as a floor).
+func ApproxSelect(summaries []ListSummary, k, universeSize int) []ApproxResult {
+	seen := map[string][]float64{} // key → per-list prefix score (NaN = unseen)
+	keyOf := map[string]int{}
+	for li, s := range summaries {
+		for _, it := range s.Prefix {
+			if _, ok := seen[it.Key]; !ok {
+				seen[it.Key] = make([]float64, len(summaries))
+				for i := range seen[it.Key] {
+					seen[it.Key][i] = math.NaN()
+				}
+				keyOf[it.Key] = len(keyOf)
+			}
+			seen[it.Key][li] = it.Score
+		}
+	}
+	if universeSize < len(seen) {
+		universeSize = len(seen)
+	}
+	out := make([]ApproxResult, 0, len(seen))
+	for key, scores := range seen {
+		r := ApproxResult{Key: key}
+		for li, sc := range scores {
+			s := summaries[li]
+			if !math.IsNaN(sc) {
+				r.Estimate += sc
+				r.Low += sc
+				r.High += sc
+				continue
+			}
+			if s.TailKeys == 0 {
+				continue
+			}
+			// Probability the key appears in this list's tail, assuming
+			// tail keys are drawn from the universe.
+			p := float64(s.TailKeys) / float64(universeSize)
+			if p > 1 {
+				p = 1
+			}
+			r.Estimate += p * s.tailMean()
+			r.High += s.HistHi
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Estimate != out[j].Estimate {
+			return out[i].Estimate > out[j].Estimate
+		}
+		return out[i].Key < out[j].Key
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

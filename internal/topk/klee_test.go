@@ -1,0 +1,135 @@
+package topk
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	list := make([]Item, 100)
+	for i := range list {
+		list[i] = Item{Key: fmt.Sprintf("k%02d", i), Score: float64(100 - i)}
+	}
+	s := Summarize(list, 10, 4)
+	if len(s.Prefix) != 10 || s.TailKeys != 90 {
+		t.Fatalf("prefix %d, tail %d", len(s.Prefix), s.TailKeys)
+	}
+	if s.HistHi != 90 || s.HistLo != 1 {
+		t.Fatalf("hist range [%v,%v], want [1,90]", s.HistLo, s.HistHi)
+	}
+	total := 0
+	for _, c := range s.HistCounts {
+		total += c
+	}
+	if total != 90 {
+		t.Fatalf("hist counts sum %d", total)
+	}
+	// Degenerate cases.
+	s = Summarize(list, 200, 4)
+	if len(s.Prefix) != 100 || s.TailKeys != 0 {
+		t.Fatalf("over-long prefix: %d/%d", len(s.Prefix), s.TailKeys)
+	}
+	s = Summarize(nil, 5, 0)
+	if len(s.Prefix) != 0 || len(s.HistCounts) != 1 {
+		t.Fatalf("empty list summary: %+v", s)
+	}
+}
+
+func TestApproxSelectPrefixOnly(t *testing.T) {
+	// With the whole list in the prefix, ApproxSelect equals the exact
+	// aggregation and bounds are tight.
+	lists := [][]Item{
+		{{"a", 10}, {"b", 8}},
+		{{"b", 9}, {"a", 2}},
+	}
+	sums := []ListSummary{Summarize(lists[0], 2, 2), Summarize(lists[1], 2, 2)}
+	got := ApproxSelect(sums, 2, 0)
+	if got[0].Key != "b" || got[0].Estimate != 17 || got[0].Low != 17 || got[0].High != 17 {
+		t.Fatalf("top = %+v", got[0])
+	}
+	if got[1].Key != "a" || got[1].Estimate != 12 {
+		t.Fatalf("second = %+v", got[1])
+	}
+}
+
+func TestApproxSelectBoundsContainTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	const universe = 200
+	lists := make([][]Item, 3)
+	truth := map[string]float64{}
+	for li := range lists {
+		l := make([]Item, universe)
+		for i := 0; i < universe; i++ {
+			key := fmt.Sprintf("k%03d", i)
+			score := rng.Float64() * 100
+			l[i] = Item{Key: key, Score: score}
+			truth[key] += score
+		}
+		sort.Slice(l, func(a, b int) bool { return l[a].Score > l[b].Score })
+		lists[li] = l
+	}
+	sums := make([]ListSummary, len(lists))
+	for i, l := range lists {
+		sums[i] = Summarize(l, 30, 8)
+	}
+	got := ApproxSelect(sums, 10, universe)
+	if len(got) != 10 {
+		t.Fatalf("%d results", len(got))
+	}
+	for _, r := range got {
+		tr := truth[r.Key]
+		if tr < r.Low-1e-9 || tr > r.High+1e-9 {
+			t.Fatalf("true score %v of %s outside bounds [%v,%v]", tr, r.Key, r.Low, r.High)
+		}
+	}
+}
+
+func TestApproxSelectApproximatesExactTopK(t *testing.T) {
+	// On a skewed instance the approximate top-k must share most keys
+	// with the exact top-k while reading far less data.
+	rng := rand.New(rand.NewSource(42))
+	const universe = 500
+	lists := make([][]Item, 4)
+	for li := range lists {
+		l := make([]Item, universe)
+		for i := 0; i < universe; i++ {
+			key := fmt.Sprintf("k%03d", i)
+			// Key i has intrinsic weight 1/(i+1): strongly skewed.
+			score := 1000 / float64(i+1) * (0.8 + 0.4*rng.Float64())
+			l[i] = Item{Key: key, Score: score}
+		}
+		sort.Slice(l, func(a, b int) bool { return l[a].Score > l[b].Score })
+		lists[li] = l
+	}
+	exact, _ := Select(lists, 10)
+	sums := make([]ListSummary, len(lists))
+	for i, l := range lists {
+		sums[i] = Summarize(l, 40, 8) // ships 40 of 500 entries per list
+	}
+	approx := ApproxSelect(sums, 10, universe)
+	exactKeys := map[string]struct{}{}
+	for _, r := range exact {
+		exactKeys[r.Key] = struct{}{}
+	}
+	hit := 0
+	for _, r := range approx {
+		if _, ok := exactKeys[r.Key]; ok {
+			hit++
+		}
+	}
+	if hit < 8 {
+		t.Fatalf("approximate top-10 shares only %d keys with exact", hit)
+	}
+}
+
+func TestApproxSelectEmpty(t *testing.T) {
+	if got := ApproxSelect(nil, 5, 0); len(got) != 0 {
+		t.Fatalf("empty summaries: %v", got)
+	}
+	got := ApproxSelect([]ListSummary{Summarize(nil, 3, 2)}, 5, 0)
+	if len(got) != 0 {
+		t.Fatalf("empty lists: %v", got)
+	}
+}

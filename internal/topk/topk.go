@@ -1,0 +1,143 @@
+// Package topk implements a threshold-algorithm (TA) top-k aggregation
+// over score-sorted lists — the mechanism the paper's Section 4 refers to
+// for trimming directory PeerLists: "the query initiator can decide to
+// not retrieve the complete PeerLists, but ... the top-k peers over all
+// lists, calculated by a distributed top-k algorithm like [KLEE]".
+//
+// Given one descending-sorted list of (peer, score) entries per query
+// term, Select finds the k peers with the highest summed score while
+// reading as few list entries as possible: it alternates sorted accesses
+// across the lists, resolves each newly-seen peer's full score by random
+// access, and stops as soon as the running k-th best score reaches the
+// threshold (the sum of the current sorted-access frontier), which proves
+// no unseen peer can still make the top k.
+package topk
+
+import (
+	"sort"
+)
+
+// Item is one entry of a sorted input list.
+type Item struct {
+	// Key identifies the object (a peer name in MINERVA).
+	Key string
+	// Score is the entry's contribution to the key's total.
+	Score float64
+}
+
+// Result is one aggregated output entry.
+type Result struct {
+	// Key identifies the object.
+	Key string
+	// Score is the summed score across all lists (missing entries
+	// contribute zero).
+	Score float64
+}
+
+// Stats reports the work the algorithm performed, the quantity the
+// threshold algorithm exists to minimize.
+type Stats struct {
+	// SortedAccesses counts entries consumed through the sorted frontier.
+	SortedAccesses int
+	// RandomAccesses counts point lookups of a key's score in a list it
+	// was not (yet) seen in via sorted access.
+	RandomAccesses int
+	// Depth is the frontier depth reached when the algorithm stopped.
+	Depth int
+	// TotalEntries is the summed length of the input lists, the cost of
+	// the naive full scan.
+	TotalEntries int
+}
+
+// Select returns the top-k keys by summed score, descending (ties broken
+// by ascending key for determinism), plus the access statistics. Lists
+// must be sorted by descending score; k ≤ 0 returns every key seen in any
+// list (equivalent to a full merge).
+func Select(lists [][]Item, k int) ([]Result, Stats) {
+	var stats Stats
+	for _, l := range lists {
+		stats.TotalEntries += len(l)
+	}
+	// Random-access indexes, one per list.
+	idx := make([]map[string]float64, len(lists))
+	for i, l := range lists {
+		m := make(map[string]float64, len(l))
+		for _, it := range l {
+			m[it.Key] = it.Score
+		}
+		idx[i] = m
+	}
+	scores := make(map[string]float64)
+	resolve := func(key string) {
+		if _, seen := scores[key]; seen {
+			return
+		}
+		var sum float64
+		for i := range lists {
+			if s, ok := idx[i][key]; ok {
+				sum += s
+				stats.RandomAccesses++
+			}
+		}
+		scores[key] = sum
+	}
+	maxDepth := 0
+	for _, l := range lists {
+		if len(l) > maxDepth {
+			maxDepth = len(l)
+		}
+	}
+	unlimited := k <= 0
+	for depth := 0; depth < maxDepth; depth++ {
+		stats.Depth = depth + 1
+		var threshold float64
+		live := false
+		for _, l := range lists {
+			if depth < len(l) {
+				stats.SortedAccesses++
+				resolve(l[depth].Key)
+				threshold += l[depth].Score
+				live = true
+			}
+		}
+		if !live {
+			break
+		}
+		if unlimited {
+			continue
+		}
+		// Stop when the k-th best resolved score already meets the
+		// threshold: no unseen key can beat it.
+		if kth, ok := kthBest(scores, k); ok && kth >= threshold {
+			break
+		}
+	}
+	out := make([]Result, 0, len(scores))
+	for key, s := range scores {
+		out = append(out, Result{Key: key, Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Key < out[j].Key
+	})
+	if !unlimited && len(out) > k {
+		out = out[:k]
+	}
+	return out, stats
+}
+
+// kthBest returns the k-th highest score among the resolved keys, false
+// if fewer than k keys are resolved.
+func kthBest(scores map[string]float64, k int) (float64, bool) {
+	if len(scores) < k {
+		return 0, false
+	}
+	vals := make([]float64, 0, len(scores))
+	for _, s := range scores {
+		vals = append(vals, s)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+	return vals[k-1], true
+}

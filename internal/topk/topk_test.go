@@ -1,0 +1,145 @@
+package topk
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSelectSimple(t *testing.T) {
+	lists := [][]Item{
+		{{"a", 10}, {"b", 8}, {"c", 1}},
+		{{"b", 9}, {"a", 2}, {"d", 1}},
+	}
+	got, _ := Select(lists, 2)
+	want := []Result{{"b", 17}, {"a", 12}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Select = %v, want %v", got, want)
+	}
+}
+
+func TestSelectUnlimited(t *testing.T) {
+	lists := [][]Item{
+		{{"a", 3}, {"b", 2}},
+		{{"c", 5}},
+	}
+	got, stats := Select(lists, 0)
+	if len(got) != 3 {
+		t.Fatalf("unlimited Select = %v", got)
+	}
+	if stats.TotalEntries != 3 {
+		t.Fatalf("TotalEntries = %d", stats.TotalEntries)
+	}
+}
+
+func TestSelectEmpty(t *testing.T) {
+	got, stats := Select(nil, 5)
+	if len(got) != 0 || stats.SortedAccesses != 0 {
+		t.Fatalf("empty Select = %v, %+v", got, stats)
+	}
+	got, _ = Select([][]Item{{}, {}}, 3)
+	if len(got) != 0 {
+		t.Fatalf("empty lists Select = %v", got)
+	}
+}
+
+func TestSelectEarlyTermination(t *testing.T) {
+	// One dominant key per list at the top; TA must stop far above the
+	// full scan depth.
+	const n = 1000
+	mk := func(topKey string) []Item {
+		l := make([]Item, n)
+		l[0] = Item{topKey, 1000}
+		for i := 1; i < n; i++ {
+			l[i] = Item{fmt.Sprintf("filler-%d", i), 1000 / float64(i+1)}
+		}
+		return l
+	}
+	lists := [][]Item{mk("star"), mk("star")}
+	got, stats := Select(lists, 1)
+	if got[0].Key != "star" || got[0].Score != 2000 {
+		t.Fatalf("top = %v", got[0])
+	}
+	if stats.SortedAccesses >= stats.TotalEntries/2 {
+		t.Fatalf("no early termination: %d sorted accesses of %d entries", stats.SortedAccesses, stats.TotalEntries)
+	}
+}
+
+func TestSelectTieBreaksByKey(t *testing.T) {
+	lists := [][]Item{{{"b", 5}, {"a", 5}, {"c", 5}}}
+	got, _ := Select(lists, 3)
+	want := []Result{{"a", 5}, {"b", 5}, {"c", 5}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("tie order = %v", got)
+	}
+}
+
+// bruteForce computes the exact aggregation for comparison.
+func bruteForce(lists [][]Item, k int) []Result {
+	scores := map[string]float64{}
+	for _, l := range lists {
+		for _, it := range l {
+			scores[it.Key] += it.Score
+		}
+	}
+	out := make([]Result, 0, len(scores))
+	for key, s := range scores {
+		out = append(out, Result{key, s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Key < out[j].Key
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func TestSelectMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(kRaw)%8 + 1
+		numLists := rng.Intn(4) + 1
+		lists := make([][]Item, numLists)
+		for i := range lists {
+			n := rng.Intn(30)
+			l := make([]Item, n)
+			for j := range l {
+				l[j] = Item{Key: fmt.Sprintf("k%d", rng.Intn(15)), Score: float64(rng.Intn(100))}
+			}
+			sort.Slice(l, func(a, b int) bool { return l[a].Score > l[b].Score })
+			// Deduplicate keys within a list (sorted lists have one entry
+			// per key in the PeerList setting).
+			seen := map[string]bool{}
+			dedup := l[:0]
+			for _, it := range l {
+				if !seen[it.Key] {
+					seen[it.Key] = true
+					dedup = append(dedup, it)
+				}
+			}
+			lists[i] = dedup
+		}
+		got, _ := Select(lists, k)
+		want := bruteForce(lists, k)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			// Keys may differ on score ties; scores must match exactly.
+			if got[i].Score != want[i].Score {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

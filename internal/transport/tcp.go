@@ -1,0 +1,310 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCP is the real-network implementation: every peer serves its Mux on a
+// TCP listener, and calls are framed request/response exchanges. The wire
+// format per frame is
+//
+//	uvarint methodLen | method | uvarint payloadLen | payload
+//
+// for requests and
+//
+//	status byte (0 ok, 1 remote error) | uvarint len | payload-or-error
+//
+// for responses. Connections are pooled per destination address, one
+// in-flight request per pooled connection.
+type TCP struct {
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+	// CallTimeout bounds a full request/response exchange (default 30s).
+	CallTimeout time.Duration
+
+	mu    sync.Mutex
+	idle  map[string][]net.Conn
+	close bool
+}
+
+// NewTCP returns a TCP network with default timeouts.
+func NewTCP() *TCP {
+	return &TCP{
+		DialTimeout: 5 * time.Second,
+		CallTimeout: 30 * time.Second,
+		idle:        make(map[string][]net.Conn),
+	}
+}
+
+// maxFrame bounds accepted method and payload lengths (64 MiB) so a
+// corrupt length prefix cannot trigger an absurd allocation.
+const maxFrame = 64 << 20
+
+// Register implements Network: it listens on addr (e.g. "127.0.0.1:0" is
+// NOT supported — the address must be the peer's canonical address, since
+// peers address each other by it) and serves until the returned stop
+// function is called.
+func (t *TCP) Register(addr string, mux *Mux) (func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	// Track live server-side connections so stop can unblock their reads.
+	var connMu sync.Mutex
+	conns := make(map[net.Conn]struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				continue
+			}
+			connMu.Lock()
+			select {
+			case <-done:
+				connMu.Unlock()
+				conn.Close()
+				return
+			default:
+				conns[conn] = struct{}{}
+			}
+			connMu.Unlock()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				t.serveConn(conn, mux, done)
+				connMu.Lock()
+				delete(conns, conn)
+				connMu.Unlock()
+			}()
+		}
+	}()
+	stop := func() {
+		close(done)
+		ln.Close()
+		connMu.Lock()
+		for c := range conns {
+			c.Close() // unblocks serveConn reads
+		}
+		connMu.Unlock()
+		wg.Wait()
+	}
+	return stop, nil
+}
+
+// serveConn answers framed requests on one connection until EOF or error.
+func (t *TCP) serveConn(conn net.Conn, mux *Mux, done chan struct{}) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		method, req, err := readRequest(r)
+		if err != nil {
+			return // EOF or framing error: drop the connection
+		}
+		resp, herr := mux.Dispatch(method, req)
+		if err := writeResponse(w, resp, herr); err != nil {
+			return
+		}
+	}
+}
+
+// Call implements Caller.
+func (t *TCP) Call(addr, method string, req []byte) ([]byte, error) {
+	conn, fresh, err := t.getConn(addr)
+	if err != nil {
+		return nil, err
+	}
+	resp, rerr, err := t.exchange(conn, method, req)
+	if err != nil && !fresh {
+		// A pooled connection may have gone stale; retry once on a fresh
+		// dial before reporting unreachable.
+		conn.Close()
+		if conn, err = t.dial(addr); err != nil {
+			return nil, err
+		}
+		resp, rerr, err = t.exchange(conn, method, req)
+	}
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+	}
+	t.putConn(addr, conn)
+	if rerr != nil {
+		return nil, rerr
+	}
+	return resp, nil
+}
+
+// exchange performs one framed request/response on an open connection.
+func (t *TCP) exchange(conn net.Conn, method string, req []byte) ([]byte, *RemoteError, error) {
+	timeout := t.CallTimeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, nil, err
+	}
+	w := bufio.NewWriter(conn)
+	if err := writeRequest(w, method, req); err != nil {
+		return nil, nil, err
+	}
+	resp, rmsg, err := readResponse(bufio.NewReader(conn))
+	if err != nil {
+		return nil, nil, err
+	}
+	if rmsg != "" {
+		return nil, &RemoteError{Method: method, Msg: rmsg}, nil
+	}
+	return resp, nil, nil
+}
+
+func (t *TCP) getConn(addr string) (conn net.Conn, fresh bool, err error) {
+	t.mu.Lock()
+	pool := t.idle[addr]
+	if n := len(pool); n > 0 {
+		conn = pool[n-1]
+		t.idle[addr] = pool[:n-1]
+	}
+	t.mu.Unlock()
+	if conn != nil {
+		return conn, false, nil
+	}
+	conn, err = t.dial(addr)
+	return conn, true, err
+}
+
+func (t *TCP) dial(addr string) (net.Conn, error) {
+	timeout := t.DialTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+	}
+	return conn, nil
+}
+
+func (t *TCP) putConn(addr string, conn net.Conn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.idle[addr]) >= 4 {
+		conn.Close()
+		return
+	}
+	t.idle[addr] = append(t.idle[addr], conn)
+}
+
+// CloseIdle drops all pooled connections (for shutdown hygiene in tests).
+func (t *TCP) CloseIdle() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, pool := range t.idle {
+		for _, c := range pool {
+			c.Close()
+		}
+	}
+	t.idle = make(map[string][]net.Conn)
+}
+
+func writeRequest(w *bufio.Writer, method string, payload []byte) error {
+	if err := writeChunk(w, []byte(method)); err != nil {
+		return err
+	}
+	if err := writeChunk(w, payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+func readRequest(r *bufio.Reader) (string, []byte, error) {
+	method, err := readChunk(r)
+	if err != nil {
+		return "", nil, err
+	}
+	payload, err := readChunk(r)
+	if err != nil {
+		return "", nil, err
+	}
+	return string(method), payload, nil
+}
+
+func writeResponse(w *bufio.Writer, payload []byte, herr error) error {
+	status := byte(0)
+	body := payload
+	if herr != nil {
+		status = 1
+		body = []byte(herr.Error())
+	}
+	if err := w.WriteByte(status); err != nil {
+		return err
+	}
+	if err := writeChunk(w, body); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+func readResponse(r *bufio.Reader) (payload []byte, remoteErr string, err error) {
+	status, err := r.ReadByte()
+	if err != nil {
+		return nil, "", err
+	}
+	body, err := readChunk(r)
+	if err != nil {
+		return nil, "", err
+	}
+	if status == 1 {
+		return nil, string(body), nil
+	}
+	if status != 0 {
+		return nil, "", errors.New("transport: bad response status")
+	}
+	return body, "", nil
+}
+
+func writeChunk(w *bufio.Writer, b []byte) error {
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(b)))
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+func readChunk(r *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

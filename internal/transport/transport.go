@@ -1,0 +1,146 @@
+// Package transport is the message layer beneath the Chord overlay and
+// the MINERVA peers: a small RPC abstraction with two interchangeable
+// implementations — an in-process network for tests, benchmarks, and
+// experiments (deterministic, optionally failure-injecting) and a real
+// TCP network (length-prefixed frames over stdlib net) proving the system
+// runs distributed.
+//
+// A peer exposes one address with a method multiplexer (Mux); subsystems
+// (Chord routing, the directory service, query execution) register their
+// methods on the same Mux. Payloads are encoding/gob.
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Errors returned by transports.
+var (
+	// ErrUnreachable reports that the destination address is not serving
+	// (dead peer, partition, or never registered).
+	ErrUnreachable = errors.New("transport: address unreachable")
+	// ErrNoMethod reports an RPC to a method the destination does not
+	// implement.
+	ErrNoMethod = errors.New("transport: no such method")
+	// ErrAddrInUse reports a second registration of the same address.
+	ErrAddrInUse = errors.New("transport: address already registered")
+)
+
+// RemoteError wraps an error string returned by the remote handler, so
+// callers can distinguish transport failures (retryable against a
+// replica) from application errors.
+type RemoteError struct {
+	// Method is the invoked method.
+	Method string
+	// Msg is the remote error text.
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("transport: remote %s: %s", e.Method, e.Msg)
+}
+
+// Handler processes one RPC request payload and returns the response
+// payload. Handlers must be safe for concurrent use and must treat the
+// request bytes as read-only.
+type Handler func(req []byte) ([]byte, error)
+
+// Mux dispatches incoming RPCs by method name. The zero value is not
+// usable; create with NewMux. Registration is expected at setup time;
+// dispatch is safe for concurrent use with registration.
+type Mux struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+}
+
+// NewMux returns an empty multiplexer.
+func NewMux() *Mux {
+	return &Mux{handlers: make(map[string]Handler)}
+}
+
+// Handle registers a handler for a method name, replacing any previous
+// registration.
+func (m *Mux) Handle(method string, h Handler) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.handlers[method] = h
+}
+
+// Dispatch routes one request to its handler.
+func (m *Mux) Dispatch(method string, req []byte) ([]byte, error) {
+	m.mu.RLock()
+	h := m.handlers[method]
+	m.mu.RUnlock()
+	if h == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoMethod, method)
+	}
+	return h(req)
+}
+
+// Methods returns the registered method names (for diagnostics).
+func (m *Mux) Methods() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.handlers))
+	for k := range m.handlers {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Caller issues RPCs.
+type Caller interface {
+	// Call invokes method at addr with the gob-encoded request payload
+	// and returns the response payload. Application errors surface as
+	// *RemoteError; connectivity problems as ErrUnreachable (possibly
+	// wrapped).
+	Call(addr, method string, req []byte) ([]byte, error)
+}
+
+// Network is a Caller that peers can also serve on.
+type Network interface {
+	Caller
+	// Register starts serving the mux at addr and returns a function
+	// that stops serving (the peer "leaves the network").
+	Register(addr string, mux *Mux) (stop func(), err error)
+}
+
+// Marshal gob-encodes an RPC payload value.
+func Marshal(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("transport: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal gob-decodes an RPC payload into v (a pointer).
+func Unmarshal(data []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("transport: decode: %w", err)
+	}
+	return nil
+}
+
+// Invoke is the typed convenience wrapper around Caller.Call: it encodes
+// req, performs the call, and decodes into resp (pass nil to discard the
+// response payload).
+func Invoke(c Caller, addr, method string, req, resp any) error {
+	payload, err := Marshal(req)
+	if err != nil {
+		return err
+	}
+	out, err := c.Call(addr, method, payload)
+	if err != nil {
+		return err
+	}
+	if resp == nil {
+		return nil
+	}
+	return Unmarshal(out, resp)
+}
