@@ -10,6 +10,7 @@ package iqn
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"iqn/internal/chord"
@@ -33,6 +34,7 @@ func benchFig2Config() eval.Fig2Config {
 // error of resemblance estimation vs collection size, 33% overlap) and
 // reports each series' error at the largest collection size.
 func BenchmarkFig2Left(b *testing.B) {
+	b.ReportAllocs()
 	var series []eval.Series
 	for i := 0; i < b.N; i++ {
 		series = eval.Fig2Left(benchFig2Config())
@@ -48,6 +50,7 @@ func BenchmarkFig2Left(b *testing.B) {
 // mutual overlap at fixed collection size) and reports each series'
 // error at 1/3 overlap.
 func BenchmarkFig2Right(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchFig2Config()
 	cfg.Overlaps = []float64{1.0 / 2, 1.0 / 3, 1.0 / 9}
 	var series []eval.Series
@@ -93,6 +96,7 @@ func reportRecall(b *testing.B, series []eval.Series, peers int, names ...string
 // BenchmarkFig3Left regenerates the left panel of Figure 3: the
 // (6 choose 3) = 20-peer assignment.
 func BenchmarkFig3Left(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchFig3Config(eval.Strategy{F: 6, S: 3})
 	var series []eval.Series
 	for i := 0; i < b.N; i++ {
@@ -108,6 +112,7 @@ func BenchmarkFig3Left(b *testing.B) {
 // BenchmarkFig3Right regenerates the right panel: the sliding-window
 // assignment with systematic overlap.
 func BenchmarkFig3Right(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchFig3Config(eval.Strategy{Fragments: 40, R: 10, Offset: 2})
 	var series []eval.Series
 	for i := 0; i < b.N; i++ {
@@ -125,6 +130,7 @@ func BenchmarkFig3Right(b *testing.B) {
 // BenchmarkAblationAggregation compares per-peer vs per-term aggregation
 // (Section 6).
 func BenchmarkAblationAggregation(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchFig3Config(eval.Strategy{Fragments: 40, R: 10, Offset: 2})
 	var series []eval.Series
 	for i := 0; i < b.N; i++ {
@@ -140,6 +146,7 @@ func BenchmarkAblationAggregation(b *testing.B) {
 // BenchmarkAblationHistogram compares plain vs score-histogram IQN
 // (Section 7.1) at equal budgets.
 func BenchmarkAblationHistogram(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchFig3Config(eval.Strategy{Fragments: 40, R: 10, Offset: 2})
 	var series []eval.Series
 	for i := 0; i < b.N; i++ {
@@ -155,6 +162,7 @@ func BenchmarkAblationHistogram(b *testing.B) {
 // BenchmarkAblationBudget compares uniform vs adaptive synopsis lengths
 // (Section 7.2).
 func BenchmarkAblationBudget(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchFig3Config(eval.Strategy{Fragments: 40, R: 10, Offset: 2})
 	var series []eval.Series
 	for i := 0; i < b.N; i++ {
@@ -170,6 +178,7 @@ func BenchmarkAblationBudget(b *testing.B) {
 // BenchmarkAblationHetero measures MIPs accuracy under heterogeneous
 // vector lengths (Section 3.4).
 func BenchmarkAblationHetero(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchFig2Config()
 	cfg.Sizes = []int{10000}
 	var series []eval.Series
@@ -185,6 +194,7 @@ func BenchmarkAblationHetero(b *testing.B) {
 
 // BenchmarkAblationPrior compares IQN against the SIGIR'05 prior method.
 func BenchmarkAblationPrior(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchFig3Config(eval.Strategy{Fragments: 40, R: 10, Offset: 2})
 	var series []eval.Series
 	for i := 0; i < b.N; i++ {
@@ -202,8 +212,10 @@ func BenchmarkAblationPrior(b *testing.B) {
 // BenchmarkSynopsisAdd measures insertion cost per synopsis family at
 // the paper's 2048-bit budget.
 func BenchmarkSynopsisAdd(b *testing.B) {
+	b.ReportAllocs()
 	for _, kind := range []synopsis.Kind{synopsis.KindMIPs, synopsis.KindBloom, synopsis.KindHashSketch, synopsis.KindSuperLogLog} {
 		b.Run(kind.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			s := synopsis.Config{Kind: kind, Bits: 2048, Seed: 1}.New()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -216,8 +228,10 @@ func BenchmarkSynopsisAdd(b *testing.B) {
 // BenchmarkSynopsisResemblance measures the pair-wise estimation cost —
 // the inner loop of every IQN iteration.
 func BenchmarkSynopsisResemblance(b *testing.B) {
+	b.ReportAllocs()
 	for _, kind := range []synopsis.Kind{synopsis.KindMIPs, synopsis.KindBloom, synopsis.KindHashSketch, synopsis.KindSuperLogLog} {
 		b.Run(kind.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := synopsis.Config{Kind: kind, Bits: 2048, Seed: 1}
 			ids := make([]uint64, 5000)
 			for i := range ids {
@@ -238,6 +252,7 @@ func BenchmarkSynopsisResemblance(b *testing.B) {
 // BenchmarkIQNRoute measures the routing decision itself (no network):
 // 50 candidates, 3-term query, 10 peers selected.
 func BenchmarkIQNRoute(b *testing.B) {
+	b.ReportAllocs()
 	cfg := synopsis.Config{Kind: synopsis.KindMIPs, Bits: 2048, Seed: 3}
 	terms := []string{"a", "b", "c"}
 	var cands []core.Candidate
@@ -269,6 +284,7 @@ func BenchmarkIQNRoute(b *testing.B) {
 
 // BenchmarkChordLookup measures key resolution on a 32-node ring.
 func BenchmarkChordLookup(b *testing.B) {
+	b.ReportAllocs()
 	net := transport.NewInMem()
 	var nodes []*chord.Node
 	for i := 0; i < 32; i++ {
@@ -308,6 +324,7 @@ func BenchmarkChordLookup(b *testing.B) {
 // BenchmarkDirectoryPublish measures batched synopsis publication — the
 // background network cost Section 7.2 is about.
 func BenchmarkDirectoryPublish(b *testing.B) {
+	b.ReportAllocs()
 	net := transport.NewInMem()
 	var nodes []*chord.Node
 	for i := 0; i < 8; i++ {
@@ -365,6 +382,7 @@ func BenchmarkDirectoryPublish(b *testing.B) {
 // BenchmarkTopKSelect measures threshold-algorithm PeerList trimming
 // against 5 lists of 1000 peers.
 func BenchmarkTopKSelect(b *testing.B) {
+	b.ReportAllocs()
 	lists := make([][]topk.Item, 5)
 	for li := range lists {
 		l := make([]topk.Item, 1000)
@@ -382,6 +400,7 @@ func BenchmarkTopKSelect(b *testing.B) {
 // BenchmarkSearchEndToEnd measures a full distributed search (PeerList
 // fetch, IQN routing, forwarding, merging) on a 10-peer network.
 func BenchmarkSearchEndToEnd(b *testing.B) {
+	b.ReportAllocs()
 	corpus := dataset.Generate(dataset.CorpusConfig{NumDocs: 2000, VocabSize: 1500, Seed: 9})
 	cols := dataset.AssignSlidingWindow(corpus, 20, 4, 2)
 	net, err := minerva.BuildNetwork(transport.NewInMem(), corpus, cols, minerva.Config{SynopsisSeed: 9})
@@ -401,6 +420,7 @@ func BenchmarkSearchEndToEnd(b *testing.B) {
 // BenchmarkCompressBloom measures the Mitzenmacher wire compression of a
 // sparse directory-grade Bloom filter, reporting the realized ratio.
 func BenchmarkCompressBloom(b *testing.B) {
+	b.ReportAllocs()
 	filter := synopsis.NewBloom(1<<15, 2)
 	for i := 0; i < 300; i++ {
 		filter.Add(uint64(i) * 977)
@@ -424,6 +444,7 @@ func BenchmarkCompressBloom(b *testing.B) {
 // exact threshold algorithm's input (5 lists of 1000 peers, 40-entry
 // prefixes).
 func BenchmarkApproxTopK(b *testing.B) {
+	b.ReportAllocs()
 	lists := make([][]topk.Item, 5)
 	for li := range lists {
 		l := make([]topk.Item, 1000)
@@ -445,6 +466,7 @@ func BenchmarkApproxTopK(b *testing.B) {
 // BenchmarkCorrelationMatrix measures the future-work term-correlation
 // estimation over a 4-term candidate.
 func BenchmarkCorrelationMatrix(b *testing.B) {
+	b.ReportAllocs()
 	cfg := synopsis.Config{Kind: synopsis.KindMIPs, Bits: 2048, Seed: 5}
 	c := core.Candidate{
 		Peer:              "p",
@@ -466,6 +488,178 @@ func BenchmarkCorrelationMatrix(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Fast-IQN: lazy vs exhaustive selection ---------------------------
+
+// routeBenchInput builds n candidates with overlapping two-term MIPs
+// synopses at the paper's 2048-bit budget — the workload of the Fast-IQN
+// acceptance comparison.
+func routeBenchInput(n int) (core.Query, []core.Candidate) {
+	cfg := synopsis.Config{Kind: synopsis.KindMIPs, Bits: 2048, Seed: 3}
+	terms := []string{"a", "b"}
+	cands := make([]core.Candidate, 0, n)
+	for p := 0; p < n; p++ {
+		c := core.Candidate{
+			Peer:              core.PeerID(fmt.Sprintf("p%05d", p)),
+			Quality:           0.4 + float64(p%7)*0.05,
+			TermSynopses:      map[string]synopsis.Set{},
+			TermCardinalities: map[string]float64{},
+		}
+		for ti, t := range terms {
+			ids := make([]uint64, 200)
+			for i := range ids {
+				// Ranges overlap across peers; the two terms' ID spaces are
+				// disjoint, as distinct keywords' posting lists mostly are.
+				ids[i] = uint64(ti*1000000 + p*40 + i)
+			}
+			c.TermSynopses[t] = cfg.FromIDs(ids)
+			c.TermCardinalities[t] = 200
+		}
+		cands = append(cands, c)
+	}
+	return core.Query{Terms: terms}, cands
+}
+
+// benchRoute times one routing engine over the shared candidate scales.
+func benchRoute(b *testing.B, route func(core.Query, *core.Candidate, []core.Candidate, core.Options) (core.Plan, error), opts core.Options) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("cands=%d", n), func(b *testing.B) {
+			q, cands := routeBenchInput(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := route(q, nil, cands, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRouteLazy measures the Fast-IQN lazy-greedy engine (Route's
+// default path), single-threaded.
+func BenchmarkRouteLazy(b *testing.B) {
+	benchRoute(b, core.Route, core.Options{MaxPeers: 10})
+}
+
+// BenchmarkRouteLazyParallel measures the lazy engine with the scoring
+// fan-out enabled at full GOMAXPROCS width.
+func BenchmarkRouteLazyParallel(b *testing.B) {
+	benchRoute(b, core.Route, core.Options{MaxPeers: 10, Parallelism: runtime.GOMAXPROCS(0)})
+}
+
+// BenchmarkRouteExhaustive measures the original full-rescan reference
+// implementation on the identical workload.
+func BenchmarkRouteExhaustive(b *testing.B) {
+	benchRoute(b, core.SelectExhaustive, core.Options{MaxPeers: 10})
+}
+
+// --- Zero-alloc synopsis kernels --------------------------------------
+
+// BenchmarkMIPsKernels measures the MIPs hot kernels of the router inner
+// loop; all of them must report 0 allocs/op in steady state.
+func BenchmarkMIPsKernels(b *testing.B) {
+	cfg := synopsis.Config{Kind: synopsis.KindMIPs, Bits: 2048, Seed: 1}
+	ids := make([]uint64, 5000)
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	sa := cfg.FromIDs(ids[:3000]).(*synopsis.MIPs)
+	sb := cfg.FromIDs(ids[2000:]).(*synopsis.MIPs)
+	b.Run("resemblance-detail", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, _, err := sa.ResemblanceDetail(sb); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("union-in-place", func(b *testing.B) {
+		b.ReportAllocs()
+		acc := sa.Clone().(*synopsis.MIPs)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := acc.UnionInPlace(sb); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("intersect-in-place", func(b *testing.B) {
+		b.ReportAllocs()
+		acc := sa.Clone().(*synopsis.MIPs)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := acc.IntersectInPlace(sb); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode-reuse", func(b *testing.B) {
+		b.ReportAllocs()
+		wire, err := sa.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var dec synopsis.MIPs
+		if err := dec.UnmarshalBinary(wire); err != nil {
+			b.Fatal(err) // prime the buffer and the shared param cache
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := dec.UnmarshalBinary(wire); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBloomKernels measures the word-level Bloom kernels; all of
+// them must report 0 allocs/op.
+func BenchmarkBloomKernels(b *testing.B) {
+	cfg := synopsis.Config{Kind: synopsis.KindBloom, Bits: 2048, BloomHashes: 4}
+	ids := make([]uint64, 5000)
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	sa := cfg.FromIDs(ids[:3000]).(*synopsis.Bloom)
+	sb := cfg.FromIDs(ids[2000:]).(*synopsis.Bloom)
+	b.Run("union-in-place", func(b *testing.B) {
+		b.ReportAllocs()
+		acc := sa.Clone().(*synopsis.Bloom)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := acc.UnionInPlace(sb); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("intersect-in-place", func(b *testing.B) {
+		b.ReportAllocs()
+		acc := sa.Clone().(*synopsis.Bloom)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := acc.IntersectInPlace(sb); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("difference-cardinality", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sa.DifferenceCardinality(sb); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("resemblance", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sa.Resemblance(sb); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // metricName compresses a series name into a metric-safe token.

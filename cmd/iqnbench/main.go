@@ -8,6 +8,7 @@
 //	iqnbench -exp fig3left  -docs 60000           # Figure 3, (6 choose 3)
 //	iqnbench -exp fig3right -docs 60000           # Figure 3, sliding window
 //	iqnbench -exp aggregation|histogram|budget|hetero|prior
+//	iqnbench -exp route                           # Fast-IQN lazy vs exhaustive routing cost
 //	iqnbench -exp all                             # everything, default sizes
 //
 // The defaults are laptop-scale (20k documents); raise -docs for runs
@@ -17,16 +18,20 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"reflect"
 	"strings"
 	"time"
 
+	"iqn/internal/core"
 	"iqn/internal/eval"
+	"iqn/internal/synopsis"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: fig2left|fig2right|fig3left|fig3right|aggregation|histogram|budget|hetero|prior|cost|churn|load|all")
+		exp    = flag.String("exp", "all", "experiment: fig2left|fig2right|fig3left|fig3right|aggregation|histogram|budget|hetero|prior|cost|churn|load|route|all")
 		docs   = flag.Int("docs", 20000, "corpus size for fig3-style experiments")
 		vocab  = flag.Int("vocab", 0, "vocabulary size (0: docs/10)")
 		runs   = flag.Int("runs", 50, "runs per point for fig2-style experiments")
@@ -151,6 +156,8 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Println(eval.LoadTable(points))
+		case "route":
+			fmt.Print(routeTable(*runs, *seed))
 		case "churn":
 			res, err := eval.Churn(eval.ChurnConfig{
 				CorpusDocs: *docs, VocabSize: *vocab, Strategy: right,
@@ -173,10 +180,80 @@ func main() {
 
 	if *exp == "all" {
 		for _, name := range []string{"fig2left", "fig2right", "fig3left", "fig3right",
-			"aggregation", "histogram", "budget", "hetero", "prior", "cost", "churn", "load"} {
+			"aggregation", "histogram", "budget", "hetero", "prior", "cost", "churn", "load", "route"} {
 			run(name)
 		}
 		return
 	}
 	run(*exp)
+}
+
+// routeCandidates builds a synthetic routing candidate set: two-term
+// MIPs synopses at the paper's 2048-bit budget, posting lists that
+// overlap across peers, qualities drawn from a small set so tie-breaks
+// are exercised.
+func routeCandidates(n int, seed int64) (core.Query, []core.Candidate) {
+	rng := rand.New(rand.NewSource(seed))
+	cfg := synopsis.Config{Kind: synopsis.KindMIPs, Bits: 2048, Seed: uint64(seed)}
+	terms := []string{"a", "b"}
+	cands := make([]core.Candidate, 0, n)
+	for p := 0; p < n; p++ {
+		c := core.Candidate{
+			Peer:              core.PeerID(fmt.Sprintf("p%06d", p)),
+			Quality:           0.4 + float64(rng.Intn(7))*0.05,
+			TermSynopses:      map[string]synopsis.Set{},
+			TermCardinalities: map[string]float64{},
+		}
+		for ti, t := range terms {
+			ids := make([]uint64, 200)
+			for i := range ids {
+				ids[i] = uint64(ti*1000000 + p*40 + i)
+			}
+			c.TermSynopses[t] = cfg.FromIDs(ids)
+			c.TermCardinalities[t] = 200
+		}
+		cands = append(cands, c)
+	}
+	return core.Query{Terms: terms}, cands
+}
+
+// routeTable times the Fast-IQN lazy engine (core.Route) against the
+// exhaustive reference (core.SelectExhaustive) on growing candidate
+// sets, verifying on every run that the two plans are identical.
+func routeTable(runs int, seed int64) string {
+	if runs < 1 {
+		runs = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Fast-IQN: lazy-greedy vs exhaustive Select-Best-Peer (MaxPeers=10, %d runs)\n", runs)
+	fmt.Fprintf(&b, "%10s %14s %14s %9s %6s\n", "candidates", "lazy", "exhaustive", "speedup", "plans")
+	opts := core.Options{MaxPeers: 10}
+	for _, n := range []int{100, 1000, 10000} {
+		q, cands := routeCandidates(n, seed)
+		equal := true
+		time_ := func(route func(core.Query, *core.Candidate, []core.Candidate, core.Options) (core.Plan, error)) (time.Duration, core.Plan) {
+			var last core.Plan
+			start := time.Now()
+			for r := 0; r < runs; r++ {
+				plan, err := route(q, nil, cands, opts)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "iqnbench: route: %v\n", err)
+					os.Exit(1)
+				}
+				last = plan
+			}
+			return time.Since(start) / time.Duration(runs), last
+		}
+		lazyD, lazyPlan := time_(core.Route)
+		exD, exPlan := time_(core.SelectExhaustive)
+		if !reflect.DeepEqual(lazyPlan, exPlan) {
+			equal = false
+		}
+		verdict := "equal"
+		if !equal {
+			verdict = "DIFFER"
+		}
+		fmt.Fprintf(&b, "%10d %14s %14s %8.1fx %6s\n", n, lazyD, exD, float64(exD)/float64(lazyD), verdict)
+	}
+	return b.String()
 }

@@ -11,7 +11,12 @@
 //   - internal/transport — in-process and TCP RPC
 //   - internal/directory — the term-partitioned PeerList directory
 //   - internal/ir, internal/cori — local IR engine and CORI selection
-//   - internal/core — the IQN routing algorithm itself (Sections 5–7)
+//   - internal/core — the IQN routing algorithm itself (Sections 5–7),
+//     with the Fast-IQN lazy-greedy selection engine: sound per-family
+//     score ceilings prune candidate re-estimation while producing
+//     plans byte-identical to the exhaustive reference scan
+//     (core.SelectExhaustive), optionally fanning evaluations out over
+//     core.Options.Parallelism goroutines
 //   - internal/histogram — score-conscious synopses (Section 7.1)
 //   - internal/topk — threshold-algorithm PeerList trimming
 //   - internal/minerva — the peer engine tying everything together

@@ -47,7 +47,7 @@ func RoutePrior(q Query, initiator *Candidate, cands []Candidate, opts Options) 
 		return Plan{}, err
 	}
 	if initiator != nil {
-		if _, err := state.absorb(initiator); err != nil {
+		if _, err := state.absorb(-1, initiator); err != nil {
 			return Plan{}, err
 		}
 	}
@@ -57,9 +57,10 @@ func RoutePrior(q Query, initiator *Candidate, cands []Candidate, opts Options) 
 		combined float64
 	}
 	sorted := sortCandidates(cands)
+	state.prepare(len(sorted))
 	scs := make([]scored, 0, len(sorted))
 	for i := range sorted {
-		nov, err := state.novelty(&sorted[i])
+		nov, err := state.novelty(i, &sorted[i])
 		if err != nil {
 			return Plan{}, err
 		}

@@ -26,6 +26,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"iqn/internal/histogram"
@@ -133,6 +134,24 @@ type Options struct {
 	// estimation from Candidate.TermHistograms. Implies per-term
 	// reference maintenance.
 	UseHistograms bool
+	// Parallelism caps the number of goroutines used to score candidates
+	// (the first-round fan-out and each batch of lazy re-evaluations).
+	// Values ≤ 1 keep routing single-threaded; larger values are capped
+	// at GOMAXPROCS. Parallel and serial routing produce identical plans.
+	Parallelism int
+}
+
+// parallelism resolves the Parallelism option to an effective worker
+// count in [1, GOMAXPROCS].
+func (o Options) parallelism() int {
+	p := o.Parallelism
+	if p < 1 {
+		return 1
+	}
+	if g := runtime.GOMAXPROCS(0); p > g {
+		p = g
+	}
+	return p
 }
 
 func (o Options) qualityWeight() float64 {
@@ -174,13 +193,28 @@ type Plan struct {
 // sortCandidates orders candidates deterministically (by descending
 // quality, then peer ID) so ties break identically run-to-run.
 func sortCandidates(cands []Candidate) []Candidate {
-	out := append([]Candidate(nil), cands...)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Quality != out[j].Quality {
-			return out[i].Quality > out[j].Quality
+	// Sort an index permutation rather than the slice: Candidate is a
+	// large struct, and moving indices instead of structs keeps the sort
+	// out of the routing hot path. The final index tie-break makes the
+	// order fully deterministic even for duplicate (quality, peer) keys.
+	idx := make([]int, len(cands))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ca, cb := &cands[idx[a]], &cands[idx[b]]
+		if ca.Quality != cb.Quality {
+			return ca.Quality > cb.Quality
 		}
-		return out[i].Peer < out[j].Peer
+		if ca.Peer != cb.Peer {
+			return ca.Peer < cb.Peer
+		}
+		return idx[a] < idx[b]
 	})
+	out := make([]Candidate, len(cands))
+	for i, j := range idx {
+		out[i] = cands[j]
+	}
 	return out
 }
 

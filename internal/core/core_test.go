@@ -591,13 +591,13 @@ func TestRouteAbsorbOrderInvariance(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := state.absorb(&first); err != nil {
+		if _, err := state.absorb(-1, &first); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := state.absorb(&second); err != nil {
+		if _, err := state.absorb(-1, &second); err != nil {
 			t.Fatal(err)
 		}
-		nov, err := state.novelty(&c)
+		nov, err := state.novelty(-1, &c)
 		if err != nil {
 			t.Fatal(err)
 		}

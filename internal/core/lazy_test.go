@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"iqn/internal/histogram"
+	"iqn/internal/ir"
+	"iqn/internal/synopsis"
+)
+
+// raiseGOMAXPROCS lifts the scheduler width for the duration of a test
+// so Options.Parallelism (capped at GOMAXPROCS) actually fans out even
+// on single-CPU machines — the race detector needs the goroutines to
+// exist, not physical cores.
+func raiseGOMAXPROCS(t *testing.T, n int) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
+
+// The tests in this file assert the Fast-IQN contract: Route (lazy
+// selection, optionally parallel) returns plans byte-identical to
+// SelectExhaustive (the original full-rescan reference implementation)
+// for every reference-state implementation and synopsis family.
+
+// lazyTestConfigs covers all four synopsis families at the paper's
+// 2048-bit budget.
+var lazyTestConfigs = []struct {
+	name string
+	cfg  synopsis.Config
+}{
+	{"mips", synopsis.Config{Kind: synopsis.KindMIPs, Bits: 2048, Seed: 1234}},
+	{"bloom", synopsis.Config{Kind: synopsis.KindBloom, Bits: 2048, BloomHashes: 4}},
+	{"hashsketch", synopsis.Config{Kind: synopsis.KindHashSketch, Bits: 2048}},
+	{"superloglog", synopsis.Config{Kind: synopsis.KindSuperLogLog, Bits: 2048}},
+}
+
+// randPlanCandidates builds n candidates with randomly overlapping ID
+// sets, occasional missing terms, and heavily tied qualities (including
+// zero), so tie-breaking paths are exercised. withHist additionally
+// attaches score histograms to most term synopses, leaving some on the
+// plain-synopsis fallback path.
+func randPlanCandidates(rng *rand.Rand, cfg synopsis.Config, n int, terms []string, withHist bool) []Candidate {
+	cands := make([]Candidate, 0, n)
+	for i := 0; i < n; i++ {
+		c := Candidate{
+			Peer:              PeerID(fmt.Sprintf("p%03d", i)),
+			Quality:           float64(rng.Intn(8)) / 4, // many exact ties, some zeros
+			TermSynopses:      map[string]synopsis.Set{},
+			TermCardinalities: map[string]float64{},
+		}
+		if withHist {
+			c.TermHistograms = map[string]*histogram.Histogram{}
+		}
+		for _, t := range terms {
+			if rng.Float64() < 0.15 {
+				continue // missing term: treated as empty set
+			}
+			span := 100 + rng.Intn(400)
+			ids := make([]uint64, 0, span)
+			for j := 0; j < span; j++ {
+				ids = append(ids, uint64(rng.Intn(3000)))
+			}
+			c.TermSynopses[t] = cfg.FromIDs(ids)
+			c.TermCardinalities[t] = float64(len(ids))
+			if withHist && rng.Float64() < 0.8 {
+				ps := make([]ir.Posting, len(ids))
+				for j, id := range ids {
+					ps[j] = ir.Posting{DocID: id, Score: rng.Float64() * 10}
+				}
+				c.TermHistograms[t] = histogram.Build(ps, 4, cfg)
+			}
+		}
+		cands = append(cands, c)
+	}
+	return cands
+}
+
+// assertSamePlan requires the lazy and exhaustive plans to be identical
+// down to the float bits of every Step.
+func assertSamePlan(t *testing.T, q Query, initiator *Candidate, cands []Candidate, opts Options) {
+	t.Helper()
+	exhaustive, errEx := SelectExhaustive(q, initiator, cands, opts)
+	lazy, errLazy := Route(q, initiator, cands, opts)
+	if (errEx == nil) != (errLazy == nil) {
+		t.Fatalf("error disagreement: exhaustive=%v lazy=%v", errEx, errLazy)
+	}
+	if errEx != nil {
+		return
+	}
+	if !reflect.DeepEqual(exhaustive, lazy) {
+		t.Fatalf("plans differ\nexhaustive: %+v\nlazy:       %+v", exhaustive, lazy)
+	}
+}
+
+func TestLazySelectionMatchesExhaustive(t *testing.T) {
+	raiseGOMAXPROCS(t, 8)
+	modes := []struct {
+		name string
+		opts Options
+		hist bool
+	}{
+		{"per-peer", Options{Aggregation: PerPeer}, false},
+		{"per-term", Options{Aggregation: PerTerm}, false},
+		{"histogram", Options{UseHistograms: true}, true},
+	}
+	for _, kc := range lazyTestConfigs {
+		for _, qt := range []QueryType{Disjunctive, Conjunctive} {
+			for _, mode := range modes {
+				name := fmt.Sprintf("%s/%s/%s", kc.name, qt, mode.name)
+				t.Run(name, func(t *testing.T) {
+					rng := rand.New(rand.NewSource(int64(len(name)) * 7919))
+					cands := randPlanCandidates(rng, kc.cfg, 24, []string{"alpha", "beta"}, mode.hist)
+					initiator := cand("self", 0, kc.cfg, map[string][]uint64{"alpha": idRange(0, 300)})
+					q := Query{Terms: []string{"alpha", "beta"}, Type: qt}
+					for _, par := range []int{0, 4} {
+						opts := mode.opts
+						opts.MaxPeers = 8
+						opts.Parallelism = par
+						assertSamePlan(t, q, &initiator, cands, opts)
+						assertSamePlan(t, q, nil, cands, opts)
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestLazySelectionMatchesExhaustiveRandomized(t *testing.T) {
+	// Property test: random synopsis family, aggregation mode, stopping
+	// criteria, score weights (including the exponents that disable or
+	// invert a factor) and parallelism must never change the plan.
+	raiseGOMAXPROCS(t, 8)
+	rng := rand.New(rand.NewSource(20260806))
+	weights := []float64{0, 0.5, 1, 2}
+	novWeights := []float64{-1, 0, 0.5, 1, 2}
+	for trial := 0; trial < 48; trial++ {
+		kc := lazyTestConfigs[rng.Intn(len(lazyTestConfigs))]
+		opts := Options{
+			MaxPeers:      rng.Intn(12), // 0: rank every candidate
+			Aggregation:   AggregationMode(rng.Intn(2)),
+			UseHistograms: rng.Float64() < 0.25,
+			QualityWeight: weights[rng.Intn(len(weights))],
+			NoveltyWeight: novWeights[rng.Intn(len(novWeights))],
+			Parallelism:   rng.Intn(5),
+		}
+		if rng.Float64() < 0.3 {
+			opts.TargetCoverage = 200 + rng.Float64()*1500
+		}
+		q := Query{Terms: []string{"alpha", "beta", "gamma"}[:1+rng.Intn(3)], Type: QueryType(rng.Intn(2))}
+		cands := randPlanCandidates(rng, kc.cfg, 5+rng.Intn(25), q.Terms, opts.UseHistograms)
+		var initiator *Candidate
+		if rng.Float64() < 0.5 {
+			init := cand("self", 0, kc.cfg, map[string][]uint64{q.Terms[0]: idRange(0, 200)})
+			initiator = &init
+		}
+		t.Run(fmt.Sprintf("trial%02d", trial), func(t *testing.T) {
+			assertSamePlan(t, q, initiator, cands, opts)
+		})
+	}
+}
+
+func TestLazySelectionEdgeCases(t *testing.T) {
+	raiseGOMAXPROCS(t, 8)
+	cfg := testCfg
+	q := Query{Terms: []string{"x"}}
+	t.Run("no candidates", func(t *testing.T) {
+		assertSamePlan(t, q, nil, nil, Options{MaxPeers: 3})
+	})
+	t.Run("budget exceeds candidates", func(t *testing.T) {
+		cands := []Candidate{
+			cand("a", 1, cfg, map[string][]uint64{"x": idRange(0, 100)}),
+			cand("b", 1, cfg, map[string][]uint64{"x": idRange(50, 150)}),
+		}
+		assertSamePlan(t, q, nil, cands, Options{MaxPeers: 10, Parallelism: 3})
+	})
+	t.Run("candidates without synopses", func(t *testing.T) {
+		cands := []Candidate{
+			{Peer: "empty-a", Quality: 2},
+			{Peer: "empty-b", Quality: 2},
+			cand("c", 1, cfg, map[string][]uint64{"x": idRange(0, 100)}),
+		}
+		assertSamePlan(t, q, nil, cands, Options{MaxPeers: 3})
+	})
+	t.Run("identical candidates tie-break", func(t *testing.T) {
+		ids := idRange(0, 500)
+		var cands []Candidate
+		for i := 0; i < 6; i++ {
+			cands = append(cands, cand(fmt.Sprintf("twin-%d", i), 1, cfg, map[string][]uint64{"x": ids}))
+		}
+		assertSamePlan(t, q, nil, cands, Options{MaxPeers: 4, Parallelism: 2})
+	})
+}
+
+// TestRouteParallelRace routes a large candidate set with maximum
+// parallelism so `go test -race` exercises the concurrent scoring paths
+// of every reference-state implementation.
+func TestRouteParallelRace(t *testing.T) {
+	raiseGOMAXPROCS(t, 8)
+	rng := rand.New(rand.NewSource(7))
+	q := Query{Terms: []string{"alpha", "beta"}}
+	for _, kc := range lazyTestConfigs {
+		for _, opts := range []Options{
+			{MaxPeers: 6, Parallelism: 8},
+			{MaxPeers: 6, Parallelism: 8, Aggregation: PerTerm},
+			{MaxPeers: 6, Parallelism: 8, UseHistograms: true},
+		} {
+			cands := randPlanCandidates(rng, kc.cfg, 120, q.Terms, opts.UseHistograms)
+			if _, err := Route(q, nil, cands, opts); err != nil {
+				t.Fatalf("%s: %v", kc.name, err)
+			}
+		}
+	}
+}

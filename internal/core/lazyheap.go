@@ -1,0 +1,327 @@
+package core
+
+// This file implements the Fast-IQN selection engine: a CELF-style
+// lazy-greedy Select-Best-Peer with optional parallel scoring.
+//
+// The exhaustive algorithm re-estimates every remaining candidate's
+// novelty each iteration. The lazy engine instead works with two sound
+// per-candidate score *ceilings* supplied by the reference state (see
+// referenceState.ceiling and staticCeiling):
+//
+//   - a static ceiling, immutable for the whole call, that dominates the
+//     candidate's score against any reference; and
+//   - a current ceiling, refined from the candidate's last-evaluation
+//     snapshot, that dominates the candidate's score against the present
+//     reference.
+//
+// Before the first round the engine sorts the candidates once into a
+// priority order by (static score ceiling descending, sorted index
+// ascending). Each round walks that order: candidates whose current
+// ceiling could still beat the round's champion are re-evaluated (in
+// batches of up to Options.Parallelism, fanned out over that many
+// goroutines), and the walk stops at the first candidate whose *static*
+// ceiling no longer contends — every candidate after it in the order has
+// a static ceiling that is no larger (or ties with a larger index,
+// losing the tie-break), and a true score no larger than that, so the
+// rest of the order is dominated wholesale. A round therefore touches
+// only the prefix of plausibly-best candidates; the ones that never
+// plausibly rank first are never combined or scored at all, including in
+// the first round.
+//
+// Ceilings never underestimate the true score, and the champion merge
+// uses the same (highest score, then lowest sorted index) ordering as
+// the exhaustive scan, so the produced plans are byte-identical — under
+// the assumption that scores are never NaN, which holds whenever the
+// candidate qualities are not NaN (powWeight maps q ≤ 0 to 0, never to a
+// negative Pow base) and synopsis cardinalities are finite. A NaN
+// quality disables the lazy path for the whole call; a negative
+// NoveltyWeight does too, because powWeight is then anti-monotone in
+// novelty and ceilings would turn into floors.
+//
+// Evaluations are race-free: each one writes only its own candidate
+// index, and being value-identical per candidate, the parallel path is
+// plan-identical to the serial one.
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// runIQN drives the shared IQN loop with either selection strategy.
+func runIQN(q Query, initiator *Candidate, cands []Candidate, opts Options, lazy bool) (Plan, error) {
+	if err := validateQuery(q); err != nil {
+		return Plan{}, err
+	}
+	state, err := newReferenceState(q, opts)
+	if err != nil {
+		return Plan{}, err
+	}
+	if initiator != nil {
+		if _, err := state.absorb(-1, initiator); err != nil {
+			return Plan{}, err
+		}
+	}
+	sorted := sortCandidates(cands)
+	state.prepare(len(sorted))
+	e := &engine{
+		state: state,
+		cands: sorted,
+		opts:  opts,
+		// powWeight is monotone in novelty only for non-negative
+		// exponents; a negative NoveltyWeight flips the ordering, turning
+		// novelty ceilings into score floors, so the engine falls back to
+		// exhaustive re-evaluation there.
+		lazy: lazy && opts.noveltyWeight() >= 0,
+		par:  opts.parallelism(),
+	}
+	return e.run()
+}
+
+// engine holds the per-Route selection state. All per-candidate slices
+// are indexed by position in the sorted candidate slice.
+type engine struct {
+	state referenceState
+	cands []Candidate
+	opts  Options
+	lazy  bool
+	par   int
+
+	alive       []bool    // not yet selected
+	qf          []float64 // quality^qw, immutable per candidate
+	nov         []float64 // last computed novelty
+	score       []float64 // last computed exact score qf·nov^nw
+	staticBound []float64 // immutable score ceilings qf·staticCeiling^nw
+	order       []int     // indices by (staticBound desc, index asc)
+	batch       []int     // scratch for one evaluation batch
+	left        int       // number of alive candidates
+}
+
+func (e *engine) run() (Plan, error) {
+	n := len(e.cands)
+	e.alive = make([]bool, n)
+	e.qf = make([]float64, n)
+	e.nov = make([]float64, n)
+	e.score = make([]float64, n)
+	e.batch = make([]int, 0, e.par)
+	qw := e.opts.qualityWeight()
+	for i := range e.cands {
+		e.alive[i] = true
+		e.qf[i] = powWeight(e.cands[i].Quality, qw)
+		if math.IsNaN(e.qf[i]) {
+			e.lazy = false // NaN scores break the ceiling ordering
+		}
+	}
+	e.left = n
+	if e.lazy {
+		e.buildOrder()
+	}
+
+	var plan Plan
+	for e.left > 0 {
+		if e.opts.MaxPeers > 0 && len(plan.Peers) >= e.opts.MaxPeers {
+			break
+		}
+		if e.opts.TargetCoverage > 0 && e.state.covered() >= e.opts.TargetCoverage {
+			break
+		}
+		best, err := e.selectBest()
+		if err != nil {
+			return Plan{}, err
+		}
+		c := &e.cands[best]
+		// Aggregate-Synopses: fold the winner into the reference.
+		if _, err := e.state.absorb(best, c); err != nil {
+			return Plan{}, err
+		}
+		plan.Peers = append(plan.Peers, c.Peer)
+		plan.Steps = append(plan.Steps, Step{
+			Peer:    c.Peer,
+			Quality: c.Quality,
+			Novelty: e.nov[best],
+			Score:   e.score[best],
+			Covered: e.state.covered(),
+		})
+		e.alive[best] = false
+		e.left--
+	}
+	return plan, nil
+}
+
+// buildOrder computes the immutable static score ceilings and the walk
+// order (staticBound descending, index ascending — the order in which
+// the exhaustive tie-break would prefer equally-bounded candidates).
+func (e *engine) buildOrder() {
+	n := len(e.cands)
+	nw := e.opts.noveltyWeight()
+	e.staticBound = make([]float64, n)
+	e.order = make([]int, n)
+	for i := range e.cands {
+		e.staticBound[i] = scoreBound(e.qf[i], powWeight(e.state.staticCeiling(i, &e.cands[i]), nw))
+		e.order[i] = i
+	}
+	sort.SliceStable(e.order, func(a, b int) bool {
+		return e.staticBound[e.order[a]] > e.staticBound[e.order[b]]
+	})
+}
+
+// selectBest runs one Select-Best-Peer round and returns the winner's
+// index.
+func (e *engine) selectBest() (int, error) {
+	if !e.lazy {
+		if err := e.evalAll(); err != nil {
+			return -1, err
+		}
+		champ := -1
+		for i, ok := range e.alive {
+			if ok {
+				champ = e.better(champ, i)
+			}
+		}
+		return champ, nil
+	}
+	// Ceilings are computed against this round's reference, which only
+	// changes on absorb — after the round.
+	nw := e.opts.noveltyWeight()
+	champ := -1
+	batch := e.batch[:0]
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := e.evalBatch(batch); err != nil {
+			return err
+		}
+		// Ascending index order replicates the exhaustive scan's
+		// tie-breaking for the freshly evaluated scores.
+		sort.Ints(batch)
+		for _, i := range batch {
+			champ = e.better(champ, i)
+		}
+		batch = batch[:0]
+		return nil
+	}
+	for _, i := range e.order {
+		if !e.alive[i] {
+			continue
+		}
+		if !e.contends(e.staticBound[i], i, champ) {
+			// The order is (staticBound desc, index asc): every candidate
+			// from here on has a static ceiling that is smaller, or equal
+			// with a larger index, so none can beat the champion. (The
+			// champion may lag the pending batch here, which only delays
+			// this cut-off — never takes it early.)
+			break
+		}
+		cur := scoreBound(e.qf[i], powWeight(e.state.ceiling(i, &e.cands[i]), nw))
+		if !e.contends(cur, i, champ) {
+			continue
+		}
+		batch = append(batch, i)
+		if len(batch) == e.par {
+			if err := flush(); err != nil {
+				return -1, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return -1, err
+	}
+	return champ, nil
+}
+
+// scoreBound multiplies the quality factor into a novelty ceiling. A
+// zero quality factor forces the bound to the exact score 0 even against
+// an infinite ceiling (0·∞ would be NaN and poison the walk order).
+func scoreBound(qf, novBound float64) float64 {
+	if qf == 0 {
+		return 0
+	}
+	return qf * novBound
+}
+
+// contends reports whether a score ceiling keeps a candidate in the
+// running against the current champion: a higher ceiling always does, an
+// equal one only from a lower sorted index (which would win the tie).
+func (e *engine) contends(bound float64, i, champ int) bool {
+	if champ < 0 {
+		return true
+	}
+	return bound > e.score[champ] || (bound == e.score[champ] && i < champ)
+}
+
+// better merges a freshly evaluated candidate into the championship under
+// the exhaustive scan's ordering: strictly higher score wins, ties keep
+// the lower sorted index.
+func (e *engine) better(champ, i int) int {
+	if champ < 0 || e.score[i] > e.score[champ] || (e.score[i] == e.score[champ] && i < champ) {
+		return i
+	}
+	return champ
+}
+
+// evalAll evaluates every alive candidate.
+func (e *engine) evalAll() error {
+	idxs := make([]int, 0, e.left)
+	for i, ok := range e.alive {
+		if ok {
+			idxs = append(idxs, i)
+		}
+	}
+	return e.evalBatch(idxs)
+}
+
+// evalBatch (re)computes novelty and exact score for the given candidate
+// indices, fanning out over the engine's worker budget. Each worker
+// writes only per-candidate slots, and errors are reported in batch order
+// so behavior is deterministic regardless of scheduling.
+func (e *engine) evalBatch(idxs []int) error {
+	nw := e.opts.noveltyWeight()
+	if e.par <= 1 || len(idxs) <= 1 {
+		for _, i := range idxs {
+			if err := e.evalOne(i, nw); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	workers := e.par
+	if workers > len(idxs) {
+		workers = len(idxs)
+	}
+	errs := make([]error, len(idxs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= len(idxs) {
+					return
+				}
+				errs[k] = e.evalOne(idxs[k], nw)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evalOne computes one candidate's novelty and exact score.
+func (e *engine) evalOne(i int, nw float64) error {
+	nov, err := e.state.novelty(i, &e.cands[i])
+	if err != nil {
+		return err
+	}
+	e.nov[i] = nov
+	e.score[i] = e.qf[i] * powWeight(nov, nw)
+	return nil
+}

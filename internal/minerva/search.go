@@ -73,6 +73,11 @@ type SearchOptions struct {
 	// DisableSelf excludes the initiator's local result from seeding the
 	// reference synopsis and from the merged results.
 	DisableSelf bool
+	// Parallelism caps the goroutines the router uses to score routing
+	// candidates (core.Options.Parallelism). ≤ 1 routes single-threaded;
+	// larger values are capped at GOMAXPROCS. The plan is identical
+	// either way.
+	Parallelism int
 }
 
 func (o SearchOptions) k() int {
@@ -126,6 +131,7 @@ func (p *Peer) Search(terms []string, opts SearchOptions) (*SearchResult, error)
 		MaxPeers:      opts.maxPeers(),
 		Aggregation:   opts.Aggregation,
 		UseHistograms: opts.UseHistograms,
+		Parallelism:   opts.Parallelism,
 	}
 	if opts.NoveltyOnly {
 		routeOpts.QualityWeight, routeOpts.NoveltyWeight = 0, 1

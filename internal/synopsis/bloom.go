@@ -120,7 +120,13 @@ func (b *Bloom) Cardinality() float64 {
 	if b.n >= 0 {
 		return float64(b.n)
 	}
-	x := float64(b.OnesCount())
+	return b.cardinalityFromOnes(float64(b.OnesCount()))
+}
+
+// cardinalityFromOnes is the fill-ratio estimate for x set bits in this
+// filter's geometry — the common tail of Cardinality and the single-pass
+// kernels below.
+func (b *Bloom) cardinalityFromOnes(x float64) float64 {
 	m := float64(b.m)
 	if x >= m {
 		x = m - 0.5
@@ -158,6 +164,52 @@ func (b *Bloom) Union(other Set) (Set, error) {
 	return u, nil
 }
 
+// UnionInPlace ORs the other filter into the receiver word-by-word
+// without allocating. The receiver's exact cardinality becomes unknown.
+func (b *Bloom) UnionInPlace(other Set) error {
+	o, err := b.compatible(other)
+	if err != nil {
+		return err
+	}
+	for i := range b.bits {
+		b.bits[i] |= o.bits[i]
+	}
+	b.n = -1
+	return nil
+}
+
+// IntersectInPlace ANDs the other filter into the receiver word-by-word
+// without allocating, with the same upward cardinality bias as Intersect.
+func (b *Bloom) IntersectInPlace(other Set) error {
+	o, err := b.compatible(other)
+	if err != nil {
+		return err
+	}
+	for i := range b.bits {
+		b.bits[i] &= o.bits[i]
+	}
+	b.n = -1
+	return nil
+}
+
+// DifferenceCardinality estimates |B − other| — the paper's Bloom novelty
+// measure (Section 5.2) — in a single allocation-free pass: it counts the
+// set bits of b ∧ ¬other word-by-word with bits.OnesCount64 and applies
+// the fill-ratio estimate, yielding exactly the value of
+// Difference(other).Cardinality() without materializing the filter. This
+// is the inner loop of every Bloom-based IQN iteration.
+func (b *Bloom) DifferenceCardinality(other Set) (float64, error) {
+	o, err := b.compatible(other)
+	if err != nil {
+		return 0, err
+	}
+	ones := 0
+	for i := range b.bits {
+		ones += bits.OnesCount64(b.bits[i] &^ o.bits[i])
+	}
+	return b.cardinalityFromOnes(float64(ones)), nil
+}
+
 // Intersect returns the bit-wise AND approximation of the intersection
 // (Section 6.1). The AND filter has a higher false-positive rate than a
 // filter built from the true intersection, so cardinality estimates on it
@@ -193,25 +245,24 @@ func (b *Bloom) Difference(other Set) (Set, error) {
 }
 
 // Resemblance estimates |A∩B| / |A∪B| from the cardinality estimates of
-// the AND and OR filters.
+// the AND and OR filters, computed in one allocation-free word-level pass
+// (the filters themselves are never materialized; only their set-bit
+// counts matter).
 func (b *Bloom) Resemblance(other Set) (float64, error) {
 	o, err := b.compatible(other)
 	if err != nil {
 		return 0, err
 	}
-	inter, err := b.Intersect(o)
-	if err != nil {
-		return 0, err
+	onesAnd, onesOr := 0, 0
+	for i := range b.bits {
+		onesAnd += bits.OnesCount64(b.bits[i] & o.bits[i])
+		onesOr += bits.OnesCount64(b.bits[i] | o.bits[i])
 	}
-	union, err := b.Union(o)
-	if err != nil {
-		return 0, err
-	}
-	u := union.Cardinality()
+	u := b.cardinalityFromOnes(float64(onesOr))
 	if u == 0 {
 		return 1, nil // both sets empty: identical
 	}
-	r := inter.Cardinality() / u
+	r := b.cardinalityFromOnes(float64(onesAnd)) / u
 	if r > 1 {
 		r = 1
 	}

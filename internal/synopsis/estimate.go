@@ -81,11 +81,10 @@ func EstimateNovelty(ref, b Set, refCard, cardB float64) (float64, error) {
 	}
 	switch rb := b.(type) {
 	case *Bloom:
-		d, err := rb.Difference(ref)
+		n, err := rb.DifferenceCardinality(ref)
 		if err != nil {
 			return 0, err
 		}
-		n := d.Cardinality()
 		if n > cardB {
 			n = cardB
 		}

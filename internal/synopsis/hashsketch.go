@@ -127,6 +127,20 @@ func (h *HashSketch) Union(other Set) (Set, error) {
 	return u, nil
 }
 
+// UnionInPlace ORs the other sketch's bitmaps into the receiver without
+// allocating. The receiver's exact cardinality becomes unknown.
+func (h *HashSketch) UnionInPlace(other Set) error {
+	o, err := h.compatible(other)
+	if err != nil {
+		return err
+	}
+	for i := range h.bitmaps {
+		h.bitmaps[i] |= o.bitmaps[i]
+	}
+	h.n = -1
+	return nil
+}
+
 // Intersect is unsupported for hash sketches (Section 3.4: "we are not
 // aware of ways to derive aggregated synopses for the intersection").
 func (h *HashSketch) Intersect(Set) (Set, error) {
@@ -135,6 +149,8 @@ func (h *HashSketch) Intersect(Set) (Set, error) {
 
 // Resemblance estimates |A∩B| / |A∪B| by inclusion-exclusion over the
 // sketch cardinality estimates: |A∩B| = |A| + |B| − |A∪B| (Section 5.2).
+// The union estimate is computed from the OR of the bitmaps on the fly —
+// no union sketch is materialized, keeping the kernel allocation-free.
 // Negative intersection estimates (possible for disjoint sets because the
 // three estimates carry independent noise) clamp to zero.
 func (h *HashSketch) Resemblance(other Set) (float64, error) {
@@ -142,13 +158,14 @@ func (h *HashSketch) Resemblance(other Set) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	us, err := h.Union(o)
-	if err != nil {
-		return 0, err
+	sum := 0
+	for i := range h.bitmaps {
+		sum += firstZero(h.bitmaps[i] | o.bitmaps[i])
 	}
+	m := float64(len(h.bitmaps))
 	a := h.estimate()
 	b := o.estimate()
-	u := us.Cardinality()
+	u := m / fmPhi * math.Exp2(float64(sum)/m)
 	if u <= 0 {
 		return 1, nil // both empty
 	}

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 )
 
 // mipsPrime is the modulus U of the linear permutation hashes
@@ -55,13 +57,58 @@ func NewMIPs(n int, seed uint64) *MIPs {
 	return m
 }
 
-// deriveParams (re)computes the permutation coefficients from the seed.
+// deriveParams (re)points the permutation coefficients at the shared,
+// seed-keyed coefficient cache. Coefficients are pure functions of
+// (seed, index), so all vectors with one seed — every peer of a network —
+// share one immutable slice pair, and decoding a synopsis never
+// recomputes or reallocates them in steady state.
 func (m *MIPs) deriveParams() {
-	m.a = make([]uint64, len(m.mins))
-	m.b = make([]uint64, len(m.mins))
-	for i := range m.mins {
-		m.a[i], m.b[i] = mipsParams(m.seed, i)
+	m.a, m.b = mipsSharedParams(m.seed, len(m.mins))
+}
+
+// mipsParamSlices is one immutable snapshot of derived coefficients; it is
+// only ever replaced wholesale, never mutated, so readers need no lock.
+type mipsParamSlices struct {
+	a, b []uint64
+}
+
+// mipsParamSet holds the coefficient snapshot for one seed, grown under a
+// mutex when a longer vector appears.
+type mipsParamSet struct {
+	mu sync.Mutex
+	v  atomic.Pointer[mipsParamSlices]
+}
+
+// mipsParamCache maps seed → *mipsParamSet.
+var mipsParamCache sync.Map
+
+// mipsSharedParams returns read-only coefficient slices of length n for
+// the seed, deriving and caching them on first use.
+func mipsSharedParams(seed uint64, n int) (a, b []uint64) {
+	entry, ok := mipsParamCache.Load(seed)
+	if !ok {
+		entry, _ = mipsParamCache.LoadOrStore(seed, &mipsParamSet{})
 	}
+	ps := entry.(*mipsParamSet)
+	if cur := ps.v.Load(); cur != nil && len(cur.a) >= n {
+		return cur.a[:n:n], cur.b[:n:n]
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	cur := ps.v.Load()
+	if cur == nil || len(cur.a) < n {
+		grown := n
+		if cur != nil && 2*len(cur.a) > grown {
+			grown = 2 * len(cur.a)
+		}
+		next := &mipsParamSlices{a: make([]uint64, grown), b: make([]uint64, grown)}
+		for i := range next.a {
+			next.a[i], next.b[i] = mipsParams(seed, i)
+		}
+		ps.v.Store(next)
+		cur = next
+	}
+	return cur.a[:n:n], cur.b[:n:n]
 }
 
 // mipsParams returns the coefficients (a, b) of the i-th permutation for a
@@ -150,23 +197,39 @@ func (m *MIPs) compatible(other Set) (*MIPs, error) {
 // Resemblance estimates |A∩B| / |A∪B| as the fraction of common
 // permutations whose minima agree. Vectors of different lengths are
 // compared over their min(N1,N2) common permutations, which degrades
-// accuracy but keeps the estimator valid (Section 3.4).
+// accuracy but keeps the estimator valid (Section 3.4). The kernel is
+// allocation-free.
 func (m *MIPs) Resemblance(other Set) (float64, error) {
+	r, _, _, err := m.ResemblanceDetail(other)
+	return r, err
+}
+
+// ResemblanceDetail is Resemblance plus the evidence the lazy IQN engine
+// needs to maintain sound stale-score ceilings: the comparison length n
+// and a bitmask with bit i set iff the minima agree at position i (first
+// min(n, 64) positions; longer vectors report only the low 64). A
+// position that matches can stop matching only if the other side's
+// minimum at that position later decreases, which is what the router's
+// change tracking in UnionInPlace detects.
+func (m *MIPs) ResemblanceDetail(other Set) (r float64, match uint64, n int, err error) {
 	o, err := m.compatible(other)
 	if err != nil {
-		return 0, err
+		return 0, 0, 0, err
 	}
-	n := min(len(m.mins), len(o.mins))
+	n = min(len(m.mins), len(o.mins))
 	if n == 0 {
-		return 0, fmt.Errorf("%w: empty MIPs vector", ErrIncompatible)
+		return 0, 0, 0, fmt.Errorf("%w: empty MIPs vector", ErrIncompatible)
 	}
-	match := 0
+	count := 0
 	for i := 0; i < n; i++ {
 		if m.mins[i] == o.mins[i] {
-			match++
+			count++
+			if i < 64 {
+				match |= 1 << uint(i)
+			}
 		}
 	}
-	return float64(match) / float64(n), nil
+	return float64(count) / float64(n), match, n, nil
 }
 
 // Union returns the MIPs vector of the set union: per permutation, the
@@ -184,6 +247,57 @@ func (m *MIPs) Union(other Set) (Set, error) {
 		u.mins[i] = min(m.mins[i], o.mins[i])
 	}
 	return u, nil
+}
+
+// UnionInPlace folds other into the receiver — position-wise minimum over
+// the common prefix — without allocating. It reports which of the first
+// min(n, 64) positions strictly decreased (the change evidence the lazy
+// IQN engine uses to age stale resemblance estimates) and whether the
+// receiver had to shrink to the other vector's length, which invalidates
+// previously computed resemblances altogether. The receiver's exact
+// cardinality becomes unknown, exactly as with Union.
+func (m *MIPs) UnionInPlace(other Set) (changed uint64, shrunk bool, err error) {
+	o, err := m.compatible(other)
+	if err != nil {
+		return 0, false, err
+	}
+	n := min(len(m.mins), len(o.mins))
+	if n < len(m.mins) {
+		shrunk = true
+		m.mins = m.mins[:n]
+		m.a = m.a[:n]
+		m.b = m.b[:n]
+	}
+	for i := 0; i < n; i++ {
+		if o.mins[i] < m.mins[i] {
+			m.mins[i] = o.mins[i]
+			if i < 64 {
+				changed |= 1 << uint(i)
+			}
+		}
+	}
+	m.n = -1
+	return changed, shrunk, nil
+}
+
+// IntersectInPlace applies the conservative intersection heuristic of
+// Intersect — position-wise maximum — to the receiver without allocating.
+func (m *MIPs) IntersectInPlace(other Set) error {
+	o, err := m.compatible(other)
+	if err != nil {
+		return err
+	}
+	n := min(len(m.mins), len(o.mins))
+	if n < len(m.mins) {
+		m.mins = m.mins[:n]
+		m.a = m.a[:n]
+		m.b = m.b[:n]
+	}
+	for i := 0; i < n; i++ {
+		m.mins[i] = max(m.mins[i], o.mins[i])
+	}
+	m.n = -1
+	return nil
 }
 
 // Intersect returns the paper's conservative intersection heuristic
@@ -275,7 +389,11 @@ func (m *MIPs) UnmarshalBinary(data []byte) error {
 	if n == 0 || n > 1<<20 || len(data) != 22+4*int(n) {
 		return fmt.Errorf("%w: MIPs length %d for %d bytes", ErrCorrupt, n, len(data))
 	}
-	m.mins = make([]uint32, n)
+	if cap(m.mins) >= int(n) {
+		m.mins = m.mins[:n]
+	} else {
+		m.mins = make([]uint32, n)
+	}
 	for i := range m.mins {
 		m.mins[i] = binary.LittleEndian.Uint32(data[22+4*i:])
 	}

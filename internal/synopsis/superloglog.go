@@ -101,14 +101,20 @@ func (s *SuperLogLog) Cardinality() float64 {
 // (Durand-Flajolet). It is exposed separately so experiments can compare
 // the estimator even when the exact count is known.
 func (s *SuperLogLog) Estimate() float64 {
-	m := len(s.buckets)
-	m0 := int(math.Ceil(sllTheta * float64(m)))
 	// Counting sort over the 32 possible bucket values keeps estimation
 	// O(m) — it runs three times per resemblance call.
 	var hist [32]int
 	for _, v := range s.buckets {
 		hist[v]++
 	}
+	return sllEstimateFromHist(&hist, len(s.buckets))
+}
+
+// sllEstimateFromHist applies the truncated-mean estimator to a counting
+// histogram of bucket values — the shared tail of Estimate and the
+// allocation-free union estimate inside Resemblance.
+func sllEstimateFromHist(hist *[32]int, m int) float64 {
+	m0 := int(math.Ceil(sllTheta * float64(m)))
 	sum, taken := 0, 0
 	for v := 0; v < len(hist) && taken < m0; v++ {
 		take := hist[v]
@@ -158,23 +164,40 @@ func (s *SuperLogLog) Union(other Set) (Set, error) {
 	return u, nil
 }
 
+// UnionInPlace folds the other sketch into the receiver by bucket-wise
+// max without allocating. The receiver's exact cardinality becomes
+// unknown.
+func (s *SuperLogLog) UnionInPlace(other Set) error {
+	o, err := s.compatible(other)
+	if err != nil {
+		return err
+	}
+	for i := range s.buckets {
+		s.buckets[i] = max(s.buckets[i], o.buckets[i])
+	}
+	s.n = -1
+	return nil
+}
+
 // Intersect is unsupported, as for plain hash sketches (Section 3.4).
 func (s *SuperLogLog) Intersect(Set) (Set, error) {
 	return nil, fmt.Errorf("%w: superloglog intersection", ErrUnsupported)
 }
 
 // Resemblance estimates |A∩B| / |A∪B| by inclusion-exclusion over the
-// sketch estimates, clamped to [0, 1].
+// sketch estimates, clamped to [0, 1]. The union estimate is computed
+// from a bucket-wise-max histogram on the fly — no union sketch is
+// materialized, keeping the kernel allocation-free.
 func (s *SuperLogLog) Resemblance(other Set) (float64, error) {
 	o, err := s.compatible(other)
 	if err != nil {
 		return 0, err
 	}
-	us, err := s.Union(o)
-	if err != nil {
-		return 0, err
+	var hist [32]int
+	for i := range s.buckets {
+		hist[max(s.buckets[i], o.buckets[i])]++
 	}
-	a, b, u := s.Estimate(), o.Estimate(), us.(*SuperLogLog).Estimate()
+	a, b, u := s.Estimate(), o.Estimate(), sllEstimateFromHist(&hist, len(s.buckets))
 	if u <= 0 {
 		return 1, nil
 	}

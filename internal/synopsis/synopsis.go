@@ -134,6 +134,17 @@ type Differencer interface {
 	Difference(other Set) (Set, error)
 }
 
+// InPlaceUnioner is implemented by synopses that can fold another synopsis
+// of the same family into the receiver without allocating — the
+// aggregation kernel of the IQN reference synopsis. The result is
+// value-identical to replacing the receiver with Union(other). MIPs
+// vectors provide the same operation with change-tracking evidence via
+// their concrete UnionInPlace method instead.
+type InPlaceUnioner interface {
+	// UnionInPlace folds other into the receiver.
+	UnionInPlace(other Set) error
+}
+
 // Config describes how a peer builds synopses. The paper's experiments fix
 // a space budget in bits and derive each family's parameters from it
 // (Section 3.3): a Bloom filter uses all Bits as its bit vector, MIPs use

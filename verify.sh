@@ -1,0 +1,19 @@
+#!/bin/sh
+# Repo verification gate: formatting, static analysis, build, and the
+# full test suite under the race detector. Run before every commit.
+set -eu
+
+cd "$(dirname "$0")"
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: needs formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+go vet ./...
+go build ./...
+go test -race ./...
+
+echo "verify.sh: all checks passed"
