@@ -31,7 +31,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: fig2left|fig2right|fig3left|fig3right|aggregation|histogram|budget|hetero|prior|cost|churn|load|route|all")
+		exp    = flag.String("exp", "all", "experiment: fig2left|fig2right|fig3left|fig3right|aggregation|histogram|budget|hetero|prior|cost|churn|chaos|load|route|all")
 		docs   = flag.Int("docs", 20000, "corpus size for fig3-style experiments")
 		vocab  = flag.Int("vocab", 0, "vocabulary size (0: docs/10)")
 		runs   = flag.Int("runs", 50, "runs per point for fig2-style experiments")
@@ -171,6 +171,17 @@ func main() {
 			fmt.Printf("recall before      %0.3f\n", res.Before)
 			fmt.Printf("recall degraded    %0.3f (stale posts still name dead peers)\n", res.Degraded)
 			fmt.Printf("recall healed      %0.3f (after republish + prune of %d posts)\n", res.Healed, res.Pruned)
+		case "chaos":
+			points, err := eval.Chaos(eval.ChaosConfig{
+				CorpusDocs: *docs, VocabSize: *vocab, Strategy: right,
+				Queries: *numQ, K: *k, Seed: *seed, MaxPeers: 5,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "iqnbench: chaos: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println("# Chaos: recall vs peer-failure rate, with and without failure re-routing")
+			fmt.Print(eval.ChaosTable(points))
 		default:
 			fmt.Fprintf(os.Stderr, "iqnbench: unknown experiment %q\n", name)
 			os.Exit(2)
@@ -180,7 +191,7 @@ func main() {
 
 	if *exp == "all" {
 		for _, name := range []string{"fig2left", "fig2right", "fig3left", "fig3right",
-			"aggregation", "histogram", "budget", "hetero", "prior", "cost", "churn", "load", "route"} {
+			"aggregation", "histogram", "budget", "hetero", "prior", "cost", "churn", "chaos", "load", "route"} {
 			run(name)
 		}
 		return

@@ -8,7 +8,12 @@
 //   - internal/synopsis — Bloom filters, min-wise permutations, hash
 //     sketches, with resemblance/novelty estimators (paper Section 3)
 //   - internal/chord — the Chord DHT the directory is layered on
-//   - internal/transport — in-process and TCP RPC
+//   - internal/transport — in-process and TCP RPC, plus deterministic
+//     fault injection (transport.Faulty: seeded per-link drop / delay /
+//     duplicate / error / one-way partition / crash-on-Nth-call rules
+//     with a byte-for-byte replayable fault schedule) and retry with
+//     capped exponential backoff, deterministic jitter, and per-call
+//     timeouts (transport.RetryPolicy)
 //   - internal/directory — the term-partitioned PeerList directory
 //   - internal/ir, internal/cori — local IR engine and CORI selection
 //   - internal/core — the IQN routing algorithm itself (Sections 5–7),
@@ -22,6 +27,12 @@
 //   - internal/minerva — the peer engine tying everything together
 //   - internal/dataset, internal/eval — workloads and the experiment
 //     harness regenerating every figure of the paper
+//   - internal/sim — scenario-driven chaos simulation: scripted fault
+//     schedules (kill, partition, slow link, stale directory entries)
+//     driven through a full in-process network, with invariants for
+//     deadlock-freedom, loud degradation (lost peers are reported in
+//     SearchResult.Errors, never silently dropped), and recall bounds
+//     against a fault-free twin run
 //
 // Entry points: cmd/minerva (run a network), cmd/iqnbench (regenerate
 // the paper's figures), cmd/synopsize (synopsis workbench), and the

@@ -51,6 +51,20 @@ import (
 
 // runIQN drives the shared IQN loop with either selection strategy.
 func runIQN(q Query, initiator *Candidate, cands []Candidate, opts Options, lazy bool) (Plan, error) {
+	var seeds []*Candidate
+	if initiator != nil {
+		seeds = append(seeds, initiator)
+	}
+	return runIQNSeeded(q, seeds, cands, opts, lazy)
+}
+
+// runIQNSeeded is runIQN with an arbitrary list of reference seeds: every
+// seed is absorbed into the reference synopsis before the first
+// Select-Best-Peer round, exactly as the initiator is. Reroute uses this
+// to resume a routing decision mid-flight — the peers a degraded query
+// already reached become seeds, so replacements are scored by the novelty
+// they add beyond what the query already covered.
+func runIQNSeeded(q Query, seeds []*Candidate, cands []Candidate, opts Options, lazy bool) (Plan, error) {
 	if err := validateQuery(q); err != nil {
 		return Plan{}, err
 	}
@@ -58,8 +72,8 @@ func runIQN(q Query, initiator *Candidate, cands []Candidate, opts Options, lazy
 	if err != nil {
 		return Plan{}, err
 	}
-	if initiator != nil {
-		if _, err := state.absorb(-1, initiator); err != nil {
+	for _, s := range seeds {
+		if _, err := state.absorb(-1, s); err != nil {
 			return Plan{}, err
 		}
 	}

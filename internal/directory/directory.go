@@ -21,9 +21,14 @@ import (
 	"iqn/internal/transport"
 )
 
+// MethodPost is the publish RPC every directory node serves — exported
+// so fault-injection harnesses can scope rules to directory publishing
+// (e.g. "every republish from this peer fails").
+const MethodPost = "dir.post"
+
 // RPC method names served by the directory service of every node.
 const (
-	methodPost     = "dir.post"
+	methodPost     = MethodPost
 	methodGet      = "dir.get"
 	methodGetBatch = "dir.get_batch"
 	methodPrune    = "dir.prune"
@@ -186,6 +191,12 @@ type Client struct {
 	// Replicas is the replication factor for published posts (owner +
 	// Replicas−1 successors). Minimum 1.
 	Replicas int
+	// Retry is the retry/backoff policy for directory RPCs (posting,
+	// PeerList fetches). The zero value makes a single attempt with no
+	// timeout; replica fail-over still applies either way — retry
+	// handles transient faults on a live node, fail-over handles dead
+	// nodes.
+	Retry transport.RetryPolicy
 }
 
 // NewClient returns a directory client working through the given node.
@@ -194,6 +205,12 @@ func NewClient(node *chord.Node, replicas int) *Client {
 		replicas = 1
 	}
 	return &Client{node: node, Replicas: replicas}
+}
+
+// invoke issues one directory RPC under the client's retry policy.
+func (c *Client) invoke(addr, method string, req, resp any) error {
+	_, err := transport.InvokeRetry(c.node.Network(), addr, method, req, resp, c.Retry)
+	return err
 }
 
 // Publish posts a batch of per-term publications: posts are grouped by
@@ -229,7 +246,7 @@ func (c *Client) Publish(posts []Post) error {
 	var failed []string
 	for addr, group := range groups {
 		var n int
-		if err := transport.Invoke(c.node.Network(), addr, methodPost, group, &n); err != nil {
+		if err := c.invoke(addr, methodPost, group, &n); err != nil {
 			failed = append(failed, addr)
 		}
 	}
@@ -253,7 +270,7 @@ func (c *Client) Fetch(term string) (PeerList, error) {
 	var lastErr error
 	for _, r := range replicas {
 		var pl PeerList
-		if err := transport.Invoke(c.node.Network(), r.Addr, methodGet, term, &pl); err != nil {
+		if err := c.invoke(r.Addr, methodGet, term, &pl); err != nil {
 			lastErr = err
 			continue
 		}
@@ -278,7 +295,7 @@ func (c *Client) FetchAll(terms []string) (map[string]PeerList, error) {
 	out := make(map[string]PeerList, len(terms))
 	for addr, group := range byAddr {
 		var got map[string]PeerList
-		if err := transport.Invoke(c.node.Network(), addr, methodGetBatch, group, &got); err != nil {
+		if err := c.invoke(addr, methodGetBatch, group, &got); err != nil {
 			// Owner down: fall back to per-term replica fetches.
 			for _, t := range group {
 				pl, ferr := c.fetchFromReplicas(t, replicasByTerm[t][1:])
@@ -308,7 +325,7 @@ func (c *Client) PruneBelow(minEpoch int64) int {
 	total := 0
 	for _, node := range ring {
 		var n int
-		if err := transport.Invoke(c.node.Network(), node.Addr, methodPrune, minEpoch, &n); err == nil {
+		if err := c.invoke(node.Addr, methodPrune, minEpoch, &n); err == nil {
 			total += n
 		}
 	}
@@ -368,7 +385,7 @@ func (c *Client) fetchFromReplicas(term string, replicas []chord.NodeRef) (PeerL
 	var lastErr error = transport.ErrUnreachable
 	for _, r := range replicas {
 		var pl PeerList
-		if err := transport.Invoke(c.node.Network(), r.Addr, methodGet, term, &pl); err != nil {
+		if err := c.invoke(r.Addr, methodGet, term, &pl); err != nil {
 			lastErr = err
 			continue
 		}

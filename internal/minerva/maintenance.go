@@ -18,11 +18,32 @@ import (
 type Maintainer struct {
 	peer *Peer
 
-	mu    sync.Mutex
-	epoch int64
+	mu      sync.Mutex
+	epoch   int64
+	status  MaintenanceStatus
+	lastErr error
 
 	stop chan struct{}
 	done chan struct{}
+}
+
+// MaintenanceStatus is the maintainer's health report: a flapping or
+// unreachable directory shows up here instead of vanishing into a
+// discarded error.
+type MaintenanceStatus struct {
+	// Epoch is the last attempted round's epoch (0 before any round).
+	Epoch int64
+	// ConsecutiveFailures counts failed rounds since the last success;
+	// it resets to zero whenever a round completes. A rising value means
+	// the peer's posts are aging out of the directory while it cannot
+	// republish.
+	ConsecutiveFailures int
+	// TotalFailures counts every failed round over the maintainer's
+	// lifetime.
+	TotalFailures int
+	// LastError is the most recent round error's text ("" after a
+	// success).
+	LastError string
 }
 
 // NewMaintainer wraps a peer. The first round publishes at epoch 1.
@@ -37,18 +58,48 @@ func (m *Maintainer) Epoch() int64 {
 	return m.epoch
 }
 
+// Status returns the maintainer's current health report.
+func (m *Maintainer) Status() MaintenanceStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.status
+}
+
+// LastError returns the most recent round's error (nil after a success).
+func (m *Maintainer) LastError() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastErr
+}
+
 // RunRound executes one maintenance round: republish at epoch+1, prune
 // below the new epoch, and return the epoch and the number of posts
-// pruned network-wide. Pruning tolerates unreachable nodes.
+// pruned network-wide. Pruning tolerates unreachable nodes. Failures are
+// recorded on the maintainer's Status in addition to being returned, so
+// the background loop's outcomes stay observable.
 func (m *Maintainer) RunRound() (epoch int64, pruned int, err error) {
 	m.mu.Lock()
 	m.epoch++
 	epoch = m.epoch
+	m.status.Epoch = epoch
 	m.mu.Unlock()
 	if err := m.peer.PublishPostsEpoch(epoch); err != nil {
-		return epoch, 0, fmt.Errorf("minerva: maintenance republish: %w", err)
+		err = fmt.Errorf("minerva: maintenance republish: %w", err)
+		m.mu.Lock()
+		m.status.ConsecutiveFailures++
+		m.status.TotalFailures++
+		m.status.LastError = err.Error()
+		m.lastErr = err
+		m.mu.Unlock()
+		return epoch, 0, err
 	}
-	return epoch, m.peer.Directory().PruneBelow(epoch), nil
+	pruned = m.peer.Directory().PruneBelow(epoch)
+	m.mu.Lock()
+	m.status.ConsecutiveFailures = 0
+	m.status.LastError = ""
+	m.lastErr = nil
+	m.mu.Unlock()
+	return epoch, pruned, nil
 }
 
 // Start launches rounds at the given interval until Stop. A zero or
@@ -71,7 +122,12 @@ func (m *Maintainer) Start(interval time.Duration) {
 			case <-m.stop:
 				return
 			case <-ticker.C:
-				_, _, _ = m.RunRound() // unreachable directory: retry next tick
+				// Failures are counted on Status (ConsecutiveFailures,
+				// LastError) — the next tick retries, but the flapping is
+				// reported, not discarded.
+				if _, _, err := m.RunRound(); err != nil {
+					continue
+				}
 			}
 		}
 	}()

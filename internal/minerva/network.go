@@ -30,12 +30,26 @@ type Network struct {
 // publishes all directory posts. corpus may be nil to skip building the
 // centralized reference index.
 func BuildNetwork(net transport.Network, corpus *dataset.Corpus, cols []dataset.Collection, cfg Config) (*Network, error) {
+	return BuildNetworkEndpoints(net, nil, corpus, cols, cfg)
+}
+
+// BuildNetworkEndpoints is BuildNetwork with per-peer transport views:
+// every peer's outgoing calls go through netFor(peerName) while the
+// shared base network remains the harness handle (Network.Transport).
+// The chaos harness uses this with transport.Faulty.Endpoint so injected
+// one-way partitions and crashed-caller semantics know which peer is
+// calling. netFor may be nil (every peer uses base directly).
+func BuildNetworkEndpoints(base transport.Network, netFor func(name string) transport.Network, corpus *dataset.Corpus, cols []dataset.Collection, cfg Config) (*Network, error) {
 	if len(cols) == 0 {
 		return nil, fmt.Errorf("minerva: no collections")
 	}
-	n := &Network{Transport: net, byName: map[string]*Peer{}}
+	n := &Network{Transport: base, byName: map[string]*Peer{}}
 	for _, col := range cols {
-		p, err := NewPeer(col.Name, net, cfg)
+		peerNet := base
+		if netFor != nil {
+			peerNet = netFor(col.Name)
+		}
+		p, err := NewPeer(col.Name, peerNet, cfg)
 		if err != nil {
 			n.Close()
 			return nil, err

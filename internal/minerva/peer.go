@@ -21,8 +21,13 @@ import (
 	"iqn/internal/transport"
 )
 
-// methodQuery is the query-forwarding RPC every peer serves.
-const methodQuery = "peer.query"
+// MethodQuery is the query-forwarding RPC every peer serves — exported
+// so fault-injection harnesses (internal/sim) can scope rules to the
+// query path (e.g. "crash the peer on its Nth incoming query").
+const MethodQuery = "peer.query"
+
+// methodQuery is the internal alias.
+const methodQuery = MethodQuery
 
 // Config is the network-wide peer configuration. All peers must agree on
 // SynopsisSeed (the shared MIPs permutation sequence); everything else
@@ -49,6 +54,10 @@ type Config struct {
 	// Scoring selects the local relevance model (TF·IDF default, BM25
 	// optional); it only affects local ranking, not the routing logic.
 	Scoring ir.Scoring
+	// DirectoryRetry is the retry/backoff policy for the peer's directory
+	// operations (publishing posts, fetching PeerLists). The zero value
+	// keeps the pre-retry single-attempt behavior.
+	DirectoryRetry transport.RetryPolicy
 }
 
 func (c Config) kind() synopsis.Kind {
@@ -109,6 +118,7 @@ func NewPeer(addr string, net transport.Network, cfg Config) (*Peer, error) {
 		svc:  directory.NewService(node),
 		dir:  directory.NewClient(node, replicas),
 	}
+	p.dir.Retry = cfg.DirectoryRetry
 	node.Mux().Handle(methodQuery, func(req []byte) ([]byte, error) {
 		var q queryRequest
 		if err := transport.Unmarshal(req, &q); err != nil {

@@ -78,6 +78,16 @@ type SearchOptions struct {
 	// larger values are capped at GOMAXPROCS. The plan is identical
 	// either way.
 	Parallelism int
+	// Retry is the per-forward retry/backoff policy. The zero value
+	// makes a single attempt with no per-call timeout — the pre-retry
+	// behavior.
+	Retry transport.RetryPolicy
+	// NoReroute disables failure re-routing: by default, when a selected
+	// peer cannot be reached the router re-runs Select-Best-Peer against
+	// the reference synopsis of the peers that did answer and forwards
+	// to the replacement (core.Reroute). Failed peers are reported in
+	// SearchResult.Errors either way — never silently dropped.
+	NoReroute bool
 }
 
 func (o SearchOptions) k() int {
@@ -94,6 +104,27 @@ func (o SearchOptions) maxPeers() int {
 	return o.MaxPeers
 }
 
+// PerPeerError reports one selected peer that failed during query
+// forwarding — the structured alternative to silently shrinking the
+// result set.
+type PerPeerError struct {
+	// Peer is the peer that failed.
+	Peer core.PeerID
+	// Attempts is how many forwarding attempts were made (retries
+	// included).
+	Attempts int
+	// Err is the final error text.
+	Err string
+	// Unreachable distinguishes connectivity failures (dead peer,
+	// partition, timeout — retried, replaceable) from remote application
+	// errors (not retried).
+	Unreachable bool
+	// Replacement names the peer selected in this peer's stead by
+	// failure re-routing ("" when re-routing was disabled, exhausted the
+	// candidates, or was not needed).
+	Replacement core.PeerID
+}
+
 // SearchResult is the outcome of one distributed search.
 type SearchResult struct {
 	// Results is the merged top-K result list.
@@ -102,9 +133,20 @@ type SearchResult struct {
 	Plan core.Plan
 	// Candidates is the number of distinct peers the directory offered.
 	Candidates int
-	// PerPeer records each queried peer's raw result count.
+	// PerPeer records each queried peer's raw result count (replacement
+	// peers included).
 	PerPeer map[core.PeerID]int
+	// Errors lists every selected peer the query lost, with attempt
+	// counts and replacements. A search that degrades reports here; an
+	// empty slice means every planned peer answered.
+	Errors []PerPeerError
+	// Rerouted lists the replacement peers queried beyond the original
+	// plan, in selection order.
+	Rerouted []core.PeerID
 }
+
+// Degraded reports whether the search lost at least one selected peer.
+func (r *SearchResult) Degraded() bool { return len(r.Errors) > 0 }
 
 // Search runs a full distributed query from this peer: fetch PeerLists
 // from the directory, assemble candidates, route, forward, merge.
@@ -152,7 +194,8 @@ func (p *Peer) Search(terms []string, opts SearchOptions) (*SearchResult, error)
 	if err != nil {
 		return nil, fmt.Errorf("minerva: route: %w", err)
 	}
-	resultLists, perPeer := p.forward(terms, plan.Peers, opts)
+	exec := p.execute(q, plan, initiator, cands, opts)
+	resultLists := exec.lists
 	if !opts.DisableSelf {
 		resultLists = append(resultLists, p.LocalSearch(terms, opts.k(), opts.Conjunctive))
 	}
@@ -160,37 +203,130 @@ func (p *Peer) Search(terms []string, opts SearchOptions) (*SearchResult, error)
 		Results:    ir.Merge(resultLists, opts.MergeK),
 		Plan:       plan,
 		Candidates: len(cands),
-		PerPeer:    perPeer,
+		PerPeer:    exec.perPeer,
+		Errors:     exec.errs,
+		Rerouted:   exec.rerouted,
 	}, nil
 }
 
-// forward sends the query to the planned peers concurrently and collects
-// their local top-k lists. Unreachable peers contribute nothing — the
-// search degrades instead of failing.
-func (p *Peer) forward(terms []string, peers []core.PeerID, opts SearchOptions) ([][]ir.Result, map[core.PeerID]int) {
+// maxRerouteRounds caps the re-routing loop: each round replaces the
+// peers lost in the previous one, so pathological networks (every
+// replacement also dead) terminate after replacing at most this many
+// waves instead of draining the whole candidate set.
+const maxRerouteRounds = 4
+
+// execOutcome is the result of executing a plan with failure handling.
+type execOutcome struct {
+	lists    [][]ir.Result
+	perPeer  map[core.PeerID]int
+	errs     []PerPeerError
+	rerouted []core.PeerID
+}
+
+// execute forwards the query to the planned peers with per-peer
+// retry/backoff and, when peers are lost anyway, re-runs Select-Best-Peer
+// against the reference synopsis of the peers that answered
+// (core.Reroute) to pick replacements. Every lost peer is reported in the
+// outcome's errs — the search degrades loudly, never silently.
+func (p *Peer) execute(q core.Query, plan core.Plan, initiator *core.Candidate, cands []core.Candidate, opts SearchOptions) execOutcome {
+	out := execOutcome{perPeer: make(map[core.PeerID]int, len(plan.Peers))}
+	byID := make(map[core.PeerID]*core.Candidate, len(cands))
+	for i := range cands {
+		byID[cands[i].Peer] = &cands[i]
+	}
+	tried := make(map[core.PeerID]bool, len(plan.Peers))
+	var reached []core.Candidate // candidates that answered, for Reroute seeding
+	batch := plan.Peers
+	for round := 0; len(batch) > 0; round++ {
+		results := p.forward(q.Terms, batch, opts)
+		var failed []int // indexes into out.errs from this round
+		for i, fo := range results {
+			peer := batch[i]
+			tried[peer] = true
+			if fo.err != nil {
+				out.perPeer[peer] = 0
+				out.errs = append(out.errs, PerPeerError{
+					Peer:        peer,
+					Attempts:    fo.attempts,
+					Err:         fo.err.Error(),
+					Unreachable: transport.Retryable(fo.err),
+				})
+				failed = append(failed, len(out.errs)-1)
+				continue
+			}
+			out.lists = append(out.lists, fo.results)
+			out.perPeer[peer] = len(fo.results)
+			if c := byID[peer]; c != nil {
+				reached = append(reached, *c)
+			}
+		}
+		if len(failed) == 0 || opts.NoReroute || round >= maxRerouteRounds {
+			break
+		}
+		var remaining []core.Candidate
+		for i := range cands {
+			if !tried[cands[i].Peer] {
+				remaining = append(remaining, cands[i])
+			}
+		}
+		if len(remaining) == 0 {
+			break
+		}
+		ropts := core.Options{
+			MaxPeers:      len(failed),
+			Aggregation:   opts.Aggregation,
+			UseHistograms: opts.UseHistograms,
+			Parallelism:   opts.Parallelism,
+		}
+		if opts.NoveltyOnly {
+			ropts.QualityWeight, ropts.NoveltyWeight = 0, 1
+		}
+		replan, err := core.Reroute(q, initiator, reached, remaining, ropts)
+		if err != nil || len(replan.Peers) == 0 {
+			break
+		}
+		// Pair replacements with this round's failures in selection
+		// order for the error report.
+		for j, np := range replan.Peers {
+			if j < len(failed) {
+				out.errs[failed[j]].Replacement = np
+			}
+			out.rerouted = append(out.rerouted, np)
+		}
+		batch = replan.Peers
+	}
+	return out
+}
+
+// forwardOutcome is one peer's answer (or failure) to a forwarded query.
+type forwardOutcome struct {
+	results  []ir.Result
+	attempts int
+	err      error
+}
+
+// forward sends the query to the given peers concurrently, each under
+// the search's retry policy, and reports per-peer outcomes. It never
+// swallows a failure — callers decide whether to re-route or surface it.
+func (p *Peer) forward(terms []string, peers []core.PeerID, opts SearchOptions) []forwardOutcome {
 	req := queryRequest{Terms: terms, K: opts.k(), Conjunctive: opts.Conjunctive}
-	lists := make([][]ir.Result, len(peers))
+	out := make([]forwardOutcome, len(peers))
 	var wg sync.WaitGroup
 	for i, peer := range peers {
 		if string(peer) == p.name {
-			lists[i] = p.LocalSearch(terms, opts.k(), opts.Conjunctive)
+			out[i] = forwardOutcome{results: p.LocalSearch(terms, opts.k(), opts.Conjunctive), attempts: 1}
 			continue
 		}
 		wg.Add(1)
 		go func(i int, addr string) {
 			defer wg.Done()
 			var rs []ir.Result
-			if err := transport.Invoke(p.node.Network(), addr, methodQuery, req, &rs); err == nil {
-				lists[i] = rs
-			}
+			attempts, err := transport.InvokeRetry(p.node.Network(), addr, methodQuery, req, &rs, opts.Retry)
+			out[i] = forwardOutcome{results: rs, attempts: attempts, err: err}
 		}(i, string(peer))
 	}
 	wg.Wait()
-	perPeer := make(map[core.PeerID]int, len(peers))
-	for i, peer := range peers {
-		perPeer[peer] = len(lists[i])
-	}
-	return lists, perPeer
+	return out
 }
 
 // assembleCandidates turns the fetched PeerLists into routing candidates:

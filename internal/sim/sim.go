@@ -1,0 +1,488 @@
+// Package sim is the scenario-driven chaos simulation harness: it
+// drives a full in-process MINERVA network (internal/minerva) through a
+// scripted fault schedule — peers crashing (also mid-query), one-way
+// partitions, slow links, stale directory entries, maintenance rounds —
+// injected deterministically by transport.Faulty, and checks the
+// robustness invariants the query path promises:
+//
+//   - no deadlock: every query completes under a watchdog;
+//   - no silent shrinkage: a selected peer that was lost appears in
+//     SearchResult.Errors — never just a smaller result set;
+//   - bounded degradation: micro-averaged recall stays within a
+//     scenario-declared fraction of the fault-free run;
+//   - determinism: the same scenario and seed reproduce the same fault
+//     schedule and the same merged top-k, byte for byte (asserted by
+//     the package tests via Report.Schedule and QueryOutcome.Docs).
+//
+// Scenarios are data, not code, so new failure stories are added by
+// declaring events — the simulator equivalent of the routing-under-
+// faults evaluations argued for by the P2P simulator line of related
+// work (see PAPERS.md).
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"iqn/internal/core"
+	"iqn/internal/dataset"
+	"iqn/internal/minerva"
+	"iqn/internal/transport"
+)
+
+// EventKind enumerates scripted fault events.
+type EventKind int
+
+const (
+	// Kill crashes a peer: every call to (and from) it fails until
+	// Revive. Its directory posts stay — stale — until a Maintenance
+	// event prunes them.
+	Kill EventKind = iota
+	// Revive clears a crash.
+	Revive
+	// PartitionLink blocks the From→To direction of one link (the
+	// reverse direction keeps working — a true one-way partition).
+	PartitionLink
+	// HealLink removes every rule on the From→To link.
+	HealLink
+	// SlowLink delays every call on the From→To link by Delay.
+	SlowLink
+	// CrashOnQuery arms a crash-on-Nth-call rule on the peer's incoming
+	// query RPC: the peer dies the moment the Nth forwarded query
+	// reaches it — a mid-query crash, not a between-queries one.
+	CrashOnQuery
+	// StaleEntry publishes a ghost peer's posts into the directory: a
+	// copy of the source peer's publications under an address nobody
+	// serves. Routing that selects the ghost must surface the failure
+	// and re-route.
+	StaleEntry
+	// Maintenance runs one synchronized maintenance round (republish +
+	// prune), aging out the posts of crashed peers and ghosts.
+	Maintenance
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case Kill:
+		return "kill"
+	case Revive:
+		return "revive"
+	case PartitionLink:
+		return "partition"
+	case HealLink:
+		return "heal"
+	case SlowLink:
+		return "slow"
+	case CrashOnQuery:
+		return "crash-on-query"
+	case StaleEntry:
+		return "stale-entry"
+	case Maintenance:
+		return "maintenance"
+	}
+	return "?"
+}
+
+// Event is one scripted fault, fired before the query with index Before
+// (logical time is query count; Before ≥ the number of queries fires
+// after the workload, which is only useful for Maintenance bookkeeping).
+type Event struct {
+	// Before is the query index the event precedes.
+	Before int
+	// Kind selects the fault.
+	Kind EventKind
+	// Peer is the target peer index (Kill, Revive, CrashOnQuery,
+	// StaleEntry source).
+	Peer int
+	// From and To are the link endpoints (PartitionLink, HealLink,
+	// SlowLink); they index peers.
+	From, To int
+	// Delay is the injected latency for SlowLink.
+	Delay time.Duration
+	// Nth is CrashOnQuery's trigger count (default 1: the very next
+	// forwarded query).
+	Nth int
+}
+
+// Scenario declares one simulation: the network, the workload, the
+// fault script, and the declared degradation bound.
+type Scenario struct {
+	// Name labels reports.
+	Name string
+	// Seed drives corpus, queries, fault RNGs, and retry jitter.
+	Seed int64
+	// NumDocs and VocabSize shape the corpus (defaults 2000 / 1500).
+	NumDocs, VocabSize int
+	// Fragments, Window, Offset shape the sliding-window collection
+	// assignment (defaults 20 / 4 / 2 → 10 overlapping peers).
+	Fragments, Window, Offset int
+	// Queries is the workload size (default 5).
+	Queries int
+	// K and MaxPeers tune each search (defaults 20 / 3).
+	K, MaxPeers int
+	// Replicas is the directory replication factor (default 2 — chaos
+	// without replication loses directory fractions by design).
+	Replicas int
+	// Retry is the forward retry policy; its Seed is overridden with the
+	// scenario seed for reproducibility.
+	Retry transport.RetryPolicy
+	// NoReroute disables failure re-routing (for ablation scenarios).
+	NoReroute bool
+	// RecallBound, when > 0, is the minimum allowed ratio of faulty
+	// recall to fault-free recall; falling below it is an invariant
+	// violation.
+	RecallBound float64
+	// Events is the fault script.
+	Events []Event
+}
+
+func (s Scenario) withDefaults() Scenario {
+	if s.NumDocs <= 0 {
+		s.NumDocs = 2000
+	}
+	if s.VocabSize <= 0 {
+		s.VocabSize = 1500
+	}
+	if s.Fragments <= 0 {
+		s.Fragments = 20
+	}
+	if s.Window <= 0 {
+		s.Window = 4
+	}
+	if s.Offset <= 0 {
+		s.Offset = 2
+	}
+	if s.Queries <= 0 {
+		s.Queries = 5
+	}
+	if s.K <= 0 {
+		s.K = 20
+	}
+	if s.MaxPeers <= 0 {
+		s.MaxPeers = 3
+	}
+	if s.Replicas <= 0 {
+		s.Replicas = 2
+	}
+	s.Retry.Seed = s.Seed
+	return s
+}
+
+// QueryOutcome records one query of the simulated workload.
+type QueryOutcome struct {
+	// Index is the query's position in the workload.
+	Index int
+	// Terms is the query.
+	Terms []string
+	// Docs is the merged result list's docIDs in rank order — the
+	// deterministic artifact two runs of the same scenario must agree
+	// on.
+	Docs []uint64
+	// Errors is the search's per-peer failure report.
+	Errors []minerva.PerPeerError
+	// Rerouted lists replacement peers the search fell back to.
+	Rerouted []core.PeerID
+	// Planned is the original routing decision.
+	Planned []core.PeerID
+	// Recall is the query's relative recall against the centralized
+	// reference index.
+	Recall float64
+	// Err is a non-"" search-level failure (directory wholly
+	// unreachable); the harness records it rather than aborting.
+	Err string
+}
+
+// Report is the outcome of one simulation run.
+type Report struct {
+	// Scenario is the scenario name.
+	Scenario string
+	// Outcomes holds one entry per query.
+	Outcomes []QueryOutcome
+	// Recall is the micro-averaged relative recall over the workload.
+	Recall float64
+	// FaultFreeRecall is the same workload's recall with no events and
+	// no faults (computed when Scenario.RecallBound > 0).
+	FaultFreeRecall float64
+	// Schedule is the canonical fault-schedule rendering
+	// (transport.Faulty.ScheduleString) — byte-comparable across runs.
+	Schedule string
+	// Violations lists broken invariants (empty = all held).
+	Violations []string
+}
+
+// queryWatchdog bounds one distributed search; exceeding it is the
+// "deadlock" invariant violation.
+const queryWatchdog = 30 * time.Second
+
+// PeerNames returns the peer names the scenario will boot, in event
+// peer-index order, without building the network (the collection
+// assignment is a pure function of the scenario parameters). Tests use
+// it to translate peer names learned from a dry run back into event
+// indexes.
+func PeerNames(sc Scenario) ([]string, error) {
+	sc = sc.withDefaults()
+	corpus := dataset.Generate(dataset.CorpusConfig{
+		NumDocs:   sc.NumDocs,
+		VocabSize: sc.VocabSize,
+		Seed:      sc.Seed,
+	})
+	cols := dataset.AssignSlidingWindow(corpus, sc.Fragments, sc.Window, sc.Offset)
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("sim: scenario %q produced no collections", sc.Name)
+	}
+	names := make([]string, len(cols))
+	for i, col := range cols {
+		names[i] = col.Name
+	}
+	return names, nil
+}
+
+// Run executes the scenario and checks its invariants. Errors are
+// returned only for harness-level failures (bad scenario, network boot);
+// in-run faults land in the report.
+func Run(sc Scenario) (*Report, error) {
+	sc = sc.withDefaults()
+	report, err := runOnce(sc, true)
+	if err != nil {
+		return nil, err
+	}
+	if sc.RecallBound > 0 {
+		clean := sc
+		clean.Events = nil
+		cleanReport, err := runOnce(clean, false)
+		if err != nil {
+			return nil, fmt.Errorf("sim: fault-free twin: %w", err)
+		}
+		report.FaultFreeRecall = cleanReport.Recall
+		if cleanReport.Recall > 0 && report.Recall < sc.RecallBound*cleanReport.Recall {
+			report.Violations = append(report.Violations, fmt.Sprintf(
+				"recall %0.3f fell below %0.2f of fault-free %0.3f",
+				report.Recall, sc.RecallBound, cleanReport.Recall))
+		}
+	}
+	return report, nil
+}
+
+// runOnce executes the scenario once; withFaults=false suppresses the
+// event script (the fault-free twin).
+func runOnce(sc Scenario, withFaults bool) (*Report, error) {
+	corpus := dataset.Generate(dataset.CorpusConfig{
+		NumDocs:   sc.NumDocs,
+		VocabSize: sc.VocabSize,
+		Seed:      sc.Seed,
+	})
+	cols := dataset.AssignSlidingWindow(corpus, sc.Fragments, sc.Window, sc.Offset)
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("sim: scenario %q produced no collections", sc.Name)
+	}
+	queries := dataset.GenerateQueries(corpus, dataset.QueryConfig{Count: sc.Queries, Seed: sc.Seed})
+	faulty := transport.NewFaulty(transport.NewInMem(), sc.Seed)
+	net, err := minerva.BuildNetworkEndpoints(faulty, faulty.Endpoint, corpus, cols, minerva.Config{
+		SynopsisSeed:   uint64(sc.Seed) + 99,
+		Replicas:       sc.Replicas,
+		DirectoryRetry: sc.Retry,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sim: boot %q: %w", sc.Name, err)
+	}
+	defer net.Close()
+	names := make([]string, len(net.Peers))
+	for i, p := range net.Peers {
+		names[i] = p.Name()
+	}
+	name := func(i int) string {
+		if i < 0 || i >= len(names) {
+			return ""
+		}
+		return names[i]
+	}
+
+	r := &Report{Scenario: sc.Name}
+	epoch := int64(0)
+	fire := func(e Event) error {
+		switch e.Kind {
+		case Kill:
+			faulty.Crash(name(e.Peer))
+			stabilizeAlive(net, faulty)
+		case Revive:
+			faulty.Revive(name(e.Peer))
+			stabilizeAlive(net, faulty)
+		case PartitionLink:
+			faulty.AddRule(transport.Rule{From: name(e.From), To: name(e.To), Partition: true})
+		case HealLink:
+			faulty.RemoveLinkRules(name(e.From), name(e.To))
+		case SlowLink:
+			faulty.AddRule(transport.Rule{From: name(e.From), To: name(e.To), DelayProb: 1, Delay: e.Delay})
+		case CrashOnQuery:
+			nth := e.Nth
+			if nth <= 0 {
+				nth = 1
+			}
+			faulty.AddRule(transport.Rule{To: name(e.Peer), Method: minerva.MethodQuery, CrashAfter: nth})
+		case StaleEntry:
+			src := net.Peers[e.Peer]
+			posts, err := src.BuildPosts()
+			if err != nil {
+				return fmt.Errorf("sim: stale-entry posts from %s: %w", src.Name(), err)
+			}
+			ghost := fmt.Sprintf("ghost-%d", e.Peer)
+			for i := range posts {
+				posts[i].Peer = ghost
+				posts[i].PeerAddr = ghost
+				// Make the ghost attractive to quality ranking so routing
+				// actually selects it and exercises the failure path.
+				posts[i].ListLength *= 2
+				posts[i].Epoch = epoch
+			}
+			if err := src.Directory().Publish(posts); err != nil {
+				return fmt.Errorf("sim: publish ghost posts: %w", err)
+			}
+		case Maintenance:
+			epoch++
+			net.MaintenanceRound(epoch)
+		default:
+			return fmt.Errorf("sim: unknown event kind %d", e.Kind)
+		}
+		return nil
+	}
+
+	var recallSum float64
+	recallN := 0
+	for qi, q := range queries {
+		if withFaults {
+			for _, e := range sc.Events {
+				if e.Before == qi {
+					if err := fire(e); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		initiator := pickInitiator(net, faulty, qi)
+		if initiator == nil {
+			return nil, fmt.Errorf("sim: scenario %q killed every peer", sc.Name)
+		}
+		out := QueryOutcome{Index: qi, Terms: q.Terms}
+		res, err := searchWatchdog(initiator, q.Terms, minerva.SearchOptions{
+			K:         sc.K,
+			MaxPeers:  sc.MaxPeers,
+			Retry:     sc.Retry,
+			NoReroute: sc.NoReroute,
+		})
+		switch {
+		case err == errWatchdog:
+			r.Violations = append(r.Violations, fmt.Sprintf("query %d: no completion within %v (deadlock?)", qi, queryWatchdog))
+			r.Outcomes = append(r.Outcomes, out)
+			continue
+		case err != nil:
+			// A search-level error (e.g. the whole directory fraction
+			// unreachable) is a legal degraded outcome — recorded, never
+			// swallowed.
+			out.Err = err.Error()
+			r.Outcomes = append(r.Outcomes, out)
+			recallN++
+			continue
+		}
+		out.Errors = res.Errors
+		out.Rerouted = res.Rerouted
+		out.Planned = res.Plan.Peers
+		for _, doc := range res.Results {
+			out.Docs = append(out.Docs, doc.DocID)
+		}
+		ref := net.ReferenceTopK(q.Terms, sc.K, false)
+		hits := 0
+		got := make(map[uint64]struct{}, len(out.Docs))
+		for _, d := range out.Docs {
+			got[d] = struct{}{}
+		}
+		for _, rd := range ref {
+			if _, ok := got[rd.DocID]; ok {
+				hits++
+			}
+		}
+		if len(ref) > 0 {
+			out.Recall = float64(hits) / float64(len(ref))
+		} else {
+			out.Recall = 1
+		}
+		recallSum += out.Recall
+		recallN++
+		// Invariant: a peer the plan selected and that is crash-marked
+		// cannot have answered — it must be in the error report (or have
+		// been replaced, which also goes through the error report).
+		reported := make(map[core.PeerID]bool, len(res.Errors))
+		for _, pe := range res.Errors {
+			reported[pe.Peer] = true
+		}
+		for _, planned := range res.Plan.Peers {
+			if faulty.Crashed(string(planned)) && !reported[planned] {
+				r.Violations = append(r.Violations, fmt.Sprintf(
+					"query %d: crashed peer %s selected but absent from Errors (silent shrink)", qi, planned))
+			}
+		}
+		r.Outcomes = append(r.Outcomes, out)
+	}
+	if recallN > 0 {
+		r.Recall = recallSum / float64(recallN)
+	}
+	r.Schedule = faulty.ScheduleString()
+	return r, nil
+}
+
+// pickInitiator rotates the initiating peer through the workload,
+// skipping crashed peers deterministically.
+func pickInitiator(net *minerva.Network, faulty *transport.Faulty, qi int) *minerva.Peer {
+	n := len(net.Peers)
+	for off := 0; off < n; off++ {
+		p := net.Peers[(qi+off)%n]
+		if !faulty.Crashed(p.Name()) {
+			return p
+		}
+	}
+	return nil
+}
+
+// errWatchdog marks a query that outlived the watchdog.
+var errWatchdog = fmt.Errorf("sim: query watchdog expired")
+
+// searchWatchdog runs one search under the deadlock watchdog.
+func searchWatchdog(p *minerva.Peer, terms []string, opts minerva.SearchOptions) (*minerva.SearchResult, error) {
+	type outcome struct {
+		res *minerva.SearchResult
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := p.Search(terms, opts)
+		ch <- outcome{res, err}
+	}()
+	timer := time.NewTimer(queryWatchdog)
+	defer timer.Stop()
+	select {
+	case out := <-ch:
+		return out.res, out.err
+	case <-timer.C:
+		return nil, errWatchdog
+	}
+}
+
+// stabilizeAlive re-runs ring maintenance on the peers that can still
+// talk, so lookups route around crashed nodes (the deterministic stand-in
+// for the peers' background stabilization loops).
+func stabilizeAlive(net *minerva.Network, faulty *transport.Faulty) {
+	var alive []*minerva.Peer
+	for _, p := range net.Peers {
+		if !faulty.Crashed(p.Name()) {
+			alive = append(alive, p)
+		}
+	}
+	for round := 0; round < 2*len(alive); round++ {
+		for _, p := range alive {
+			p.Node().Stabilize()
+		}
+	}
+	for _, p := range alive {
+		p.Node().FixAllFingers()
+	}
+}

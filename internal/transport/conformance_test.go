@@ -1,0 +1,233 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// harness abstracts one transport implementation for the differential
+// conformance suite: both InMem and TCP must pass the exact same table,
+// so code written against one behaves identically on the other.
+type harness struct {
+	name string
+	// build returns the network and an address allocator (InMem uses
+	// symbolic names, TCP needs real listen addresses).
+	build func(t *testing.T) (Network, func(t *testing.T) string, func())
+}
+
+func conformanceHarnesses() []harness {
+	return []harness{
+		{
+			name: "inmem",
+			build: func(t *testing.T) (Network, func(t *testing.T) string, func()) {
+				next := 0
+				return NewInMem(), func(t *testing.T) string {
+					next++
+					return fmt.Sprintf("peer-%d", next)
+				}, func() {}
+			},
+		},
+		{
+			name: "tcp",
+			build: func(t *testing.T) (Network, func(t *testing.T) string, func()) {
+				tr := NewTCP()
+				return tr, freeAddr, tr.CloseIdle
+			},
+		},
+	}
+}
+
+// TestTransportConformance runs the same behavioral table against every
+// transport implementation.
+func TestTransportConformance(t *testing.T) {
+	for _, h := range conformanceHarnesses() {
+		t.Run(h.name, func(t *testing.T) {
+			net, addrOf, cleanup := h.build(t)
+			defer cleanup()
+
+			t.Run("echo", func(t *testing.T) {
+				addr := addrOf(t)
+				stop, err := net.Register(addr, echoMux())
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer stop()
+				resp, err := net.Call(addr, "echo", []byte("conformance"))
+				if err != nil || string(resp) != "echo:conformance" {
+					t.Fatalf("Call = %q, %v", resp, err)
+				}
+			})
+
+			t.Run("empty payload", func(t *testing.T) {
+				addr := addrOf(t)
+				stop, err := net.Register(addr, echoMux())
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer stop()
+				resp, err := net.Call(addr, "echo", nil)
+				if err != nil || string(resp) != "echo:" {
+					t.Fatalf("empty-payload Call = %q, %v", resp, err)
+				}
+			})
+
+			t.Run("remote error classification", func(t *testing.T) {
+				addr := addrOf(t)
+				stop, err := net.Register(addr, echoMux())
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer stop()
+				_, err = net.Call(addr, "fail", nil)
+				var re *RemoteError
+				if !errors.As(err, &re) || re.Msg != "boom" {
+					t.Fatalf("application error = %v (want *RemoteError boom)", err)
+				}
+				if errors.Is(err, ErrUnreachable) {
+					t.Fatal("remote error also matches ErrUnreachable")
+				}
+				if Retryable(err) {
+					t.Fatal("remote error classified retryable")
+				}
+			})
+
+			t.Run("unknown method is remote error", func(t *testing.T) {
+				addr := addrOf(t)
+				stop, err := net.Register(addr, echoMux())
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer stop()
+				_, err = net.Call(addr, "no-such-method", nil)
+				var re *RemoteError
+				if !errors.As(err, &re) || !strings.Contains(re.Msg, "no-such-method") {
+					t.Fatalf("unknown method error = %v", err)
+				}
+				if Retryable(err) {
+					t.Fatal("unknown-method error classified retryable")
+				}
+			})
+
+			t.Run("unreachable address", func(t *testing.T) {
+				addr := addrOf(t)
+				// Never registered (TCP: reserved then released port).
+				_, err := net.Call(addr, "echo", nil)
+				if !errors.Is(err, ErrUnreachable) {
+					t.Fatalf("unregistered addr error = %v", err)
+				}
+				if !Retryable(err) {
+					t.Fatal("unreachable error not classified retryable")
+				}
+			})
+
+			t.Run("stop makes unreachable", func(t *testing.T) {
+				addr := addrOf(t)
+				stop, err := net.Register(addr, echoMux())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := net.Call(addr, "echo", []byte("x")); err != nil {
+					t.Fatal(err)
+				}
+				stop()
+				cleanup() // drop pooled connections so TCP re-dials
+				if _, err := net.Call(addr, "echo", []byte("x")); !errors.Is(err, ErrUnreachable) {
+					t.Fatalf("after stop error = %v", err)
+				}
+			})
+
+			t.Run("duplicate register", func(t *testing.T) {
+				addr := addrOf(t)
+				stop, err := net.Register(addr, echoMux())
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer stop()
+				if _, err := net.Register(addr, echoMux()); !errors.Is(err, ErrAddrInUse) {
+					t.Fatalf("duplicate register error = %v", err)
+				}
+			})
+
+			t.Run("concurrent calls", func(t *testing.T) {
+				addr := addrOf(t)
+				stop, err := net.Register(addr, echoMux())
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer stop()
+				var wg sync.WaitGroup
+				errs := make(chan error, 32)
+				for i := 0; i < 32; i++ {
+					wg.Add(1)
+					go func(i int) {
+						defer wg.Done()
+						msg := fmt.Sprintf("m%d", i)
+						resp, err := net.Call(addr, "echo", []byte(msg))
+						if err != nil {
+							errs <- err
+							return
+						}
+						if string(resp) != "echo:"+msg {
+							errs <- fmt.Errorf("got %q want echo:%s", resp, msg)
+						}
+					}(i)
+				}
+				wg.Wait()
+				close(errs)
+				for err := range errs {
+					t.Fatal(err)
+				}
+			})
+
+			t.Run("large payload round trip", func(t *testing.T) {
+				addr := addrOf(t)
+				stop, err := net.Register(addr, echoMux())
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer stop()
+				big := make([]byte, 256<<10)
+				for i := range big {
+					big[i] = byte(i * 31)
+				}
+				resp, err := net.Call(addr, "echo", big)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(resp) != len(big)+5 || string(resp[:5]) != "echo:" {
+					t.Fatalf("large payload resp length = %d", len(resp))
+				}
+				for i, b := range big {
+					if resp[5+i] != b {
+						t.Fatalf("payload corrupted at byte %d", i)
+					}
+				}
+			})
+
+			t.Run("typed invoke", func(t *testing.T) {
+				addr := addrOf(t)
+				m := NewMux()
+				type pair struct{ X, Y int }
+				m.Handle("add", func(b []byte) ([]byte, error) {
+					var p pair
+					if err := Unmarshal(b, &p); err != nil {
+						return nil, err
+					}
+					return Marshal(p.X + p.Y)
+				})
+				stop, err := net.Register(addr, m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer stop()
+				var sum int
+				if err := Invoke(net, addr, "add", pair{20, 22}, &sum); err != nil || sum != 42 {
+					t.Fatalf("Invoke = %d, %v", sum, err)
+				}
+			})
+		})
+	}
+}

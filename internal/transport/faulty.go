@@ -1,0 +1,418 @@
+package transport
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Faulty decorates any Network with deterministic, seeded fault
+// injection: per-link rules that drop calls, delay them, duplicate them,
+// answer with injected remote errors, hard-partition one direction of a
+// link, or crash the destination on its Nth matching call. The same seed
+// and the same call sequence replay the same fault schedule byte for
+// byte (Schedule renders it), which is what makes chaos scenarios in
+// internal/sim reproducible and debuggable.
+//
+// A link is a (from, to) address pair. The shared Faulty value has no
+// caller information ("from" is empty); Endpoint(addr) returns a view
+// that stamps every outgoing call with its source address, so one-way
+// rules and crashed-caller semantics work. Register always delegates to
+// the wrapped network.
+type Faulty struct {
+	inner Network
+	seed  int64
+
+	mu      sync.Mutex
+	rules   []*boundRule
+	nextID  int
+	crashed map[string]bool
+	linkSeq map[string]int
+	log     []FaultEvent
+
+	// sleep is the delay implementation (time.Sleep unless a test
+	// replaces it via SetSleep).
+	sleep func(time.Duration)
+}
+
+// FaultKind names an injected fault in the schedule log.
+type FaultKind int
+
+const (
+	// FaultDrop is a lost call (surfaces as ErrUnreachable).
+	FaultDrop FaultKind = iota
+	// FaultDelay is an added latency before the call proceeds.
+	FaultDelay
+	// FaultDuplicate is a call dispatched twice (the duplicate's
+	// response is discarded).
+	FaultDuplicate
+	// FaultError is an injected remote error (surfaces as *RemoteError).
+	FaultError
+	// FaultPartition is a call blocked by a hard one-way partition.
+	FaultPartition
+	// FaultCrash is the destination crashing on its Nth matching call.
+	FaultCrash
+	// FaultCrashed is a call to (or from) an already-crashed address.
+	FaultCrashed
+)
+
+// String names the kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultDrop:
+		return "drop"
+	case FaultDelay:
+		return "delay"
+	case FaultDuplicate:
+		return "duplicate"
+	case FaultError:
+		return "error"
+	case FaultPartition:
+		return "partition"
+	case FaultCrash:
+		return "crash"
+	case FaultCrashed:
+		return "crashed"
+	}
+	return "?"
+}
+
+// Rule is one per-link fault rule. Empty From/To/Method match any
+// source, destination, or RPC method. Probabilities are evaluated
+// independently per matching call against the rule's own seeded RNG, so
+// a rule's decision sequence depends only on the seed and how many calls
+// matched it before — not on other rules or links.
+type Rule struct {
+	// From and To select the link; empty matches any address.
+	From, To string
+	// Method restricts the rule to one RPC method ("" = all).
+	Method string
+	// Partition blocks every matching call (a hard one-way partition
+	// when From and To are both set).
+	Partition bool
+	// Drop is the probability a matching call is lost (ErrUnreachable).
+	Drop float64
+	// Error is the probability a matching call returns an injected
+	// *RemoteError instead of reaching the destination.
+	Error float64
+	// Duplicate is the probability a matching call is dispatched twice.
+	Duplicate float64
+	// DelayProb is the probability a matching call is delayed by Delay
+	// before proceeding.
+	DelayProb float64
+	// Delay is the injected latency when DelayProb fires.
+	Delay time.Duration
+	// CrashAfter > 0 crashes the destination address permanently when
+	// the rule's Nth matching call arrives (the call itself fails). The
+	// crash also severs calls *from* the crashed address on stamped
+	// endpoints — a crashed peer cannot call out.
+	CrashAfter int
+}
+
+// boundRule is a rule armed with its deterministic RNG and counters.
+type boundRule struct {
+	id    int
+	r     Rule
+	rng   *rand.Rand
+	calls int
+}
+
+// FaultEvent is one line of the fault schedule: an intercepted call and
+// what was injected into it. Sequencing is per link (ordered pair of
+// addresses), because per-link call order is what a deterministic driver
+// controls — concurrent calls on *different* links may interleave
+// arbitrarily in real time without making the schedule ambiguous.
+type FaultEvent struct {
+	// Seq is the interception sequence number on this link.
+	Seq int
+	// From, To, Method identify the intercepted call.
+	From, To, Method string
+	// Kind is the injected fault.
+	Kind FaultKind
+}
+
+// String renders the event as one schedule line.
+func (e FaultEvent) String() string {
+	from := e.From
+	if from == "" {
+		from = "*"
+	}
+	return fmt.Sprintf("%s->%s #%d %s %s", from, e.To, e.Seq, e.Method, e.Kind)
+}
+
+// NewFaulty wraps a network with fault injection. With no rules added it
+// is a transparent pass-through.
+func NewFaulty(inner Network, seed int64) *Faulty {
+	return &Faulty{
+		inner:   inner,
+		seed:    seed,
+		crashed: make(map[string]bool),
+		linkSeq: make(map[string]int),
+		sleep:   time.Sleep,
+	}
+}
+
+// SetSleep replaces the delay implementation (tests use a recording
+// no-op so injected latency doesn't slow the suite).
+func (f *Faulty) SetSleep(fn func(time.Duration)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.sleep = fn
+}
+
+// AddRule arms a rule and returns its id (for RemoveRule). The rule's
+// RNG is derived from the network seed and the id, so re-adding the same
+// rules in the same order replays the same decisions.
+func (f *Faulty) AddRule(r Rule) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	id := f.nextID
+	f.nextID++
+	f.rules = append(f.rules, &boundRule{
+		id:  id,
+		r:   r,
+		rng: rand.New(rand.NewSource(f.seed ^ int64(uint64(id+1)*0x9E3779B97F4A7C15))),
+	})
+	return id
+}
+
+// RemoveRule disarms a rule by id (no-op for unknown ids).
+func (f *Faulty) RemoveRule(id int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i, br := range f.rules {
+		if br.id == id {
+			f.rules = append(f.rules[:i], f.rules[i+1:]...)
+			return
+		}
+	}
+}
+
+// RemoveLinkRules disarms every rule whose From and To match the given
+// link exactly (healing one link without touching others).
+func (f *Faulty) RemoveLinkRules(from, to string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	kept := f.rules[:0]
+	for _, br := range f.rules {
+		if br.r.From == from && br.r.To == to {
+			continue
+		}
+		kept = append(kept, br)
+	}
+	f.rules = kept
+}
+
+// Crash marks an address as crashed: every call to it (and, on stamped
+// endpoints, from it) fails with ErrUnreachable until Revive.
+func (f *Faulty) Crash(addr string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashed[addr] = true
+}
+
+// Revive clears a crash mark.
+func (f *Faulty) Revive(addr string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.crashed, addr)
+}
+
+// Crashed reports whether the address is currently crash-marked.
+func (f *Faulty) Crashed(addr string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed[addr]
+}
+
+// Schedule returns a copy of the fault events injected so far, in
+// interception order.
+func (f *Faulty) Schedule() []FaultEvent {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]FaultEvent(nil), f.log...)
+}
+
+// ScheduleString renders the schedule one event per line in canonical
+// order (link, then per-link sequence) — the byte-for-byte replay
+// artifact determinism tests compare. Canonical ordering makes the
+// rendering independent of how concurrent calls on different links
+// happened to interleave in real time.
+func (f *Faulty) ScheduleString() string {
+	events := f.Schedule()
+	sort.Slice(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return a.Seq < b.Seq
+	})
+	var b strings.Builder
+	for _, e := range events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ResetSchedule clears the event log (rule RNGs, per-link sequence
+// counters, and crash marks keep their positions).
+func (f *Faulty) ResetSchedule() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.log = nil
+	f.linkSeq = make(map[string]int)
+}
+
+// Register implements Network by delegating to the wrapped network.
+func (f *Faulty) Register(addr string, mux *Mux) (func(), error) {
+	return f.inner.Register(addr, mux)
+}
+
+// Call implements Caller with an unknown ("") source address; one-way
+// rules with a non-empty From never match these calls. Use Endpoint for
+// source-stamped calling.
+func (f *Faulty) Call(addr, method string, req []byte) ([]byte, error) {
+	return f.call("", addr, method, req)
+}
+
+// Endpoint returns a Network view that stamps outgoing calls with src,
+// enabling one-way partition rules and crashed-caller semantics. Give
+// each peer its own endpoint (its address as src).
+func (f *Faulty) Endpoint(src string) Network {
+	return &endpoint{f: f, src: src}
+}
+
+type endpoint struct {
+	f   *Faulty
+	src string
+}
+
+func (e *endpoint) Register(addr string, mux *Mux) (func(), error) {
+	return e.f.inner.Register(addr, mux)
+}
+
+func (e *endpoint) Call(addr, method string, req []byte) ([]byte, error) {
+	return e.f.call(e.src, addr, method, req)
+}
+
+// decision is the fault plan for one intercepted call, settled under the
+// lock before any blocking work happens.
+type decision struct {
+	fail      error
+	delay     time.Duration
+	duplicate bool
+}
+
+// call intercepts one RPC: match rules, draw the fault decision
+// deterministically, log it, then act on it.
+func (f *Faulty) call(from, to, method string, req []byte) ([]byte, error) {
+	d := f.decide(from, to, method)
+	if d.delay > 0 {
+		f.sleepFor(d.delay)
+	}
+	if d.fail != nil {
+		return nil, d.fail
+	}
+	if d.duplicate {
+		// Fire-and-forget duplicate delivery, as a flaky network would:
+		// the duplicate's response is discarded. Synchronous dispatch
+		// keeps the schedule deterministic.
+		_, _ = f.inner.Call(to, method, req)
+	}
+	return f.inner.Call(to, method, req)
+}
+
+func (f *Faulty) sleepFor(d time.Duration) {
+	f.mu.Lock()
+	sleep := f.sleep
+	f.mu.Unlock()
+	sleep(d)
+}
+
+// decide settles the fault plan for one call under the lock. Rules are
+// evaluated in AddRule order; the first failure-class fault (partition,
+// crash, drop, error) wins, while delay and duplicate compose with each
+// other and with a later failure (a call can be delayed and then
+// dropped, exactly like a slow link into a dead peer).
+func (f *Faulty) decide(from, to, method string) decision {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var d decision
+	if f.crashed[to] {
+		f.record(from, to, method, FaultCrashed)
+		d.fail = fmt.Errorf("%w: %s (crashed)", ErrUnreachable, to)
+		return d
+	}
+	if from != "" && f.crashed[from] {
+		f.record(from, to, method, FaultCrashed)
+		d.fail = fmt.Errorf("%w: caller %s crashed", ErrUnreachable, from)
+		return d
+	}
+	for _, br := range f.rules {
+		r := &br.r
+		if r.From != "" && r.From != from {
+			continue
+		}
+		if r.To != "" && r.To != to {
+			continue
+		}
+		if r.Method != "" && r.Method != method {
+			continue
+		}
+		br.calls++
+		if r.Partition {
+			f.record(from, to, method, FaultPartition)
+			d.fail = fmt.Errorf("%w: %s (partitioned)", ErrUnreachable, to)
+			return d
+		}
+		if r.CrashAfter > 0 && br.calls >= r.CrashAfter {
+			f.crashed[to] = true
+			f.record(from, to, method, FaultCrash)
+			d.fail = fmt.Errorf("%w: %s (crashed mid-call)", ErrUnreachable, to)
+			return d
+		}
+		if r.DelayProb > 0 && br.rng.Float64() < r.DelayProb {
+			f.record(from, to, method, FaultDelay)
+			d.delay += r.Delay
+		}
+		if r.Duplicate > 0 && br.rng.Float64() < r.Duplicate {
+			f.record(from, to, method, FaultDuplicate)
+			d.duplicate = true
+		}
+		if r.Drop > 0 && br.rng.Float64() < r.Drop {
+			f.record(from, to, method, FaultDrop)
+			d.fail = fmt.Errorf("%w: %s (injected drop)", ErrUnreachable, to)
+			return d
+		}
+		if r.Error > 0 && br.rng.Float64() < r.Error {
+			f.record(from, to, method, FaultError)
+			d.fail = &RemoteError{Method: method, Msg: "injected fault"}
+			return d
+		}
+	}
+	return d
+}
+
+// record appends one schedule event (caller holds the lock).
+func (f *Faulty) record(from, to, method string, kind FaultKind) {
+	key := from + "\x00" + to
+	seq := f.linkSeq[key]
+	f.linkSeq[key] = seq + 1
+	f.log = append(f.log, FaultEvent{Seq: seq, From: from, To: to, Method: method, Kind: kind})
+}
+
+// linkSeed derives a stable per-link value (exported logic kept local;
+// used by RetryPolicy's jitter to decorrelate links deterministically).
+func linkSeed(seed int64, key string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return seed ^ int64(h.Sum64())
+}

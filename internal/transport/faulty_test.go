@@ -1,0 +1,286 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// faultyPair returns a Faulty over an InMem with two echo peers, "a" and
+// "b", and stamped endpoints for each.
+func faultyPair(t *testing.T, seed int64) (*Faulty, Network, Network) {
+	t.Helper()
+	inner := NewInMem()
+	f := NewFaulty(inner, seed)
+	for _, addr := range []string{"a", "b"} {
+		if _, err := f.Register(addr, echoMux()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f, f.Endpoint("a"), f.Endpoint("b")
+}
+
+func TestFaultyPassthrough(t *testing.T) {
+	f, ea, _ := faultyPair(t, 1)
+	resp, err := ea.Call("b", "echo", []byte("x"))
+	if err != nil || string(resp) != "echo:x" {
+		t.Fatalf("Call = %q, %v", resp, err)
+	}
+	if s := f.ScheduleString(); s != "" {
+		t.Fatalf("no-rule schedule = %q", s)
+	}
+}
+
+func TestFaultyDropAndError(t *testing.T) {
+	f, ea, _ := faultyPair(t, 2)
+	drop := f.AddRule(Rule{To: "b", Drop: 1})
+	if _, err := ea.Call("b", "echo", nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("dropped call error = %v", err)
+	}
+	f.RemoveRule(drop)
+	f.AddRule(Rule{To: "b", Error: 1})
+	_, err := ea.Call("b", "echo", nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("injected error = %v", err)
+	}
+	if Retryable(err) {
+		t.Fatal("injected RemoteError classified retryable")
+	}
+	// Schedule recorded both faults in per-link order.
+	events := f.Schedule()
+	if len(events) != 2 || events[0].Kind != FaultDrop || events[1].Kind != FaultError {
+		t.Fatalf("schedule = %v", events)
+	}
+	if events[0].Seq != 0 || events[1].Seq != 1 {
+		t.Fatalf("per-link sequence = %d, %d", events[0].Seq, events[1].Seq)
+	}
+}
+
+func TestFaultyCrashOnNthCall(t *testing.T) {
+	f, ea, _ := faultyPair(t, 3)
+	f.AddRule(Rule{To: "b", Method: "echo", CrashAfter: 3})
+	for i := 0; i < 2; i++ {
+		if _, err := ea.Call("b", "echo", nil); err != nil {
+			t.Fatalf("call %d before crash: %v", i, err)
+		}
+	}
+	// Non-matching method must not advance the counter.
+	if _, err := ea.Call("b", "fail", nil); err == nil {
+		t.Fatal("fail handler returned nil error")
+	}
+	if _, err := ea.Call("b", "echo", nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("third matching call error = %v", err)
+	}
+	if !f.Crashed("b") {
+		t.Fatal("b not crash-marked after CrashAfter trigger")
+	}
+	// Crashed peers fail every subsequent call, any method.
+	if _, err := ea.Call("b", "fail", nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("post-crash call error = %v", err)
+	}
+	// A crashed caller cannot call out through its endpoint.
+	eb := f.Endpoint("b")
+	if _, err := eb.Call("a", "echo", nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("crashed caller error = %v", err)
+	}
+	f.Revive("b")
+	if _, err := ea.Call("b", "fail", nil); errors.Is(err, ErrUnreachable) {
+		t.Fatalf("post-revive call error = %v", err)
+	}
+}
+
+func TestFaultyOneWayPartition(t *testing.T) {
+	f, ea, eb := faultyPair(t, 4)
+	f.AddRule(Rule{From: "a", To: "b", Partition: true})
+	if _, err := ea.Call("b", "echo", nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("a->b should be partitioned, got %v", err)
+	}
+	// The reverse direction keeps working: a one-way partition.
+	if _, err := eb.Call("a", "echo", nil); err != nil {
+		t.Fatalf("b->a should work: %v", err)
+	}
+	// Unstamped calls (from "") don't match the From-scoped rule.
+	if _, err := f.Call("b", "echo", nil); err != nil {
+		t.Fatalf("unstamped call should pass: %v", err)
+	}
+	f.RemoveLinkRules("a", "b")
+	if _, err := ea.Call("b", "echo", nil); err != nil {
+		t.Fatalf("healed link call: %v", err)
+	}
+}
+
+func TestFaultyDelayAndDuplicate(t *testing.T) {
+	f, ea, _ := faultyPair(t, 5)
+	var slept []time.Duration
+	f.SetSleep(func(d time.Duration) { slept = append(slept, d) })
+	f.AddRule(Rule{To: "b", DelayProb: 1, Delay: 7 * time.Millisecond})
+	if _, err := ea.Call("b", "echo", nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(slept) != 1 || slept[0] != 7*time.Millisecond {
+		t.Fatalf("recorded sleeps = %v", slept)
+	}
+	// Duplicate: the handler runs twice per logical call.
+	n := NewInMem()
+	count := 0
+	m := NewMux()
+	m.Handle("inc", func([]byte) ([]byte, error) { count++; return nil, nil })
+	f2 := NewFaulty(n, 6)
+	if _, err := f2.Register("c", m); err != nil {
+		t.Fatal(err)
+	}
+	f2.AddRule(Rule{To: "c", Duplicate: 1})
+	if _, err := f2.Call("c", "inc", nil); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("handler ran %d times under Duplicate: 1", count)
+	}
+}
+
+// TestFaultyScheduleReplay drives two independently-built Faulty networks
+// with the same seed through the same call sequence and requires the
+// rendered fault schedules to match byte for byte — the replay guarantee
+// the chaos harness builds on.
+func TestFaultyScheduleReplay(t *testing.T) {
+	run := func() string {
+		inner := NewInMem()
+		f := NewFaulty(inner, 99)
+		f.SetSleep(func(time.Duration) {})
+		for _, addr := range []string{"a", "b", "c"} {
+			if _, err := f.Register(addr, echoMux()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		f.AddRule(Rule{To: "b", Drop: 0.5})
+		f.AddRule(Rule{From: "a", To: "c", Error: 0.3, DelayProb: 0.4, Delay: time.Millisecond})
+		ea, ec := f.Endpoint("a"), f.Endpoint("c")
+		for i := 0; i < 40; i++ {
+			_, _ = ea.Call("b", "echo", nil)
+			_, _ = ea.Call("c", "echo", nil)
+			_, _ = ec.Call("b", "echo", nil)
+		}
+		return f.ScheduleString()
+	}
+	s1, s2 := run(), run()
+	if s1 != s2 {
+		t.Fatalf("schedules diverged:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", s1, s2)
+	}
+	if s1 == "" {
+		t.Fatal("probabilistic rules injected nothing in 120 calls")
+	}
+}
+
+// TestFaultyRuleIsolation verifies that a rule's decision stream depends
+// only on its own matching calls: interleaving traffic on another link
+// must not perturb it.
+func TestFaultyRuleIsolation(t *testing.T) {
+	sequence := func(withNoise bool) string {
+		f := NewFaulty(NewInMem(), 123)
+		for _, addr := range []string{"a", "b", "c"} {
+			if _, err := f.Register(addr, echoMux()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		f.AddRule(Rule{To: "b", Drop: 0.5})
+		f.AddRule(Rule{To: "c", Drop: 0.5})
+		var outcomes string
+		for i := 0; i < 60; i++ {
+			if withNoise {
+				_, _ = f.Call("c", "echo", nil) // traffic matching the other rule
+			}
+			if _, err := f.Call("b", "echo", nil); err != nil {
+				outcomes += "x"
+			} else {
+				outcomes += "."
+			}
+		}
+		return outcomes
+	}
+	if a, b := sequence(false), sequence(true); a != b {
+		t.Fatalf("cross-link traffic perturbed a rule's decisions:\nquiet: %s\nnoisy: %s", a, b)
+	}
+}
+
+func TestFaultyResetSchedule(t *testing.T) {
+	f, ea, _ := faultyPair(t, 8)
+	f.AddRule(Rule{To: "b", Drop: 1})
+	_, _ = ea.Call("b", "echo", nil)
+	if len(f.Schedule()) != 1 {
+		t.Fatalf("schedule = %v", f.Schedule())
+	}
+	f.ResetSchedule()
+	if len(f.Schedule()) != 0 {
+		t.Fatal("ResetSchedule left events")
+	}
+	_, _ = ea.Call("b", "echo", nil)
+	if got := f.Schedule(); len(got) != 1 || got[0].Seq != 0 {
+		t.Fatalf("post-reset schedule = %v", got)
+	}
+}
+
+func TestFaultEventString(t *testing.T) {
+	e := FaultEvent{Seq: 2, From: "a", To: "b", Method: "echo", Kind: FaultDrop}
+	if got := e.String(); got != "a->b #2 echo drop" {
+		t.Fatalf("String() = %q", got)
+	}
+	e.From = ""
+	if got := e.String(); got != "*->b #2 echo drop" {
+		t.Fatalf("unstamped String() = %q", got)
+	}
+	kinds := []FaultKind{FaultDrop, FaultDelay, FaultDuplicate, FaultError, FaultPartition, FaultCrash, FaultCrashed, FaultKind(99)}
+	want := []string{"drop", "delay", "duplicate", "error", "partition", "crash", "crashed", "?"}
+	for i, k := range kinds {
+		if k.String() != want[i] {
+			t.Errorf("kind %d String() = %q, want %q", i, k.String(), want[i])
+		}
+	}
+}
+
+// TestFaultyRegisterDelegates confirms registration passes through to the
+// wrapped network (both on the shared value and on endpoints).
+func TestFaultyRegisterDelegates(t *testing.T) {
+	inner := NewInMem()
+	f := NewFaulty(inner, 9)
+	if _, err := f.Register("x", echoMux()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Endpoint("y").Register("x", echoMux()); !errors.Is(err, ErrAddrInUse) {
+		t.Fatalf("duplicate register through endpoint = %v", err)
+	}
+	if _, err := inner.Call("x", "echo", nil); err != nil {
+		t.Fatalf("inner call to registered addr: %v", err)
+	}
+}
+
+// TestFaultyFirstFailureWins verifies rule precedence: the first
+// failure-class fault in AddRule order settles the call.
+func TestFaultyFirstFailureWins(t *testing.T) {
+	f, ea, _ := faultyPair(t, 10)
+	f.AddRule(Rule{To: "b", Partition: true})
+	f.AddRule(Rule{To: "b", Error: 1})
+	_, err := ea.Call("b", "echo", nil)
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("expected the partition to win, got %v", err)
+	}
+	events := f.Schedule()
+	if len(events) != 1 || events[0].Kind != FaultPartition {
+		t.Fatalf("schedule = %v", events)
+	}
+}
+
+func TestFaultyCrashedCallToString(t *testing.T) {
+	f, ea, _ := faultyPair(t, 11)
+	f.Crash("b")
+	_, err := ea.Call("b", "echo", nil)
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("crashed call = %v", err)
+	}
+	s := f.ScheduleString()
+	want := fmt.Sprintf("%s\n", FaultEvent{Seq: 0, From: "a", To: "b", Method: "echo", Kind: FaultCrashed})
+	if s != want {
+		t.Fatalf("ScheduleString = %q, want %q", s, want)
+	}
+}

@@ -1,0 +1,142 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzTCPFrame fuzzes the wire-format decoders (readRequest and
+// readResponse over the same chunk framing) with arbitrary byte streams:
+// truncated frames, length prefixes larger than the stream or the frame
+// limit, and garbage gob payloads must all return errors — never panic,
+// and never allocate anywhere near the claimed length of a lying prefix.
+func FuzzTCPFrame(f *testing.F) {
+	// Well-formed request frame.
+	var good bytes.Buffer
+	w := bufio.NewWriter(&good)
+	if err := writeRequest(w, "echo", []byte("payload")); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	// Well-formed ok and error responses.
+	var okResp bytes.Buffer
+	w = bufio.NewWriter(&okResp)
+	if err := writeResponse(w, []byte("result"), nil); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(okResp.Bytes())
+	// Truncated frame: header promises more than the stream holds.
+	var truncated bytes.Buffer
+	hdr := make([]byte, binary.MaxVarintLen64)
+	n := binary.PutUvarint(hdr, 1000)
+	truncated.Write(hdr[:n])
+	truncated.WriteString("short")
+	f.Add(truncated.Bytes())
+	// Oversized prefix: larger than maxFrame.
+	var oversized bytes.Buffer
+	n = binary.PutUvarint(hdr, maxFrame+1)
+	oversized.Write(hdr[:n])
+	f.Add(oversized.Bytes())
+	// Lying prefix just under the limit with almost no data: must error
+	// from truncation without committing a maxFrame-sized allocation.
+	var lying bytes.Buffer
+	n = binary.PutUvarint(hdr, maxFrame-1)
+	lying.Write(hdr[:n])
+	lying.WriteString("x")
+	f.Add(lying.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Request path: either both chunks decode within bounds, or an
+		// error — never a panic.
+		method, payload, err := readRequest(bufio.NewReader(bytes.NewReader(data)))
+		if err == nil {
+			if len(method) > maxFrame || len(payload) > maxFrame {
+				t.Fatalf("decoded chunk exceeds frame limit: method=%d payload=%d", len(method), len(payload))
+			}
+			// A successful decode can never claim more bytes than the
+			// input held.
+			if len(method)+len(payload) > len(data) {
+				t.Fatalf("decoded %d bytes from a %d-byte stream", len(method)+len(payload), len(data))
+			}
+		}
+		// Response path over the same bytes.
+		body, remoteMsg, err := readResponse(bufio.NewReader(bytes.NewReader(data)))
+		if err == nil {
+			if len(body) > maxFrame || len(remoteMsg) > maxFrame {
+				t.Fatalf("decoded response exceeds frame limit: body=%d msg=%d", len(body), len(remoteMsg))
+			}
+			if len(body)+len(remoteMsg) > len(data) {
+				t.Fatalf("decoded %d bytes from a %d-byte stream", len(body)+len(remoteMsg), len(data))
+			}
+		}
+		// Payloads that survived framing still hit gob: arbitrary bytes
+		// must error cleanly, not panic.
+		var decoded struct {
+			Terms []string
+			K     int
+		}
+		_ = Unmarshal(data, &decoded)
+	})
+}
+
+// TestReadChunkLyingPrefix pins the incremental-growth behavior outside
+// the fuzzer: a frame claiming maxFrame-1 bytes but delivering one must
+// fail without allocating the claimed size.
+func TestReadChunkLyingPrefix(t *testing.T) {
+	var buf bytes.Buffer
+	hdr := make([]byte, binary.MaxVarintLen64)
+	n := binary.PutUvarint(hdr, maxFrame-1)
+	buf.Write(hdr[:n])
+	buf.WriteString("only this")
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			data := buf.Bytes()
+			if _, err := readChunk(bufio.NewReader(bytes.NewReader(data))); err == nil {
+				b.Fatal("lying prefix decoded successfully")
+			}
+		}
+	})
+	// The 64KiB-step growth means a truncated stream of ~10 bytes commits
+	// at most one step (plus reader buffers), nowhere near the claimed
+	// 64MiB.
+	if per := res.AllocedBytesPerOp(); per > 1<<20 {
+		t.Fatalf("lying prefix allocated %d bytes/op (limit 1MiB)", per)
+	}
+}
+
+func TestReadChunkOversizedPrefix(t *testing.T) {
+	var buf bytes.Buffer
+	hdr := make([]byte, binary.MaxVarintLen64)
+	n := binary.PutUvarint(hdr, maxFrame+1)
+	buf.Write(hdr[:n])
+	if _, err := readChunk(bufio.NewReader(&buf)); err == nil {
+		t.Fatal("oversized prefix accepted")
+	}
+}
+
+func TestReadChunkLargeValid(t *testing.T) {
+	// A genuine multi-step frame (crosses the 64KiB growth step) round
+	// trips intact.
+	payload := make([]byte, 200<<10)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := writeChunk(w, payload); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	got, err := readChunk(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("multi-step chunk corrupted")
+	}
+}

@@ -1,0 +1,152 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// raiseGOMAXPROCS lifts the scheduler width for the duration of a test so
+// concurrency stress actually fans out even on single-CPU machines — the
+// race detector needs the goroutines to exist, not physical cores.
+func raiseGOMAXPROCS(t *testing.T, n int) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
+
+// TestMuxConcurrentRegisterDispatch hammers one Mux with concurrent
+// Handle registrations, re-registrations, Dispatch calls, and Methods
+// snapshots. Run under -race (verify.sh does) this is the data-race
+// certificate for the registration/dispatch paths.
+func TestMuxConcurrentRegisterDispatch(t *testing.T) {
+	raiseGOMAXPROCS(t, 8)
+	m := NewMux()
+	const methods = 16
+	var dispatched atomic.Int64
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Writers: register and re-register handlers while dispatch runs.
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for gen := 0; ; gen++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := 0; i < methods; i++ {
+					method := fmt.Sprintf("m%d", i)
+					reply := []byte(fmt.Sprintf("w%d-g%d", w, gen))
+					m.Handle(method, func([]byte) ([]byte, error) {
+						return reply, nil
+					})
+				}
+			}
+		}(w)
+	}
+	// Readers: dispatch to every method, known and unknown.
+	for r := 0; r < 8; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			for round := 0; round < 500; round++ {
+				method := fmt.Sprintf("m%d", (r+round)%methods)
+				resp, err := m.Dispatch(method, nil)
+				if err != nil {
+					// Only the not-yet-registered window may error.
+					if !errors.Is(err, ErrNoMethod) {
+						t.Errorf("Dispatch(%s) = %v", method, err)
+						return
+					}
+					continue
+				}
+				if len(resp) == 0 {
+					t.Errorf("Dispatch(%s) returned empty reply", method)
+					return
+				}
+				dispatched.Add(1)
+				if _, err := m.Dispatch("never-registered", nil); !errors.Is(err, ErrNoMethod) {
+					t.Errorf("unknown method error = %v", err)
+					return
+				}
+			}
+		}(r)
+	}
+	// Snapshot readers.
+	for s := 0; s < 2; s++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 500; i++ {
+				if got := m.Methods(); len(got) > methods {
+					t.Errorf("Methods() = %d entries (max %d registered)", len(got), methods)
+					return
+				}
+			}
+		}()
+	}
+
+	// Writers churn registrations until every reader has finished its
+	// rounds, so dispatch always races live re-registrations.
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+	if dispatched.Load() == 0 {
+		t.Fatal("no successful dispatches under contention")
+	}
+}
+
+// TestInMemConcurrentRegisterCall races peer registration/deregistration
+// against calls on an InMem network — the transport-level analogue of the
+// Mux stress, under -race.
+func TestInMemConcurrentRegisterCall(t *testing.T) {
+	raiseGOMAXPROCS(t, 8)
+	n := NewInMem()
+	const peers = 8
+	var wg sync.WaitGroup
+	// Churners: register and deregister their peer in a loop.
+	for p := 0; p < peers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			addr := fmt.Sprintf("peer-%d", p)
+			for i := 0; i < 100; i++ {
+				stop, err := n.Register(addr, echoMux())
+				if err != nil {
+					t.Errorf("register %s: %v", addr, err)
+					return
+				}
+				if _, err := n.Call(addr, "echo", []byte("self")); err != nil {
+					t.Errorf("self call %s: %v", addr, err)
+					stop()
+					return
+				}
+				stop()
+			}
+		}(p)
+	}
+	// Callers: fire at random peers; unreachable is legal mid-churn,
+	// anything else is not.
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				addr := fmt.Sprintf("peer-%d", (c+i)%peers)
+				_, err := n.Call(addr, "echo", []byte("x"))
+				if err != nil && !errors.Is(err, ErrUnreachable) {
+					t.Errorf("call %s: %v", addr, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"syscall"
 	"time"
 )
 
@@ -54,6 +55,11 @@ const maxFrame = 64 << 20
 func (t *TCP) Register(addr string, mux *Mux) (func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
+		if errors.Is(err, syscall.EADDRINUSE) {
+			// Same classification as InMem's duplicate registration, so
+			// the two transports report this case identically.
+			return nil, fmt.Errorf("%w: %s: %v", ErrAddrInUse, addr, err)
+		}
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
 	var wg sync.WaitGroup
@@ -302,9 +308,29 @@ func readChunk(r *bufio.Reader) ([]byte, error) {
 	if n > maxFrame {
 		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, err
+	// Grow the buffer as bytes actually arrive instead of trusting the
+	// prefix: a frame that lies about its length (truncated stream,
+	// attacker-chosen prefix) then errors without having committed an
+	// n-sized allocation.
+	const step = 64 << 10
+	if n <= step {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	buf := make([]byte, 0, step)
+	for uint64(len(buf)) < n {
+		chunk := n - uint64(len(buf))
+		if chunk > step {
+			chunk = step
+		}
+		start := len(buf)
+		buf = append(buf, make([]byte, chunk)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return nil, err
+		}
 	}
 	return buf, nil
 }
