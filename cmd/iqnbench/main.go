@@ -9,6 +9,7 @@
 //	iqnbench -exp fig3right -docs 60000           # Figure 3, sliding window
 //	iqnbench -exp aggregation|histogram|budget|hetero|prior
 //	iqnbench -exp route                           # Fast-IQN lazy vs exhaustive routing cost
+//	iqnbench -exp overload                        # tail latency bare vs overload-hardened
 //	iqnbench -exp all                             # everything, default sizes
 //
 // The defaults are laptop-scale (20k documents); raise -docs for runs
@@ -31,7 +32,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: fig2left|fig2right|fig3left|fig3right|aggregation|histogram|budget|hetero|prior|cost|churn|chaos|load|route|all")
+		exp    = flag.String("exp", "all", "experiment: fig2left|fig2right|fig3left|fig3right|aggregation|histogram|budget|hetero|prior|cost|churn|chaos|load|route|overload|all")
 		docs   = flag.Int("docs", 20000, "corpus size for fig3-style experiments")
 		vocab  = flag.Int("vocab", 0, "vocabulary size (0: docs/10)")
 		runs   = flag.Int("runs", 50, "runs per point for fig2-style experiments")
@@ -171,6 +172,18 @@ func main() {
 			fmt.Printf("recall before      %0.3f\n", res.Before)
 			fmt.Printf("recall degraded    %0.3f (stale posts still name dead peers)\n", res.Degraded)
 			fmt.Printf("recall healed      %0.3f (after republish + prune of %d posts)\n", res.Healed, res.Pruned)
+		case "overload":
+			points, err := eval.Overload(eval.OverloadConfig{
+				CorpusDocs: *docs, VocabSize: *vocab, Strategy: right,
+				Queries: 40, K: *k, Seed: *seed, MaxPeers: 5,
+				Concurrencies: []int{2, 8, 16}, AdmissionLimit: 2, AdmissionQueue: 1,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "iqnbench: overload: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println("# Overload: tail latency and recall, bare vs hardened (budgets + hedging + breakers + admission control)")
+			fmt.Print(eval.OverloadTable(points))
 		case "chaos":
 			points, err := eval.Chaos(eval.ChaosConfig{
 				CorpusDocs: *docs, VocabSize: *vocab, Strategy: right,
@@ -191,7 +204,7 @@ func main() {
 
 	if *exp == "all" {
 		for _, name := range []string{"fig2left", "fig2right", "fig3left", "fig3right",
-			"aggregation", "histogram", "budget", "hetero", "prior", "cost", "churn", "chaos", "load", "route"} {
+			"aggregation", "histogram", "budget", "hetero", "prior", "cost", "churn", "chaos", "load", "route", "overload"} {
 			run(name)
 		}
 		return

@@ -1,0 +1,77 @@
+package core
+
+import "time"
+
+// Deadline is an end-to-end time budget for one distributed operation —
+// the paper's interactive-search setting made explicit: a query is
+// worth answering only within a bounded response time, so every stage
+// (directory fetch, routing, fan-out, re-routing) spends from one
+// shared budget instead of stacking independent timeouts.
+//
+// A nil *Deadline means "no budget" and is safe to call through — all
+// methods have nil-receiver semantics — so options structs can leave
+// budgets unset without changing behavior.
+type Deadline struct {
+	start time.Time
+	total time.Duration
+}
+
+// StartDeadline arms a budget of d starting now. d ≤ 0 returns nil (no
+// budget).
+func StartDeadline(d time.Duration) *Deadline {
+	if d <= 0 {
+		return nil
+	}
+	return &Deadline{start: time.Now(), total: d}
+}
+
+// Armed reports whether a budget is in force.
+func (d *Deadline) Armed() bool { return d != nil }
+
+// Total returns the budget's full span (0 when unarmed).
+func (d *Deadline) Total() time.Duration {
+	if d == nil {
+		return 0
+	}
+	return d.total
+}
+
+// Remaining returns how much budget is left (0 when expired; 0 when
+// unarmed — check Armed to tell the cases apart).
+func (d *Deadline) Remaining() time.Duration {
+	if d == nil {
+		return 0
+	}
+	r := d.total - time.Since(d.start)
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Expired reports whether an armed budget has run out. An unarmed
+// budget never expires.
+func (d *Deadline) Expired() bool {
+	return d != nil && time.Since(d.start) >= d.total
+}
+
+// Cap bounds a per-attempt timeout by the remaining budget: with no
+// budget armed it returns t unchanged; armed, it returns the tighter of
+// t and what remains (t ≤ 0 means "no per-attempt timeout", so the
+// remainder itself is returned). An expired budget returns a minimal
+// positive duration rather than zero, because transports treat a
+// non-positive deadline as "none" — the caller should normally check
+// Expired first and degrade instead of calling at all.
+func (d *Deadline) Cap(t time.Duration) time.Duration {
+	if d == nil {
+		return t
+	}
+	r := d.Remaining()
+	if r <= 0 {
+		return time.Nanosecond
+	}
+	if t <= 0 || t > r {
+		return r
+	}
+	return t
+}

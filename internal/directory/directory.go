@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"iqn/internal/chord"
 	"iqn/internal/transport"
@@ -26,11 +27,19 @@ import (
 // (e.g. "every republish from this peer fails").
 const MethodPost = "dir.post"
 
+// MethodGet and MethodGetBatch are the PeerList read RPCs — exported so
+// fault-injection harnesses can scope latency or loss to the directory
+// read path (e.g. "this node serves reads 10× slower").
+const (
+	MethodGet      = "dir.get"
+	MethodGetBatch = "dir.get_batch"
+)
+
 // RPC method names served by the directory service of every node.
 const (
 	methodPost     = MethodPost
-	methodGet      = "dir.get"
-	methodGetBatch = "dir.get_batch"
+	methodGet      = MethodGet
+	methodGetBatch = MethodGetBatch
 	methodPrune    = "dir.prune"
 )
 
@@ -83,8 +92,9 @@ type PeerList []Post
 type Service struct {
 	node *chord.Node
 
-	mu   sync.RWMutex
-	data map[string]map[string]Post // term → peer → post
+	mu    sync.RWMutex
+	data  map[string]map[string]Post // term → peer → post
+	floor int64                      // highest Prune minEpoch seen (posts below are dead)
 }
 
 // NewService attaches a directory service to a Chord node.
@@ -125,14 +135,21 @@ func NewService(node *chord.Node) *Service {
 		return transport.Marshal(s.Prune(minEpoch))
 	})
 	s.registerHandoff()
+	s.registerRepair()
 	return s
 }
 
 // Prune removes every stored post with Epoch < minEpoch and returns how
-// many were dropped. Terms left without posts disappear entirely.
+// many were dropped. Terms left without posts disappear entirely. The
+// node remembers the highest minEpoch it pruned at (its prune floor, see
+// Floor) so anti-entropy repair cannot resurrect pruned posts from a
+// replica that missed the prune.
 func (s *Service) Prune(minEpoch int64) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if minEpoch > s.floor {
+		s.floor = minEpoch
+	}
 	dropped := 0
 	for term, byPeer := range s.data {
 		for peer, post := range byPeer {
@@ -175,6 +192,38 @@ func (s *Service) peerList(term string) PeerList {
 	return out
 }
 
+// Floor returns the node's prune floor: the highest minEpoch any Prune
+// call used (0 before the first prune). Posts below the floor are dead
+// by the maintenance discipline; repair exchanges carry the floor so a
+// stale replica that slept through the prune converges to the pruned
+// state instead of resurrecting old posts.
+func (s *Service) Floor() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.floor
+}
+
+// raiseFloor lifts the prune floor (repair messages propagate floors
+// between replicas) and drops any stored posts that fall below it.
+func (s *Service) raiseFloor(floor int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if floor <= s.floor {
+		return
+	}
+	s.floor = floor
+	for term, byPeer := range s.data {
+		for peer, post := range byPeer {
+			if post.Epoch < floor {
+				delete(byPeer, peer)
+			}
+		}
+		if len(byPeer) == 0 {
+			delete(s.data, term)
+		}
+	}
+}
+
 // TermCount returns how many terms this node currently stores posts for
 // (diagnostics).
 func (s *Service) TermCount() int {
@@ -197,6 +246,17 @@ type Client struct {
 	// handles transient faults on a live node, fail-over handles dead
 	// nodes.
 	Retry transport.RetryPolicy
+	// HedgeDelay enables hedged PeerList reads: when the first replica
+	// has not answered within this delay, the next replica is tried and
+	// the first success wins — one slow replica costs HedgeDelay, not
+	// its full latency. Zero disables hedging (sequential fail-over
+	// only).
+	HedgeDelay time.Duration
+	// ReadQuorum ≥ 2 switches fetches to quorum reads: that many replica
+	// copies are read per term, merged (MergePeerLists), and divergent
+	// replicas are patched on the spot (read-repair). ≤ 1 reads a single
+	// replica (hedged when HedgeDelay is set).
+	ReadQuorum int
 }
 
 // NewClient returns a directory client working through the given node.
@@ -218,46 +278,14 @@ func (c *Client) invoke(addr, method string, req, resp any) error {
 // recipient", Section 7.2) and each group is written to the owner and its
 // replicas. Publication succeeds per group if at least one replica
 // accepted it; the returned error aggregates groups that failed entirely.
+// PublishReport returns the same outcome with per-replica error detail.
 //
 // Large batches resolve owners against a ring snapshot (one successor
 // walk) instead of one DHT lookup per term; per-term lookups remain the
 // fallback when the walk fails.
 func (c *Client) Publish(posts []Post) error {
-	var ring []chord.NodeRef
-	if len(posts) > 16 {
-		ring = c.ringSnapshot()
-	}
-	groups := make(map[string][]Post) // addr → posts
-	for _, p := range posts {
-		var replicas []chord.NodeRef
-		if ring != nil {
-			replicas = replicasFromRing(ring, chord.HashKey(p.Term), c.Replicas)
-		} else {
-			var err error
-			replicas, err = c.node.ReplicaSet(p.Term, c.Replicas)
-			if err != nil {
-				return fmt.Errorf("directory: resolve %q: %w", p.Term, err)
-			}
-		}
-		for _, r := range replicas {
-			groups[r.Addr] = append(groups[r.Addr], p)
-		}
-	}
-	var failed []string
-	for addr, group := range groups {
-		var n int
-		if err := c.invoke(addr, methodPost, group, &n); err != nil {
-			failed = append(failed, addr)
-		}
-	}
-	// A group only truly failed if every replica holding one of its
-	// terms failed; with batching per address the practical check is
-	// that at least one address succeeded overall when any was tried.
-	if len(failed) == len(groups) && len(groups) > 0 {
-		sort.Strings(failed)
-		return fmt.Errorf("directory: all %d post targets failed (%v)", len(failed), failed)
-	}
-	return nil
+	_, err := c.PublishReport(posts)
+	return err
 }
 
 // Fetch retrieves the PeerList for one term, trying the owner first and
@@ -280,37 +308,12 @@ func (c *Client) Fetch(term string) (PeerList, error) {
 }
 
 // FetchAll retrieves the PeerLists of several terms, batching terms that
-// share a responsible node into one RPC.
+// share a responsible node into one RPC. Reads are hedged across the
+// replica set when HedgeDelay is set and quorum-read-repaired when
+// ReadQuorum ≥ 2; FetchAllReport exposes the per-replica account.
 func (c *Client) FetchAll(terms []string) (map[string]PeerList, error) {
-	byAddr := make(map[string][]string)
-	replicasByTerm := make(map[string][]chord.NodeRef, len(terms))
-	for _, t := range terms {
-		replicas, err := c.node.ReplicaSet(t, c.Replicas)
-		if err != nil {
-			return nil, err
-		}
-		replicasByTerm[t] = replicas
-		byAddr[replicas[0].Addr] = append(byAddr[replicas[0].Addr], t)
-	}
-	out := make(map[string]PeerList, len(terms))
-	for addr, group := range byAddr {
-		var got map[string]PeerList
-		if err := c.invoke(addr, methodGetBatch, group, &got); err != nil {
-			// Owner down: fall back to per-term replica fetches.
-			for _, t := range group {
-				pl, ferr := c.fetchFromReplicas(t, replicasByTerm[t][1:])
-				if ferr != nil {
-					return nil, fmt.Errorf("directory: fetch %q: %w", t, ferr)
-				}
-				out[t] = pl
-			}
-			continue
-		}
-		for t, pl := range got {
-			out[t] = pl
-		}
-	}
-	return out, nil
+	out, _, err := c.FetchAllReport(terms, 0)
+	return out, err
 }
 
 // PruneBelow asks every reachable directory node to drop posts older

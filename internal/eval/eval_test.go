@@ -3,6 +3,7 @@ package eval
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"iqn/internal/minerva"
 	"iqn/internal/synopsis"
@@ -433,6 +434,53 @@ func TestTrimNum(t *testing.T) {
 	for in, want := range map[float64]string{1000: "1k", 60000: "60k", 0.333: "0.333", 5: "5"} {
 		if got := trimNum(in); got != want {
 			t.Errorf("trimNum(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestOverloadExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overload experiment burns real wall time on injected delays")
+	}
+	slowDelay := 60 * time.Millisecond
+	points, err := Overload(OverloadConfig{
+		CorpusDocs: 1500,
+		VocabSize:  300,
+		Strategy:   Strategy{Fragments: 20, R: 4, Offset: 2}, // 10 peers
+		Queries:    20,
+		K:          10,
+		Seed:       42,
+		MaxPeers:   5,
+		SlowPeers:  2,
+		SlowDelay:  slowDelay,
+		Budget:     12 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 || points[0].Mode != "bare" || points[1].Mode != "hardened" {
+		t.Fatalf("want [bare hardened], got %+v", points)
+	}
+	bare, hardened := points[0], points[1]
+	// The bare tail absorbs the full injected delay; the hardened tail
+	// is clipped by the deadline budget.
+	if bare.P99 < slowDelay {
+		t.Fatalf("bare p99 %v never felt the %v straggler", bare.P99, slowDelay)
+	}
+	if hardened.P99 >= bare.P99 {
+		t.Fatalf("hardening did not improve the tail: hardened p99 %v vs bare p99 %v", hardened.P99, bare.P99)
+	}
+	// Degradation must be loud: the hardened run names what it lost.
+	if hardened.Reported == 0 {
+		t.Fatal("hardened run reported no per-peer errors despite stragglers")
+	}
+	if hardened.Recall <= 0 {
+		t.Fatal("hardened run lost all recall")
+	}
+	table := OverloadTable(points)
+	for _, want := range []string{"mode", "bare", "hardened", "p99", "budget-expired"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
 		}
 	}
 }

@@ -44,6 +44,9 @@ type MaintenanceStatus struct {
 	// LastError is the most recent round error's text ("" after a
 	// success).
 	LastError string
+	// LastRepaired is the number of replica patches the last successful
+	// round's anti-entropy sweep pushed (0 when replicas were converged).
+	LastRepaired int
 }
 
 // NewMaintainer wraps a peer. The first round publishes at epoch 1.
@@ -73,10 +76,13 @@ func (m *Maintainer) LastError() error {
 }
 
 // RunRound executes one maintenance round: republish at epoch+1, prune
-// below the new epoch, and return the epoch and the number of posts
-// pruned network-wide. Pruning tolerates unreachable nodes. Failures are
-// recorded on the maintainer's Status in addition to being returned, so
-// the background loop's outcomes stay observable.
+// below the new epoch, run an anti-entropy sweep over the peer's own
+// directory fraction (digest-comparing each stored term's replica set
+// and patching divergent replicas), and return the epoch and the number
+// of posts pruned network-wide. Pruning and the sweep tolerate
+// unreachable nodes. Failures are recorded on the maintainer's Status
+// in addition to being returned, so the background loop's outcomes stay
+// observable.
 func (m *Maintainer) RunRound() (epoch int64, pruned int, err error) {
 	m.mu.Lock()
 	m.epoch++
@@ -94,9 +100,11 @@ func (m *Maintainer) RunRound() (epoch int64, pruned int, err error) {
 		return epoch, 0, err
 	}
 	pruned = m.peer.Directory().PruneBelow(epoch)
+	_, repaired := m.peer.AntiEntropySweep()
 	m.mu.Lock()
 	m.status.ConsecutiveFailures = 0
 	m.status.LastError = ""
+	m.status.LastRepaired = repaired
 	m.lastErr = nil
 	m.mu.Unlock()
 	return epoch, pruned, nil
@@ -165,4 +173,23 @@ func (n *Network) MaintenanceRound(epoch int64) int {
 		return 0
 	}
 	return live[0].Directory().PruneBelow(epoch)
+}
+
+// AntiEntropyRound runs one anti-entropy sweep across every live peer
+// of the network — each peer digest-compares the replica sets of the
+// terms its directory fraction stores and patches divergent replicas to
+// the merged PeerList — and returns the total number of replica patches
+// pushed. No peer republishes anything: the sweep converges replicas on
+// the posts they already collectively hold, which is how a revived
+// stale replica catches up between maintenance rounds.
+func (n *Network) AntiEntropyRound() int {
+	repaired := 0
+	for _, p := range n.Peers {
+		if !p.Reachable() {
+			continue
+		}
+		_, r := p.AntiEntropySweep()
+		repaired += r
+	}
+	return repaired
 }

@@ -3,6 +3,16 @@
 // peer runs a local IR index, a Chord node, a slice of the distributed
 // directory, and the query-side machinery (PeerList retrieval, IQN or
 // baseline routing, query forwarding, result merging).
+//
+// Overload hardening is opt-in per Config: Breakers arms per-link
+// circuit breakers on the peer's outgoing calls, HedgeDelay/ReadQuorum
+// harden directory reads, AdmissionLimit sheds excess inbound load with
+// fast rejects, and SearchOptions.Budget threads an end-to-end deadline
+// through directory fetch and query fan-out — an exhausted budget
+// degrades to a merged partial top-k with every abandoned peer named in
+// SearchResult.Errors. The Maintainer's periodic round also runs an
+// anti-entropy sweep (AntiEntropySweep) that digest-compares and
+// repairs directory replicas without republishing.
 package minerva
 
 import (
@@ -10,6 +20,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"iqn/internal/chord"
 	"iqn/internal/core"
@@ -58,6 +69,28 @@ type Config struct {
 	// operations (publishing posts, fetching PeerLists). The zero value
 	// keeps the pre-retry single-attempt behavior.
 	DirectoryRetry transport.RetryPolicy
+	// Breakers, non-nil, arms per-link circuit breakers on the peer's
+	// outgoing calls (query forwarding and, through the shared caller,
+	// directory traffic): links that keep failing are fast-rejected and
+	// probed on the breaker's deterministic schedule instead of being
+	// hammered.
+	Breakers *transport.BreakerConfig
+	// HedgeDelay enables hedged directory reads (directory.Client): when
+	// a replica has not answered a PeerList fetch within this delay, the
+	// next replica is raced in and the first success wins.
+	HedgeDelay time.Duration
+	// ReadQuorum ≥ 2 switches directory fetches to quorum reads with
+	// read-repair: that many replica copies are compared per term and
+	// divergent replicas are patched on the spot.
+	ReadQuorum int
+	// AdmissionLimit > 0 arms server-side admission control on the
+	// peer's mux: at most this many RPC handlers run concurrently, at
+	// most AdmissionQueue callers wait, and everything beyond is shed
+	// with a fast retryable ErrOverloaded instead of queuing unboundedly.
+	AdmissionLimit int
+	// AdmissionQueue bounds the admission wait queue (only meaningful
+	// with AdmissionLimit > 0).
+	AdmissionQueue int
 }
 
 func (c Config) kind() synopsis.Kind {
@@ -80,11 +113,12 @@ func (c Config) synopsisConfig(bits int) synopsis.Config {
 
 // Peer is one MINERVA node.
 type Peer struct {
-	name string
-	cfg  Config
-	node *chord.Node
-	dir  *directory.Client
-	svc  *directory.Service
+	name     string
+	cfg      Config
+	node     *chord.Node
+	dir      *directory.Client
+	svc      *directory.Service
+	breakers *transport.Breakers // nil unless Config.Breakers set
 
 	mu    sync.RWMutex
 	index *ir.Index
@@ -119,6 +153,14 @@ func NewPeer(addr string, net transport.Network, cfg Config) (*Peer, error) {
 		dir:  directory.NewClient(node, replicas),
 	}
 	p.dir.Retry = cfg.DirectoryRetry
+	p.dir.HedgeDelay = cfg.HedgeDelay
+	p.dir.ReadQuorum = cfg.ReadQuorum
+	if cfg.Breakers != nil {
+		p.breakers = transport.NewBreakers(*cfg.Breakers)
+	}
+	if cfg.AdmissionLimit > 0 {
+		node.Mux().SetLimit(cfg.AdmissionLimit, cfg.AdmissionQueue)
+	}
 	node.Mux().Handle(methodQuery, func(req []byte) ([]byte, error) {
 		var q queryRequest
 		if err := transport.Unmarshal(req, &q); err != nil {
@@ -138,6 +180,30 @@ func (p *Peer) Node() *chord.Node { return p.node }
 
 // Directory exposes the peer's directory client.
 func (p *Peer) Directory() *directory.Client { return p.dir }
+
+// DirectoryService exposes the peer's stored directory fraction (the
+// server side), e.g. for anti-entropy assertions on replica state.
+func (p *Peer) DirectoryService() *directory.Service { return p.svc }
+
+// Breakers exposes the peer's circuit-breaker set (nil when disabled) —
+// the source of the replayable transition traces chaos tests assert on.
+func (p *Peer) Breakers() *transport.Breakers { return p.breakers }
+
+// caller is the peer's outgoing call path: the raw network, wrapped by
+// the breaker set when one is armed.
+func (p *Peer) caller() transport.Caller {
+	return p.breakers.Caller(p.node.Network())
+}
+
+// AntiEntropySweep runs one anti-entropy pass over the terms this
+// peer's directory fraction stores: each term's replica set is digest-
+// compared and divergent replicas are patched to the merged PeerList,
+// without any peer republishing. Returns how many terms were checked
+// and how many replica patches were pushed.
+func (p *Peer) AntiEntropySweep() (terms, repaired int) {
+	stored := p.svc.StoredTerms()
+	return len(stored), p.dir.AntiEntropy(stored)
+}
 
 // CreateRing makes the peer the first node of a new network.
 func (p *Peer) CreateRing() { p.node.Create() }

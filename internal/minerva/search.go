@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"iqn/internal/core"
 	"iqn/internal/cori"
@@ -88,6 +89,14 @@ type SearchOptions struct {
 	// to the replacement (core.Reroute). Failed peers are reported in
 	// SearchResult.Errors either way — never silently dropped.
 	NoReroute bool
+	// Budget is the end-to-end deadline for the whole search: directory
+	// fetch, fan-out, and re-routing all spend from it (per-attempt
+	// timeouts are capped by what remains). When it expires mid-search,
+	// the search degrades to the merged partial top-k of the peers that
+	// answered in time — outstanding peers are reported in Errors and
+	// BudgetExpired is set — instead of hanging past the deadline. Zero
+	// means no budget (the pre-deadline behavior).
+	Budget time.Duration
 }
 
 func (o SearchOptions) k() int {
@@ -143,6 +152,14 @@ type SearchResult struct {
 	// Rerouted lists the replacement peers queried beyond the original
 	// plan, in selection order.
 	Rerouted []core.PeerID
+	// Directory is the replica-level account of the PeerList fetch
+	// (which replica served each term, failed replicas, read-repairs).
+	Directory directory.FetchReport
+	// BudgetExpired reports that the deadline budget ran out before
+	// every planned peer was tried: Results is the merged partial top-k
+	// of the peers that answered in time, and the peers never tried are
+	// listed in Errors.
+	BudgetExpired bool
 }
 
 // Degraded reports whether the search lost at least one selected peer.
@@ -154,7 +171,8 @@ func (p *Peer) Search(terms []string, opts SearchOptions) (*SearchResult, error)
 	if len(terms) == 0 {
 		return nil, fmt.Errorf("minerva: empty query")
 	}
-	lists, err := p.dir.FetchAll(terms)
+	dl := core.StartDeadline(opts.Budget)
+	lists, dirRep, err := p.dir.FetchAllReport(terms, dl.Cap(0))
 	if err != nil {
 		return nil, fmt.Errorf("minerva: fetch peerlists: %w", err)
 	}
@@ -194,18 +212,20 @@ func (p *Peer) Search(terms []string, opts SearchOptions) (*SearchResult, error)
 	if err != nil {
 		return nil, fmt.Errorf("minerva: route: %w", err)
 	}
-	exec := p.execute(q, plan, initiator, cands, opts)
+	exec := p.execute(q, plan, initiator, cands, opts, dl)
 	resultLists := exec.lists
 	if !opts.DisableSelf {
 		resultLists = append(resultLists, p.LocalSearch(terms, opts.k(), opts.Conjunctive))
 	}
 	return &SearchResult{
-		Results:    ir.Merge(resultLists, opts.MergeK),
-		Plan:       plan,
-		Candidates: len(cands),
-		PerPeer:    exec.perPeer,
-		Errors:     exec.errs,
-		Rerouted:   exec.rerouted,
+		Results:       ir.Merge(resultLists, opts.MergeK),
+		Plan:          plan,
+		Candidates:    len(cands),
+		PerPeer:       exec.perPeer,
+		Errors:        exec.errs,
+		Rerouted:      exec.rerouted,
+		Directory:     dirRep,
+		BudgetExpired: exec.budgetExpired,
 	}, nil
 }
 
@@ -217,10 +237,11 @@ const maxRerouteRounds = 4
 
 // execOutcome is the result of executing a plan with failure handling.
 type execOutcome struct {
-	lists    [][]ir.Result
-	perPeer  map[core.PeerID]int
-	errs     []PerPeerError
-	rerouted []core.PeerID
+	lists         [][]ir.Result
+	perPeer       map[core.PeerID]int
+	errs          []PerPeerError
+	rerouted      []core.PeerID
+	budgetExpired bool
 }
 
 // execute forwards the query to the planned peers with per-peer
@@ -228,7 +249,13 @@ type execOutcome struct {
 // against the reference synopsis of the peers that answered
 // (core.Reroute) to pick replacements. Every lost peer is reported in the
 // outcome's errs — the search degrades loudly, never silently.
-func (p *Peer) execute(q core.Query, plan core.Plan, initiator *core.Candidate, cands []core.Candidate, opts SearchOptions) execOutcome {
+//
+// The deadline budget governs every stage: per-attempt timeouts are
+// capped by what remains, re-routing only runs while budget remains,
+// and a batch that would start after expiry is not forwarded at all —
+// its peers are reported as lost and the search returns the partial
+// results it already has.
+func (p *Peer) execute(q core.Query, plan core.Plan, initiator *core.Candidate, cands []core.Candidate, opts SearchOptions, dl *core.Deadline) execOutcome {
 	out := execOutcome{perPeer: make(map[core.PeerID]int, len(plan.Peers))}
 	byID := make(map[core.PeerID]*core.Candidate, len(cands))
 	for i := range cands {
@@ -238,7 +265,18 @@ func (p *Peer) execute(q core.Query, plan core.Plan, initiator *core.Candidate, 
 	var reached []core.Candidate // candidates that answered, for Reroute seeding
 	batch := plan.Peers
 	for round := 0; len(batch) > 0; round++ {
-		results := p.forward(q.Terms, batch, opts)
+		if dl.Expired() {
+			for _, peer := range batch {
+				out.perPeer[peer] = 0
+				out.errs = append(out.errs, PerPeerError{
+					Peer:        peer,
+					Err:         "minerva: deadline budget exhausted before forwarding",
+					Unreachable: true,
+				})
+			}
+			break
+		}
+		results := p.forward(q.Terms, batch, opts, dl)
 		var failed []int // indexes into out.errs from this round
 		for i, fo := range results {
 			peer := batch[i]
@@ -260,7 +298,7 @@ func (p *Peer) execute(q core.Query, plan core.Plan, initiator *core.Candidate, 
 				reached = append(reached, *c)
 			}
 		}
-		if len(failed) == 0 || opts.NoReroute || round >= maxRerouteRounds {
+		if len(failed) == 0 || opts.NoReroute || round >= maxRerouteRounds || dl.Expired() {
 			break
 		}
 		var remaining []core.Candidate
@@ -295,6 +333,7 @@ func (p *Peer) execute(q core.Query, plan core.Plan, initiator *core.Candidate, 
 		}
 		batch = replan.Peers
 	}
+	out.budgetExpired = dl.Expired() && len(out.errs) > 0
 	return out
 }
 
@@ -306,11 +345,16 @@ type forwardOutcome struct {
 }
 
 // forward sends the query to the given peers concurrently, each under
-// the search's retry policy, and reports per-peer outcomes. It never
-// swallows a failure — callers decide whether to re-route or surface it.
-func (p *Peer) forward(terms []string, peers []core.PeerID, opts SearchOptions) []forwardOutcome {
+// the search's retry policy — with per-attempt timeouts capped by the
+// remaining deadline budget, and through the peer's circuit-breaker set
+// when one is armed — and reports per-peer outcomes. It never swallows
+// a failure — callers decide whether to re-route or surface it.
+func (p *Peer) forward(terms []string, peers []core.PeerID, opts SearchOptions, dl *core.Deadline) []forwardOutcome {
 	req := queryRequest{Terms: terms, K: opts.k(), Conjunctive: opts.Conjunctive}
 	out := make([]forwardOutcome, len(peers))
+	caller := p.caller()
+	policy := opts.Retry
+	policy.Timeout = dl.Cap(policy.Timeout)
 	var wg sync.WaitGroup
 	for i, peer := range peers {
 		if string(peer) == p.name {
@@ -321,7 +365,7 @@ func (p *Peer) forward(terms []string, peers []core.PeerID, opts SearchOptions) 
 		go func(i int, addr string) {
 			defer wg.Done()
 			var rs []ir.Result
-			attempts, err := transport.InvokeRetry(p.node.Network(), addr, methodQuery, req, &rs, opts.Retry)
+			attempts, err := transport.InvokeRetry(caller, addr, methodQuery, req, &rs, policy)
 			out[i] = forwardOutcome{results: rs, attempts: attempts, err: err}
 		}(i, string(peer))
 	}

@@ -1,9 +1,10 @@
 // Package sim is the scenario-driven chaos simulation harness: it
 // drives a full in-process MINERVA network (internal/minerva) through a
 // scripted fault schedule — peers crashing (also mid-query), one-way
-// partitions, slow links, stale directory entries, maintenance rounds —
-// injected deterministically by transport.Faulty, and checks the
-// robustness invariants the query path promises:
+// partitions, slow links, slowed or saturated peers, stale directory
+// entries, maintenance and anti-entropy rounds — injected
+// deterministically by transport.Faulty, and checks the robustness
+// invariants the query path promises:
 //
 //   - no deadlock: every query completes under a watchdog;
 //   - no silent shrinkage: a selected peer that was lost appears in
@@ -11,8 +12,14 @@
 //   - bounded degradation: micro-averaged recall stays within a
 //     scenario-declared fraction of the fault-free run;
 //   - determinism: the same scenario and seed reproduce the same fault
-//     schedule and the same merged top-k, byte for byte (asserted by
-//     the package tests via Report.Schedule and QueryOutcome.Docs).
+//     schedule, the same merged top-k, and the same circuit-breaker
+//     transition trace, byte for byte (asserted by the package tests
+//     via Report.Schedule, QueryOutcome.Docs, and Report.BreakerTrace);
+//   - bounded tail latency: with the overload hardening armed (Budget,
+//     HedgeDelay, Breakers) every query under a scripted straggler
+//     finishes inside Scenario.LatencyBound, degrading to a partial
+//     top-k plus structured errors instead of waiting the straggler
+//     out.
 //
 // Scenarios are data, not code, so new failure stories are added by
 // declaring events — the simulator equivalent of the routing-under-
@@ -26,6 +33,7 @@ import (
 
 	"iqn/internal/core"
 	"iqn/internal/dataset"
+	"iqn/internal/directory"
 	"iqn/internal/minerva"
 	"iqn/internal/transport"
 )
@@ -59,6 +67,21 @@ const (
 	// Maintenance runs one synchronized maintenance round (republish +
 	// prune), aging out the posts of crashed peers and ghosts.
 	Maintenance
+	// SlowPeer delays the peer's serving RPCs (incoming query forwards
+	// and directory reads) by Delay — the classic tail-latency straggler,
+	// a peer 10× slower than its neighbours. Ring-maintenance RPCs stay
+	// fast: they are tiny, and slowing them would test Chord's routing
+	// fallbacks rather than the query path's deadline budgets and hedged
+	// reads, which is what the straggler scenario isolates.
+	SlowPeer
+	// Saturate sets the peer's server-side admission limits to
+	// Limit/Queue in-flight/queued requests; excess calls are rejected
+	// fast with ErrOverloaded instead of piling up. Limit 0 disarms.
+	Saturate
+	// AntiEntropy runs one network-wide anti-entropy sweep: every live
+	// peer digest-compares its stored terms' replica sets and patches
+	// divergent replicas — no republishing.
+	AntiEntropy
 )
 
 // String names the event kind.
@@ -80,6 +103,12 @@ func (k EventKind) String() string {
 		return "stale-entry"
 	case Maintenance:
 		return "maintenance"
+	case SlowPeer:
+		return "slow-peer"
+	case Saturate:
+		return "saturate"
+	case AntiEntropy:
+		return "anti-entropy"
 	}
 	return "?"
 }
@@ -98,11 +127,15 @@ type Event struct {
 	// From and To are the link endpoints (PartitionLink, HealLink,
 	// SlowLink); they index peers.
 	From, To int
-	// Delay is the injected latency for SlowLink.
+	// Delay is the injected latency for SlowLink and SlowPeer.
 	Delay time.Duration
 	// Nth is CrashOnQuery's trigger count (default 1: the very next
 	// forwarded query).
 	Nth int
+	// Limit and Queue are Saturate's admission bounds: at most Limit
+	// in-flight requests with Queue more waiting; the rest are rejected
+	// with ErrOverloaded. Limit 0 disarms admission control.
+	Limit, Queue int
 }
 
 // Scenario declares one simulation: the network, the workload, the
@@ -129,10 +162,32 @@ type Scenario struct {
 	Retry transport.RetryPolicy
 	// NoReroute disables failure re-routing (for ablation scenarios).
 	NoReroute bool
+	// Budget is the per-query deadline budget (minerva.SearchOptions.
+	// Budget). Zero: no budget — queries wait out whatever latency the
+	// events inject.
+	Budget time.Duration
+	// HedgeDelay enables hedged directory reads: a replica is raced in
+	// when the owner has not answered within the delay.
+	HedgeDelay time.Duration
+	// ReadQuorum enables quorum directory reads with read-repair when
+	// ≥ 2.
+	ReadQuorum int
+	// Breakers, non-nil, arms per-link circuit breakers on every peer.
+	// The config's Seed is overridden with the scenario seed.
+	Breakers *transport.BreakerConfig
+	// AdmissionLimit and AdmissionQueue, when Limit > 0, bound every
+	// peer's served concurrency from boot (the Saturate event sets the
+	// same knobs mid-run on one peer).
+	AdmissionLimit, AdmissionQueue int
 	// RecallBound, when > 0, is the minimum allowed ratio of faulty
 	// recall to fault-free recall; falling below it is an invariant
 	// violation.
 	RecallBound float64
+	// LatencyBound, when > 0, is the per-query wall-clock ceiling under
+	// faults; a query exceeding it is an invariant violation. It is the
+	// scenario's declared tail bound — meaningful when a Budget (or
+	// hedged reads) promises to keep queries out of a straggler's shadow.
+	LatencyBound time.Duration
 	// Events is the fault script.
 	Events []Event
 }
@@ -188,6 +243,12 @@ type QueryOutcome struct {
 	// Recall is the query's relative recall against the centralized
 	// reference index.
 	Recall float64
+	// Elapsed is the query's wall-clock latency (a measurement, not part
+	// of the deterministic replay artifact — Docs and Schedule are).
+	Elapsed time.Duration
+	// BudgetExpired reports the search ran out of its deadline budget
+	// and returned the merged partial top-k.
+	BudgetExpired bool
 	// Err is a non-"" search-level failure (directory wholly
 	// unreachable); the harness records it rather than aborting.
 	Err string
@@ -207,6 +268,10 @@ type Report struct {
 	// Schedule is the canonical fault-schedule rendering
 	// (transport.Faulty.ScheduleString) — byte-comparable across runs.
 	Schedule string
+	// BreakerTrace is the canonical circuit-breaker transition trace
+	// across all peers ("" when the scenario arms no breakers) — like
+	// Schedule, byte-comparable across identically-seeded runs.
+	BreakerTrace string
 	// Violations lists broken invariants (empty = all held).
 	Violations []string
 }
@@ -278,10 +343,21 @@ func runOnce(sc Scenario, withFaults bool) (*Report, error) {
 	}
 	queries := dataset.GenerateQueries(corpus, dataset.QueryConfig{Count: sc.Queries, Seed: sc.Seed})
 	faulty := transport.NewFaulty(transport.NewInMem(), sc.Seed)
+	var breakers *transport.BreakerConfig
+	if sc.Breakers != nil {
+		b := *sc.Breakers
+		b.Seed = sc.Seed
+		breakers = &b
+	}
 	net, err := minerva.BuildNetworkEndpoints(faulty, faulty.Endpoint, corpus, cols, minerva.Config{
 		SynopsisSeed:   uint64(sc.Seed) + 99,
 		Replicas:       sc.Replicas,
 		DirectoryRetry: sc.Retry,
+		Breakers:       breakers,
+		HedgeDelay:     sc.HedgeDelay,
+		ReadQuorum:     sc.ReadQuorum,
+		AdmissionLimit: sc.AdmissionLimit,
+		AdmissionQueue: sc.AdmissionQueue,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("sim: boot %q: %w", sc.Name, err)
@@ -341,6 +417,16 @@ func runOnce(sc Scenario, withFaults bool) (*Report, error) {
 		case Maintenance:
 			epoch++
 			net.MaintenanceRound(epoch)
+		case SlowPeer:
+			for _, m := range []string{minerva.MethodQuery, directory.MethodGet, directory.MethodGetBatch} {
+				faulty.AddRule(transport.Rule{To: name(e.Peer), Method: m, DelayProb: 1, Delay: e.Delay})
+			}
+		case Saturate:
+			if p := net.Peer(name(e.Peer)); p != nil {
+				p.Node().Mux().SetLimit(e.Limit, e.Queue)
+			}
+		case AntiEntropy:
+			net.AntiEntropyRound()
 		default:
 			return fmt.Errorf("sim: unknown event kind %d", e.Kind)
 		}
@@ -364,12 +450,19 @@ func runOnce(sc Scenario, withFaults bool) (*Report, error) {
 			return nil, fmt.Errorf("sim: scenario %q killed every peer", sc.Name)
 		}
 		out := QueryOutcome{Index: qi, Terms: q.Terms}
+		qStart := time.Now()
 		res, err := searchWatchdog(initiator, q.Terms, minerva.SearchOptions{
 			K:         sc.K,
 			MaxPeers:  sc.MaxPeers,
 			Retry:     sc.Retry,
 			NoReroute: sc.NoReroute,
+			Budget:    sc.Budget,
 		})
+		out.Elapsed = time.Since(qStart)
+		if withFaults && sc.LatencyBound > 0 && out.Elapsed > sc.LatencyBound {
+			r.Violations = append(r.Violations, fmt.Sprintf(
+				"query %d: latency %v exceeded declared bound %v", qi, out.Elapsed, sc.LatencyBound))
+		}
 		switch {
 		case err == errWatchdog:
 			r.Violations = append(r.Violations, fmt.Sprintf("query %d: no completion within %v (deadlock?)", qi, queryWatchdog))
@@ -387,6 +480,7 @@ func runOnce(sc Scenario, withFaults bool) (*Report, error) {
 		out.Errors = res.Errors
 		out.Rerouted = res.Rerouted
 		out.Planned = res.Plan.Peers
+		out.BudgetExpired = res.BudgetExpired
 		for _, doc := range res.Results {
 			out.Docs = append(out.Docs, doc.DocID)
 		}
@@ -427,7 +521,32 @@ func runOnce(sc Scenario, withFaults bool) (*Report, error) {
 		r.Recall = recallSum / float64(recallN)
 	}
 	r.Schedule = faulty.ScheduleString()
+	if sc.Breakers != nil {
+		r.BreakerTrace = breakerTrace(net)
+	}
 	return r, nil
+}
+
+// breakerTrace renders every peer's breaker transition trace in peer
+// order — canonical, so two identically-seeded runs produce identical
+// bytes.
+func breakerTrace(net *minerva.Network) string {
+	var b []byte
+	for _, p := range net.Peers {
+		br := p.Breakers()
+		if br == nil {
+			continue
+		}
+		trace := br.TraceString()
+		if trace == "" {
+			continue
+		}
+		b = append(b, '[')
+		b = append(b, p.Name()...)
+		b = append(b, "]\n"...)
+		b = append(b, trace...)
+	}
+	return string(b)
 }
 
 // pickInitiator rotates the initiating peer through the workload,

@@ -1,0 +1,377 @@
+package transport
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen reports a call rejected by an open circuit breaker
+// without touching the network. It matches ErrUnreachable under
+// errors.Is — callers treat a tripped link like a dead one (retryable
+// against a replica, replaceable by re-routing) — while staying
+// distinguishable for diagnostics.
+var ErrBreakerOpen = &breakerOpenError{}
+
+type breakerOpenError struct{}
+
+func (*breakerOpenError) Error() string        { return "transport: circuit open" }
+func (*breakerOpenError) Is(target error) bool { return target == ErrUnreachable }
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed passes calls through and counts consecutive failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen fast-rejects calls until the probe schedule grants one.
+	BreakerOpen
+	// BreakerHalfOpen has a probe call in flight; its verdict decides
+	// between reclosing and reopening.
+	BreakerHalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerConfig tunes the breaker state machine. The zero value gets
+// the documented defaults, so it can be embedded in options structs.
+type BreakerConfig struct {
+	// FailureThreshold is the number of consecutive connectivity
+	// failures that trips the breaker (default 5).
+	FailureThreshold int
+	// ProbeAfter is the number of fast-rejected calls an open breaker
+	// absorbs before granting a half-open probe (default 8). Counting
+	// rejected calls instead of wall-clock time keeps chaos runs
+	// replayable: the probe schedule is a pure function of the call
+	// sequence, not of timing.
+	ProbeAfter int
+	// MaxProbeAfter caps the exponential growth of ProbeAfter across
+	// consecutive open episodes (default 64).
+	MaxProbeAfter int
+	// Jitter is the fraction of each episode's probe threshold drawn
+	// deterministically from (Seed, link key, episode) — it decorrelates
+	// probe storms across links without sacrificing replayability.
+	Jitter float64
+	// Seed feeds the probe-schedule PRF.
+	Seed int64
+}
+
+func (c BreakerConfig) threshold() int {
+	if c.FailureThreshold <= 0 {
+		return 5
+	}
+	return c.FailureThreshold
+}
+
+func (c BreakerConfig) probeAfter() int {
+	if c.ProbeAfter <= 0 {
+		return 8
+	}
+	return c.ProbeAfter
+}
+
+func (c BreakerConfig) maxProbeAfter() int {
+	if c.MaxProbeAfter <= 0 {
+		return 64
+	}
+	if c.MaxProbeAfter < c.probeAfter() {
+		return c.probeAfter()
+	}
+	return c.MaxProbeAfter
+}
+
+// Breaker is a per-link circuit breaker: closed → open after
+// FailureThreshold consecutive connectivity failures, open → half-open
+// when the deterministic probe schedule grants a probe, half-open →
+// closed on probe success or back to open (with a longer schedule) on
+// probe failure. All transitions are recorded in a replayable trace.
+//
+// The breaker is count-driven, not clock-driven: an open breaker grants
+// its next probe after a deterministic number of fast-rejected calls,
+// derived from (Seed, key, episode). Identical call sequences therefore
+// produce identical transition traces — the property the chaos harness
+// asserts.
+type Breaker struct {
+	key string
+	cfg BreakerConfig
+
+	mu         sync.Mutex
+	state      BreakerState
+	fails      int  // consecutive failures while closed
+	rejects    int  // fast rejects in the current open episode
+	probeAt    int  // rejects needed to grant the episode's probe
+	episode    int  // open episodes so far
+	probing    bool // a half-open probe is in flight
+	probeWaits int  // rejects while waiting for a probe verdict
+	trace      []string
+}
+
+// NewBreaker returns a closed breaker for one link key (usually the
+// destination address).
+func NewBreaker(key string, cfg BreakerConfig) *Breaker {
+	return &Breaker{key: key, cfg: cfg}
+}
+
+// probeSchedule derives the episode's probe threshold: ProbeAfter
+// doubled per episode, capped, and shrunk by up to Jitter via the same
+// stateless splitmix64 PRF the retry policy uses.
+func (b *Breaker) probeSchedule(episode int) int {
+	n := b.cfg.probeAfter()
+	for i := 1; i < episode; i++ {
+		n <<= 1
+		if n >= b.cfg.maxProbeAfter() || n <= 0 {
+			n = b.cfg.maxProbeAfter()
+			break
+		}
+	}
+	if n > b.cfg.maxProbeAfter() {
+		n = b.cfg.maxProbeAfter()
+	}
+	if b.cfg.Jitter > 0 {
+		x := uint64(linkSeed(b.cfg.Seed, b.key)) + uint64(episode)*0x9E3779B97F4A7C15
+		x ^= x >> 30
+		x *= 0xBF58476D1CE4E5B9
+		x ^= x >> 27
+		x *= 0x94D049BB133111EB
+		x ^= x >> 31
+		u := float64(x>>11) / (1 << 53)
+		n = int(float64(n) * (1 - b.cfg.Jitter*u))
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Allow reports whether a call may proceed. A false return is a fast
+// reject (the caller should fail with ErrBreakerOpen without touching
+// the network); a true return obliges the caller to Record the call's
+// outcome. While open, each rejected call advances the deterministic
+// probe schedule; the call that reaches the threshold becomes the
+// half-open probe. A half-open breaker whose probe verdict never
+// arrives (the prober died) re-grants a probe after the same threshold
+// of further rejects, so the breaker can never deadlock half-open.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		b.rejects++
+		if b.rejects >= b.probeAt {
+			b.transition(BreakerHalfOpen)
+			b.probing = true
+			b.probeWaits = 0
+			return true
+		}
+		return false
+	default: // BreakerHalfOpen
+		if !b.probing {
+			b.probing = true
+			return true
+		}
+		b.probeWaits++
+		if b.probeWaits >= b.probeAt {
+			// The in-flight probe's verdict never arrived; grant another
+			// so a lost prober cannot wedge the breaker half-open.
+			b.probeWaits = 0
+			return true
+		}
+		return false
+	}
+}
+
+// Record feeds a call outcome into the state machine. Connectivity
+// failures (Retryable: ErrUnreachable, timeouts, overload) count
+// against the link; successes and remote application errors count for
+// it (the peer is alive and answering).
+func (b *Breaker) Record(err error) {
+	failure := err != nil && Retryable(err)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		if failure {
+			b.fails++
+			if b.fails >= b.cfg.threshold() {
+				b.open()
+			}
+			return
+		}
+		b.fails = 0
+	case BreakerHalfOpen:
+		b.probing = false
+		if failure {
+			b.open()
+			return
+		}
+		b.transition(BreakerClosed)
+		b.fails = 0
+	case BreakerOpen:
+		// A straggler from before the trip; the open episode's schedule
+		// already governs recovery. Ignore.
+	}
+}
+
+// open moves to BreakerOpen and arms the next probe schedule (caller
+// holds the lock).
+func (b *Breaker) open() {
+	b.episode++
+	b.rejects = 0
+	b.probeWaits = 0
+	b.probing = false
+	b.probeAt = b.probeSchedule(b.episode)
+	b.transition(BreakerOpen)
+}
+
+// transition records a state change on the trace (caller holds the lock).
+func (b *Breaker) transition(to BreakerState) {
+	from := b.state
+	b.state = to
+	line := fmt.Sprintf("%s->%s", from, to)
+	if to == BreakerOpen {
+		line = fmt.Sprintf("%s ep%d probe-after %d", line, b.episode, b.probeAt)
+	}
+	b.trace = append(b.trace, line)
+}
+
+// State returns the breaker's current position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trace returns a copy of the transition trace so far.
+func (b *Breaker) Trace() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]string(nil), b.trace...)
+}
+
+// Breakers is a set of per-destination breakers sharing one config —
+// the unit a peer owns. The zero value is not usable; create with
+// NewBreakers. A nil *Breakers is a valid no-op (Caller returns the
+// inner caller unwrapped), so options structs can leave it unset.
+type Breakers struct {
+	cfg BreakerConfig
+
+	mu sync.Mutex
+	m  map[string]*Breaker
+}
+
+// NewBreakers returns an empty breaker set.
+func NewBreakers(cfg BreakerConfig) *Breakers {
+	return &Breakers{cfg: cfg, m: make(map[string]*Breaker)}
+}
+
+// For returns the destination's breaker, creating it closed on first use.
+func (s *Breakers) For(addr string) *Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.m[addr]
+	if b == nil {
+		b = NewBreaker(addr, s.cfg)
+		s.m[addr] = b
+	}
+	return b
+}
+
+// Opens counts open transitions across all links so far (a cheap
+// overload-pressure metric for experiment reports).
+func (s *Breakers) Opens() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, b := range s.m {
+		for _, line := range b.Trace() {
+			if strings.Contains(line, "->open") {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// TraceString renders every link's transition trace in canonical order
+// (by destination address) — the byte-comparable artifact determinism
+// tests assert on.
+func (s *Breakers) TraceString() string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	addrs := make([]string, 0, len(s.m))
+	for a := range s.m {
+		addrs = append(addrs, a)
+	}
+	s.mu.Unlock()
+	sort.Strings(addrs)
+	var out strings.Builder
+	for _, a := range addrs {
+		for _, line := range s.For(a).Trace() {
+			fmt.Fprintf(&out, "%s: %s\n", a, line)
+		}
+	}
+	return out.String()
+}
+
+// Caller wraps an inner caller with the breaker set: every call first
+// consults the destination's breaker (fast ErrBreakerOpen reject when
+// open) and then records its outcome. A nil set returns inner
+// unwrapped.
+func (s *Breakers) Caller(inner Caller) Caller {
+	if s == nil {
+		return inner
+	}
+	return &breakerCaller{set: s, inner: inner}
+}
+
+type breakerCaller struct {
+	set   *Breakers
+	inner Caller
+}
+
+func (c *breakerCaller) Call(addr, method string, req []byte) ([]byte, error) {
+	b := c.set.For(addr)
+	if !b.Allow() {
+		return nil, fmt.Errorf("%w: %s", ErrBreakerOpen, addr)
+	}
+	resp, err := c.inner.Call(addr, method, req)
+	b.Record(err)
+	return resp, err
+}
+
+// CallDeadline implements DeadlineCaller so per-call budgets pass
+// through the breaker wrapper to deadline-capable transports.
+func (c *breakerCaller) CallDeadline(addr, method string, req []byte, d time.Duration) ([]byte, error) {
+	b := c.set.For(addr)
+	if !b.Allow() {
+		return nil, fmt.Errorf("%w: %s", ErrBreakerOpen, addr)
+	}
+	var resp []byte
+	var err error
+	if dc, ok := c.inner.(DeadlineCaller); ok {
+		resp, err = dc.CallDeadline(addr, method, req, d)
+	} else {
+		resp, err = CallTimeout(c.inner, addr, method, req, d)
+	}
+	b.Record(err)
+	return resp, err
+}

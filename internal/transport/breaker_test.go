@@ -1,0 +1,268 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestErrBreakerOpenMatchesUnreachable(t *testing.T) {
+	if !errors.Is(ErrBreakerOpen, ErrUnreachable) {
+		t.Fatal("ErrBreakerOpen does not match ErrUnreachable")
+	}
+	if !Retryable(fmt.Errorf("%w: peer", ErrBreakerOpen)) {
+		t.Fatal("wrapped ErrBreakerOpen not retryable")
+	}
+}
+
+func TestBreakerTripProbeReclose(t *testing.T) {
+	cfg := BreakerConfig{FailureThreshold: 3, ProbeAfter: 4}
+	b := NewBreaker("peer-1", cfg)
+	// Failures below the threshold keep the breaker closed, and a success
+	// resets the consecutive count.
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatal("closed breaker rejected a call")
+		}
+		b.Record(ErrUnreachable)
+	}
+	b.Allow()
+	b.Record(nil)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after reset = %v", b.State())
+	}
+	// Three consecutive failures trip it.
+	for i := 0; i < 3; i++ {
+		b.Allow()
+		b.Record(ErrUnreachable)
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after trip = %v", b.State())
+	}
+	// The open breaker fast-rejects ProbeAfter-1 calls, then grants the
+	// probe on the ProbeAfter'th.
+	for i := 0; i < 3; i++ {
+		if b.Allow() {
+			t.Fatalf("reject %d: open breaker allowed a call early", i)
+		}
+	}
+	if !b.Allow() {
+		t.Fatal("probe not granted at the schedule threshold")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state during probe = %v", b.State())
+	}
+	// Probe success recloses.
+	b.Record(nil)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after probe success = %v", b.State())
+	}
+	trace := b.Trace()
+	want := []string{"closed->open ep1 probe-after 4", "open->half-open", "half-open->closed"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v", trace)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace[%d] = %q, want %q", i, trace[i], want[i])
+		}
+	}
+}
+
+func TestBreakerRemoteErrorCountsAsAlive(t *testing.T) {
+	b := NewBreaker("p", BreakerConfig{FailureThreshold: 2})
+	// Remote application errors mean the peer answered: they must not
+	// trip the breaker.
+	for i := 0; i < 10; i++ {
+		if !b.Allow() {
+			t.Fatalf("call %d rejected", i)
+		}
+		b.Record(&RemoteError{Method: "m", Msg: "app error"})
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v after remote errors", b.State())
+	}
+}
+
+func TestBreakerReopenDoublesSchedule(t *testing.T) {
+	cfg := BreakerConfig{FailureThreshold: 1, ProbeAfter: 2, MaxProbeAfter: 4}
+	b := NewBreaker("p", cfg)
+	// Episode thresholds: 2, 4, then capped at 4.
+	wantProbeAt := []int{2, 4, 4, 4}
+	b.Allow()
+	b.Record(ErrUnreachable) // trip: episode 1
+	for ep, want := range wantProbeAt {
+		granted := 0
+		for i := 0; i < want; i++ {
+			if b.Allow() {
+				granted = i + 1
+				break
+			}
+		}
+		if granted != want {
+			t.Fatalf("episode %d: probe granted after %d rejects, want %d", ep+1, granted, want)
+		}
+		b.Record(ErrUnreachable) // probe fails: next episode
+	}
+}
+
+func TestBreakerHalfOpenNeverDeadlocks(t *testing.T) {
+	cfg := BreakerConfig{FailureThreshold: 1, ProbeAfter: 3}
+	b := NewBreaker("p", cfg)
+	b.Allow()
+	b.Record(ErrUnreachable)
+	// Walk to the probe grant, then abandon the probe (never Record).
+	for b.State() == BreakerOpen {
+		b.Allow()
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v", b.State())
+	}
+	// A lost prober must not wedge the breaker: within ProbeAfter further
+	// attempts another probe is granted.
+	granted := false
+	for i := 0; i < cfg.ProbeAfter; i++ {
+		if b.Allow() {
+			granted = true
+			break
+		}
+	}
+	if !granted {
+		t.Fatal("half-open breaker with a lost probe never re-granted one")
+	}
+	// And the re-granted probe's verdict still drives the machine.
+	b.Record(nil)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after recovered probe = %v", b.State())
+	}
+}
+
+// TestBreakerPropertyRandomized drives the state machine with seeded
+// random outcome sequences and asserts the two robustness invariants:
+// identical seeds produce identical transition traces (replayability),
+// and the breaker never deadlocks — from any state, a bounded number of
+// Allow attempts always reaches a granted call, even when probes are
+// randomly abandoned.
+func TestBreakerPropertyRandomized(t *testing.T) {
+	run := func(seed int64) []string {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := BreakerConfig{
+			FailureThreshold: 1 + rng.Intn(4),
+			ProbeAfter:       1 + rng.Intn(6),
+			MaxProbeAfter:    8 + rng.Intn(8),
+			Jitter:           0.3,
+			Seed:             seed,
+		}
+		b := NewBreaker("prop-link", cfg)
+		for step := 0; step < 2000; step++ {
+			// No-deadlock invariant: some call within the worst-case
+			// schedule bound must be granted.
+			bound := cfg.MaxProbeAfter + cfg.ProbeAfter + 1
+			granted := false
+			for i := 0; i < bound; i++ {
+				if b.Allow() {
+					granted = true
+					break
+				}
+			}
+			if !granted {
+				t.Fatalf("seed %d step %d: no call granted within %d attempts (state %v)",
+					seed, step, bound, b.State())
+			}
+			// Random verdict: fail, succeed, or abandon (no Record at all —
+			// the prober died).
+			switch rng.Intn(3) {
+			case 0:
+				b.Record(ErrUnreachable)
+			case 1:
+				b.Record(nil)
+			}
+		}
+		return b.Trace()
+	}
+	for _, seed := range []int64{1, 7, 42, 1234} {
+		a, bTrace := run(seed), run(seed)
+		if len(a) == 0 {
+			t.Fatalf("seed %d: trace empty — breaker never tripped", seed)
+		}
+		if len(a) != len(bTrace) {
+			t.Fatalf("seed %d: trace lengths differ: %d vs %d", seed, len(a), len(bTrace))
+		}
+		for i := range a {
+			if a[i] != bTrace[i] {
+				t.Fatalf("seed %d: traces diverge at %d: %q vs %q", seed, i, a[i], bTrace[i])
+			}
+		}
+	}
+	// Different seeds with jitter draw different probe schedules.
+	if s1, s2 := strings.Join(run(1), "\n"), strings.Join(run(99), "\n"); s1 == s2 {
+		t.Log("seeds 1 and 99 produced identical traces (possible but unlikely)")
+	}
+}
+
+func TestBreakersCallerTripsAndRecovers(t *testing.T) {
+	n := NewInMem()
+	if _, err := n.Register("a", echoMux()); err != nil {
+		t.Fatal(err)
+	}
+	set := NewBreakers(BreakerConfig{FailureThreshold: 2, ProbeAfter: 3})
+	c := set.Caller(n)
+	// Healthy link passes through.
+	if resp, err := c.Call("a", "echo", []byte("x")); err != nil || string(resp) != "echo:x" {
+		t.Fatalf("healthy call = %q, %v", resp, err)
+	}
+	// Partition the peer: two failures trip the breaker, then calls are
+	// fast-rejected with ErrBreakerOpen without touching the network.
+	n.SetPartitioned("a", true)
+	for i := 0; i < 2; i++ {
+		if _, err := c.Call("a", "echo", nil); !errors.Is(err, ErrUnreachable) {
+			t.Fatalf("failure %d = %v", i, err)
+		}
+	}
+	if set.For("a").State() != BreakerOpen {
+		t.Fatalf("state = %v", set.For("a").State())
+	}
+	calls0, _ := n.Stats()
+	if _, err := c.Call("a", "echo", nil); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open-breaker call = %v", err)
+	}
+	if calls1, _ := n.Stats(); calls1 != calls0 {
+		t.Fatal("fast-rejected call still touched the network")
+	}
+	// Heal the peer; the deterministic probe schedule grants a probe that
+	// recloses the breaker, after which calls flow again.
+	n.SetPartitioned("a", false)
+	var recovered bool
+	for i := 0; i < 10; i++ {
+		if _, err := c.Call("a", "echo", []byte("y")); err == nil {
+			recovered = true
+			break
+		}
+	}
+	if !recovered {
+		t.Fatal("breaker never allowed recovery after healing")
+	}
+	if set.For("a").State() != BreakerClosed {
+		t.Fatalf("state after recovery = %v", set.For("a").State())
+	}
+	if set.Opens() != 1 {
+		t.Fatalf("Opens() = %d", set.Opens())
+	}
+	ts := set.TraceString()
+	if !strings.Contains(ts, "a: closed->open ep1") || !strings.Contains(ts, "a: half-open->closed") {
+		t.Fatalf("TraceString = %q", ts)
+	}
+}
+
+func TestBreakersNilIsNoOp(t *testing.T) {
+	var set *Breakers
+	n := NewInMem()
+	if got := set.Caller(n); got != Caller(n) {
+		t.Fatal("nil Breakers.Caller did not return the inner caller")
+	}
+	if set.Opens() != 0 || set.TraceString() != "" {
+		t.Fatal("nil Breakers not a zero no-op")
+	}
+}

@@ -303,12 +303,22 @@ func (e *endpoint) Call(addr, method string, req []byte) ([]byte, error) {
 	return e.f.call(e.src, addr, method, req)
 }
 
+// CallDeadline implements DeadlineCaller on stamped endpoints.
+func (e *endpoint) CallDeadline(addr, method string, req []byte, d time.Duration) ([]byte, error) {
+	return e.f.callDeadline(e.src, addr, method, req, d)
+}
+
 // decision is the fault plan for one intercepted call, settled under the
 // lock before any blocking work happens.
 type decision struct {
 	fail      error
 	delay     time.Duration
 	duplicate bool
+}
+
+// CallDeadline implements DeadlineCaller with an unknown ("") source.
+func (f *Faulty) CallDeadline(addr, method string, req []byte, d time.Duration) ([]byte, error) {
+	return f.callDeadline("", addr, method, req, d)
 }
 
 // call intercepts one RPC: match rules, draw the fault decision
@@ -328,6 +338,41 @@ func (f *Faulty) call(from, to, method string, req []byte) ([]byte, error) {
 		_, _ = f.inner.Call(to, method, req)
 	}
 	return f.inner.Call(to, method, req)
+}
+
+// callDeadline is call with a per-call budget. The comparison of the
+// injected delay against the budget is pure arithmetic, so timeout
+// semantics stay deterministic even when tests replace the sleeper
+// with a no-op: a call whose injected latency exceeds the caller's
+// budget times out (after sleeping only the budget, as a real caller
+// would), regardless of wall-clock behavior.
+func (f *Faulty) callDeadline(from, to, method string, req []byte, budget time.Duration) ([]byte, error) {
+	if budget <= 0 {
+		return f.call(from, to, method, req)
+	}
+	start := time.Now()
+	d := f.decide(from, to, method)
+	if d.delay > 0 {
+		if d.delay >= budget {
+			f.sleepFor(budget)
+			return nil, fmt.Errorf("%w: %s %s after %v", ErrTimeout, to, method, budget)
+		}
+		f.sleepFor(d.delay)
+	}
+	if d.fail != nil {
+		return nil, d.fail
+	}
+	if d.duplicate {
+		_, _ = f.inner.Call(to, method, req)
+	}
+	remaining := budget - time.Since(start)
+	if remaining <= 0 {
+		return nil, fmt.Errorf("%w: %s %s after %v", ErrTimeout, to, method, budget)
+	}
+	if dc, ok := f.inner.(DeadlineCaller); ok {
+		return dc.CallDeadline(to, method, req, remaining)
+	}
+	return callTimeoutRace(f.inner, to, method, req, remaining)
 }
 
 func (f *Faulty) sleepFor(d time.Duration) {

@@ -1,0 +1,125 @@
+package transport
+
+import (
+	"fmt"
+	"time"
+)
+
+// Hedged issues tail-tolerant calls across a replica set: the first
+// address is called immediately, and whenever no answer has arrived
+// within Delay another replica is tried — the first success wins and
+// later answers are discarded. A failure fires the next replica
+// immediately (fail-over does not wait out the hedge delay). This is
+// the classic tail-at-scale hedge: one slow replica costs Delay, not
+// its full latency.
+//
+// Hedging duplicates work by design; reserve it for idempotent reads
+// (directory PeerList fetches are — the same term read from any replica)
+// and bound the blast radius with Max.
+type Hedged struct {
+	// Caller issues the individual calls.
+	Caller Caller
+	// Delay is how long to wait on the newest in-flight call before
+	// hedging to the next replica. Delay ≤ 0 fires all Max attempts at
+	// once.
+	Delay time.Duration
+	// Max bounds the total replicas tried (default 2, capped at the
+	// number of addresses given).
+	Max int
+}
+
+// Call races the method across addrs and returns the first successful
+// response along with the address that won. When every tried replica
+// fails, the last error is returned. Abandoned calls complete on their
+// own goroutines and are discarded.
+func (h Hedged) Call(addrs []string, method string, req []byte) ([]byte, string, error) {
+	if len(addrs) == 0 {
+		return nil, "", fmt.Errorf("%w: hedged call with no addresses", ErrUnreachable)
+	}
+	max := h.Max
+	if max <= 0 {
+		max = 2
+	}
+	if max > len(addrs) {
+		max = len(addrs)
+	}
+	type outcome struct {
+		addr string
+		resp []byte
+		err  error
+	}
+	ch := make(chan outcome, max)
+	launched, settled := 0, 0
+	launch := func() {
+		addr := addrs[launched]
+		launched++
+		go func() {
+			resp, err := h.Caller.Call(addr, method, req)
+			ch <- outcome{addr: addr, resp: resp, err: err}
+		}()
+	}
+	var timer *time.Timer
+	var timerC <-chan time.Time
+	rearm := func() {
+		if timer != nil {
+			timer.Stop()
+			timer, timerC = nil, nil
+		}
+		if launched < max && h.Delay > 0 {
+			timer = time.NewTimer(h.Delay)
+			timerC = timer.C
+		}
+	}
+	launch()
+	if h.Delay <= 0 {
+		for launched < max {
+			launch()
+		}
+	}
+	rearm()
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	var lastErr error
+	for {
+		select {
+		case o := <-ch:
+			if o.err == nil {
+				return o.resp, o.addr, nil
+			}
+			lastErr = o.err
+			settled++
+			if settled == launched {
+				if launched < max {
+					launch()
+					rearm()
+					continue
+				}
+				return nil, "", lastErr
+			}
+		case <-timerC:
+			launch()
+			rearm()
+		}
+	}
+}
+
+// Invoke is the typed convenience wrapper: encode req once, hedge the
+// call across addrs, decode the winning response into resp (nil
+// discards it), and report the winner.
+func (h Hedged) Invoke(addrs []string, method string, req, resp any) (winner string, err error) {
+	payload, err := Marshal(req)
+	if err != nil {
+		return "", err
+	}
+	out, winner, err := h.Call(addrs, method, payload)
+	if err != nil {
+		return winner, err
+	}
+	if resp == nil {
+		return winner, nil
+	}
+	return winner, Unmarshal(out, resp)
+}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -81,6 +82,11 @@ func (n *InMem) Call(addr, method string, req []byte) ([]byte, error) {
 	n.bytesSent.Add(int64(len(req)))
 	resp, err := mux.Dispatch(method, req)
 	if err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			// Admission-control rejects keep their retryable identity
+			// across the "wire", exactly as TCP's status byte does.
+			return nil, fmt.Errorf("%w: %s", ErrOverloaded, addr)
+		}
 		// Application errors cross the "wire" as RemoteError, exactly as
 		// they would over TCP.
 		return nil, &RemoteError{Method: method, Msg: err.Error()}

@@ -18,10 +18,12 @@ func (*timeoutError) Error() string        { return "transport: call timed out" 
 func (*timeoutError) Is(target error) bool { return target == ErrUnreachable }
 
 // Retryable classifies an error for retry purposes: connectivity
-// failures (ErrUnreachable, including timeouts) are worth retrying —
-// the peer may answer on the next attempt or a replica can take over —
-// while remote application errors (*RemoteError, which includes unknown
-// methods) are deterministic and are not.
+// failures (ErrUnreachable, including timeouts and open breakers) are
+// worth retrying — the peer may answer on the next attempt or a replica
+// can take over — and so are admission-control rejects (ErrOverloaded:
+// the peer is alive but shedding load; back off and try again). Remote
+// application errors (*RemoteError, which includes unknown methods) are
+// deterministic and are not.
 func Retryable(err error) bool {
 	if err == nil {
 		return false
@@ -30,17 +32,60 @@ func Retryable(err error) bool {
 	if errors.As(err, &re) {
 		return false
 	}
-	return errors.Is(err, ErrUnreachable)
+	return errors.Is(err, ErrUnreachable) || errors.Is(err, ErrOverloaded)
 }
 
-// CallTimeout issues a call with a deadline: when the transport does not
-// answer within d the call is abandoned and ErrTimeout returned (the
-// in-flight call finishes on its own goroutine and is discarded). d ≤ 0
-// calls synchronously with no deadline.
+// DeadlineCaller is implemented by callers that can bound a call
+// natively (TCP arms the connection deadline; wrappers like Faulty and
+// Breakers forward it). When available, CallTimeout delegates here
+// instead of abandoning the call on a goroutine, so a timed-out call
+// can never linger against a pooled connection or re-send its request
+// after the caller has given up.
+type DeadlineCaller interface {
+	// CallDeadline is Call bounded by d; on expiry it returns an error
+	// matching ErrTimeout (and therefore ErrUnreachable). d ≤ 0 means no
+	// deadline.
+	CallDeadline(addr, method string, req []byte, d time.Duration) ([]byte, error)
+}
+
+// CallTimeout issues a call with a deadline. Deadline-capable transports
+// (DeadlineCaller) enforce it natively; otherwise, when the transport
+// does not answer within d, the call is abandoned and ErrTimeout
+// returned (the in-flight call finishes on its own goroutine and is
+// discarded). d ≤ 0 calls synchronously with no deadline.
 func CallTimeout(c Caller, addr, method string, req []byte, d time.Duration) ([]byte, error) {
 	if d <= 0 {
 		return c.Call(addr, method, req)
 	}
+	if dc, ok := c.(DeadlineCaller); ok {
+		return dc.CallDeadline(addr, method, req, d)
+	}
+	return callTimeoutRace(c, addr, method, req, d)
+}
+
+// WithTimeout returns a Caller that bounds every call by d via
+// CallTimeout (d ≤ 0 returns c unchanged). Useful for handing a
+// deadline-bounded caller to components that take a plain Caller, like
+// Hedged.
+func WithTimeout(c Caller, d time.Duration) Caller {
+	if d <= 0 {
+		return c
+	}
+	return timeoutCaller{c: c, d: d}
+}
+
+type timeoutCaller struct {
+	c Caller
+	d time.Duration
+}
+
+func (t timeoutCaller) Call(addr, method string, req []byte) ([]byte, error) {
+	return CallTimeout(t.c, addr, method, req, t.d)
+}
+
+// callTimeoutRace is the generic (abandon-on-a-goroutine) deadline
+// fallback for transports without native deadline support.
+func callTimeoutRace(c Caller, addr, method string, req []byte, d time.Duration) ([]byte, error) {
 	type outcome struct {
 		resp []byte
 		err  error

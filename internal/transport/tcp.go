@@ -137,22 +137,52 @@ func (t *TCP) serveConn(conn net.Conn, mux *Mux, done chan struct{}) {
 
 // Call implements Caller.
 func (t *TCP) Call(addr, method string, req []byte) ([]byte, error) {
+	return t.CallDeadline(addr, method, req, 0)
+}
+
+// CallDeadline implements DeadlineCaller: the whole exchange — pooled
+// or fresh dial included — must finish within d. The deadline is armed
+// on the connection itself, so a timed-out call fails in place instead
+// of being abandoned to a goroutine: the connection is closed, never
+// pooled (its stream may still carry the late response), and the
+// stale-connection redial is skipped once the budget is spent (an
+// abandoned caller must not have its request silently re-sent). d ≤ 0
+// bounds each exchange only by the transport's CallTimeout default.
+func (t *TCP) CallDeadline(addr, method string, req []byte, d time.Duration) ([]byte, error) {
+	var deadline time.Time
+	if d > 0 {
+		deadline = time.Now().Add(d)
+	}
 	conn, fresh, err := t.getConn(addr)
 	if err != nil {
 		return nil, err
 	}
-	resp, rerr, err := t.exchange(conn, method, req)
-	if err != nil && !fresh {
+	resp, rerr, err := t.exchange(conn, method, req, deadline)
+	if err != nil && errors.Is(err, ErrOverloaded) {
+		// An overload reject is a complete, clean exchange: the
+		// connection is reusable and the error crosses as-is.
+		t.putConn(addr, conn)
+		return nil, err
+	}
+	if err != nil && !fresh && (deadline.IsZero() || time.Now().Before(deadline)) {
 		// A pooled connection may have gone stale; retry once on a fresh
-		// dial before reporting unreachable.
+		// dial before reporting unreachable — but only while the caller
+		// is still waiting.
 		conn.Close()
 		if conn, err = t.dial(addr); err != nil {
 			return nil, err
 		}
-		resp, rerr, err = t.exchange(conn, method, req)
+		resp, rerr, err = t.exchange(conn, method, req, deadline)
+		if err != nil && errors.Is(err, ErrOverloaded) {
+			t.putConn(addr, conn)
+			return nil, err
+		}
 	}
 	if err != nil {
 		conn.Close()
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return nil, fmt.Errorf("%w: %s %s after %v", ErrTimeout, addr, method, d)
+		}
 		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
 	}
 	t.putConn(addr, conn)
@@ -162,13 +192,19 @@ func (t *TCP) Call(addr, method string, req []byte) ([]byte, error) {
 	return resp, nil
 }
 
-// exchange performs one framed request/response on an open connection.
-func (t *TCP) exchange(conn net.Conn, method string, req []byte) ([]byte, *RemoteError, error) {
+// exchange performs one framed request/response on an open connection,
+// bounded by the earlier of the caller's deadline (zero: none) and the
+// transport's CallTimeout default.
+func (t *TCP) exchange(conn net.Conn, method string, req []byte, deadline time.Time) ([]byte, *RemoteError, error) {
 	timeout := t.CallTimeout
 	if timeout <= 0 {
 		timeout = 30 * time.Second
 	}
-	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+	limit := time.Now().Add(timeout)
+	if !deadline.IsZero() && deadline.Before(limit) {
+		limit = deadline
+	}
+	if err := conn.SetDeadline(limit); err != nil {
 		return nil, nil, err
 	}
 	w := bufio.NewWriter(conn)
@@ -261,6 +297,12 @@ func writeResponse(w *bufio.Writer, payload []byte, herr error) error {
 	body := payload
 	if herr != nil {
 		status = 1
+		if errors.Is(herr, ErrOverloaded) {
+			// Admission-control rejects cross the wire with their own
+			// status so the client can classify them as retryable
+			// (RemoteError is not) without string-matching.
+			status = 2
+		}
 		body = []byte(herr.Error())
 	}
 	if err := w.WriteByte(status); err != nil {
@@ -283,6 +325,9 @@ func readResponse(r *bufio.Reader) (payload []byte, remoteErr string, err error)
 	}
 	if status == 1 {
 		return nil, string(body), nil
+	}
+	if status == 2 {
+		return nil, "", fmt.Errorf("%w: %s", ErrOverloaded, string(body))
 	}
 	if status != 0 {
 		return nil, "", errors.New("transport: bad response status")

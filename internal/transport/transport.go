@@ -8,6 +8,15 @@
 // A peer exposes one address with a method multiplexer (Mux); subsystems
 // (Chord routing, the directory service, query execution) register their
 // methods on the same Mux. Payloads are encoding/gob.
+//
+// The overload layer rides the same abstraction: Mux.SetLimit arms
+// server-side admission control (bounded concurrency plus a short wait
+// queue, fast ErrOverloaded rejects beyond both), Breakers wraps any
+// Caller with per-link circuit breakers whose probe schedule is a
+// deterministic PRF of (seed, link, episode), Hedged races a replica
+// set with tail-tolerant duplicate reads, and RetryPolicy gives
+// callers capped exponential backoff with deterministic jitter.
+// All of it replays byte-identically under a fixed seed.
 package transport
 
 import (
@@ -29,6 +38,18 @@ var (
 	// ErrAddrInUse reports a second registration of the same address.
 	ErrAddrInUse = errors.New("transport: address already registered")
 )
+
+// ErrOverloaded reports a request fast-rejected by server-side
+// admission control: the destination is alive but its bounded in-flight
+// and queue capacity are exhausted. It does NOT match ErrUnreachable —
+// the peer answered, loudly — but Retryable classifies it as retryable,
+// so callers back off and try again (or a replica) instead of hanging
+// on a saturated server.
+var ErrOverloaded = &overloadedError{}
+
+type overloadedError struct{}
+
+func (*overloadedError) Error() string { return "transport: server overloaded" }
 
 // RemoteError wraps an error string returned by the remote handler, so
 // callers can distinguish transport failures (retryable against a
@@ -53,9 +74,20 @@ type Handler func(req []byte) ([]byte, error)
 // Mux dispatches incoming RPCs by method name. The zero value is not
 // usable; create with NewMux. Registration is expected at setup time;
 // dispatch is safe for concurrent use with registration.
+//
+// SetLimit arms admission control: at most maxInFlight handlers run
+// concurrently, at most maxQueued callers wait for a slot, and every
+// request beyond that is fast-rejected with ErrOverloaded instead of
+// queuing unboundedly. The caps are plain deterministic counts — no
+// clocks, no sampling — so overloaded chaos scenarios replay exactly.
 type Mux struct {
 	mu       sync.RWMutex
 	handlers map[string]Handler
+
+	admit    chan struct{} // in-flight slots; nil = unlimited
+	maxQueue int
+	qmu      sync.Mutex
+	queued   int
 }
 
 // NewMux returns an empty multiplexer.
@@ -71,13 +103,55 @@ func (m *Mux) Handle(method string, h Handler) {
 	m.handlers[method] = h
 }
 
-// Dispatch routes one request to its handler.
+// SetLimit arms (or, with maxInFlight ≤ 0, disarms) admission control:
+// up to maxInFlight concurrent handlers, up to maxQueued waiting
+// callers, fast ErrOverloaded rejects beyond that. Call at setup time,
+// before the mux serves traffic.
+func (m *Mux) SetLimit(maxInFlight, maxQueued int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if maxInFlight <= 0 {
+		m.admit = nil
+		m.maxQueue = 0
+		return
+	}
+	if maxQueued < 0 {
+		maxQueued = 0
+	}
+	m.admit = make(chan struct{}, maxInFlight)
+	m.maxQueue = maxQueued
+}
+
+// Dispatch routes one request to its handler, applying admission
+// control when armed: a request that finds every in-flight slot busy
+// and the wait queue full is rejected immediately with ErrOverloaded —
+// the server sheds load instead of hanging the caller.
 func (m *Mux) Dispatch(method string, req []byte) ([]byte, error) {
 	m.mu.RLock()
 	h := m.handlers[method]
+	admit := m.admit
+	maxQueue := m.maxQueue
 	m.mu.RUnlock()
 	if h == nil {
 		return nil, fmt.Errorf("%w: %s", ErrNoMethod, method)
+	}
+	if admit != nil {
+		select {
+		case admit <- struct{}{}:
+		default:
+			m.qmu.Lock()
+			if m.queued >= maxQueue {
+				m.qmu.Unlock()
+				return nil, fmt.Errorf("%w: %s", ErrOverloaded, method)
+			}
+			m.queued++
+			m.qmu.Unlock()
+			admit <- struct{}{}
+			m.qmu.Lock()
+			m.queued--
+			m.qmu.Unlock()
+		}
+		defer func() { <-admit }()
 	}
 	return h(req)
 }
