@@ -17,6 +17,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -30,22 +31,128 @@ import (
 	"iqn/internal/synopsis"
 )
 
+// benchOutput is the machine-readable form of a bench run (-json): the
+// run's parameters plus one entry per executed experiment. Committed
+// artifacts (BENCH_route.json) use this shape, so downstream tooling
+// and regression diffs parse one schema for every experiment.
+type benchOutput struct {
+	Seed        int64             `json:"seed"`
+	Docs        int               `json:"docs"`
+	Runs        int               `json:"runs"`
+	Queries     int               `json:"queries"`
+	K           int               `json:"k"`
+	Experiments []benchExperiment `json:"experiments"`
+}
+
+type benchExperiment struct {
+	Name      string `json:"name"`
+	ElapsedMs int64  `json:"elapsedMs"`
+	// Exactly one of the following is set, matching the experiment kind.
+	Series   []benchSeries     `json:"series,omitempty"`
+	Route    []routePoint      `json:"route,omitempty"`
+	Overload []overloadPoint   `json:"overload,omitempty"`
+	Cost     []costPoint       `json:"cost,omitempty"`
+	Load     []loadPoint       `json:"load,omitempty"`
+	Chaos    []eval.ChaosPoint `json:"chaos,omitempty"`
+	Churn    *eval.ChurnResult `json:"churn,omitempty"`
+}
+
+// benchSeries is a recall/error curve: one named series of (x, y)
+// points, mirroring eval.Series with JSON tags.
+type benchSeries struct {
+	Name   string       `json:"name"`
+	Points []benchPoint `json:"points"`
+}
+
+type benchPoint struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// routePoint is one row of the Fast-IQN routing-cost comparison.
+type routePoint struct {
+	Candidates   int     `json:"candidates"`
+	LazyNs       int64   `json:"lazyNs"`
+	ExhaustiveNs int64   `json:"exhaustiveNs"`
+	Speedup      float64 `json:"speedup"`
+	PlansEqual   bool    `json:"plansEqual"`
+}
+
+// overloadPoint mirrors eval.OverloadPoint with latencies in
+// milliseconds — p50/p95/p99 tail latency, recall, and the degradation
+// accounting per load level and mode.
+type overloadPoint struct {
+	Mode          string  `json:"mode"`
+	Concurrency   int     `json:"concurrency"`
+	P50Ms         float64 `json:"p50Ms"`
+	P95Ms         float64 `json:"p95Ms"`
+	P99Ms         float64 `json:"p99Ms"`
+	Recall        float64 `json:"recall"`
+	Reported      int     `json:"reported"`
+	Rejected      int     `json:"rejected"`
+	BudgetExpired int     `json:"budgetExpired"`
+}
+
+// costPoint mirrors eval.CostPoint: per-query messages and bytes per
+// method/synopsis combination.
+type costPoint struct {
+	Series       string  `json:"series"`
+	PublishBytes int64   `json:"publishBytes"`
+	QueryBytes   int64   `json:"queryBytes"`
+	QueryRPCs    int64   `json:"queryRPCs"`
+	Recall       float64 `json:"recall"`
+}
+
+// loadPoint mirrors eval.LoadPoint: how evenly forwarded queries spread
+// over peers.
+type loadPoint struct {
+	Series    string  `json:"series"`
+	Total     int64   `json:"total"`
+	Max       int64   `json:"max"`
+	P90       int64   `json:"p90"`
+	Imbalance float64 `json:"imbalance"`
+	Recall    float64 `json:"recall"`
+}
+
+func toBenchSeries(series []eval.Series) []benchSeries {
+	out := make([]benchSeries, 0, len(series))
+	for _, s := range series {
+		bs := benchSeries{Name: s.Name, Points: make([]benchPoint, 0, len(s.Points))}
+		for _, p := range s.Points {
+			bs.Points = append(bs.Points, benchPoint{X: p.X, Y: p.Y})
+		}
+		out = append(out, bs)
+	}
+	return out
+}
+
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: fig2left|fig2right|fig3left|fig3right|aggregation|histogram|budget|hetero|prior|cost|churn|chaos|load|route|overload|all")
-		docs   = flag.Int("docs", 20000, "corpus size for fig3-style experiments")
-		vocab  = flag.Int("vocab", 0, "vocabulary size (0: docs/10)")
-		runs   = flag.Int("runs", 50, "runs per point for fig2-style experiments")
-		sizeRt = flag.Int("fixedsize", 10000, "fixed collection size for fig2right (paper text: 10000, chart label: 5000)")
-		numQ   = flag.Int("queries", 10, "query workload size")
-		k      = flag.Int("k", 50, "result-list depth")
-		seed   = flag.Int64("seed", 2006, "master seed")
-		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		sll    = flag.Bool("sll", false, "add a super-LogLog series to fig2 experiments")
-		svgDir = flag.String("svgdir", "", "also write each experiment's chart as an SVG file into this directory")
-		peers  = flag.String("peers", "", "comma-separated peer counts (default 1..10)")
+		exp     = flag.String("exp", "all", "experiment: fig2left|fig2right|fig3left|fig3right|aggregation|histogram|budget|hetero|prior|cost|churn|chaos|load|route|overload|all")
+		docs    = flag.Int("docs", 20000, "corpus size for fig3-style experiments")
+		vocab   = flag.Int("vocab", 0, "vocabulary size (0: docs/10)")
+		runs    = flag.Int("runs", 50, "runs per point for fig2-style experiments")
+		sizeRt  = flag.Int("fixedsize", 10000, "fixed collection size for fig2right (paper text: 10000, chart label: 5000)")
+		numQ    = flag.Int("queries", 10, "query workload size")
+		k       = flag.Int("k", 50, "result-list depth")
+		seed    = flag.Int64("seed", 2006, "master seed")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		sll     = flag.Bool("sll", false, "add a super-LogLog series to fig2 experiments")
+		svgDir  = flag.String("svgdir", "", "also write each experiment's chart as an SVG file into this directory")
+		peers   = flag.String("peers", "", "comma-separated peer counts (default 1..10)")
+		jsonOut = flag.String("json", "", "also write machine-readable results for the selected experiments to this JSON file")
 	)
 	flag.Parse()
+
+	output := benchOutput{Seed: *seed, Docs: *docs, Runs: *runs, Queries: *numQ, K: *k, Experiments: []benchExperiment{}}
+	record := func(name string, fill func(*benchExperiment)) {
+		if *jsonOut == "" {
+			return
+		}
+		e := benchExperiment{Name: name}
+		fill(&e)
+		output.Experiments = append(output.Experiments, e)
+	}
 
 	peerCounts := []int(nil)
 	if *peers != "" {
@@ -80,6 +187,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "iqnbench: %s: %v\n", title, err)
 			os.Exit(1)
 		}
+		record(expName, func(e *benchExperiment) { e.Series = toBenchSeries(series) })
 		if *svgDir != "" {
 			ylabel := "relative recall"
 			if strings.HasPrefix(xlabel, "docs") || xlabel == "overlap" {
@@ -146,6 +254,14 @@ func main() {
 				fmt.Fprintf(os.Stderr, "iqnbench: cost: %v\n", err)
 				os.Exit(1)
 			}
+			record(name, func(e *benchExperiment) {
+				for _, p := range points {
+					e.Cost = append(e.Cost, costPoint{
+						Series: p.Series, PublishBytes: p.PublishBytes,
+						QueryBytes: p.QueryBytes, QueryRPCs: p.QueryRPCs, Recall: p.Recall,
+					})
+				}
+			})
 			fmt.Println(eval.CostTable(points, 5))
 		case "load":
 			points, err := eval.Load(eval.LoadConfig{
@@ -156,9 +272,19 @@ func main() {
 				fmt.Fprintf(os.Stderr, "iqnbench: load: %v\n", err)
 				os.Exit(1)
 			}
+			record(name, func(e *benchExperiment) {
+				for _, p := range points {
+					e.Load = append(e.Load, loadPoint{
+						Series: p.Series, Total: p.Total, Max: p.Max,
+						P90: p.P90, Imbalance: p.Imbalance, Recall: p.Recall,
+					})
+				}
+			})
 			fmt.Println(eval.LoadTable(points))
 		case "route":
-			fmt.Print(routeTable(*runs, *seed))
+			table, points := routeTable(*runs, *seed)
+			record(name, func(e *benchExperiment) { e.Route = points })
+			fmt.Print(table)
 		case "churn":
 			res, err := eval.Churn(eval.ChurnConfig{
 				CorpusDocs: *docs, VocabSize: *vocab, Strategy: right,
@@ -168,6 +294,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "iqnbench: churn: %v\n", err)
 				os.Exit(1)
 			}
+			record(name, func(e *benchExperiment) { e.Churn = res })
 			fmt.Printf("# Churn: %d peers killed mid-workload\n", res.Killed)
 			fmt.Printf("recall before      %0.3f\n", res.Before)
 			fmt.Printf("recall degraded    %0.3f (stale posts still name dead peers)\n", res.Degraded)
@@ -182,6 +309,18 @@ func main() {
 				fmt.Fprintf(os.Stderr, "iqnbench: overload: %v\n", err)
 				os.Exit(1)
 			}
+			record(name, func(e *benchExperiment) {
+				for _, p := range points {
+					e.Overload = append(e.Overload, overloadPoint{
+						Mode: p.Mode, Concurrency: p.Concurrency,
+						P50Ms:  float64(p.P50) / float64(time.Millisecond),
+						P95Ms:  float64(p.P95) / float64(time.Millisecond),
+						P99Ms:  float64(p.P99) / float64(time.Millisecond),
+						Recall: p.Recall, Reported: p.Reported,
+						Rejected: p.Rejected, BudgetExpired: p.BudgetExpired,
+					})
+				}
+			})
 			fmt.Println("# Overload: tail latency and recall, bare vs hardened (budgets + hedging + breakers + admission control)")
 			fmt.Print(eval.OverloadTable(points))
 		case "chaos":
@@ -193,13 +332,18 @@ func main() {
 				fmt.Fprintf(os.Stderr, "iqnbench: chaos: %v\n", err)
 				os.Exit(1)
 			}
+			record(name, func(e *benchExperiment) { e.Chaos = points })
 			fmt.Println("# Chaos: recall vs peer-failure rate, with and without failure re-routing")
 			fmt.Print(eval.ChaosTable(points))
 		default:
 			fmt.Fprintf(os.Stderr, "iqnbench: unknown experiment %q\n", name)
 			os.Exit(2)
 		}
-		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		if n := len(output.Experiments); n > 0 && output.Experiments[n-1].Name == name {
+			output.Experiments[n-1].ElapsedMs = elapsed.Milliseconds()
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, elapsed.Round(time.Millisecond))
 	}
 
 	if *exp == "all" {
@@ -207,9 +351,22 @@ func main() {
 			"aggregation", "histogram", "budget", "hetero", "prior", "cost", "churn", "chaos", "load", "route", "overload"} {
 			run(name)
 		}
-		return
+	} else {
+		run(*exp)
 	}
-	run(*exp)
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(output, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iqnbench: marshal results: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "iqnbench: write %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[wrote %s]\n", *jsonOut)
+	}
 }
 
 // routeCandidates builds a synthetic routing candidate set: two-term
@@ -243,12 +400,14 @@ func routeCandidates(n int, seed int64) (core.Query, []core.Candidate) {
 
 // routeTable times the Fast-IQN lazy engine (core.Route) against the
 // exhaustive reference (core.SelectExhaustive) on growing candidate
-// sets, verifying on every run that the two plans are identical.
-func routeTable(runs int, seed int64) string {
+// sets, verifying on every run that the two plans are identical. It
+// returns both the human-readable table and the machine-readable rows.
+func routeTable(runs int, seed int64) (string, []routePoint) {
 	if runs < 1 {
 		runs = 1
 	}
 	var b strings.Builder
+	var points []routePoint
 	fmt.Fprintf(&b, "# Fast-IQN: lazy-greedy vs exhaustive Select-Best-Peer (MaxPeers=10, %d runs)\n", runs)
 	fmt.Fprintf(&b, "%10s %14s %14s %9s %6s\n", "candidates", "lazy", "exhaustive", "speedup", "plans")
 	opts := core.Options{MaxPeers: 10}
@@ -278,6 +437,13 @@ func routeTable(runs int, seed int64) string {
 			verdict = "DIFFER"
 		}
 		fmt.Fprintf(&b, "%10d %14s %14s %8.1fx %6s\n", n, lazyD, exD, float64(exD)/float64(lazyD), verdict)
+		points = append(points, routePoint{
+			Candidates:   n,
+			LazyNs:       lazyD.Nanoseconds(),
+			ExhaustiveNs: exD.Nanoseconds(),
+			Speedup:      float64(exD) / float64(lazyD),
+			PlansEqual:   equal,
+		})
 	}
-	return b.String()
+	return b.String(), points
 }

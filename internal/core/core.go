@@ -31,6 +31,7 @@ import (
 
 	"iqn/internal/histogram"
 	"iqn/internal/synopsis"
+	"iqn/internal/telemetry"
 )
 
 // PeerID names a peer; in MINERVA it doubles as the peer's transport
@@ -139,6 +140,17 @@ type Options struct {
 	// Values ≤ 1 keep routing single-threaded; larger values are capped
 	// at GOMAXPROCS. Parallel and serial routing produce identical plans.
 	Parallelism int
+	// Span, when set, receives one "iter" child per Select-Best-Peer
+	// round annotated with the winner's quality/novelty/score/covered
+	// values and the round's evaluated vs lazily-skipped candidate
+	// counts. Nil (the default) traces nothing; the annotations are
+	// deterministic functions of the routing inputs, never of timing.
+	Span *telemetry.Span
+	// Metrics, when set, counts routing work: route.selections,
+	// route.candidates, route.evaluations (novelty estimations actually
+	// performed), and route.lazy_skips (evaluations the lazy engine's
+	// ceilings proved unnecessary). Nil leaves routing uncounted.
+	Metrics *telemetry.Registry
 }
 
 // parallelism resolves the Parallelism option to an effective worker

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDeadlineZeroBudgetUnarmed(t *testing.T) {
+	for _, d := range []time.Duration{0, -time.Second} {
+		dl := StartDeadline(d)
+		if dl != nil {
+			t.Fatalf("StartDeadline(%v) = %v, want nil (no budget)", d, dl)
+		}
+	}
+	var dl *Deadline
+	if dl.Armed() {
+		t.Fatal("nil deadline reports Armed")
+	}
+	if dl.Expired() {
+		t.Fatal("unarmed budget must never expire")
+	}
+	if got := dl.Total(); got != 0 {
+		t.Fatalf("nil Total() = %v, want 0", got)
+	}
+	if got := dl.Remaining(); got != 0 {
+		t.Fatalf("nil Remaining() = %v, want 0", got)
+	}
+	// With no budget, Cap must pass per-attempt timeouts through
+	// unchanged — including "no timeout" (≤ 0).
+	for _, tmo := range []time.Duration{0, -1, time.Second} {
+		if got := dl.Cap(tmo); got != tmo {
+			t.Fatalf("nil Cap(%v) = %v, want unchanged", tmo, got)
+		}
+	}
+}
+
+func TestDeadlineAlreadyExpired(t *testing.T) {
+	dl := StartDeadline(time.Nanosecond)
+	time.Sleep(time.Millisecond)
+	if !dl.Armed() {
+		t.Fatal("1ns budget should be armed")
+	}
+	if !dl.Expired() {
+		t.Fatal("1ns budget should have expired")
+	}
+	if got := dl.Remaining(); got != 0 {
+		t.Fatalf("expired Remaining() = %v, want 0", got)
+	}
+	// Cap on an expired budget returns a minimal positive duration —
+	// never 0 or negative, which transports read as "no deadline".
+	if got := dl.Cap(time.Second); got <= 0 {
+		t.Fatalf("expired Cap() = %v, want positive", got)
+	}
+	if got := dl.Cap(0); got <= 0 {
+		t.Fatalf("expired Cap(0) = %v, want positive", got)
+	}
+}
+
+func TestDeadlineCapTightensTimeouts(t *testing.T) {
+	dl := StartDeadline(time.Hour)
+	if got := dl.Total(); got != time.Hour {
+		t.Fatalf("Total() = %v, want 1h", got)
+	}
+	if got := dl.Remaining(); got <= 0 || got > time.Hour {
+		t.Fatalf("Remaining() = %v, want within (0, 1h]", got)
+	}
+	// A tighter per-attempt timeout survives; a looser one (or none) is
+	// capped to the remaining budget.
+	if got := dl.Cap(time.Millisecond); got != time.Millisecond {
+		t.Fatalf("Cap(1ms) = %v, want 1ms", got)
+	}
+	if got := dl.Cap(2 * time.Hour); got > time.Hour || got <= 0 {
+		t.Fatalf("Cap(2h) = %v, want capped to remaining budget", got)
+	}
+	if got := dl.Cap(0); got > time.Hour || got <= 0 {
+		t.Fatalf("Cap(0) = %v, want the remaining budget itself", got)
+	}
+}
+
+func TestDeadlineExpiresOverTime(t *testing.T) {
+	dl := StartDeadline(5 * time.Millisecond)
+	if dl.Expired() {
+		t.Fatal("fresh 5ms budget already expired")
+	}
+	time.Sleep(10 * time.Millisecond)
+	if !dl.Expired() {
+		t.Fatal("5ms budget should expire after 10ms")
+	}
+}

@@ -110,6 +110,9 @@ type engine struct {
 	order       []int     // indices by (staticBound desc, index asc)
 	batch       []int     // scratch for one evaluation batch
 	left        int       // number of alive candidates
+
+	evals      int // novelty evaluations performed (telemetry)
+	roundEvals int // evaluations in the current round (telemetry)
 }
 
 func (e *engine) run() (Plan, error) {
@@ -133,6 +136,7 @@ func (e *engine) run() (Plan, error) {
 	}
 
 	var plan Plan
+	lazySkips := 0
 	for e.left > 0 {
 		if e.opts.MaxPeers > 0 && len(plan.Peers) >= e.opts.MaxPeers {
 			break
@@ -140,6 +144,8 @@ func (e *engine) run() (Plan, error) {
 		if e.opts.TargetCoverage > 0 && e.state.covered() >= e.opts.TargetCoverage {
 			break
 		}
+		alive := e.left
+		e.roundEvals = 0
 		best, err := e.selectBest()
 		if err != nil {
 			return Plan{}, err
@@ -159,6 +165,24 @@ func (e *engine) run() (Plan, error) {
 		})
 		e.alive[best] = false
 		e.left--
+		skipped := alive - e.roundEvals
+		lazySkips += skipped
+		if iter := e.opts.Span.Child("iter"); iter != nil {
+			iter.Setf("peer", "%s", c.Peer)
+			iter.Setf("quality", "%.6g", c.Quality)
+			iter.Setf("novelty", "%.6g", e.nov[best])
+			iter.Setf("score", "%.6g", e.score[best])
+			iter.Setf("covered", "%.6g", e.state.covered())
+			iter.SetInt("evaluated", int64(e.roundEvals))
+			iter.SetInt("skipped", int64(skipped))
+			iter.End()
+		}
+	}
+	if m := e.opts.Metrics; m != nil {
+		m.Counter("route.selections").Add(int64(len(plan.Peers)))
+		m.Counter("route.candidates").Add(int64(n))
+		m.Counter("route.evaluations").Add(int64(e.evals))
+		m.Counter("route.lazy_skips").Add(int64(lazySkips))
 	}
 	return plan, nil
 }
@@ -291,6 +315,8 @@ func (e *engine) evalAll() error {
 // writes only per-candidate slots, and errors are reported in batch order
 // so behavior is deterministic regardless of scheduling.
 func (e *engine) evalBatch(idxs []int) error {
+	e.evals += len(idxs)
+	e.roundEvals += len(idxs)
 	nw := e.opts.noveltyWeight()
 	if e.par <= 1 || len(idxs) <= 1 {
 		for _, i := range idxs {

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"iqn/internal/chord"
+	"iqn/internal/telemetry"
 	"iqn/internal/transport"
 )
 
@@ -257,6 +258,13 @@ type Client struct {
 	// replicas are patched on the spot (read-repair). ≤ 1 reads a single
 	// replica (hedged when HedgeDelay is set).
 	ReadQuorum int
+	// Metrics, when set, counts directory activity: directory.fetches,
+	// the directory.fetch_ms latency histogram, directory.fetch_errors
+	// (failed replica calls), directory.read_repairs and
+	// directory.replica_divergence (quorum reads), directory.
+	// anti_entropy_repairs, plus transport.retries and transport.hedges
+	// spent on directory RPCs. Nil leaves the client uncounted.
+	Metrics *telemetry.Registry
 }
 
 // NewClient returns a directory client working through the given node.
@@ -269,7 +277,10 @@ func NewClient(node *chord.Node, replicas int) *Client {
 
 // invoke issues one directory RPC under the client's retry policy.
 func (c *Client) invoke(addr, method string, req, resp any) error {
-	_, err := transport.InvokeRetry(c.node.Network(), addr, method, req, resp, c.Retry)
+	attempts, err := transport.InvokeRetry(c.node.Network(), addr, method, req, resp, c.Retry)
+	if attempts > 1 {
+		c.Metrics.Counter("transport.retries").Add(int64(attempts - 1))
+	}
 	return err
 }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"iqn/internal/chord"
+	"iqn/internal/telemetry"
 	"iqn/internal/transport"
 )
 
@@ -281,7 +282,10 @@ func (c *Client) invokeBudget(addr, method string, req, resp any, budget time.Du
 	if budget > 0 && (p.Timeout <= 0 || p.Timeout > budget) {
 		p.Timeout = budget
 	}
-	_, err := transport.InvokeRetry(c.node.Network(), addr, method, req, resp, p)
+	attempts, err := transport.InvokeRetry(c.node.Network(), addr, method, req, resp, p)
+	if attempts > 1 {
+		c.Metrics.Counter("transport.retries").Add(int64(attempts - 1))
+	}
 	return err
 }
 
@@ -348,6 +352,23 @@ func (c *Client) PublishReport(posts []Post) (PublishReport, error) {
 // timeouts capped by budget (≤ 0: uncapped), and every failed replica
 // reported. The returned map is complete on nil error.
 func (c *Client) FetchAllReport(terms []string, budget time.Duration) (map[string]PeerList, FetchReport, error) {
+	start := time.Now()
+	out, rep, err := c.fetchAllReport(terms, budget)
+	if c.Metrics != nil {
+		c.Metrics.Counter("directory.fetches").Inc()
+		c.Metrics.Histogram("directory.fetch_ms", telemetry.DefaultLatencyBounds).
+			Observe(time.Since(start).Milliseconds())
+		if n := len(rep.Errors); n > 0 {
+			c.Metrics.Counter("directory.fetch_errors").Add(int64(n))
+		}
+		if rep.Repaired > 0 {
+			c.Metrics.Counter("directory.read_repairs").Add(int64(rep.Repaired))
+		}
+	}
+	return out, rep, err
+}
+
+func (c *Client) fetchAllReport(terms []string, budget time.Duration) (map[string]PeerList, FetchReport, error) {
 	rep := FetchReport{Winners: make(map[string]string, len(terms))}
 	byAddr := make(map[string][]string)
 	replicasByTerm := make(map[string][]chord.NodeRef, len(terms))
@@ -393,9 +414,11 @@ func (c *Client) FetchAllReport(terms []string, budget time.Duration) (map[strin
 				addrs[i] = r.Addr
 			}
 			h := transport.Hedged{
-				Caller: transport.WithTimeout(c.node.Network(), c.perAttempt(budget)),
-				Delay:  c.HedgeDelay,
-				Max:    len(addrs),
+				Caller:    transport.WithTimeout(c.node.Network(), c.perAttempt(budget)),
+				Delay:     c.HedgeDelay,
+				Max:       len(addrs),
+				Hedges:    c.Metrics.Counter("transport.hedges"),
+				HedgeWins: c.Metrics.Counter("transport.hedge_wins"),
 			}
 			var got map[string]PeerList
 			winner, err := h.Invoke(addrs, methodGetBatch, group, &got)
@@ -506,6 +529,7 @@ func (c *Client) quorumFetch(term string, replicas []chord.NodeRef, budget time.
 		if DigestPosts(cp.pl) == want {
 			continue
 		}
+		c.Metrics.Counter("directory.replica_divergence").Inc()
 		if err := c.invokeBudget(cp.addr, methodRepair, repairRequest{Term: term, Posts: merged, Floor: floor}, nil, budget); err != nil {
 			rep.addError(replicaError(cp.addr, "repair", term, err))
 			continue
@@ -576,6 +600,9 @@ func (c *Client) RepairTerm(term string) (repaired int, err error) {
 			continue
 		}
 		repaired++
+	}
+	if repaired > 0 {
+		c.Metrics.Counter("directory.anti_entropy_repairs").Add(int64(repaired))
 	}
 	return repaired, nil
 }

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"iqn/internal/ir"
+	"iqn/internal/telemetry"
 )
 
 // This file gives a peer the small HTTP surface the MINERVA prototype
@@ -53,9 +54,14 @@ type httpStatusResponse struct {
 //
 //	GET /search?q=<terms>&peers=<n>&k=<n>&method=iqn|cori|prior&conj=1
 //	GET /status
+//	GET /metrics            (when Config.Metrics is set)
+//	GET /debug/pprof/...    (when Config.Metrics is set)
 //
 // Search terms are space-separated in q. Errors return JSON with an
-// "error" field and a 4xx/5xx status.
+// "error" field and a 4xx/5xx status. When the peer was built with a
+// telemetry registry, /metrics serves the live snapshot as JSON and the
+// standard pprof profiles are mounted under /debug/pprof/ — the live
+// introspection surface; peers without a registry expose neither.
 func (p *Peer) HTTPHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
@@ -123,6 +129,10 @@ func (p *Peer) HTTPHandler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, status)
 	})
+	if p.cfg.Metrics != nil {
+		mux.Handle("/metrics", telemetry.Handler(p.cfg.Metrics))
+		mux.Handle("/debug/pprof/", telemetry.Handler(p.cfg.Metrics))
+	}
 	return mux
 }
 

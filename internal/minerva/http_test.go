@@ -5,6 +5,8 @@ import (
 	"net/http/httptest"
 	"path/filepath"
 	"testing"
+
+	"iqn/internal/telemetry"
 )
 
 func TestHTTPSearch(t *testing.T) {
@@ -106,5 +108,59 @@ func TestPeerIndexPersistence(t *testing.T) {
 	defer fresh.Close()
 	if err := fresh.SaveIndex(path); err == nil {
 		t.Fatal("saving a nil index succeeded")
+	}
+}
+
+// TestHTTPMetricsEndpoint verifies the live introspection surface: a
+// peer built with a telemetry registry serves /metrics (the snapshot as
+// JSON) and the pprof index, while a registry-less peer exposes
+// neither.
+func TestHTTPMetricsEndpoint(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	net, _, queries := buildTestNetwork(t, Config{SynopsisSeed: 7, Metrics: reg})
+	srv := httptest.NewServer(net.Peers[0].HTTPHandler())
+	defer srv.Close()
+
+	if _, err := net.Peers[0].Search(queries[0].Terms, SearchOptions{K: 10, MaxPeers: 3}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	var snap telemetry.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["search.queries"] < 1 {
+		t.Fatalf("search.queries = %d, want ≥ 1", snap.Counters["search.queries"])
+	}
+	if snap.Counters["transport.calls"] == 0 {
+		t.Fatal("transport.calls missing from snapshot — network not instrumented")
+	}
+	pp, err := srv.Client().Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Body.Close()
+	if pp.StatusCode != 200 {
+		t.Fatalf("/debug/pprof/ status %d", pp.StatusCode)
+	}
+
+	// Without a registry the introspection surface must not exist.
+	bare, _, _ := buildTestNetwork(t, Config{SynopsisSeed: 7})
+	bsrv := httptest.NewServer(bare.Peers[0].HTTPHandler())
+	defer bsrv.Close()
+	br, err := bsrv.Client().Get(bsrv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	br.Body.Close()
+	if br.StatusCode != 404 {
+		t.Fatalf("registry-less /metrics status %d, want 404", br.StatusCode)
 	}
 }

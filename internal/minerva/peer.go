@@ -29,6 +29,7 @@ import (
 	"iqn/internal/histogram"
 	"iqn/internal/ir"
 	"iqn/internal/synopsis"
+	"iqn/internal/telemetry"
 	"iqn/internal/transport"
 )
 
@@ -91,6 +92,14 @@ type Config struct {
 	// AdmissionQueue bounds the admission wait queue (only meaningful
 	// with AdmissionLimit > 0).
 	AdmissionQueue int
+	// Metrics, non-nil, arms telemetry: the peer's network is wrapped
+	// with transport.Instrument (calls, errors, bytes, latency), the
+	// directory client counts fetches/retries/repairs, breakers count
+	// transitions, and the search path counts queries/reroutes/budget
+	// expiries. Peers sharing one Config share the registry, so a
+	// network-wide run aggregates into one snapshot. Nil (the default)
+	// disarms telemetry at zero cost — the call path is the raw network.
+	Metrics *telemetry.Registry
 }
 
 func (c Config) kind() synopsis.Kind {
@@ -137,6 +146,13 @@ type queryRequest struct {
 // peer initially forms a ring of itself; call JoinRing to enter an
 // existing network.
 func NewPeer(addr string, net transport.Network, cfg Config) (*Peer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// Instrumenting beneath the Chord node means ring maintenance,
+	// directory traffic, and query forwarding are all counted; with a
+	// nil registry the wrapper IS the raw network (zero overhead).
+	net = transport.Instrument(net, cfg.Metrics)
 	node, err := chord.New(addr, net, chord.Config{})
 	if err != nil {
 		return nil, err
@@ -155,18 +171,22 @@ func NewPeer(addr string, net transport.Network, cfg Config) (*Peer, error) {
 	p.dir.Retry = cfg.DirectoryRetry
 	p.dir.HedgeDelay = cfg.HedgeDelay
 	p.dir.ReadQuorum = cfg.ReadQuorum
+	p.dir.Metrics = cfg.Metrics
 	if cfg.Breakers != nil {
 		p.breakers = transport.NewBreakers(*cfg.Breakers)
+		p.breakers.SetMetrics(cfg.Metrics)
 	}
 	if cfg.AdmissionLimit > 0 {
 		node.Mux().SetLimit(cfg.AdmissionLimit, cfg.AdmissionQueue)
 	}
+	served := cfg.Metrics.Counter("peer.queries_served")
 	node.Mux().Handle(methodQuery, func(req []byte) ([]byte, error) {
 		var q queryRequest
 		if err := transport.Unmarshal(req, &q); err != nil {
 			return nil, err
 		}
 		p.queriesServed.Add(1)
+		served.Inc()
 		return transport.Marshal(p.LocalSearch(q.Terms, q.K, q.Conjunctive))
 	})
 	return p, nil

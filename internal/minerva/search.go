@@ -1,8 +1,11 @@
 package minerva
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -12,6 +15,7 @@ import (
 	"iqn/internal/histogram"
 	"iqn/internal/ir"
 	"iqn/internal/synopsis"
+	"iqn/internal/telemetry"
 	"iqn/internal/topk"
 	"iqn/internal/transport"
 )
@@ -168,12 +172,42 @@ func (r *SearchResult) Degraded() bool { return len(r.Errors) > 0 }
 // Search runs a full distributed query from this peer: fetch PeerLists
 // from the directory, assemble candidates, route, forward, merge.
 func (p *Peer) Search(terms []string, opts SearchOptions) (*SearchResult, error) {
+	return p.SearchContext(context.Background(), terms, opts)
+}
+
+// SearchContext is Search with context carriage for telemetry: a span
+// placed in ctx (telemetry.WithSpan) becomes the query's trace root and
+// receives the full span tree — directory.fetch, route (with one iter
+// child per Select-Best-Peer round), per-round forward fan-outs with a
+// call child per peer (attempt counts and failure causes), reroute
+// decisions, and merge. Span annotations are deterministic functions of
+// the query's inputs and fault schedule; wall-clock spend appears only
+// in the trace's String() rendering, never in Canonical(). A context
+// without a span traces nothing at zero cost.
+func (p *Peer) SearchContext(ctx context.Context, terms []string, opts SearchOptions) (*SearchResult, error) {
 	if len(terms) == 0 {
 		return nil, fmt.Errorf("minerva: empty query")
 	}
+	m := p.cfg.Metrics
+	m.Counter("search.queries").Inc()
+	span := telemetry.SpanFrom(ctx)
+	span.Setf("terms", "%s", strings.Join(terms, ","))
+	span.Set("method", opts.Method.String())
+	span.SetInt("max_peers", int64(opts.maxPeers()))
+
 	dl := core.StartDeadline(opts.Budget)
+	fetchSpan := span.Child("directory.fetch")
+	fetchStart := time.Now()
 	lists, dirRep, err := p.dir.FetchAllReport(terms, dl.Cap(0))
+	fetchSpan.SetInt("terms", int64(len(terms)))
+	fetchSpan.SetInt("errors", int64(len(dirRep.Errors)))
+	fetchSpan.SetInt("repaired", int64(dirRep.Repaired))
+	fetchSpan.SetDuration("spent", time.Since(fetchStart))
+	fetchSpan.End()
 	if err != nil {
+		span.Set("failed", "directory-fetch")
+		span.End()
+		m.Counter("search.fetch_failures").Inc()
 		return nil, fmt.Errorf("minerva: fetch peerlists: %w", err)
 	}
 	if opts.CandidateLimit > 0 {
@@ -187,11 +221,15 @@ func (p *Peer) Search(terms []string, opts SearchOptions) (*SearchResult, error)
 	if opts.Conjunctive {
 		q.Type = core.Conjunctive
 	}
+	routeSpan := span.Child("route")
+	routeSpan.SetInt("candidates", int64(len(cands)))
 	routeOpts := core.Options{
 		MaxPeers:      opts.maxPeers(),
 		Aggregation:   opts.Aggregation,
 		UseHistograms: opts.UseHistograms,
 		Parallelism:   opts.Parallelism,
+		Span:          routeSpan,
+		Metrics:       m,
 	}
 	if opts.NoveltyOnly {
 		routeOpts.QualityWeight, routeOpts.NoveltyWeight = 0, 1
@@ -210,15 +248,32 @@ func (p *Peer) Search(terms []string, opts SearchOptions) (*SearchResult, error)
 		plan, err = core.Route(q, initiator, cands, routeOpts)
 	}
 	if err != nil {
+		routeSpan.End()
+		span.End()
 		return nil, fmt.Errorf("minerva: route: %w", err)
 	}
-	exec := p.execute(q, plan, initiator, cands, opts, dl)
+	routeSpan.SetInt("planned", int64(len(plan.Peers)))
+	routeSpan.End()
+	exec := p.execute(q, plan, initiator, cands, opts, dl, span)
 	resultLists := exec.lists
 	if !opts.DisableSelf {
 		resultLists = append(resultLists, p.LocalSearch(terms, opts.k(), opts.Conjunctive))
 	}
+	mergeSpan := span.Child("merge")
+	merged := ir.Merge(resultLists, opts.MergeK)
+	mergeSpan.SetInt("lists", int64(len(resultLists)))
+	mergeSpan.SetInt("results", int64(len(merged)))
+	mergeSpan.End()
+	if exec.budgetExpired {
+		span.Set("budget_expired", "true")
+		m.Counter("search.budget_expired").Inc()
+	}
+	if n := len(exec.rerouted); n > 0 {
+		m.Counter("search.rerouted_peers").Add(int64(n))
+	}
+	span.End()
 	return &SearchResult{
-		Results:       ir.Merge(resultLists, opts.MergeK),
+		Results:       merged,
 		Plan:          plan,
 		Candidates:    len(cands),
 		PerPeer:       exec.perPeer,
@@ -255,7 +310,8 @@ type execOutcome struct {
 // and a batch that would start after expiry is not forwarded at all —
 // its peers are reported as lost and the search returns the partial
 // results it already has.
-func (p *Peer) execute(q core.Query, plan core.Plan, initiator *core.Candidate, cands []core.Candidate, opts SearchOptions, dl *core.Deadline) execOutcome {
+func (p *Peer) execute(q core.Query, plan core.Plan, initiator *core.Candidate, cands []core.Candidate, opts SearchOptions, dl *core.Deadline, span *telemetry.Span) execOutcome {
+	m := p.cfg.Metrics
 	out := execOutcome{perPeer: make(map[core.PeerID]int, len(plan.Peers))}
 	byID := make(map[core.PeerID]*core.Candidate, len(cands))
 	for i := range cands {
@@ -265,7 +321,12 @@ func (p *Peer) execute(q core.Query, plan core.Plan, initiator *core.Candidate, 
 	var reached []core.Candidate // candidates that answered, for Reroute seeding
 	batch := plan.Peers
 	for round := 0; len(batch) > 0; round++ {
+		fwdSpan := span.Child("forward")
+		fwdSpan.SetInt("round", int64(round))
+		fwdSpan.SetInt("peers", int64(len(batch)))
 		if dl.Expired() {
+			fwdSpan.Set("budget_expired", "true")
+			fwdSpan.End()
 			for _, peer := range batch {
 				out.perPeer[peer] = 0
 				out.errs = append(out.errs, PerPeerError{
@@ -276,12 +337,16 @@ func (p *Peer) execute(q core.Query, plan core.Plan, initiator *core.Candidate, 
 			}
 			break
 		}
-		results := p.forward(q.Terms, batch, opts, dl)
+		fwdStart := time.Now()
+		results := p.forward(q.Terms, batch, opts, dl, fwdSpan)
+		fwdSpan.SetDuration("spent", time.Since(fwdStart))
+		fwdSpan.End()
 		var failed []int // indexes into out.errs from this round
 		for i, fo := range results {
 			peer := batch[i]
 			tried[peer] = true
 			if fo.err != nil {
+				m.Counter("search.peer_errors." + errCause(fo.err)).Inc()
 				out.perPeer[peer] = 0
 				out.errs = append(out.errs, PerPeerError{
 					Peer:        peer,
@@ -310,17 +375,23 @@ func (p *Peer) execute(q core.Query, plan core.Plan, initiator *core.Candidate, 
 		if len(remaining) == 0 {
 			break
 		}
+		rerouteSpan := span.Child("reroute")
+		rerouteSpan.SetInt("failed", int64(len(failed)))
+		rerouteSpan.SetInt("remaining", int64(len(remaining)))
 		ropts := core.Options{
 			MaxPeers:      len(failed),
 			Aggregation:   opts.Aggregation,
 			UseHistograms: opts.UseHistograms,
 			Parallelism:   opts.Parallelism,
+			Span:          rerouteSpan,
+			Metrics:       m,
 		}
 		if opts.NoveltyOnly {
 			ropts.QualityWeight, ropts.NoveltyWeight = 0, 1
 		}
 		replan, err := core.Reroute(q, initiator, reached, remaining, ropts)
 		if err != nil || len(replan.Peers) == 0 {
+			rerouteSpan.End()
 			break
 		}
 		// Pair replacements with this round's failures in selection
@@ -331,10 +402,44 @@ func (p *Peer) execute(q core.Query, plan core.Plan, initiator *core.Candidate, 
 			}
 			out.rerouted = append(out.rerouted, np)
 		}
+		rerouteSpan.End()
 		batch = replan.Peers
 	}
 	out.budgetExpired = dl.Expired() && len(out.errs) > 0
+	// Deterministic error order (by peer, then cause): forwarding is
+	// concurrent and re-routing appends round by round, so without this
+	// sort golden tests and trace comparisons would flake on scheduling.
+	// Replacement pairing above uses indexes into errs, so the sort must
+	// stay after the last round.
+	sort.Slice(out.errs, func(i, j int) bool {
+		if out.errs[i].Peer != out.errs[j].Peer {
+			return out.errs[i].Peer < out.errs[j].Peer
+		}
+		return out.errs[i].Err < out.errs[j].Err
+	})
 	return out
+}
+
+// errCause classifies a forwarding error for trace annotations and
+// per-cause metrics. Breaker and timeout checks come first: both match
+// ErrUnreachable under errors.Is, and the specific cause is the useful
+// one.
+func errCause(err error) string {
+	var re *transport.RemoteError
+	switch {
+	case errors.Is(err, transport.ErrBreakerOpen):
+		return "breaker-open"
+	case errors.Is(err, transport.ErrOverloaded):
+		return "overloaded"
+	case errors.Is(err, transport.ErrTimeout):
+		return "timeout"
+	case errors.Is(err, transport.ErrUnreachable):
+		return "unreachable"
+	case errors.As(err, &re):
+		return "remote"
+	default:
+		return "other"
+	}
 }
 
 // forwardOutcome is one peer's answer (or failure) to a forwarded query.
@@ -349,16 +454,27 @@ type forwardOutcome struct {
 // remaining deadline budget, and through the peer's circuit-breaker set
 // when one is armed — and reports per-peer outcomes. It never swallows
 // a failure — callers decide whether to re-route or surface it.
-func (p *Peer) forward(terms []string, peers []core.PeerID, opts SearchOptions, dl *core.Deadline) []forwardOutcome {
+func (p *Peer) forward(terms []string, peers []core.PeerID, opts SearchOptions, dl *core.Deadline, span *telemetry.Span) []forwardOutcome {
 	req := queryRequest{Terms: terms, K: opts.k(), Conjunctive: opts.Conjunctive}
 	out := make([]forwardOutcome, len(peers))
 	caller := p.caller()
 	policy := opts.Retry
 	policy.Timeout = dl.Cap(policy.Timeout)
+	// Per-peer call spans are created here, sequentially, before any
+	// goroutine launches: span IDs are assigned in creation order, so the
+	// trace stays deterministic no matter how the fan-out is scheduled.
+	spans := make([]*telemetry.Span, len(peers))
+	for i, peer := range peers {
+		spans[i] = span.Child("call")
+		spans[i].Setf("peer", "%s", peer)
+	}
 	var wg sync.WaitGroup
 	for i, peer := range peers {
 		if string(peer) == p.name {
 			out[i] = forwardOutcome{results: p.LocalSearch(terms, opts.k(), opts.Conjunctive), attempts: 1}
+			spans[i].Set("local", "true")
+			spans[i].SetInt("results", int64(len(out[i].results)))
+			spans[i].End()
 			continue
 		}
 		wg.Add(1)
@@ -367,6 +483,17 @@ func (p *Peer) forward(terms []string, peers []core.PeerID, opts SearchOptions, 
 			var rs []ir.Result
 			attempts, err := transport.InvokeRetry(caller, addr, methodQuery, req, &rs, policy)
 			out[i] = forwardOutcome{results: rs, attempts: attempts, err: err}
+			if attempts > 1 {
+				p.cfg.Metrics.Counter("transport.retries").Add(int64(attempts - 1))
+			}
+			s := spans[i]
+			s.SetInt("attempts", int64(attempts))
+			if err != nil {
+				s.Set("cause", errCause(err))
+			} else {
+				s.SetInt("results", int64(len(rs)))
+			}
+			s.End()
 		}(i, string(peer))
 	}
 	wg.Wait()

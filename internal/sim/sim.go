@@ -28,6 +28,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -35,6 +36,7 @@ import (
 	"iqn/internal/dataset"
 	"iqn/internal/directory"
 	"iqn/internal/minerva"
+	"iqn/internal/telemetry"
 	"iqn/internal/transport"
 )
 
@@ -188,6 +190,13 @@ type Scenario struct {
 	// scenario's declared tail bound — meaningful when a Budget (or
 	// hedged reads) promises to keep queries out of a straggler's shadow.
 	LatencyBound time.Duration
+	// Telemetry arms a shared telemetry registry across the network and
+	// per-query traces: every query runs under a telemetry span whose
+	// canonical rendering lands in QueryOutcome.Trace (trace IDs are the
+	// query indexes, so traces are byte-comparable across replays of the
+	// same fault schedule), and Report.Metrics holds the run's aggregate
+	// counter/histogram snapshot.
+	Telemetry bool
 	// Events is the fault script.
 	Events []Event
 }
@@ -252,6 +261,11 @@ type QueryOutcome struct {
 	// Err is a non-"" search-level failure (directory wholly
 	// unreachable); the harness records it rather than aborting.
 	Err string
+	// Trace is the query's canonical span-tree rendering (Scenario.
+	// Telemetry only): wall-clock free, so two replays of the same fault
+	// schedule must produce identical bytes — a replay invariant the
+	// package tests assert alongside Docs and Schedule.
+	Trace string
 }
 
 // Report is the outcome of one simulation run.
@@ -272,6 +286,12 @@ type Report struct {
 	// across all peers ("" when the scenario arms no breakers) — like
 	// Schedule, byte-comparable across identically-seeded runs.
 	BreakerTrace string
+	// Metrics is the run's aggregate telemetry snapshot across every
+	// peer (Scenario.Telemetry only): transport call/retry/hedge
+	// counters, directory fetch and repair counts, routing and search
+	// totals. Counter values are deterministic for a fixed scenario and
+	// seed; histogram observations carry wall-clock latency and are not.
+	Metrics *telemetry.Snapshot
 	// Violations lists broken invariants (empty = all held).
 	Violations []string
 }
@@ -349,6 +369,10 @@ func runOnce(sc Scenario, withFaults bool) (*Report, error) {
 		b.Seed = sc.Seed
 		breakers = &b
 	}
+	var registry *telemetry.Registry
+	if sc.Telemetry {
+		registry = telemetry.NewRegistry()
+	}
 	net, err := minerva.BuildNetworkEndpoints(faulty, faulty.Endpoint, corpus, cols, minerva.Config{
 		SynopsisSeed:   uint64(sc.Seed) + 99,
 		Replicas:       sc.Replicas,
@@ -358,6 +382,7 @@ func runOnce(sc Scenario, withFaults bool) (*Report, error) {
 		ReadQuorum:     sc.ReadQuorum,
 		AdmissionLimit: sc.AdmissionLimit,
 		AdmissionQueue: sc.AdmissionQueue,
+		Metrics:        registry,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("sim: boot %q: %w", sc.Name, err)
@@ -373,6 +398,11 @@ func runOnce(sc Scenario, withFaults bool) (*Report, error) {
 		}
 		return names[i]
 	}
+
+	// Boot traffic (indexing, ring construction, directory publication)
+	// dwarfs the workload and is identical across scenario twins, so the
+	// reported metrics cover only the query workload and its events.
+	registry.Reset()
 
 	r := &Report{Scenario: sc.Name}
 	epoch := int64(0)
@@ -450,8 +480,16 @@ func runOnce(sc Scenario, withFaults bool) (*Report, error) {
 			return nil, fmt.Errorf("sim: scenario %q killed every peer", sc.Name)
 		}
 		out := QueryOutcome{Index: qi, Terms: q.Terms}
+		ctx := context.Background()
+		var trace *telemetry.Trace
+		if sc.Telemetry {
+			// Trace IDs are the query indexes, so replays of the same
+			// scenario produce comparable trace sets.
+			trace = telemetry.NewTrace(fmt.Sprintf("q%d", qi), "search")
+			ctx = telemetry.WithSpan(ctx, trace.Root())
+		}
 		qStart := time.Now()
-		res, err := searchWatchdog(initiator, q.Terms, minerva.SearchOptions{
+		res, err := searchWatchdog(ctx, initiator, q.Terms, minerva.SearchOptions{
 			K:         sc.K,
 			MaxPeers:  sc.MaxPeers,
 			Retry:     sc.Retry,
@@ -459,6 +497,7 @@ func runOnce(sc Scenario, withFaults bool) (*Report, error) {
 			Budget:    sc.Budget,
 		})
 		out.Elapsed = time.Since(qStart)
+		out.Trace = trace.Canonical()
 		if withFaults && sc.LatencyBound > 0 && out.Elapsed > sc.LatencyBound {
 			r.Violations = append(r.Violations, fmt.Sprintf(
 				"query %d: latency %v exceeded declared bound %v", qi, out.Elapsed, sc.LatencyBound))
@@ -524,6 +563,10 @@ func runOnce(sc Scenario, withFaults bool) (*Report, error) {
 	if sc.Breakers != nil {
 		r.BreakerTrace = breakerTrace(net)
 	}
+	if registry != nil {
+		snap := registry.Snapshot()
+		r.Metrics = &snap
+	}
 	return r, nil
 }
 
@@ -566,14 +609,14 @@ func pickInitiator(net *minerva.Network, faulty *transport.Faulty, qi int) *mine
 var errWatchdog = fmt.Errorf("sim: query watchdog expired")
 
 // searchWatchdog runs one search under the deadlock watchdog.
-func searchWatchdog(p *minerva.Peer, terms []string, opts minerva.SearchOptions) (*minerva.SearchResult, error) {
+func searchWatchdog(ctx context.Context, p *minerva.Peer, terms []string, opts minerva.SearchOptions) (*minerva.SearchResult, error) {
 	type outcome struct {
 		res *minerva.SearchResult
 		err error
 	}
 	ch := make(chan outcome, 1)
 	go func() {
-		res, err := p.Search(terms, opts)
+		res, err := p.SearchContext(ctx, terms, opts)
 		ch <- outcome{res, err}
 	}()
 	timer := time.NewTimer(queryWatchdog)

@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"iqn/internal/transport"
+)
+
+// TestTraceReplayByteIdentical replays the chaos scenario twice with
+// telemetry armed and requires every query's canonical trace to match
+// byte for byte — the trace-level replay guarantee: span IDs are
+// creation-ordered, fan-out spans are created before their goroutines
+// launch, and Canonical() excludes all wall-clock data, so the same
+// fault schedule must render the same trace.
+func TestTraceReplayByteIdentical(t *testing.T) {
+	sc := chaosScenario()
+	sc.Telemetry = true
+	a, err := Run(sc)
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	b, err := Run(sc)
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	if a.Schedule != b.Schedule {
+		t.Fatalf("fault schedules diverged — trace comparison is meaningless")
+	}
+	if len(a.Outcomes) != len(b.Outcomes) {
+		t.Fatalf("outcome counts diverged: %d vs %d", len(a.Outcomes), len(b.Outcomes))
+	}
+	for i := range a.Outcomes {
+		ta, tb := a.Outcomes[i].Trace, b.Outcomes[i].Trace
+		if ta == "" {
+			t.Fatalf("query %d: empty trace despite Telemetry armed", i)
+		}
+		if ta != tb {
+			t.Errorf("query %d: traces diverged across replays:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", i, ta, tb)
+		}
+	}
+	// The traces must actually cover the search pipeline, not just exist.
+	full := a.Outcomes[0].Trace
+	for _, want := range []string{"trace q0", "search", "directory.fetch", "route", "forward", "call"} {
+		if !strings.Contains(full, want) {
+			t.Errorf("query 0 trace missing %q:\n%s", want, full)
+		}
+	}
+	// And the aggregate metrics must have seen the workload.
+	if a.Metrics == nil {
+		t.Fatal("Report.Metrics nil despite Telemetry armed")
+	}
+	if got := a.Metrics.Counters["search.queries"]; got != int64(len(a.Outcomes)) {
+		t.Errorf("search.queries = %d, want %d", got, len(a.Outcomes))
+	}
+	if a.Metrics.Counters["transport.calls"] == 0 {
+		t.Error("transport.calls = 0 — network instrumentation not armed")
+	}
+}
+
+// TestHedgedAmplificationBounded bounds the cost of hedged directory
+// reads with the telemetry counters: under a straggling directory peer,
+// a hedged run must fire at least one hedge (the knob works) while its
+// total transport call count stays within 2× the unhedged twin — each
+// fetch races in at most one extra replica, so hedging can at most
+// double the call volume, never storm.
+func TestHedgedAmplificationBounded(t *testing.T) {
+	base := Scenario{
+		Name:      "hedge-amp/bare",
+		Seed:      42,
+		Queries:   4,
+		K:         20,
+		MaxPeers:  3,
+		Replicas:  2,
+		Retry:     transport.RetryPolicy{MaxAttempts: 1},
+		Telemetry: true,
+	}
+	// Dry run: learn a peer on the query path so the straggler actually
+	// slows directory reads the workload performs.
+	dry, err := Run(base)
+	if err != nil {
+		t.Fatalf("dry run: %v", err)
+	}
+	if len(dry.Outcomes[0].Planned) == 0 {
+		t.Fatal("dry run planned nobody")
+	}
+	victim := string(dry.Outcomes[0].Planned[0])
+	idx, ok := peerIndexByName(t, base)[victim]
+	if !ok {
+		t.Fatalf("planned peer %s not in scenario peer set", victim)
+	}
+	base.Events = []Event{
+		{Before: 0, Kind: SlowPeer, Peer: idx, Delay: 60 * time.Millisecond},
+	}
+
+	bare, err := Run(base)
+	if err != nil {
+		t.Fatalf("bare run: %v", err)
+	}
+	hedged := base
+	hedged.Name = "hedge-amp/hedged"
+	hedged.HedgeDelay = 5 * time.Millisecond
+	hrep, err := Run(hedged)
+	if err != nil {
+		t.Fatalf("hedged run: %v", err)
+	}
+
+	bareCalls := bare.Metrics.Counters["transport.calls"]
+	hedgedCalls := hrep.Metrics.Counters["transport.calls"]
+	hedges := hrep.Metrics.Counters["transport.hedges"]
+	if bareCalls == 0 {
+		t.Fatal("bare run recorded no transport calls")
+	}
+	if hedges == 0 {
+		t.Fatal("hedged run fired no hedges — the straggler did not trigger the knob")
+	}
+	if hedgedCalls > 2*bareCalls {
+		t.Fatalf("hedged amplification out of bounds: %d calls vs %d bare (%d hedges) — more than 2×",
+			hedgedCalls, bareCalls, hedges)
+	}
+	t.Logf("calls: bare=%d hedged=%d (hedges=%d, wins=%d)",
+		bareCalls, hedgedCalls, hedges, hrep.Metrics.Counters["transport.hedge_wins"])
+}

@@ -1,0 +1,47 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestHandlerMetricsJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("transport.calls").Add(5)
+	h := Handler(r)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+	}
+	if snap.Counters["transport.calls"] != 5 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestHandlerNilRegistry(t *testing.T) {
+	h := Handler(nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics on nil registry status = %d", rec.Code)
+	}
+}
+
+func TestHandlerPprofIndex(t *testing.T) {
+	h := Handler(NewRegistry())
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/debug/pprof/ status = %d", rec.Code)
+	}
+}

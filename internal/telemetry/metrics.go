@@ -1,0 +1,443 @@
+// Package telemetry is the observability layer for IQN routing: a
+// dependency-free metrics registry (sharded counters, gauges,
+// fixed-bucket histograms with mergeable snapshots) plus structured
+// per-query span tracing with deterministic IDs, cheap enough for hot
+// paths and replayable byte-for-byte under the simulator.
+//
+// Everything is nil-tolerant by design: a nil *Registry hands out nil
+// instruments, and every instrument method is a no-op on a nil
+// receiver. Call sites therefore instrument unconditionally and the
+// disabled path costs nothing — no branches on a config flag, no
+// allocations (proven by ReportAllocs benchmarks in this package).
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// counterShards is the number of independent cells a Counter stripes
+// its increments over. Must be a power of two.
+const counterShards = 8
+
+// counterShard is one cell, padded out to a cache line so concurrent
+// writers on different shards never false-share.
+type counterShard struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Counter is a monotonically increasing (or at least add-only) metric.
+// Add is lock-free and allocation-free: it picks a shard from the
+// caller's stack address — goroutines on different stacks land on
+// different cache lines with high probability — and does one atomic
+// add. The zero value is ready to use; a nil Counter ignores all
+// operations.
+type Counter struct {
+	shards [counterShards]counterShard
+}
+
+// shardIndex derives a shard from the address of a stack variable.
+// Different goroutines have different stacks, so concurrent writers
+// spread across shards; the same goroutine hits the same shard and
+// keeps the cache line warm. The unsafe.Pointer → uintptr conversion
+// direction is the legal one and does not let the pointer escape.
+func shardIndex() int {
+	var x byte
+	return int(uintptr(unsafe.Pointer(&x)) >> 6 & (counterShards - 1))
+}
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.shards[shardIndex()].v.Add(n)
+}
+
+// Inc is Add(1).
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value sums the shards. No-op (zero) on a nil receiver.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	var sum int64
+	for i := range c.shards {
+		sum += c.shards[i].v.Load()
+	}
+	return sum
+}
+
+func (c *Counter) reset() {
+	for i := range c.shards {
+		c.shards[i].v.Store(0)
+	}
+}
+
+// Gauge is a point-in-time value (queue depth, in-flight requests).
+// All operations are single atomics; a nil Gauge ignores everything.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v. No-op on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta (negative to decrement).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into fixed buckets defined by sorted
+// inclusive upper bounds, with an implicit +Inf bucket at the end, and
+// tracks count/sum/min/max. Observe is lock-free and allocation-free
+// (a linear walk over a handful of bounds plus one atomic add). A nil
+// Histogram ignores all operations.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1, last is +Inf
+	count  atomic.Int64
+	sum    atomic.Int64
+	min    atomic.Int64
+	max    atomic.Int64
+}
+
+// newHistogram builds a histogram over the given sorted upper bounds.
+func newHistogram(bounds []int64) *Histogram {
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	h := &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// Observe records one value. No-op on a nil receiver.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+func (h *Histogram) reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+}
+
+// snapshot captures the histogram state.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]int64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    h.sum.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	if s.Count > 0 {
+		s.Min = h.min.Load()
+		s.Max = h.max.Load()
+	}
+	return s
+}
+
+// DefaultLatencyBounds are millisecond bucket upper bounds suited to
+// RPC latencies from sub-millisecond in-process calls to multi-second
+// stalls.
+var DefaultLatencyBounds = []int64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// DefaultSizeBounds are byte bucket upper bounds for message sizes.
+var DefaultSizeBounds = []int64{64, 256, 1024, 4096, 16384, 65536, 262144, 1048576}
+
+// Registry is a named collection of instruments. Instruments are
+// created on first use and cached; lookup takes a mutex, so call sites
+// should resolve instruments once at construction and hold the
+// pointers. A nil *Registry hands out nil instruments, making the
+// disabled path free.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil (a valid no-op instrument) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil
+// on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds on first use (later calls reuse the existing
+// instrument regardless of bounds). Returns nil on a nil registry.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot captures every instrument's current value. Safe to call
+// concurrently with writers (values are read atomically, though the
+// snapshot as a whole is not a single atomic cut). A nil registry
+// yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// Reset zeroes every instrument in place (pointers held by call sites
+// stay valid). No-op on a nil registry.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.reset()
+	}
+	for _, g := range r.gauges {
+		g.Set(0)
+	}
+	for _, h := range r.histograms {
+		h.reset()
+	}
+}
+
+// HistogramSnapshot is the frozen state of one histogram.
+type HistogramSnapshot struct {
+	// Bounds are the inclusive bucket upper bounds; Counts has one more
+	// entry than Bounds, the last being the +Inf bucket.
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"`
+	Count  int64   `json:"count"`
+	Sum    int64   `json:"sum"`
+	Min    int64   `json:"min,omitempty"`
+	Max    int64   `json:"max,omitempty"`
+}
+
+// Quantile estimates the q-th quantile (0 < q ≤ 1) from the bucket
+// counts: it finds the bucket holding the q-th observation and returns
+// that bucket's upper bound (Max for the +Inf bucket). Returns 0 when
+// empty.
+func (h HistogramSnapshot) Quantile(q float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range h.Counts {
+		seen += c
+		if seen >= rank {
+			if i < len(h.Bounds) {
+				return h.Bounds[i]
+			}
+			return h.Max
+		}
+	}
+	return h.Max
+}
+
+// Mean returns the average observed value, 0 when empty.
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// merge folds other into a copy of h. Bounds must match (same
+// instrument captured on different registries); mismatched shapes keep
+// h's buckets and only fold the scalar totals.
+func (h HistogramSnapshot) merge(other HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{
+		Bounds: append([]int64(nil), h.Bounds...),
+		Counts: append([]int64(nil), h.Counts...),
+		Count:  h.Count + other.Count,
+		Sum:    h.Sum + other.Sum,
+	}
+	if len(other.Counts) == len(out.Counts) {
+		for i, c := range other.Counts {
+			out.Counts[i] += c
+		}
+	}
+	switch {
+	case h.Count == 0:
+		out.Min, out.Max = other.Min, other.Max
+	case other.Count == 0:
+		out.Min, out.Max = h.Min, h.Max
+	default:
+		out.Min = min(h.Min, other.Min)
+		out.Max = max(h.Max, other.Max)
+	}
+	return out
+}
+
+// Snapshot is a frozen, mergeable view of a registry, JSON-encodable
+// for the introspection endpoint and for bench artifacts.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Merge returns the union of two snapshots: counters and histogram
+// totals add, gauges take the other side's value when present (last
+// writer wins, matching "most recent point-in-time reading").
+func (s Snapshot) Merge(other Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	for k, v := range s.Counters {
+		out.Counters[k] = v
+	}
+	for k, v := range other.Counters {
+		out.Counters[k] += v
+	}
+	for k, v := range s.Gauges {
+		out.Gauges[k] = v
+	}
+	for k, v := range other.Gauges {
+		out.Gauges[k] = v
+	}
+	for k, v := range s.Histograms {
+		out.Histograms[k] = v
+	}
+	for k, v := range other.Histograms {
+		if prev, ok := out.Histograms[k]; ok {
+			out.Histograms[k] = prev.merge(v)
+		} else {
+			out.Histograms[k] = v
+		}
+	}
+	return out
+}
+
+// JSON renders the snapshot as indented JSON with sorted keys (the
+// encoding/json map behavior), suitable for the introspection endpoint
+// and golden comparisons.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

@@ -1,0 +1,211 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value = %d, want 42", got)
+	}
+	if again := r.Counter("x"); again != c {
+		t.Fatalf("Counter lookup did not return the cached instrument")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	c := NewRegistry().Counter("x")
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("Value = %d, want %d", got, workers*per)
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", DefaultLatencyBounds)
+	c.Add(5)
+	c.Inc()
+	g.Set(7)
+	g.Add(1)
+	h.Observe(3)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 || len(snap.Histograms) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+	r.Reset() // must not panic
+}
+
+func TestGauge(t *testing.T) {
+	g := NewRegistry().Gauge("inflight")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("Value = %d, want 7", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewRegistry().Histogram("lat", []int64{10, 100})
+	for _, v := range []int64{1, 10, 11, 100, 1000} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	want := []int64{2, 2, 1} // ≤10: {1,10}; ≤100: {11,100}; +Inf: {1000}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 5 || s.Sum != 1122 || s.Min != 1 || s.Max != 1000 {
+		t.Fatalf("count/sum/min/max = %d/%d/%d/%d", s.Count, s.Sum, s.Min, s.Max)
+	}
+	// rank 3 of {1,10,11,100,1000} is 11, which falls in the ≤100
+	// bucket, so the estimate is that bucket's upper bound.
+	if q := s.Quantile(0.5); q != 100 {
+		t.Fatalf("p50 = %d, want 100", q)
+	}
+	if q := s.Quantile(0.99); q != s.Max {
+		t.Fatalf("p99 = %d, want max %d", q, s.Max)
+	}
+	if m := s.Mean(); m != 1122.0/5 {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+func TestSnapshotMergeAndReset(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("calls").Add(3)
+	a.Gauge("depth").Set(2)
+	a.Histogram("lat", []int64{10}).Observe(5)
+
+	b := NewRegistry()
+	b.Counter("calls").Add(4)
+	b.Counter("errors").Add(1)
+	b.Gauge("depth").Set(9)
+	b.Histogram("lat", []int64{10}).Observe(50)
+
+	m := a.Snapshot().Merge(b.Snapshot())
+	if m.Counters["calls"] != 7 || m.Counters["errors"] != 1 {
+		t.Fatalf("merged counters: %v", m.Counters)
+	}
+	if m.Gauges["depth"] != 9 {
+		t.Fatalf("merged gauge = %d, want 9 (last writer wins)", m.Gauges["depth"])
+	}
+	h := m.Histograms["lat"]
+	if h.Count != 2 || h.Sum != 55 || h.Min != 5 || h.Max != 50 {
+		t.Fatalf("merged histogram: %+v", h)
+	}
+	if h.Counts[0] != 1 || h.Counts[1] != 1 {
+		t.Fatalf("merged buckets: %v", h.Counts)
+	}
+
+	a.Reset()
+	s := a.Snapshot()
+	if s.Counters["calls"] != 0 || s.Gauges["depth"] != 0 || s.Histograms["lat"].Count != 0 {
+		t.Fatalf("reset left residue: %+v", s)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("transport.calls").Add(12)
+	r.Histogram("transport.call_ms", []int64{1, 10}).Observe(4)
+	raw, err := r.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, raw)
+	}
+	if back.Counters["transport.calls"] != 12 {
+		t.Fatalf("round-trip lost counter: %s", raw)
+	}
+	if back.Histograms["transport.call_ms"].Count != 1 {
+		t.Fatalf("round-trip lost histogram: %s", raw)
+	}
+}
+
+// The CI telemetry-overhead smoke: the hot-path operations — enabled
+// or disabled (nil) — must not allocate.
+func TestHotPathDoesNotAllocate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", DefaultLatencyBounds)
+	var nilC *Counter
+	var nilH *Histogram
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Counter.Add", func() { c.Add(1) }},
+		{"Counter.Add/nil", func() { nilC.Add(1) }},
+		{"Gauge.Set", func() { g.Set(3) }},
+		{"Histogram.Observe", func() { h.Observe(17) }},
+		{"Histogram.Observe/nil", func() { nilH.Observe(17) }},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(1000, tc.fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f per op, want 0", tc.name, allocs)
+		}
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewRegistry().Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkCounterAddParallel(b *testing.B) {
+	c := NewRegistry().Counter("x")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Add(1)
+		}
+	})
+}
+
+func BenchmarkCounterAddDisabled(b *testing.B) {
+	var r *Registry
+	c := r.Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("lat", DefaultLatencyBounds)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i & 1023))
+	}
+}

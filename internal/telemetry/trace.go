@@ -1,0 +1,206 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Trace is one query's span tree. Span IDs are assigned sequentially
+// under the trace lock in creation order, so a trace built by
+// deterministic code (spans for concurrent fan-out created before the
+// goroutines launch) renders byte-identically across replays of the
+// same fault schedule — the property the sim harness asserts.
+//
+// A nil *Trace, like a nil *Span, ignores every operation, so
+// uninstrumented call paths carry no cost and no nil checks.
+type Trace struct {
+	mu     sync.Mutex
+	id     string
+	nextID int
+	root   *Span
+	clock  func() time.Time
+}
+
+// NewTrace starts a trace with a caller-supplied identifier (the sim
+// uses the query index, live paths use any unique string) and a root
+// span with the given name.
+func NewTrace(id, rootName string) *Trace {
+	t := &Trace{id: id, clock: time.Now}
+	t.root = t.newSpan(rootName)
+	return t
+}
+
+// ID returns the trace identifier ("" on nil).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Root returns the root span (nil on nil).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+func (t *Trace) newSpan(name string) *Span {
+	s := &Span{trace: t, id: t.nextID, name: name, start: t.clock()}
+	t.nextID++
+	return s
+}
+
+// Span is one node of the trace tree: a named operation with ordered
+// key=value annotations and child spans. All methods are safe for
+// concurrent use (they serialize on the trace lock) and no-ops on a
+// nil receiver.
+type Span struct {
+	trace    *Trace
+	id       int
+	name     string
+	attrs    []spanAttr
+	children []*Span
+	start    time.Time
+	dur      time.Duration
+	ended    bool
+}
+
+type spanAttr struct {
+	key, value string
+	// timing marks wall-clock annotations (SetDuration): shown by
+	// String(), omitted from Canonical() so replays stay byte-identical.
+	timing bool
+}
+
+// Child creates and returns a sub-span. Returns nil on a nil receiver,
+// so whole instrumented call chains collapse to no-ops when tracing is
+// off.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.trace.mu.Lock()
+	defer s.trace.mu.Unlock()
+	c := s.trace.newSpan(name)
+	s.children = append(s.children, c)
+	return c
+}
+
+// Set records a key=value annotation. Keys repeat in call order; the
+// canonical rendering preserves that order.
+func (s *Span) Set(key, value string) {
+	if s == nil {
+		return
+	}
+	s.trace.mu.Lock()
+	defer s.trace.mu.Unlock()
+	s.attrs = append(s.attrs, spanAttr{key: key, value: value})
+}
+
+// Setf is Set with fmt formatting of the value.
+func (s *Span) Setf(key, format string, args ...any) {
+	if s == nil {
+		return
+	}
+	s.Set(key, fmt.Sprintf(format, args...))
+}
+
+// SetInt is Set with an integer value.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.Set(key, fmt.Sprintf("%d", v))
+}
+
+// SetDuration records a wall-clock annotation (e.g. budget spent in a
+// phase). Like span durations, it appears in String() but never in
+// Canonical(), so timing annotations cannot break replay comparisons.
+func (s *Span) SetDuration(key string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.trace.mu.Lock()
+	defer s.trace.mu.Unlock()
+	s.attrs = append(s.attrs, spanAttr{key, d.Round(time.Microsecond).String(), true})
+}
+
+// End stamps the span's wall-clock duration. Durations appear only in
+// the String rendering, never in Canonical, so forgetting End never
+// breaks replay comparisons.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.trace.mu.Lock()
+	defer s.trace.mu.Unlock()
+	if !s.ended {
+		s.dur = s.trace.clock().Sub(s.start)
+		s.ended = true
+	}
+}
+
+type spanCtxKey struct{}
+
+// WithSpan returns a context carrying the span; instrumented layers
+// retrieve it with SpanFrom and hang their children off it.
+func WithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFrom extracts the current span from ctx, nil when absent (every
+// Span method tolerates nil, so callers never check).
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// Canonical renders the trace deterministically: trace ID, then each
+// span as an indented "[id] name key=value ..." line in tree order.
+// Wall-clock timings are excluded, so two replays of the same fault
+// schedule produce byte-identical output. Returns "" on nil.
+func (t *Trace) Canonical() string { return t.render(false) }
+
+// String renders the trace like Canonical but with per-span durations
+// appended — the human-facing form. Returns "" on nil.
+func (t *Trace) String() string { return t.render(true) }
+
+func (t *Trace) render(timings bool) string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s\n", t.id)
+	t.root.render(&b, 1, timings)
+	return b.String()
+}
+
+func (s *Span) render(b *strings.Builder, depth int, timings bool) {
+	if s == nil {
+		return
+	}
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	fmt.Fprintf(b, "[%d] %s", s.id, s.name)
+	for _, a := range s.attrs {
+		if a.timing && !timings {
+			continue
+		}
+		fmt.Fprintf(b, " %s=%s", a.key, a.value)
+	}
+	if timings && s.ended {
+		fmt.Fprintf(b, " (%s)", s.dur.Round(time.Microsecond))
+	}
+	b.WriteByte('\n')
+	for _, c := range s.children {
+		c.render(b, depth+1, timings)
+	}
+}

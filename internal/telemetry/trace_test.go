@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceTreeCanonical(t *testing.T) {
+	tr := NewTrace("q0", "search")
+	root := tr.Root()
+	root.Set("terms", "a,b")
+	fetch := root.Child("directory.fetch")
+	fetch.SetInt("winners", 2)
+	fetch.End()
+	route := root.Child("route")
+	iter := route.Child("iter")
+	iter.Setf("peer", "p%d", 3)
+	iter.Set("score", "0.500")
+	route.End()
+	root.End()
+
+	want := strings.Join([]string{
+		"trace q0",
+		"  [0] search terms=a,b",
+		"    [1] directory.fetch winners=2",
+		"    [2] route",
+		"      [3] iter peer=p3 score=0.500",
+		"",
+	}, "\n")
+	if got := tr.Canonical(); got != want {
+		t.Fatalf("Canonical mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// Canonical output must be identical across runs regardless of how
+// long the operations took — timings live only in String().
+func TestCanonicalExcludesTimings(t *testing.T) {
+	build := func(sleep time.Duration) string {
+		tr := NewTrace("q1", "op")
+		c := tr.Root().Child("slow")
+		time.Sleep(sleep)
+		c.End()
+		tr.Root().End()
+		return tr.Canonical()
+	}
+	if a, b := build(0), build(2*time.Millisecond); a != b {
+		t.Fatalf("canonical differs with timing:\n%s\nvs\n%s", a, b)
+	}
+	tr := NewTrace("q2", "op")
+	tr.Root().SetDuration("spent", 3*time.Millisecond)
+	tr.Root().End()
+	if s := tr.String(); !strings.Contains(s, "(") || !strings.Contains(s, "spent=3ms") {
+		t.Fatalf("String() should include durations, got %q", s)
+	}
+	if c := tr.Canonical(); strings.Contains(c, "spent") {
+		t.Fatalf("Canonical() must omit SetDuration attrs, got %q", c)
+	}
+}
+
+func TestSpanIDsSequentialInCreationOrder(t *testing.T) {
+	tr := NewTrace("q", "root")
+	a := tr.Root().Child("a")
+	b := tr.Root().Child("b")
+	c := a.Child("c")
+	if a.id != 1 || b.id != 2 || c.id != 3 {
+		t.Fatalf("ids = %d,%d,%d want 1,2,3", a.id, b.id, c.id)
+	}
+}
+
+func TestNilTraceAndSpanNoOps(t *testing.T) {
+	var tr *Trace
+	if tr.Canonical() != "" || tr.String() != "" || tr.ID() != "" || tr.Root() != nil {
+		t.Fatal("nil trace must render empty")
+	}
+	var s *Span
+	if s.Child("x") != nil {
+		t.Fatal("nil span Child must return nil")
+	}
+	s.Set("k", "v")
+	s.Setf("k", "%d", 1)
+	s.SetInt("k", 2)
+	s.End() // must not panic
+}
+
+func TestContextCarriage(t *testing.T) {
+	ctx := context.Background()
+	if SpanFrom(ctx) != nil {
+		t.Fatal("empty context should carry no span")
+	}
+	tr := NewTrace("q", "root")
+	ctx = WithSpan(ctx, tr.Root())
+	if got := SpanFrom(ctx); got != tr.Root() {
+		t.Fatal("span lost in context round-trip")
+	}
+	// Nil spans flow through contexts too (disabled tracing).
+	ctx2 := WithSpan(context.Background(), nil)
+	if SpanFrom(ctx2) != nil {
+		t.Fatal("nil span should stay nil through context")
+	}
+	child := SpanFrom(ctx2).Child("sub")
+	if child != nil {
+		t.Fatal("child of carried nil span should be nil")
+	}
+}
+
+func TestConcurrentSpanCreationSafe(t *testing.T) {
+	tr := NewTrace("q", "root")
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			s := tr.Root().Child("worker")
+			s.Set("k", "v")
+			s.End()
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	tr.mu.Lock()
+	n := len(tr.root.children)
+	tr.mu.Unlock()
+	if n != 8 {
+		t.Fatalf("children = %d, want 8", n)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"iqn/internal/telemetry"
 )
 
 // ErrBreakerOpen reports a call rejected by an open circuit breaker
@@ -116,6 +118,9 @@ type Breaker struct {
 	probing    bool // a half-open probe is in flight
 	probeWaits int  // rejects while waiting for a probe verdict
 	trace      []string
+
+	transitions *telemetry.Counter // nil = uncounted
+	opens       *telemetry.Counter
 }
 
 // NewBreaker returns a closed breaker for one link key (usually the
@@ -244,7 +249,9 @@ func (b *Breaker) transition(to BreakerState) {
 	line := fmt.Sprintf("%s->%s", from, to)
 	if to == BreakerOpen {
 		line = fmt.Sprintf("%s ep%d probe-after %d", line, b.episode, b.probeAt)
+		b.opens.Inc()
 	}
+	b.transitions.Inc()
 	b.trace = append(b.trace, line)
 }
 
@@ -271,11 +278,34 @@ type Breakers struct {
 
 	mu sync.Mutex
 	m  map[string]*Breaker
+
+	transitions *telemetry.Counter
+	opens       *telemetry.Counter
 }
 
 // NewBreakers returns an empty breaker set.
 func NewBreakers(cfg BreakerConfig) *Breakers {
 	return &Breakers{cfg: cfg, m: make(map[string]*Breaker)}
+}
+
+// SetMetrics routes breaker state changes into the registry:
+// transport.breaker_transitions counts every transition,
+// transport.breaker_opens counts trips to open. Call at setup time,
+// before the set serves traffic; a nil registry (or nil set) leaves
+// the breakers uncounted.
+func (s *Breakers) SetMetrics(r *telemetry.Registry) {
+	if s == nil || r == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.transitions = r.Counter("transport.breaker_transitions")
+	s.opens = r.Counter("transport.breaker_opens")
+	for _, b := range s.m {
+		b.mu.Lock()
+		b.transitions, b.opens = s.transitions, s.opens
+		b.mu.Unlock()
+	}
 }
 
 // For returns the destination's breaker, creating it closed on first use.
@@ -285,6 +315,7 @@ func (s *Breakers) For(addr string) *Breaker {
 	b := s.m[addr]
 	if b == nil {
 		b = NewBreaker(addr, s.cfg)
+		b.transitions, b.opens = s.transitions, s.opens
 		s.m[addr] = b
 	}
 	return b

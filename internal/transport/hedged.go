@@ -3,6 +3,8 @@ package transport
 import (
 	"fmt"
 	"time"
+
+	"iqn/internal/telemetry"
 )
 
 // Hedged issues tail-tolerant calls across a replica set: the first
@@ -26,6 +28,12 @@ type Hedged struct {
 	// Max bounds the total replicas tried (default 2, capped at the
 	// number of addresses given).
 	Max int
+	// Hedges, when set, counts every replica launched beyond the first
+	// (duplicate work the hedge spent); HedgeWins counts races won by a
+	// replica other than the first (tail latency the hedge saved). Both
+	// tolerate nil — unset means uncounted.
+	Hedges    *telemetry.Counter
+	HedgeWins *telemetry.Counter
 }
 
 // Call races the method across addrs and returns the first successful
@@ -52,6 +60,9 @@ func (h Hedged) Call(addrs []string, method string, req []byte) ([]byte, string,
 	launched, settled := 0, 0
 	launch := func() {
 		addr := addrs[launched]
+		if launched > 0 {
+			h.Hedges.Inc()
+		}
 		launched++
 		go func() {
 			resp, err := h.Caller.Call(addr, method, req)
@@ -87,6 +98,9 @@ func (h Hedged) Call(addrs []string, method string, req []byte) ([]byte, string,
 		select {
 		case o := <-ch:
 			if o.err == nil {
+				if o.addr != addrs[0] {
+					h.HedgeWins.Inc()
+				}
 				return o.resp, o.addr, nil
 			}
 			lastErr = o.err
