@@ -10,6 +10,7 @@
 //	iqnbench -exp aggregation|histogram|budget|hetero|prior
 //	iqnbench -exp route                           # Fast-IQN lazy vs exhaustive routing cost
 //	iqnbench -exp overload                        # tail latency bare vs overload-hardened
+//	iqnbench -exp cache                           # directory read cache on a Zipfian repeated-term workload
 //	iqnbench -exp all                             # everything, default sizes
 //
 // The defaults are laptop-scale (20k documents); raise -docs for runs
@@ -55,6 +56,10 @@ type benchExperiment struct {
 	Load     []loadPoint       `json:"load,omitempty"`
 	Chaos    []eval.ChaosPoint `json:"chaos,omitempty"`
 	Churn    *eval.ChurnResult `json:"churn,omitempty"`
+	Cache    []cachePoint      `json:"cache,omitempty"`
+	// RPCReductionPct is set only for the cache experiment: the
+	// directory read-RPC reduction of cached over cold, in percent.
+	RPCReductionPct float64 `json:"rpcReductionPct,omitempty"`
 }
 
 // benchSeries is a recall/error curve: one named series of (x, y)
@@ -103,6 +108,21 @@ type costPoint struct {
 	Recall       float64 `json:"recall"`
 }
 
+// cachePoint mirrors eval.CachePoint: directory read traffic and cache
+// effectiveness for one mode of the repeated-term workload.
+type cachePoint struct {
+	Mode            string  `json:"mode"`
+	DirReadRPCs     int64   `json:"dirReadRPCs"`
+	RPCsPerQuery    float64 `json:"rpcsPerQuery"`
+	CacheHits       int64   `json:"cacheHits"`
+	CacheMisses     int64   `json:"cacheMisses"`
+	SynopsisDecodes int64   `json:"synopsisDecodes"`
+	SynopsisReuse   int64   `json:"synopsisReuse"`
+	MeanMs          float64 `json:"meanMs"`
+	P95Ms           float64 `json:"p95Ms"`
+	Recall          float64 `json:"recall"`
+}
+
 // loadPoint mirrors eval.LoadPoint: how evenly forwarded queries spread
 // over peers.
 type loadPoint struct {
@@ -128,7 +148,7 @@ func toBenchSeries(series []eval.Series) []benchSeries {
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig2left|fig2right|fig3left|fig3right|aggregation|histogram|budget|hetero|prior|cost|churn|chaos|load|route|overload|all")
+		exp     = flag.String("exp", "all", "experiment: fig2left|fig2right|fig3left|fig3right|aggregation|histogram|budget|hetero|prior|cost|churn|chaos|load|route|overload|cache|all")
 		docs    = flag.Int("docs", 20000, "corpus size for fig3-style experiments")
 		vocab   = flag.Int("vocab", 0, "vocabulary size (0: docs/10)")
 		runs    = flag.Int("runs", 50, "runs per point for fig2-style experiments")
@@ -323,6 +343,27 @@ func main() {
 			})
 			fmt.Println("# Overload: tail latency and recall, bare vs hardened (budgets + hedging + breakers + admission control)")
 			fmt.Print(eval.OverloadTable(points))
+		case "cache":
+			res, err := eval.Cache(eval.CacheConfig{
+				CorpusDocs: *docs, VocabSize: *vocab, Strategy: right,
+				QueryPool: *numQ, K: *k, Seed: *seed, MaxPeers: 5,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "iqnbench: cache: %v\n", err)
+				os.Exit(1)
+			}
+			record(name, func(e *benchExperiment) {
+				for _, p := range res.Points {
+					e.Cache = append(e.Cache, cachePoint{
+						Mode: p.Mode, DirReadRPCs: p.DirReadRPCs, RPCsPerQuery: p.RPCsPerQuery,
+						CacheHits: p.CacheHits, CacheMisses: p.CacheMisses,
+						SynopsisDecodes: p.SynopsisDecodes, SynopsisReuse: p.SynopsisReuse,
+						MeanMs: p.MeanMs, P95Ms: p.P95Ms, Recall: p.Recall,
+					})
+				}
+				e.RPCReductionPct = res.ReductionPct
+			})
+			fmt.Print(eval.CacheTable(res))
 		case "chaos":
 			points, err := eval.Chaos(eval.ChaosConfig{
 				CorpusDocs: *docs, VocabSize: *vocab, Strategy: right,
@@ -348,7 +389,7 @@ func main() {
 
 	if *exp == "all" {
 		for _, name := range []string{"fig2left", "fig2right", "fig3left", "fig3right",
-			"aggregation", "histogram", "budget", "hetero", "prior", "cost", "churn", "chaos", "load", "route", "overload"} {
+			"aggregation", "histogram", "budget", "hetero", "prior", "cost", "churn", "chaos", "load", "route", "overload", "cache"} {
 			run(name)
 		}
 	} else {

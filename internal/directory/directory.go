@@ -13,7 +13,6 @@
 package directory
 
 import (
-	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -96,6 +95,40 @@ type Service struct {
 	mu    sync.RWMutex
 	data  map[string]map[string]Post // term → peer → post
 	floor int64                      // highest Prune minEpoch seen (posts below are dead)
+
+	// invalidate, when set (SetInvalidation), is called after every local
+	// mutation with each affected term and the node's current prune floor
+	// — the hook a colocated read cache uses to stay coherent with writes
+	// that arrive over RPC (republish, prune, anti-entropy repair).
+	invalidate func(term string, floor int64)
+}
+
+// SetInvalidation installs the mutation hook: fn is called (outside the
+// service lock) with each term touched by a store, prune, floor raise,
+// or repair replacement, plus the node's prune floor at mutation time.
+// A floor-only change calls fn("", floor). Pass nil to remove the hook.
+func (s *Service) SetInvalidation(fn func(term string, floor int64)) {
+	s.mu.Lock()
+	s.invalidate = fn
+	s.mu.Unlock()
+}
+
+// fireInvalidate runs the invalidation hook for a set of terms; called
+// after the mutating lock is released.
+func (s *Service) fireInvalidate(terms []string, floor int64) {
+	s.mu.RLock()
+	fn := s.invalidate
+	s.mu.RUnlock()
+	if fn == nil {
+		return
+	}
+	if len(terms) == 0 {
+		fn("", floor)
+		return
+	}
+	for _, t := range terms {
+		fn(t, floor)
+	}
 }
 
 // NewService attaches a directory service to a Chord node.
@@ -147,29 +180,37 @@ func NewService(node *chord.Node) *Service {
 // replica that missed the prune.
 func (s *Service) Prune(minEpoch int64) int {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if minEpoch > s.floor {
 		s.floor = minEpoch
 	}
 	dropped := 0
+	var touched []string
 	for term, byPeer := range s.data {
+		before := len(byPeer)
 		for peer, post := range byPeer {
 			if post.Epoch < minEpoch {
 				delete(byPeer, peer)
 				dropped++
 			}
 		}
+		if len(byPeer) < before {
+			touched = append(touched, term)
+		}
 		if len(byPeer) == 0 {
 			delete(s.data, term)
 		}
 	}
+	floor := s.floor
+	s.mu.Unlock()
+	s.fireInvalidate(touched, floor)
 	return dropped
 }
 
 // store upserts posts into the local fraction: one post per (term, peer).
 func (s *Service) store(posts []Post) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	var touched []string
+	seen := make(map[string]struct{}, len(posts))
 	for _, p := range posts {
 		byPeer := s.data[p.Term]
 		if byPeer == nil {
@@ -177,7 +218,14 @@ func (s *Service) store(posts []Post) {
 			s.data[p.Term] = byPeer
 		}
 		byPeer[p.Peer] = p
+		if _, dup := seen[p.Term]; !dup {
+			seen[p.Term] = struct{}{}
+			touched = append(touched, p.Term)
+		}
 	}
+	floor := s.floor
+	s.mu.Unlock()
+	s.fireInvalidate(touched, floor)
 }
 
 // peerList snapshots the local posts for a term, sorted by peer name.
@@ -208,21 +256,28 @@ func (s *Service) Floor() int64 {
 // between replicas) and drops any stored posts that fall below it.
 func (s *Service) raiseFloor(floor int64) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if floor <= s.floor {
+		s.mu.Unlock()
 		return
 	}
 	s.floor = floor
+	var touched []string
 	for term, byPeer := range s.data {
+		before := len(byPeer)
 		for peer, post := range byPeer {
 			if post.Epoch < floor {
 				delete(byPeer, peer)
 			}
 		}
+		if len(byPeer) < before {
+			touched = append(touched, term)
+		}
 		if len(byPeer) == 0 {
 			delete(s.data, term)
 		}
 	}
+	s.mu.Unlock()
+	s.fireInvalidate(touched, floor)
 }
 
 // TermCount returns how many terms this node currently stores posts for
@@ -263,8 +318,17 @@ type Client struct {
 	// (failed replica calls), directory.read_repairs and
 	// directory.replica_divergence (quorum reads), directory.
 	// anti_entropy_repairs, plus transport.retries and transport.hedges
-	// spent on directory RPCs. Nil leaves the client uncounted.
+	// spent on directory RPCs. Every RPC the client issues also bumps a
+	// per-method directory.rpc.<method> counter, and the read cache (when
+	// enabled) counts directory.cache_hits / cache_misses /
+	// cache_negative_hits / cache_stale_evictions / cache_coalesced_waits
+	// / cache_invalidations / cache_synopsis_decodes /
+	// cache_synopsis_reuse. Nil leaves the client uncounted.
 	Metrics *telemetry.Registry
+
+	// cache, when armed via EnableCache, serves repeated-term reads
+	// locally with bounded staleness (≤ TTL) and epoch validation.
+	cache *readCache
 }
 
 // NewClient returns a directory client working through the given node.
@@ -277,6 +341,7 @@ func NewClient(node *chord.Node, replicas int) *Client {
 
 // invoke issues one directory RPC under the client's retry policy.
 func (c *Client) invoke(addr, method string, req, resp any) error {
+	c.Metrics.Counter("directory.rpc." + method).Inc()
 	attempts, err := transport.InvokeRetry(c.node.Network(), addr, method, req, resp, c.Retry)
 	if attempts > 1 {
 		c.Metrics.Counter("transport.retries").Add(int64(attempts - 1))
@@ -299,23 +364,18 @@ func (c *Client) Publish(posts []Post) error {
 	return err
 }
 
-// Fetch retrieves the PeerList for one term, trying the owner first and
-// then its replicas.
+// Fetch retrieves the PeerList for one term. It rides the same
+// machinery as FetchAll — hedged and quorum-read-repaired reads,
+// replica fail-over, budget accounting, telemetry, and the read cache —
+// so single-term and batched reads have identical robustness semantics.
+// On total failure the error unwraps to the last replica failure
+// (transport.ErrUnreachable when no replica could even be resolved).
 func (c *Client) Fetch(term string) (PeerList, error) {
-	replicas, err := c.node.ReplicaSet(term, c.Replicas)
+	out, _, err := c.FetchAllReport([]string{term}, 0)
 	if err != nil {
 		return nil, err
 	}
-	var lastErr error
-	for _, r := range replicas {
-		var pl PeerList
-		if err := c.invoke(r.Addr, methodGet, term, &pl); err != nil {
-			lastErr = err
-			continue
-		}
-		return pl, nil
-	}
-	return nil, fmt.Errorf("directory: fetch %q: %w", term, lastErr)
+	return out[term], nil
 }
 
 // FetchAll retrieves the PeerLists of several terms, batching terms that
@@ -343,6 +403,9 @@ func (c *Client) PruneBelow(minEpoch int64) int {
 			total += n
 		}
 	}
+	// The client itself witnessed the prune: evict cached entries that
+	// hold posts below the new floor.
+	c.ObserveFloor(minEpoch)
 	return total
 }
 
@@ -393,17 +456,4 @@ func replicasFromRing(ring []chord.NodeRef, key chord.ID, count int) []chord.Nod
 		out = append(out, ring[(i+j)%len(ring)])
 	}
 	return out
-}
-
-func (c *Client) fetchFromReplicas(term string, replicas []chord.NodeRef) (PeerList, error) {
-	var lastErr error = transport.ErrUnreachable
-	for _, r := range replicas {
-		var pl PeerList
-		if err := c.invoke(r.Addr, methodGet, term, &pl); err != nil {
-			lastErr = err
-			continue
-		}
-		return pl, nil
-	}
-	return nil, lastErr
 }

@@ -162,16 +162,18 @@ func (s *Service) StoredTerms() []string {
 // needs so divergent replicas converge to identical state.
 func (s *Service) ReplaceTerm(term string, posts PeerList) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if len(posts) == 0 {
 		delete(s.data, term)
-		return
+	} else {
+		byPeer := make(map[string]Post, len(posts))
+		for _, p := range posts {
+			byPeer[p.Peer] = p
+		}
+		s.data[term] = byPeer
 	}
-	byPeer := make(map[string]Post, len(posts))
-	for _, p := range posts {
-		byPeer[p.Peer] = p
-	}
-	s.data[term] = byPeer
+	floor := s.floor
+	s.mu.Unlock()
+	s.fireInvalidate([]string{term}, floor)
 }
 
 // DigestPosts computes the canonical digest of a PeerList: every
@@ -278,6 +280,7 @@ func applyEpochFloor(pl PeerList, floor int64) PeerList {
 // (≤ 0: no cap). The cap is per attempt, not per call chain; callers
 // with an end-to-end budget re-check what remains between stages.
 func (c *Client) invokeBudget(addr, method string, req, resp any, budget time.Duration) error {
+	c.Metrics.Counter("directory.rpc." + method).Inc()
 	p := c.Retry
 	if budget > 0 && (p.Timeout <= 0 || p.Timeout > budget) {
 		p.Timeout = budget
@@ -339,6 +342,19 @@ func (c *Client) PublishReport(posts []Post) (PublishReport, error) {
 		}
 		rep.Written++
 	}
+	// The publish may have changed any of these terms remotely — drop the
+	// cached copies (even on partial failure: some replica may have
+	// accepted the write).
+	if c.cache != nil {
+		seen := make(map[string]struct{}, len(posts))
+		for _, p := range posts {
+			if _, dup := seen[p.Term]; dup {
+				continue
+			}
+			seen[p.Term] = struct{}{}
+			c.InvalidateCachedTerm(p.Term)
+		}
+	}
 	if rep.Written == 0 && rep.Groups > 0 {
 		return rep, fmt.Errorf("directory: all %d post targets failed (first: %s: %s)",
 			rep.Groups, rep.Errors[0].Addr, rep.Errors[0].Err)
@@ -350,10 +366,19 @@ func (c *Client) PublishReport(posts []Post) (PublishReport, error) {
 // account: term groups are read with hedged replica calls (HedgeDelay),
 // quorum reads with read-repair when ReadQuorum ≥ 2, per-attempt
 // timeouts capped by budget (≤ 0: uncapped), and every failed replica
-// reported. The returned map is complete on nil error.
+// reported. With the read cache enabled, cached terms are served
+// locally (no Winners entry — no replica was asked) and concurrent
+// fetches of the same term coalesce onto one RPC. The returned map is
+// complete on nil error.
 func (c *Client) FetchAllReport(terms []string, budget time.Duration) (map[string]PeerList, FetchReport, error) {
+	return c.FetchAllReportOpts(terms, budget, FetchOptions{})
+}
+
+// FetchAllReportOpts is FetchAllReport with per-call options (Fresh
+// bypasses the read cache and refreshes it).
+func (c *Client) FetchAllReportOpts(terms []string, budget time.Duration, opt FetchOptions) (map[string]PeerList, FetchReport, error) {
 	start := time.Now()
-	out, rep, err := c.fetchAllReport(terms, budget)
+	out, rep, err := c.fetchAllCached(terms, budget, opt)
 	if c.Metrics != nil {
 		c.Metrics.Counter("directory.fetches").Inc()
 		c.Metrics.Histogram("directory.fetch_ms", telemetry.DefaultLatencyBounds).
@@ -376,6 +401,11 @@ func (c *Client) fetchAllReport(terms []string, budget time.Duration) (map[strin
 		replicas, err := c.node.ReplicaSet(t, c.Replicas)
 		if err != nil {
 			return nil, rep, err
+		}
+		if len(replicas) == 0 {
+			// No replica resolved (a degenerate ring view): report it as
+			// unreachable rather than wrapping a nil error downstream.
+			return nil, rep, fmt.Errorf("directory: fetch %q: %w", t, transport.ErrUnreachable)
 		}
 		replicasByTerm[t] = replicas
 		byAddr[replicas[0].Addr] = append(byAddr[replicas[0].Addr], t)
@@ -420,6 +450,7 @@ func (c *Client) fetchAllReport(terms []string, budget time.Duration) (map[strin
 				Hedges:    c.Metrics.Counter("transport.hedges"),
 				HedgeWins: c.Metrics.Counter("transport.hedge_wins"),
 			}
+			c.Metrics.Counter("directory.rpc." + methodGetBatch).Inc()
 			var got map[string]PeerList
 			winner, err := h.Invoke(addrs, methodGetBatch, group, &got)
 			if err == nil {
@@ -523,6 +554,9 @@ func (c *Client) quorumFetch(term string, replicas []chord.NodeRef, budget time.
 	for i, cp := range copies {
 		lists[i] = cp.pl
 	}
+	// A quorum read witnesses the replicas' prune floors — propagate to
+	// the read cache before the merged result is stored.
+	c.ObserveFloor(floor)
 	merged := applyEpochFloor(MergePeerLists(lists), floor)
 	want := DigestPosts(merged)
 	for _, cp := range copies {
@@ -603,6 +637,13 @@ func (c *Client) RepairTerm(term string) (repaired int, err error) {
 	}
 	if repaired > 0 {
 		c.Metrics.Counter("directory.anti_entropy_repairs").Add(int64(repaired))
+	}
+	// The repair witnessed the replica set's floor and (possibly) changed
+	// the term's truth — keep the read cache coherent: refresh a cached
+	// copy with the merged result, and evict anything the floor kills.
+	c.ObserveFloor(floor)
+	if c.cache != nil && c.cache.refreshIfCached(term, merged) {
+		c.Metrics.Counter("directory.cache_invalidations").Inc()
 	}
 	return repaired, nil
 }

@@ -1,0 +1,241 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"iqn/internal/dataset"
+	"iqn/internal/minerva"
+	"iqn/internal/telemetry"
+	"iqn/internal/transport"
+)
+
+// This file measures the directory read cache on the workload shape it
+// exists for: repeated terms. Real query streams are Zipfian — a few
+// hot queries dominate — so a per-peer PeerList cache with TTL-bounded
+// staleness converts most directory reads into local hits. The
+// experiment replays the same Zipfian draw sequence against two
+// identically-seeded networks, one cold (TTL 0) and one cached, and
+// reports the directory read-RPC reduction alongside recall (which must
+// not move: the cache is semantically invisible in a quiescent network).
+
+// CachePoint is one mode's measurement over the workload.
+type CachePoint struct {
+	// Mode is "cold" (cache disabled) or "cached".
+	Mode string
+	// DirReadRPCs is the total directory read RPCs (dir.get,
+	// dir.get_batch, dir.get_repair) the workload issued.
+	DirReadRPCs int64
+	// RPCsPerQuery is DirReadRPCs averaged over the workload.
+	RPCsPerQuery float64
+	// CacheHits / CacheMisses / NegativeHits / CoalescedWaits are the
+	// cache counters (zero in cold mode).
+	CacheHits, CacheMisses, NegativeHits, CoalescedWaits int64
+	// SynopsisDecodes and SynopsisReuse count synopsis unmarshals
+	// against memoized reuses across the workload.
+	SynopsisDecodes, SynopsisReuse int64
+	// MeanMs and P95Ms are the search latency mean and 95th percentile.
+	MeanMs, P95Ms float64
+	// Recall is the micro-averaged relative recall over the workload.
+	Recall float64
+}
+
+// CacheResult is the experiment outcome.
+type CacheResult struct {
+	// Points holds the cold and cached measurements, in that order.
+	Points []CachePoint
+	// ReductionPct is the directory read-RPC reduction of cached over
+	// cold, in percent.
+	ReductionPct float64
+	// Draws is the workload length (Zipfian draws over the query pool).
+	Draws int
+	// DistinctQueries is how many distinct pool queries the draws hit.
+	DistinctQueries int
+}
+
+// CacheConfig parameterizes the experiment.
+type CacheConfig struct {
+	// CorpusDocs, VocabSize, Strategy, Seed as in Fig3Config.
+	CorpusDocs, VocabSize int
+	Strategy              Strategy
+	Seed                  int64
+	// QueryPool is the number of distinct queries (default 12).
+	QueryPool int
+	// Draws is the workload length: Zipfian draws from the pool
+	// (default 10× the pool).
+	Draws int
+	// ZipfS is the Zipf exponent shaping repetition (default 1.3).
+	ZipfS float64
+	// K is the result-list depth (default 50).
+	K int
+	// MaxPeers is the routing budget (default 5).
+	MaxPeers int
+	// TTL is the cached mode's DirectoryCacheTTL (default 1 minute —
+	// effectively "never expires" within a run).
+	TTL time.Duration
+}
+
+func (c *CacheConfig) fillDefaults() {
+	if c.CorpusDocs <= 0 {
+		c.CorpusDocs = 20000
+	}
+	if c.VocabSize <= 0 {
+		c.VocabSize = c.CorpusDocs / 4
+	}
+	if c.Strategy.F == 0 && c.Strategy.Fragments == 0 {
+		c.Strategy = Strategy{Fragments: 20, R: 4, Offset: 2}
+	}
+	if c.QueryPool <= 0 {
+		c.QueryPool = 12
+	}
+	if c.Draws <= 0 {
+		c.Draws = 10 * c.QueryPool
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.3
+	}
+	if c.K <= 0 {
+		c.K = 50
+	}
+	if c.MaxPeers <= 0 {
+		c.MaxPeers = 5
+	}
+	if c.TTL <= 0 {
+		c.TTL = time.Minute
+	}
+}
+
+// dirReadRPCs sums the per-method directory read counters from a
+// telemetry snapshot.
+func dirReadRPCs(snap *telemetry.Snapshot) int64 {
+	var n int64
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, "directory.rpc.dir.get") {
+			n += v
+		}
+	}
+	return n
+}
+
+// Cache runs the repeated-term workload in both modes and returns the
+// paired measurements.
+func Cache(cfg CacheConfig) (*CacheResult, error) {
+	cfg.fillDefaults()
+	corpus := dataset.Generate(dataset.CorpusConfig{
+		NumDocs:   cfg.CorpusDocs,
+		VocabSize: cfg.VocabSize,
+		Seed:      cfg.Seed,
+	})
+	cols, err := cfg.Strategy.assign(corpus)
+	if err != nil {
+		return nil, err
+	}
+	pool := dataset.GenerateQueries(corpus, dataset.QueryConfig{Count: cfg.QueryPool, Seed: cfg.Seed})
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("eval: cache workload has no queries")
+	}
+	// One shared Zipfian draw sequence, so both modes replay the exact
+	// same workload.
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(pool)-1))
+	draws := make([]int, cfg.Draws)
+	distinct := map[int]struct{}{}
+	for i := range draws {
+		draws[i] = int(zipf.Uint64())
+		distinct[draws[i]] = struct{}{}
+	}
+	res := &CacheResult{Draws: cfg.Draws, DistinctQueries: len(distinct)}
+	modes := []struct {
+		name string
+		ttl  time.Duration
+	}{
+		{name: "cold", ttl: 0},
+		{name: "cached", ttl: cfg.TTL},
+	}
+	for _, mode := range modes {
+		registry := telemetry.NewRegistry()
+		net, err := minerva.BuildNetwork(transport.NewInMem(), corpus, cols, minerva.Config{
+			SynopsisSeed:      uint64(cfg.Seed) + 99,
+			DirectoryCacheTTL: mode.ttl,
+			Metrics:           registry,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("eval: cache deploy %s: %w", mode.name, err)
+		}
+		// A fixed initiator, so repeated draws actually revisit one
+		// peer's cache — the per-peer cache locality a real hot query
+		// stream has at its entry point.
+		initiator := net.Peers[0]
+		registry.Reset()
+		durations := make([]time.Duration, 0, len(draws))
+		var found, total int
+		for _, di := range draws {
+			q := pool[di]
+			ref := net.ReferenceTopK(q.Terms, cfg.K, false)
+			start := time.Now()
+			sr, err := initiator.Search(q.Terms, minerva.SearchOptions{K: cfg.K, MaxPeers: cfg.MaxPeers})
+			if err != nil {
+				net.Close()
+				return nil, fmt.Errorf("eval: cache %s query %d: %w", mode.name, q.ID, err)
+			}
+			durations = append(durations, time.Since(start))
+			got := map[uint64]struct{}{}
+			for _, r := range sr.Results {
+				got[r.DocID] = struct{}{}
+			}
+			for _, r := range ref {
+				total++
+				if _, ok := got[r.DocID]; ok {
+					found++
+				}
+			}
+		}
+		snap := registry.Snapshot()
+		net.Close()
+		point := CachePoint{
+			Mode:            mode.name,
+			DirReadRPCs:     dirReadRPCs(&snap),
+			CacheHits:       snap.Counters["directory.cache_hits"],
+			CacheMisses:     snap.Counters["directory.cache_misses"],
+			NegativeHits:    snap.Counters["directory.cache_negative_hits"],
+			CoalescedWaits:  snap.Counters["directory.cache_coalesced_waits"],
+			SynopsisDecodes: snap.Counters["directory.cache_synopsis_decodes"],
+			SynopsisReuse:   snap.Counters["directory.cache_synopsis_reuse"],
+		}
+		point.RPCsPerQuery = float64(point.DirReadRPCs) / float64(len(draws))
+		var sum time.Duration
+		for _, d := range durations {
+			sum += d
+		}
+		point.MeanMs = float64(sum.Microseconds()) / float64(len(durations)) / 1000
+		sort.Slice(durations, func(i, j int) bool { return durations[i] < durations[j] })
+		point.P95Ms = float64(durations[len(durations)*95/100].Microseconds()) / 1000
+		if total > 0 {
+			point.Recall = float64(found) / float64(total)
+		}
+		res.Points = append(res.Points, point)
+	}
+	cold, cached := res.Points[0], res.Points[1]
+	if cold.DirReadRPCs > 0 {
+		res.ReductionPct = 100 * (1 - float64(cached.DirReadRPCs)/float64(cold.DirReadRPCs))
+	}
+	return res, nil
+}
+
+// CacheTable renders the paired measurements as an aligned text table.
+func CacheTable(res *CacheResult) string {
+	out := fmt.Sprintf("# Repeated-term workload: %d Zipfian draws over %d distinct queries\n",
+		res.Draws, res.DistinctQueries)
+	out += fmt.Sprintf("%-8s %10s %10s %8s %8s %10s %10s %8s %8s %8s\n",
+		"mode", "dir-rpcs", "rpc/query", "hits", "misses", "decodes", "reuse", "mean-ms", "p95-ms", "recall")
+	for _, p := range res.Points {
+		out += fmt.Sprintf("%-8s %10d %10.2f %8d %8d %10d %10d %8.2f %8.2f %8.3f\n",
+			p.Mode, p.DirReadRPCs, p.RPCsPerQuery, p.CacheHits, p.CacheMisses,
+			p.SynopsisDecodes, p.SynopsisReuse, p.MeanMs, p.P95Ms, p.Recall)
+	}
+	out += fmt.Sprintf("directory read RPC reduction: %.1f%%\n", res.ReductionPct)
+	return out
+}

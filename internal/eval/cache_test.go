@@ -1,0 +1,54 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCacheExperiment(t *testing.T) {
+	res, err := Cache(CacheConfig{
+		CorpusDocs: 2000,
+		VocabSize:  1500,
+		Strategy:   Strategy{Fragments: 10, R: 4, Offset: 2},
+		QueryPool:  6,
+		Draws:      30,
+		K:          20,
+		MaxPeers:   3,
+		Seed:       9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("%d points, want cold+cached", len(res.Points))
+	}
+	cold, cached := res.Points[0], res.Points[1]
+	if cold.Mode != "cold" || cached.Mode != "cached" {
+		t.Fatalf("modes %q/%q", cold.Mode, cached.Mode)
+	}
+	if cold.CacheHits != 0 {
+		t.Fatalf("cold run recorded %d cache hits", cold.CacheHits)
+	}
+	if cached.CacheHits == 0 {
+		t.Fatal("cached run served no hits on a repeated-term workload")
+	}
+	if cached.DirReadRPCs >= cold.DirReadRPCs {
+		t.Fatalf("cache did not reduce directory reads: %d >= %d", cached.DirReadRPCs, cold.DirReadRPCs)
+	}
+	if res.ReductionPct <= 0 {
+		t.Fatalf("reduction %v%%, want > 0", res.ReductionPct)
+	}
+	// The cache is semantically invisible in a quiescent network: both
+	// modes run the identical draw sequence, so recall must match
+	// exactly, not just approximately.
+	if cold.Recall != cached.Recall {
+		t.Fatalf("recall diverged: cold %v, cached %v", cold.Recall, cached.Recall)
+	}
+	if cold.Recall <= 0 {
+		t.Fatalf("degenerate workload: recall %v", cold.Recall)
+	}
+	table := CacheTable(res)
+	if !strings.Contains(table, "cached") || !strings.Contains(table, "reduction") {
+		t.Fatalf("table:\n%s", table)
+	}
+}

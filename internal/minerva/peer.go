@@ -84,6 +84,16 @@ type Config struct {
 	// read-repair: that many replica copies are compared per term and
 	// divergent replicas are patched on the spot.
 	ReadQuorum int
+	// DirectoryCacheTTL > 0 arms the peer's directory read cache: fetched
+	// PeerLists are served locally for up to this long (bounded staleness
+	// ≤ TTL), validated against post epochs, invalidated by the peer's
+	// own republishes/prunes/repairs and by writes landing on the peer's
+	// directory fraction, with concurrent fetches of one term coalesced
+	// onto a single RPC and synopses decoded once per epoch instead of
+	// once per query. Zero (the default) disables caching — every search
+	// reads the directory. SearchOptions.FreshDirectory bypasses the
+	// cache per query.
+	DirectoryCacheTTL time.Duration
 	// AdmissionLimit > 0 arms server-side admission control on the
 	// peer's mux: at most this many RPC handlers run concurrently, at
 	// most AdmissionQueue callers wait, and everything beyond is shed
@@ -172,6 +182,16 @@ func NewPeer(addr string, net transport.Network, cfg Config) (*Peer, error) {
 	p.dir.HedgeDelay = cfg.HedgeDelay
 	p.dir.ReadQuorum = cfg.ReadQuorum
 	p.dir.Metrics = cfg.Metrics
+	if cfg.DirectoryCacheTTL > 0 {
+		p.dir.EnableCache(cfg.DirectoryCacheTTL)
+		// Writes arriving on this peer's directory fraction over RPC
+		// (republish, prune, anti-entropy repair) must not leave the
+		// colocated read cache serving the replaced posts.
+		p.svc.SetInvalidation(func(term string, floor int64) {
+			p.dir.InvalidateCachedTerm(term)
+			p.dir.ObserveFloor(floor)
+		})
+	}
 	if cfg.Breakers != nil {
 		p.breakers = transport.NewBreakers(*cfg.Breakers)
 		p.breakers.SetMetrics(cfg.Metrics)

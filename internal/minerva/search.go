@@ -93,6 +93,12 @@ type SearchOptions struct {
 	// to the replacement (core.Reroute). Failed peers are reported in
 	// SearchResult.Errors either way — never silently dropped.
 	NoReroute bool
+	// FreshDirectory bypasses the peer's directory read cache for this
+	// query: every term's PeerList is re-read from the directory and the
+	// cache is refreshed with the results. The escape hatch for callers
+	// that cannot tolerate even TTL-bounded staleness; a no-op when
+	// Config.DirectoryCacheTTL is zero.
+	FreshDirectory bool
 	// Budget is the end-to-end deadline for the whole search: directory
 	// fetch, fan-out, and re-routing all spend from it (per-attempt
 	// timeouts are capped by what remains). When it expires mid-search,
@@ -198,7 +204,7 @@ func (p *Peer) SearchContext(ctx context.Context, terms []string, opts SearchOpt
 	dl := core.StartDeadline(opts.Budget)
 	fetchSpan := span.Child("directory.fetch")
 	fetchStart := time.Now()
-	lists, dirRep, err := p.dir.FetchAllReport(terms, dl.Cap(0))
+	lists, dirRep, err := p.dir.FetchAllReportOpts(terms, dl.Cap(0), directory.FetchOptions{Fresh: opts.FreshDirectory})
 	fetchSpan.SetInt("terms", int64(len(terms)))
 	fetchSpan.SetInt("errors", int64(len(dirRep.Errors)))
 	fetchSpan.SetInt("repaired", int64(dirRep.Repaired))
@@ -554,7 +560,11 @@ func (p *Peer) assembleCandidates(terms []string, lists map[string]directory.Pee
 			stats.TermSpaceSize = post.TermSpaceSize
 			c.TermCardinalities[term] = float64(post.ListLength)
 			if len(post.Synopsis) > 0 {
-				set, err := synopsis.Unmarshal(post.Synopsis)
+				// Decoded through the directory client so the read cache
+				// (when armed) unmarshals each synopsis once per epoch, not
+				// once per query. The routing layer treats candidate
+				// synopses as read-only, so sharing the Set is safe.
+				set, err := p.dir.DecodedSynopsis(post)
 				if err != nil {
 					return nil, fmt.Errorf("minerva: synopsis of %s/%s: %w", name, term, err)
 				}

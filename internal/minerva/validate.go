@@ -22,6 +22,9 @@ func (c Config) Validate() error {
 	if c.ReadQuorum < 0 {
 		return fmt.Errorf("minerva: ReadQuorum %d is negative", c.ReadQuorum)
 	}
+	if c.DirectoryCacheTTL < 0 {
+		return fmt.Errorf("minerva: DirectoryCacheTTL %v is negative (use 0 to disable caching)", c.DirectoryCacheTTL)
+	}
 	replicas := c.Replicas
 	if replicas < 1 {
 		replicas = 1

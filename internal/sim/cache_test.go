@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCacheParityFaultFree is the tentpole invariant: a fault-free
+// scenario run with the directory read cache armed must be
+// byte-identical — merged docIDs, routing plans, canonical traces,
+// error text — to the same scenario run uncached. The small 2-peer
+// network makes initiators repeat across the workload, so the cached
+// run genuinely serves hits (asserted below), not just cold misses.
+func TestCacheParityFaultFree(t *testing.T) {
+	rep, err := Run(Scenario{
+		Name:              "cache-parity",
+		Seed:              5,
+		Queries:           12,
+		Fragments:         8,
+		Window:            4,
+		Offset:            4,
+		Telemetry:         true,
+		DirectoryCacheTTL: time.Minute,
+		CacheParity:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("cache parity violated:\n%s", strings.Join(rep.Violations, "\n"))
+	}
+	if len(rep.Outcomes) != 12 {
+		t.Fatalf("%d outcomes, want 12", len(rep.Outcomes))
+	}
+	for _, out := range rep.Outcomes {
+		if out.Err != "" {
+			t.Fatalf("query %d failed: %s", out.Index, out.Err)
+		}
+		if out.Trace == "" {
+			t.Fatalf("query %d has no trace", out.Index)
+		}
+	}
+	if hits := rep.Metrics.Counters["directory.cache_hits"]; hits == 0 {
+		t.Fatal("cached run served no hits — the parity check compared two cold runs")
+	}
+}
+
+// TestCacheParityAcrossMaintenance re-checks parity when the workload
+// interleaves deterministic churn: a maintenance round (republish +
+// prune) and an anti-entropy sweep. Invalidation must keep the cached
+// run's answers identical to the uncached run's — stale cache entries
+// surviving the churn would diverge the merged docs.
+func TestCacheParityAcrossMaintenance(t *testing.T) {
+	rep, err := Run(Scenario{
+		Name:              "cache-parity-maintenance",
+		Seed:              5,
+		Queries:           10,
+		Fragments:         8,
+		Window:            4,
+		Offset:            4,
+		Telemetry:         true,
+		DirectoryCacheTTL: time.Hour, // TTL cannot save us; invalidation must
+		CacheParity:       true,
+		Events: []Event{
+			{Before: 4, Kind: Maintenance},
+			{Before: 7, Kind: AntiEntropy},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("cache parity violated across maintenance:\n%s", strings.Join(rep.Violations, "\n"))
+	}
+}
+
+func TestCacheParityRequiresTTL(t *testing.T) {
+	_, err := Run(Scenario{Name: "bad", Seed: 1, CacheParity: true})
+	if err == nil || !strings.Contains(err.Error(), "DirectoryCacheTTL") {
+		t.Fatalf("err = %v, want a CacheParity/TTL configuration error", err)
+	}
+}

@@ -190,6 +190,21 @@ type Scenario struct {
 	// scenario's declared tail bound — meaningful when a Budget (or
 	// hedged reads) promises to keep queries out of a straggler's shadow.
 	LatencyBound time.Duration
+	// DirectoryCacheTTL arms every peer's directory read cache
+	// (minerva.Config.DirectoryCacheTTL): fetched PeerLists are served
+	// locally for up to the TTL, invalidated by republish/prune/repair.
+	// Zero runs uncached.
+	DirectoryCacheTTL time.Duration
+	// CacheParity, with DirectoryCacheTTL > 0, runs an uncached twin of
+	// the scenario (same seed, same events, TTL zero) and asserts the
+	// cache is semantically invisible: every query must produce byte-
+	// identical Docs, Planned peers, canonical Trace, and error text in
+	// both runs. Any divergence is an invariant violation. Meaningful for
+	// fault-free or deterministic-fault scenarios — probabilistic rules
+	// (Drop/Error probabilities) consume their RNG per matching call, so
+	// the cached run's smaller RPC count legitimately changes the
+	// schedule.
+	CacheParity bool
 	// Telemetry arms a shared telemetry registry across the network and
 	// per-query traces: every query runs under a telemetry span whose
 	// canonical rendering lands in QueryOutcome.Trace (trace IDs are the
@@ -328,9 +343,21 @@ func PeerNames(sc Scenario) ([]string, error) {
 // in-run faults land in the report.
 func Run(sc Scenario) (*Report, error) {
 	sc = sc.withDefaults()
+	if sc.CacheParity && sc.DirectoryCacheTTL <= 0 {
+		return nil, fmt.Errorf("sim: scenario %q sets CacheParity without DirectoryCacheTTL", sc.Name)
+	}
 	report, err := runOnce(sc, true)
 	if err != nil {
 		return nil, err
+	}
+	if sc.CacheParity {
+		uncached := sc
+		uncached.DirectoryCacheTTL = 0
+		twin, err := runOnce(uncached, true)
+		if err != nil {
+			return nil, fmt.Errorf("sim: uncached twin: %w", err)
+		}
+		report.Violations = append(report.Violations, cacheParityViolations(report, twin)...)
 	}
 	if sc.RecallBound > 0 {
 		clean := sc
@@ -374,15 +401,16 @@ func runOnce(sc Scenario, withFaults bool) (*Report, error) {
 		registry = telemetry.NewRegistry()
 	}
 	net, err := minerva.BuildNetworkEndpoints(faulty, faulty.Endpoint, corpus, cols, minerva.Config{
-		SynopsisSeed:   uint64(sc.Seed) + 99,
-		Replicas:       sc.Replicas,
-		DirectoryRetry: sc.Retry,
-		Breakers:       breakers,
-		HedgeDelay:     sc.HedgeDelay,
-		ReadQuorum:     sc.ReadQuorum,
-		AdmissionLimit: sc.AdmissionLimit,
-		AdmissionQueue: sc.AdmissionQueue,
-		Metrics:        registry,
+		SynopsisSeed:      uint64(sc.Seed) + 99,
+		Replicas:          sc.Replicas,
+		DirectoryRetry:    sc.Retry,
+		Breakers:          breakers,
+		HedgeDelay:        sc.HedgeDelay,
+		ReadQuorum:        sc.ReadQuorum,
+		AdmissionLimit:    sc.AdmissionLimit,
+		AdmissionQueue:    sc.AdmissionQueue,
+		DirectoryCacheTTL: sc.DirectoryCacheTTL,
+		Metrics:           registry,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("sim: boot %q: %w", sc.Name, err)
@@ -568,6 +596,59 @@ func runOnce(sc Scenario, withFaults bool) (*Report, error) {
 		r.Metrics = &snap
 	}
 	return r, nil
+}
+
+// cacheParityViolations compares a cached run against its uncached twin
+// query by query: the read cache promises to be semantically invisible,
+// so Docs (merged result docIDs), Planned (routing decision), canonical
+// Trace bytes, and search-level error text must all match exactly.
+func cacheParityViolations(cached, uncached *Report) []string {
+	var v []string
+	if len(cached.Outcomes) != len(uncached.Outcomes) {
+		return []string{fmt.Sprintf("cache parity: %d outcomes cached vs %d uncached",
+			len(cached.Outcomes), len(uncached.Outcomes))}
+	}
+	for i := range cached.Outcomes {
+		c, u := &cached.Outcomes[i], &uncached.Outcomes[i]
+		if !equalUint64s(c.Docs, u.Docs) {
+			v = append(v, fmt.Sprintf("cache parity: query %d merged docs diverge (%d cached vs %d uncached)",
+				i, len(c.Docs), len(u.Docs)))
+		}
+		if !equalPeerIDs(c.Planned, u.Planned) {
+			v = append(v, fmt.Sprintf("cache parity: query %d routing plans diverge", i))
+		}
+		if c.Trace != u.Trace {
+			v = append(v, fmt.Sprintf("cache parity: query %d canonical traces diverge", i))
+		}
+		if c.Err != u.Err {
+			v = append(v, fmt.Sprintf("cache parity: query %d errors diverge (%q vs %q)", i, c.Err, u.Err))
+		}
+	}
+	return v
+}
+
+func equalUint64s(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalPeerIDs(a, b []core.PeerID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // breakerTrace renders every peer's breaker transition trace in peer
