@@ -11,6 +11,7 @@
 //	iqnbench -exp route                           # Fast-IQN lazy vs exhaustive routing cost
 //	iqnbench -exp overload                        # tail latency bare vs overload-hardened
 //	iqnbench -exp cache                           # directory read cache on a Zipfian repeated-term workload
+//	iqnbench -exp qps                             # saturation queries/sec, bare vs optimized serving engine
 //	iqnbench -exp all                             # everything, default sizes
 //
 // The defaults are laptop-scale (20k documents); raise -docs for runs
@@ -57,9 +58,13 @@ type benchExperiment struct {
 	Chaos    []eval.ChaosPoint `json:"chaos,omitempty"`
 	Churn    *eval.ChurnResult `json:"churn,omitempty"`
 	Cache    []cachePoint      `json:"cache,omitempty"`
+	QPS      *eval.QPSResult   `json:"qps,omitempty"`
 	// RPCReductionPct is set only for the cache experiment: the
 	// directory read-RPC reduction of cached over cold, in percent.
 	RPCReductionPct float64 `json:"rpcReductionPct,omitempty"`
+	// SpeedupX is set only for the qps experiment: the optimized/bare
+	// saturation-QPS ratio over TCP — the serving-engine speedup.
+	SpeedupX float64 `json:"speedupX,omitempty"`
 }
 
 // benchSeries is a recall/error curve: one named series of (x, y)
@@ -148,7 +153,7 @@ func toBenchSeries(series []eval.Series) []benchSeries {
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig2left|fig2right|fig3left|fig3right|aggregation|histogram|budget|hetero|prior|cost|churn|chaos|load|route|overload|cache|all")
+		exp     = flag.String("exp", "all", "experiment: fig2left|fig2right|fig3left|fig3right|aggregation|histogram|budget|hetero|prior|cost|churn|chaos|load|route|overload|cache|qps|all")
 		docs    = flag.Int("docs", 20000, "corpus size for fig3-style experiments")
 		vocab   = flag.Int("vocab", 0, "vocabulary size (0: docs/10)")
 		runs    = flag.Int("runs", 50, "runs per point for fig2-style experiments")
@@ -364,6 +369,20 @@ func main() {
 				e.RPCReductionPct = res.ReductionPct
 			})
 			fmt.Print(eval.CacheTable(res))
+		case "qps":
+			res, err := eval.QPS(eval.QPSConfig{
+				CorpusDocs: *docs, VocabSize: *vocab,
+				QueryPool: *numQ, Seed: *seed,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "iqnbench: qps: %v\n", err)
+				os.Exit(1)
+			}
+			record(name, func(e *benchExperiment) {
+				e.QPS = res
+				e.SpeedupX = res.SpeedupX["tcp"]
+			})
+			fmt.Print(eval.QPSTable(res))
 		case "chaos":
 			points, err := eval.Chaos(eval.ChaosConfig{
 				CorpusDocs: *docs, VocabSize: *vocab, Strategy: right,
@@ -389,7 +408,7 @@ func main() {
 
 	if *exp == "all" {
 		for _, name := range []string{"fig2left", "fig2right", "fig3left", "fig3right",
-			"aggregation", "histogram", "budget", "hetero", "prior", "cost", "churn", "chaos", "load", "route", "overload", "cache"} {
+			"aggregation", "histogram", "budget", "hetero", "prior", "cost", "churn", "chaos", "load", "route", "overload", "cache", "qps"} {
 			run(name)
 		}
 	} else {

@@ -1,0 +1,551 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	gonet "net"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"iqn/internal/dataset"
+	"iqn/internal/minerva"
+	"iqn/internal/telemetry"
+	"iqn/internal/transport"
+)
+
+// This file makes queries/sec a first-class metric. The harness drives a
+// Zipfian query workload through one initiator peer in two modes per
+// transport — "bare" (the legacy one-in-flight TCP protocol, search
+// coalescing off) and "optimized" (multiplexed pipelined TCP, whole-
+// search coalescing on) — with the directory cache armed identically in
+// both, so the measured difference is the serving engine, not the cache.
+// A closed-loop worker ladder finds the saturation QPS at a p99 latency
+// ceiling; an open-loop fixed-rate run measures tail latency including
+// queueing delay (no coordinated omission). A parity pass then proves
+// the optimized path is semantically invisible: sequential replays of
+// the pool return byte-identical docs, plans, and canonical traces in
+// both modes, and concurrent coalesced duplicates return the same docs
+// and plans as the bare sequential reference.
+
+// QPSPoint is one load level's measurement.
+type QPSPoint struct {
+	// Workers is the closed-loop concurrency (0 for the open-loop run).
+	Workers int `json:"workers,omitempty"`
+	// RateQPS is the open-loop target arrival rate (0 for closed loop).
+	RateQPS float64 `json:"rateQPS,omitempty"`
+	// Ops is how many searches the level executed.
+	Ops int `json:"ops"`
+	// QPS is the achieved throughput: Ops over the level's wall time.
+	QPS float64 `json:"qps"`
+	// MeanMs/P95Ms/P99Ms are the latency statistics. Open-loop latencies
+	// are measured from each query's scheduled arrival, so queueing
+	// delay counts against the server (no coordinated omission).
+	MeanMs float64 `json:"meanMs"`
+	P95Ms  float64 `json:"p95Ms"`
+	P99Ms  float64 `json:"p99Ms"`
+}
+
+// QPSRun is one (transport, mode) measurement series.
+type QPSRun struct {
+	// Transport is "inmem" or "tcp".
+	Transport string `json:"transport"`
+	// Mode is "bare" (legacy one-in-flight TCP, no coalescing) or
+	// "optimized" (multiplexed TCP, whole-search coalescing).
+	Mode string `json:"mode"`
+	// Closed holds one point per worker-ladder level.
+	Closed []QPSPoint `json:"closed"`
+	// Open is the fixed-rate open-loop point (nil when disabled).
+	Open *QPSPoint `json:"open,omitempty"`
+	// SaturationQPS is the highest closed-loop throughput whose p99
+	// stayed under the ceiling (the first level's QPS if none did).
+	SaturationQPS float64 `json:"saturationQPS"`
+	// Coalesced counts searches answered by a shared in-flight
+	// execution across the run's workload.
+	Coalesced int64 `json:"coalesced,omitempty"`
+}
+
+// QPSResult is the full experiment outcome.
+type QPSResult struct {
+	// P99CeilingMs is the saturation latency ceiling.
+	P99CeilingMs float64 `json:"p99CeilingMs"`
+	// Runs holds bare and optimized series per transport.
+	Runs []QPSRun `json:"runs"`
+	// SpeedupX maps transport -> optimized/bare saturation QPS ratio.
+	SpeedupX map[string]float64 `json:"speedupX"`
+	// ParityOK reports that every parity comparison passed.
+	ParityOK bool `json:"parityOK"`
+	// ParityDetail names the first divergence ("" when ParityOK).
+	ParityDetail string `json:"parityDetail,omitempty"`
+	// Pool and Draws describe the workload.
+	Pool  int `json:"pool"`
+	Draws int `json:"draws"`
+}
+
+// QPSConfig parameterizes the experiment.
+type QPSConfig struct {
+	// CorpusDocs, VocabSize, Strategy, Seed as in Fig3Config.
+	CorpusDocs, VocabSize int
+	Strategy              Strategy
+	Seed                  int64
+	// QueryPool is the number of distinct queries (default 12).
+	QueryPool int
+	// ZipfS shapes workload repetition (default 1.3).
+	ZipfS float64
+	// K is the result-list depth (default 20).
+	K int
+	// MaxPeers is the routing budget (default 3).
+	MaxPeers int
+	// Workers is the closed-loop concurrency ladder (default 1, 8, 32).
+	Workers []int
+	// OpsPerLevel is the searches per ladder level (default 240).
+	OpsPerLevel int
+	// P99CeilingMs is the saturation latency ceiling (default 250ms).
+	P99CeilingMs float64
+	// OpenLoopQPS is the open-loop arrival rate (default 150; < 0
+	// disables the open-loop run).
+	OpenLoopQPS float64
+	// OpenLoopOps is the open-loop query count (default 300).
+	OpenLoopOps int
+	// Transports selects the substrates (default inmem and tcp).
+	Transports []string
+	// TTL arms the directory cache identically in both modes (default
+	// 1 minute).
+	TTL time.Duration
+}
+
+func (c *QPSConfig) fillDefaults() {
+	if c.CorpusDocs <= 0 {
+		c.CorpusDocs = 8000
+	}
+	if c.VocabSize <= 0 {
+		c.VocabSize = c.CorpusDocs / 4
+	}
+	if c.Strategy.F == 0 && c.Strategy.Fragments == 0 {
+		c.Strategy = Strategy{Fragments: 12, R: 4, Offset: 2}
+	}
+	if c.QueryPool <= 0 {
+		c.QueryPool = 12
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.3
+	}
+	if c.K <= 0 {
+		c.K = 20
+	}
+	if c.MaxPeers <= 0 {
+		c.MaxPeers = 3
+	}
+	if len(c.Workers) == 0 {
+		c.Workers = []int{1, 8, 32}
+	}
+	if c.OpsPerLevel <= 0 {
+		c.OpsPerLevel = 240
+	}
+	if c.P99CeilingMs <= 0 {
+		c.P99CeilingMs = 250
+	}
+	if c.OpenLoopQPS == 0 {
+		c.OpenLoopQPS = 150
+	}
+	if c.OpenLoopOps <= 0 {
+		c.OpenLoopOps = 300
+	}
+	if len(c.Transports) == 0 {
+		c.Transports = []string{"inmem", "tcp"}
+	}
+	if c.TTL <= 0 {
+		c.TTL = time.Minute
+	}
+}
+
+// qpsMode is one serving-engine configuration under test.
+type qpsMode struct {
+	name       string
+	coalescing bool
+	noPipeline bool // TCP only: force the legacy one-in-flight protocol
+}
+
+// parityRecord is one query's byte-comparable outcome.
+type parityRecord struct {
+	docs, plan, trace string
+}
+
+// reserveAddrs allocates n distinct loopback listen addresses by binding
+// ephemeral ports and releasing them. Bare and optimized TCP runs reuse
+// the same set sequentially, so peer names — and with them plans and
+// traces — are identical across modes.
+func reserveAddrs(n int) ([]string, error) {
+	addrs := make([]string, 0, n)
+	listeners := make([]gonet.Listener, 0, n)
+	defer func() {
+		for _, l := range listeners {
+			l.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		l, err := gonet.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("eval: reserve port: %w", err)
+		}
+		listeners = append(listeners, l)
+		addrs = append(addrs, l.Addr().String())
+	}
+	return addrs, nil
+}
+
+// latencyStats folds a latency sample into a point.
+func latencyStats(p *QPSPoint, lat []time.Duration) {
+	if len(lat) == 0 {
+		return
+	}
+	sorted := make([]time.Duration, len(lat))
+	copy(sorted, lat)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	p.MeanMs = ms(sum / time.Duration(len(sorted)))
+	p.P95Ms = ms(sorted[len(sorted)*95/100])
+	p.P99Ms = ms(sorted[len(sorted)*99/100])
+}
+
+// QPS runs the sustained-throughput experiment.
+func QPS(cfg QPSConfig) (*QPSResult, error) {
+	cfg.fillDefaults()
+	corpus := dataset.Generate(dataset.CorpusConfig{
+		NumDocs:   cfg.CorpusDocs,
+		VocabSize: cfg.VocabSize,
+		Seed:      cfg.Seed,
+	})
+	cols, err := cfg.Strategy.assign(corpus)
+	if err != nil {
+		return nil, err
+	}
+	pool := dataset.GenerateQueries(corpus, dataset.QueryConfig{Count: cfg.QueryPool, Seed: cfg.Seed})
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("eval: qps workload has no queries")
+	}
+	// One shared Zipfian draw sequence: every (transport, mode, level)
+	// replays the identical workload.
+	rng := rand.New(rand.NewSource(cfg.Seed + 13))
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(pool)-1))
+	draws := make([]int, cfg.OpsPerLevel)
+	for i := range draws {
+		draws[i] = int(zipf.Uint64())
+	}
+	opts := minerva.SearchOptions{K: cfg.K, MaxPeers: cfg.MaxPeers}
+	res := &QPSResult{
+		P99CeilingMs: cfg.P99CeilingMs,
+		SpeedupX:     map[string]float64{},
+		ParityOK:     true,
+		Pool:         len(pool),
+		Draws:        cfg.OpsPerLevel,
+	}
+	modes := []qpsMode{
+		{name: "bare", coalescing: false, noPipeline: true},
+		{name: "optimized", coalescing: true, noPipeline: false},
+	}
+	for _, trName := range cfg.Transports {
+		// TCP modes reuse one address set so peer names (= plan and
+		// trace content) match across modes.
+		var tcpAddrs []string
+		if trName == "tcp" {
+			if tcpAddrs, err = reserveAddrs(len(cols)); err != nil {
+				return nil, err
+			}
+		}
+		parity := map[string][]parityRecord{}
+		var saturation = map[string]float64{}
+		for _, mode := range modes {
+			runCols := make([]dataset.Collection, len(cols))
+			copy(runCols, cols)
+			var base transport.Network
+			switch trName {
+			case "inmem":
+				base = transport.NewInMem()
+			case "tcp":
+				tr := transport.NewTCP()
+				tr.NoPipeline = mode.noPipeline
+				defer tr.CloseIdle()
+				base = tr
+				for i := range runCols {
+					runCols[i].Name = tcpAddrs[i]
+				}
+			default:
+				return nil, fmt.Errorf("eval: unknown qps transport %q", trName)
+			}
+			registry := telemetry.NewRegistry()
+			net, err := minerva.BuildNetwork(base, nil, runCols, minerva.Config{
+				SynopsisSeed:      uint64(cfg.Seed) + 99,
+				DirectoryCacheTTL: cfg.TTL,
+				SearchCoalescing:  mode.coalescing,
+				Metrics:           registry,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("eval: qps deploy %s/%s: %w", trName, mode.name, err)
+			}
+			initiator := net.Peers[0]
+			run := QPSRun{Transport: trName, Mode: mode.name}
+			// Warm the directory cache once so every level (and both
+			// modes) measures steady-state serving, not first-touch
+			// directory fetches.
+			for _, q := range pool {
+				if _, err := initiator.Search(q.Terms, opts); err != nil {
+					net.Close()
+					return nil, fmt.Errorf("eval: qps warm %s/%s: %w", trName, mode.name, err)
+				}
+			}
+			// Closed loop: the worker ladder.
+			for _, workers := range cfg.Workers {
+				point, err := closedLoop(initiator, pool, draws, workers, opts)
+				if err != nil {
+					net.Close()
+					return nil, fmt.Errorf("eval: qps %s/%s w=%d: %w", trName, mode.name, workers, err)
+				}
+				run.Closed = append(run.Closed, point)
+			}
+			run.SaturationQPS = run.Closed[0].QPS
+			for _, p := range run.Closed {
+				if p.P99Ms <= cfg.P99CeilingMs && p.QPS > run.SaturationQPS {
+					run.SaturationQPS = p.QPS
+				}
+			}
+			// Open loop: fixed-rate arrivals, latency from scheduled
+			// arrival time.
+			if cfg.OpenLoopQPS > 0 {
+				point, err := openLoop(initiator, pool, draws, cfg.OpenLoopQPS, cfg.OpenLoopOps, opts)
+				if err != nil {
+					net.Close()
+					return nil, fmt.Errorf("eval: qps open loop %s/%s: %w", trName, mode.name, err)
+				}
+				run.Open = &point
+			}
+			// Parity capture: sequential replay of the pool with traces.
+			recs, err := parityCapture(initiator, pool, opts)
+			if err != nil {
+				net.Close()
+				return nil, fmt.Errorf("eval: qps parity %s/%s: %w", trName, mode.name, err)
+			}
+			parity[mode.name] = recs
+			// Coalesced-duplicate check on the optimized engine: a burst
+			// of identical concurrent searches must return the same docs
+			// and plan as the sequential run (their traces differ by
+			// design — followers carry the "coalesced" annotation).
+			if mode.coalescing && res.ParityOK {
+				if detail := duplicateBurst(initiator, pool[0], opts, recs[0]); detail != "" {
+					res.ParityOK = false
+					res.ParityDetail = fmt.Sprintf("%s/%s: %s", trName, mode.name, detail)
+				}
+			}
+			run.Coalesced = registry.Snapshot().Counters["search.coalesced"]
+			net.Close()
+			saturation[mode.name] = run.SaturationQPS
+			res.Runs = append(res.Runs, run)
+		}
+		if bare := saturation["bare"]; bare > 0 {
+			res.SpeedupX[trName] = saturation["optimized"] / bare
+		}
+		// Cross-mode parity: byte-identical docs, plans, and canonical
+		// traces between bare and optimized sequential replays.
+		if res.ParityOK {
+			bare, opt := parity["bare"], parity["optimized"]
+			for qi := range bare {
+				switch {
+				case bare[qi].docs != opt[qi].docs:
+					res.ParityOK = false
+					res.ParityDetail = fmt.Sprintf("%s query %d: docs diverge", trName, qi)
+				case bare[qi].plan != opt[qi].plan:
+					res.ParityOK = false
+					res.ParityDetail = fmt.Sprintf("%s query %d: plans diverge", trName, qi)
+				case bare[qi].trace != opt[qi].trace:
+					res.ParityOK = false
+					res.ParityDetail = fmt.Sprintf("%s query %d: traces diverge", trName, qi)
+				}
+				if !res.ParityOK {
+					break
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// closedLoop drives the draw sequence through the initiator with a fixed
+// worker count, each worker issuing the next undrawn query as soon as
+// its previous one returns.
+func closedLoop(initiator *minerva.Peer, pool []dataset.Query, draws []int, workers int, opts minerva.SearchOptions) (QPSPoint, error) {
+	point := QPSPoint{Workers: workers, Ops: len(draws)}
+	lat := make([]time.Duration, len(draws))
+	var next atomic.Int64
+	var errMu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(draws) {
+					return
+				}
+				q := pool[draws[i]]
+				t0 := time.Now()
+				if _, err := initiator.Search(q.Terms, opts); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				lat[i] = time.Since(t0)
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if firstErr != nil {
+		return point, firstErr
+	}
+	point.QPS = float64(len(draws)) / wall.Seconds()
+	latencyStats(&point, lat)
+	return point, nil
+}
+
+// openLoop issues queries at a fixed arrival rate regardless of how fast
+// they complete; latency is measured from each query's scheduled arrival
+// so server-side queueing counts (no coordinated omission).
+func openLoop(initiator *minerva.Peer, pool []dataset.Query, draws []int, rate float64, ops int, opts minerva.SearchOptions) (QPSPoint, error) {
+	point := QPSPoint{RateQPS: rate, Ops: ops}
+	interval := time.Duration(float64(time.Second) / rate)
+	lat := make([]time.Duration, ops)
+	var errMu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		sched := start.Add(time.Duration(i) * interval)
+		if d := time.Until(sched); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(i int, sched time.Time) {
+			defer wg.Done()
+			q := pool[draws[i%len(draws)]]
+			if _, err := initiator.Search(q.Terms, opts); err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				return
+			}
+			lat[i] = time.Since(sched)
+		}(i, sched)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if firstErr != nil {
+		return point, firstErr
+	}
+	point.QPS = float64(ops) / wall.Seconds()
+	latencyStats(&point, lat)
+	return point, nil
+}
+
+// parityCapture replays the pool sequentially with tracing and renders
+// each query's outcome into byte-comparable form. Sequential issue means
+// coalescing never fires, so bare and optimized engines must produce
+// identical executions — docs, plans, and canonical traces.
+func parityCapture(initiator *minerva.Peer, pool []dataset.Query, opts minerva.SearchOptions) ([]parityRecord, error) {
+	recs := make([]parityRecord, 0, len(pool))
+	for qi, q := range pool {
+		trace := telemetry.NewTrace(fmt.Sprintf("q%d", qi), "search")
+		ctx := telemetry.WithSpan(context.Background(), trace.Root())
+		sr, err := initiator.SearchContext(ctx, q.Terms, opts)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, parityRecord{
+			docs:  fmt.Sprintf("%v", sr.Results),
+			plan:  fmt.Sprintf("%v", sr.Plan.Peers),
+			trace: trace.Canonical(),
+		})
+	}
+	return recs, nil
+}
+
+// duplicateBurst fires identical concurrent searches at the coalescing
+// engine and verifies every caller's docs and plan match the sequential
+// reference. Returns "" on success, a description of the divergence
+// otherwise.
+func duplicateBurst(initiator *minerva.Peer, q dataset.Query, opts minerva.SearchOptions, want parityRecord) string {
+	const callers = 6
+	results := make([]*minerva.SearchResult, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = initiator.Search(q.Terms, opts)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			return fmt.Sprintf("duplicate %d failed: %v", i, errs[i])
+		}
+		if docs := fmt.Sprintf("%v", results[i].Results); docs != want.docs {
+			return fmt.Sprintf("duplicate %d docs diverge from sequential reference", i)
+		}
+		if plan := fmt.Sprintf("%v", results[i].Plan.Peers); plan != want.plan {
+			return fmt.Sprintf("duplicate %d plan diverges from sequential reference", i)
+		}
+	}
+	return ""
+}
+
+// QPSTable renders the experiment as an aligned text table.
+func QPSTable(res *QPSResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Sustained throughput: %d Zipfian draws over %d distinct queries, p99 ceiling %.0fms\n",
+		res.Draws, res.Pool, res.P99CeilingMs)
+	fmt.Fprintf(&b, "%-7s %-10s %8s %6s %10s %9s %9s %9s\n",
+		"trans", "mode", "workers", "ops", "qps", "mean-ms", "p95-ms", "p99-ms")
+	for _, run := range res.Runs {
+		for _, p := range run.Closed {
+			fmt.Fprintf(&b, "%-7s %-10s %8d %6d %10.1f %9.2f %9.2f %9.2f\n",
+				run.Transport, run.Mode, p.Workers, p.Ops, p.QPS, p.MeanMs, p.P95Ms, p.P99Ms)
+		}
+		if run.Open != nil {
+			p := run.Open
+			fmt.Fprintf(&b, "%-7s %-10s %7.0f/s %6d %10.1f %9.2f %9.2f %9.2f  (open loop)\n",
+				run.Transport, run.Mode, p.RateQPS, p.Ops, p.QPS, p.MeanMs, p.P95Ms, p.P99Ms)
+		}
+		fmt.Fprintf(&b, "%-7s %-10s saturation %.1f qps", run.Transport, run.Mode, run.SaturationQPS)
+		if run.Coalesced > 0 {
+			fmt.Fprintf(&b, " (%d searches coalesced)", run.Coalesced)
+		}
+		b.WriteString("\n")
+	}
+	for _, tr := range []string{"inmem", "tcp"} {
+		if x, ok := res.SpeedupX[tr]; ok {
+			fmt.Fprintf(&b, "%s speedup (optimized/bare saturation): %.2fx\n", tr, x)
+		}
+	}
+	if res.ParityOK {
+		b.WriteString("parity: OK (docs, plans, traces byte-identical; coalesced duplicates match)\n")
+	} else {
+		fmt.Fprintf(&b, "parity: FAILED — %s\n", res.ParityDetail)
+	}
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package eval
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestQPSExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("qps experiment skipped in -short")
+	}
+	res, err := QPS(QPSConfig{
+		CorpusDocs:  1500,
+		Strategy:    Strategy{Fragments: 8, R: 4, Offset: 2},
+		Seed:        41,
+		QueryPool:   4,
+		Workers:     []int{1, 4},
+		OpsPerLevel: 24,
+		OpenLoopQPS: 60,
+		OpenLoopOps: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 4 {
+		t.Fatalf("%d runs, want 4 (2 transports x 2 modes)", len(res.Runs))
+	}
+	seen := map[string]bool{}
+	for _, run := range res.Runs {
+		seen[run.Transport+"/"+run.Mode] = true
+		if len(run.Closed) != 2 {
+			t.Fatalf("%s/%s: %d closed-loop points, want 2", run.Transport, run.Mode, len(run.Closed))
+		}
+		for _, p := range run.Closed {
+			if p.QPS <= 0 || p.P99Ms <= 0 {
+				t.Fatalf("%s/%s w=%d: degenerate point %+v", run.Transport, run.Mode, p.Workers, p)
+			}
+		}
+		if run.SaturationQPS <= 0 {
+			t.Fatalf("%s/%s: saturation %f", run.Transport, run.Mode, run.SaturationQPS)
+		}
+		if run.Open == nil || run.Open.QPS <= 0 {
+			t.Fatalf("%s/%s: missing open-loop point", run.Transport, run.Mode)
+		}
+	}
+	for _, want := range []string{"inmem/bare", "inmem/optimized", "tcp/bare", "tcp/optimized"} {
+		if !seen[want] {
+			t.Fatalf("missing run %s (have %v)", want, seen)
+		}
+	}
+	// The parity pass is the experiment's correctness certificate: the
+	// optimized engine must be semantically invisible.
+	if !res.ParityOK {
+		t.Fatalf("parity failed: %s", res.ParityDetail)
+	}
+	if _, ok := res.SpeedupX["tcp"]; !ok {
+		t.Fatal("no TCP speedup computed")
+	}
+	// The committed BENCH artifact and the CI guard parse these fields.
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"parityOK":true`, `"speedupX"`, `"saturationQPS"`} {
+		if !strings.Contains(string(data), field) {
+			t.Fatalf("JSON missing %s: %s", field, data)
+		}
+	}
+	if table := QPSTable(res); !strings.Contains(table, "parity: OK") {
+		t.Fatalf("table missing parity verdict:\n%s", table)
+	}
+}

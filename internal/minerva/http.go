@@ -176,8 +176,6 @@ func (p *Peer) LoadIndex(path string) error {
 	if err != nil {
 		return err
 	}
-	p.mu.Lock()
-	p.index = idx
-	p.mu.Unlock()
+	p.snap.Store(newIndexSnapshot(idx))
 	return nil
 }

@@ -94,6 +94,15 @@ type Config struct {
 	// reads the directory. SearchOptions.FreshDirectory bypasses the
 	// cache per query.
 	DirectoryCacheTTL time.Duration
+	// SearchCoalescing collapses identical in-flight searches onto one
+	// execution: when a query with the same terms and result-affecting
+	// options is already running on this peer, duplicates wait for its
+	// result instead of re-fetching the directory and re-fanning out —
+	// the whole-search extension of the directory cache's per-term
+	// singleflight. Duplicates that arrive after a search finished
+	// still execute (coalescing is not caching; bounded staleness is
+	// the cache's job). Off by default.
+	SearchCoalescing bool
 	// AdmissionLimit > 0 arms server-side admission control on the
 	// peer's mux: at most this many RPC handlers run concurrently, at
 	// most AdmissionQueue callers wait, and everything beyond is shed
@@ -139,10 +148,72 @@ type Peer struct {
 	svc      *directory.Service
 	breakers *transport.Breakers // nil unless Config.Breakers set
 
-	mu    sync.RWMutex
-	index *ir.Index
+	// snap is the peer's current index generation. Queries, publishes,
+	// and Maintainer rounds all read through one atomic pointer load —
+	// never a lock — so a live re-index (IndexCollection, LoadIndex)
+	// swaps the whole generation in one store without ever blocking
+	// query traffic. Readers that loaded the old snapshot keep a fully
+	// consistent view (index + derived posts + self-synopses all from
+	// the same generation) until they finish.
+	snap atomic.Pointer[indexSnapshot]
+
+	// searchMu guards searchFlights (whole-search coalescing).
+	searchMu      sync.Mutex
+	searchFlights map[string]*searchFlight
 
 	queriesServed atomic.Int64
+}
+
+// indexSnapshot is one immutable generation of the peer's local index
+// together with everything derived from it that the hot path reads: the
+// directory posts the Maintainer republishes each round and the per-term
+// self-synopses seeding IQN's reference state. Both are memoized lazily
+// inside the generation — computed once, shared by every concurrent
+// reader, and discarded wholesale when the index is replaced (derived
+// state can never outlive or mix with its source index).
+type indexSnapshot struct {
+	index *ir.Index
+
+	// postsOnce memoizes BuildPosts: synopsis construction over every
+	// term is the expensive half of a publish round, and the posts are a
+	// pure function of the index + config, so one computation serves all
+	// republish epochs of this generation.
+	postsOnce sync.Once
+	posts     []directory.Post
+	postsErr  error
+
+	// selfMu guards the lazily grown self-synopsis memo. Entries are
+	// read-only once stored (core routing never mutates a candidate's
+	// synopsis), so queries share them freely.
+	selfMu   sync.Mutex
+	selfSyn  map[string]synopsis.Set
+	selfCard map[string]float64
+}
+
+func newIndexSnapshot(idx *ir.Index) *indexSnapshot {
+	return &indexSnapshot{
+		index:    idx,
+		selfSyn:  map[string]synopsis.Set{},
+		selfCard: map[string]float64{},
+	}
+}
+
+// selfSynopsis returns the memoized synopsis and cardinality of one local
+// term (nil set when the term has no local postings).
+func (s *indexSnapshot) selfSynopsis(term string, scfg synopsis.Config) (synopsis.Set, float64) {
+	s.selfMu.Lock()
+	defer s.selfMu.Unlock()
+	if set, ok := s.selfSyn[term]; ok {
+		return set, s.selfCard[term]
+	}
+	ids := s.index.DocIDs(term)
+	var set synopsis.Set
+	if len(ids) > 0 {
+		set = scfg.FromIDs(ids)
+	}
+	s.selfSyn[term] = set
+	s.selfCard[term] = float64(len(ids))
+	return set, float64(len(ids))
 }
 
 // queryRequest is the wire form of a forwarded query.
@@ -285,16 +356,15 @@ func (p *Peer) IndexCollection(docs []dataset.Document) {
 		idx.AddDocument(d.ID, d.Terms)
 	}
 	idx.Finalize()
-	p.mu.Lock()
-	p.index = idx
-	p.mu.Unlock()
+	p.snap.Store(newIndexSnapshot(idx))
 }
 
 // Index returns the peer's local index (nil before IndexCollection).
 func (p *Peer) Index() *ir.Index {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	return p.index
+	if s := p.snap.Load(); s != nil {
+		return s.index
+	}
+	return nil
 }
 
 // LocalSearch executes a query against the local index only.
@@ -317,29 +387,46 @@ func (p *Peer) LocalSearch(terms []string, k int, conjunctive bool) []ir.Result 
 // allocation; terms priced out of the budget are published without a
 // synopsis (statistics only).
 func (p *Peer) BuildPosts() ([]directory.Post, error) {
-	idx := p.Index()
-	if idx == nil {
+	s := p.snap.Load()
+	if s == nil {
 		return nil, fmt.Errorf("minerva: %s has no index", p.name)
 	}
+	s.postsOnce.Do(func() {
+		s.posts, s.postsErr = buildPosts(s.index, p.cfg, p.name)
+	})
+	if s.postsErr != nil {
+		return nil, s.postsErr
+	}
+	// Callers (PublishPostsEpoch) stamp epochs on the returned slice, so
+	// the memo hands out a fresh header copy each time — the Post values
+	// themselves are shared read-only.
+	out := make([]directory.Post, len(s.posts))
+	copy(out, s.posts)
+	return out, nil
+}
+
+// buildPosts is the pure computation behind BuildPosts, memoized per
+// index generation by indexSnapshot.
+func buildPosts(idx *ir.Index, cfg Config, name string) ([]directory.Post, error) {
 	terms := idx.Terms()
 	sort.Strings(terms)
 	var budget map[string]int
-	if p.cfg.TotalBudgetBits > 0 {
+	if cfg.TotalBudgetBits > 0 {
 		benefits := make(map[string]float64, len(terms))
 		for _, t := range terms {
-			benefits[t] = core.TermBenefit(idx.Postings(t), p.cfg.BudgetPolicy, 0)
+			benefits[t] = core.TermBenefit(idx.Postings(t), cfg.BudgetPolicy, 0)
 		}
 		granularity := 32
-		if p.cfg.kind() == synopsis.KindHashSketch {
+		if cfg.kind() == synopsis.KindHashSketch {
 			granularity = 64
 		}
-		budget = core.AllocateBudget(benefits, p.cfg.TotalBudgetBits, granularity, granularity)
+		budget = core.AllocateBudget(benefits, cfg.TotalBudgetBits, granularity, granularity)
 	}
 	posts := make([]directory.Post, 0, len(terms))
 	for _, t := range terms {
 		post := directory.Post{
-			Peer:          p.name,
-			PeerAddr:      p.name,
+			Peer:          name,
+			PeerAddr:      name,
 			Term:          t,
 			ListLength:    idx.DocFreq(t),
 			MaxScore:      idx.MaxScore(t),
@@ -347,18 +434,18 @@ func (p *Peer) BuildPosts() ([]directory.Post, error) {
 			TermSpaceSize: idx.TermSpaceSize(),
 			NumDocs:       idx.NumDocs(),
 		}
-		bits := p.cfg.bits()
+		bits := cfg.bits()
 		if budget != nil {
 			bits = budget[t] // 0 when priced out
 		}
 		if bits > 0 {
-			scfg := p.cfg.synopsisConfig(bits)
+			scfg := cfg.synopsisConfig(bits)
 			data, err := scfg.FromIDs(idx.DocIDs(t)).MarshalBinary()
 			if err != nil {
 				return nil, fmt.Errorf("minerva: synopsis for %q: %w", t, err)
 			}
 			post.Synopsis = data
-			if cells := p.cfg.HistogramCells; cells > 0 {
+			if cells := cfg.HistogramCells; cells > 0 {
 				h := histogram.Build(idx.Postings(t), cells, scfg)
 				post.Histogram = make([]directory.HistCell, len(h.Cells))
 				for i, c := range h.Cells {

@@ -190,12 +190,82 @@ func (p *Peer) Search(terms []string, opts SearchOptions) (*SearchResult, error)
 // the query's inputs and fault schedule; wall-clock spend appears only
 // in the trace's String() rendering, never in Canonical(). A context
 // without a span traces nothing at zero cost.
+//
+// With Config.SearchCoalescing armed, identical in-flight searches
+// (same terms and result-affecting options) share one execution: the
+// first caller runs the search, duplicates arriving before it finishes
+// wait for that result instead of re-fetching the directory and
+// re-fanning out. Followers receive the shared SearchResult (treated
+// read-only network-wide) and a root span annotated "coalesced" in
+// place of the execution's span tree.
 func (p *Peer) SearchContext(ctx context.Context, terms []string, opts SearchOptions) (*SearchResult, error) {
 	if len(terms) == 0 {
 		return nil, fmt.Errorf("minerva: empty query")
 	}
+	p.cfg.Metrics.Counter("search.queries").Inc()
+	if !p.cfg.SearchCoalescing {
+		return p.searchUncoalesced(ctx, terms, opts)
+	}
+	key := coalesceKey(terms, opts)
+	p.searchMu.Lock()
+	if f := p.searchFlights[key]; f != nil {
+		p.searchMu.Unlock()
+		<-f.done
+		p.cfg.Metrics.Counter("search.coalesced").Inc()
+		span := telemetry.SpanFrom(ctx)
+		span.Setf("terms", "%s", strings.Join(terms, ","))
+		span.Set("coalesced", "true")
+		span.End()
+		if f.err != nil {
+			return nil, f.err
+		}
+		// Shallow copy: the merged lists, plan, and reports inside are
+		// shared read-only with every coalesced caller.
+		out := *f.res
+		return &out, nil
+	}
+	if p.searchFlights == nil {
+		p.searchFlights = map[string]*searchFlight{}
+	}
+	f := &searchFlight{done: make(chan struct{})}
+	p.searchFlights[key] = f
+	p.searchMu.Unlock()
+	res, err := p.searchUncoalesced(ctx, terms, opts)
+	p.searchMu.Lock()
+	delete(p.searchFlights, key)
+	p.searchMu.Unlock()
+	f.res, f.err = res, err
+	close(f.done)
+	return res, err
+}
+
+// searchFlight is one in-flight coalesced search: the leader publishes
+// its outcome and closes done; followers wait and share the result.
+type searchFlight struct {
+	done chan struct{}
+	res  *SearchResult
+	err  error
+}
+
+// coalesceKey canonicalizes a query for whole-search coalescing: two
+// searches coalesce only when every result-affecting input matches.
+// Parallelism is deliberately excluded — the plan is identical at any
+// width (see SearchOptions) — as is Retry.Sleep, a pacing-only test
+// hook whose function identity would defeat coalescing without ever
+// changing a result.
+func coalesceKey(terms []string, o SearchOptions) string {
+	r := o.Retry
+	return fmt.Sprintf("%s\x00k=%d mk=%d mp=%d me=%d ag=%d cj=%t hi=%t no=%t cl=%d ds=%t nr=%t fd=%t bu=%d ra=%d rb=%d rm=%d rj=%g rt=%d rs=%d",
+		strings.Join(terms, "\x1f"), o.K, o.MergeK, o.MaxPeers, o.Method, o.Aggregation,
+		o.Conjunctive, o.UseHistograms, o.NoveltyOnly, o.CandidateLimit, o.DisableSelf,
+		o.NoReroute, o.FreshDirectory, o.Budget,
+		r.MaxAttempts, r.BaseDelay, r.MaxDelay, r.Jitter, r.Timeout, r.Seed)
+}
+
+// searchUncoalesced is the actual search execution (directory fetch,
+// candidate assembly, routing, fan-out, merge).
+func (p *Peer) searchUncoalesced(ctx context.Context, terms []string, opts SearchOptions) (*SearchResult, error) {
 	m := p.cfg.Metrics
-	m.Counter("search.queries").Inc()
 	span := telemetry.SpanFrom(ctx)
 	span.Setf("terms", "%s", strings.Join(terms, ","))
 	span.Set("method", opts.Method.String())
@@ -653,8 +723,8 @@ func decodeHistogram(cells []directory.HistCell) (*histogram.Histogram, error) {
 // per-term synopses (Section 5.1's alternative to executing the query
 // locally first; equivalent for novelty purposes and cheaper).
 func (p *Peer) selfCandidate(terms []string) *core.Candidate {
-	idx := p.Index()
-	if idx == nil {
+	s := p.snap.Load()
+	if s == nil {
 		return nil
 	}
 	c := &core.Candidate{
@@ -664,12 +734,15 @@ func (p *Peer) selfCandidate(terms []string) *core.Candidate {
 	}
 	scfg := p.cfg.synopsisConfig(p.cfg.bits())
 	for _, t := range terms {
-		ids := idx.DocIDs(t)
-		if len(ids) == 0 {
+		// Memoized per index generation: routing treats candidate
+		// synopses as read-only, so every query sharing a term shares
+		// one Set instead of rebuilding MIPs per query.
+		set, card := s.selfSynopsis(t, scfg)
+		if set == nil {
 			continue
 		}
-		c.TermSynopses[t] = scfg.FromIDs(ids)
-		c.TermCardinalities[t] = float64(len(ids))
+		c.TermSynopses[t] = set
+		c.TermCardinalities[t] = card
 	}
 	if len(c.TermSynopses) == 0 {
 		return nil

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // harness abstracts one transport implementation for the differential
@@ -34,6 +35,17 @@ func conformanceHarnesses() []harness {
 			name: "tcp",
 			build: func(t *testing.T) (Network, func(t *testing.T) string, func()) {
 				tr := NewTCP()
+				return tr, freeAddr, tr.CloseIdle
+			},
+		},
+		{
+			// The legacy one-in-flight protocol must stay fully
+			// conformant: it is the "bare" baseline the QPS benchmark
+			// compares against, and old clients speak it on the wire.
+			name: "tcp-bare",
+			build: func(t *testing.T) (Network, func(t *testing.T) string, func()) {
+				tr := NewTCP()
+				tr.NoPipeline = true
 				return tr, freeAddr, tr.CloseIdle
 			},
 		},
@@ -204,6 +216,54 @@ func TestTransportConformance(t *testing.T) {
 					if resp[5+i] != b {
 						t.Fatalf("payload corrupted at byte %d", i)
 					}
+				}
+			})
+
+			t.Run("pipelined out-of-order completion", func(t *testing.T) {
+				// Handlers finish in reverse submission order: later
+				// requests sleep less. Every caller must still get its
+				// own payload back — on a multiplexed connection this
+				// exercises response-ID matching; on InMem and bare TCP
+				// it degenerates to plain concurrency.
+				addr := addrOf(t)
+				m := NewMux()
+				m.Handle("sleepy", func(req []byte) ([]byte, error) {
+					var ms int
+					if err := Unmarshal(req, &ms); err != nil {
+						return nil, err
+					}
+					time.Sleep(time.Duration(ms) * time.Millisecond)
+					return req, nil
+				})
+				stop, err := net.Register(addr, m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer stop()
+				const callers = 16
+				var wg sync.WaitGroup
+				errs := make(chan error, callers)
+				for i := 0; i < callers; i++ {
+					wg.Add(1)
+					go func(i int) {
+						defer wg.Done()
+						ms := (callers - i) * 3 // earlier callers wait longer
+						req, _ := Marshal(ms)
+						resp, err := net.Call(addr, "sleepy", req)
+						if err != nil {
+							errs <- fmt.Errorf("caller %d: %v", i, err)
+							return
+						}
+						var got int
+						if err := Unmarshal(resp, &got); err != nil || got != ms {
+							errs <- fmt.Errorf("caller %d: got %d want %d (err %v)", i, got, ms, err)
+						}
+					}(i)
+				}
+				wg.Wait()
+				close(errs)
+				for err := range errs {
+					t.Fatal(err)
 				}
 			})
 

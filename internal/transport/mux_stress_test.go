@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // raiseGOMAXPROCS lifts the scheduler width for the duration of a test so
@@ -100,6 +101,79 @@ func TestMuxConcurrentRegisterDispatch(t *testing.T) {
 	writers.Wait()
 	if dispatched.Load() == 0 {
 		t.Fatal("no successful dispatches under contention")
+	}
+}
+
+// TestTCPConcurrentCallDeadlineStress hammers one TCP peer with many
+// goroutines mixing fast echoes and deliberately-too-slow calls with tiny
+// deadlines, all sharing the multiplexed connection. Under -race this is
+// the data-race certificate for the pending-call table: timed-out slots
+// are abandoned and recycled while deliveries for other IDs race in.
+func TestTCPConcurrentCallDeadlineStress(t *testing.T) {
+	raiseGOMAXPROCS(t, 8)
+	tr := NewTCP()
+	defer tr.CloseIdle()
+	m := NewMux()
+	m.Handle("echo", func(req []byte) ([]byte, error) {
+		return append([]byte("echo:"), req...), nil
+	})
+	m.Handle("slow", func(req []byte) ([]byte, error) {
+		time.Sleep(40 * time.Millisecond)
+		return req, nil
+	})
+	addr := freeAddr(t)
+	stop, err := tr.Register(addr, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	const workers = 16
+	const rounds = 60
+	var echoOK, timeouts atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if (w+i)%4 == 0 {
+					// Doomed call: 40ms handler, 5ms budget.
+					_, err := CallTimeout(tr, addr, "slow", []byte("s"), 5*time.Millisecond)
+					if err == nil {
+						t.Errorf("w%d r%d: slow call beat a 5ms deadline", w, i)
+						return
+					}
+					if !errors.Is(err, ErrTimeout) {
+						t.Errorf("w%d r%d: slow call = %v, want ErrTimeout", w, i, err)
+						return
+					}
+					timeouts.Add(1)
+					continue
+				}
+				msg := fmt.Sprintf("w%d-r%d", w, i)
+				resp, err := tr.Call(addr, "echo", []byte(msg))
+				if err != nil {
+					t.Errorf("w%d r%d: echo: %v", w, i, err)
+					return
+				}
+				if string(resp) != "echo:"+msg {
+					t.Errorf("w%d r%d: cross-wired response %q", w, i, resp)
+					return
+				}
+				echoOK.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if echoOK.Load() == 0 || timeouts.Load() == 0 {
+		t.Fatalf("stress did not exercise both paths: %d echoes, %d timeouts",
+			echoOK.Load(), timeouts.Load())
+	}
+	// After the storm the shared connection must still serve cleanly.
+	resp, err := tr.Call(addr, "echo", []byte("calm"))
+	if err != nil || string(resp) != "echo:calm" {
+		t.Fatalf("post-stress call = %q, %v", resp, err)
 	}
 }
 

@@ -13,40 +13,93 @@ import (
 )
 
 // TCP is the real-network implementation: every peer serves its Mux on a
-// TCP listener, and calls are framed request/response exchanges. The wire
-// format per frame is
+// TCP listener, and calls are framed request/response exchanges. Two wire
+// protocols share the listener:
+//
+// Protocol v1 (legacy, the bare baseline): one in-flight request per
+// pooled connection. The wire format per frame is
 //
 //	uvarint methodLen | method | uvarint payloadLen | payload
 //
 // for requests and
 //
-//	status byte (0 ok, 1 remote error) | uvarint len | payload-or-error
+//	status byte (0 ok, 1 remote error, 2 overloaded) | uvarint len | payload-or-error
 //
-// for responses. Connections are pooled per destination address, one
-// in-flight request per pooled connection.
+// for responses. Connections are pooled per destination address (idle cap
+// MaxIdlePerHost), each with a persistent bufio reader/writer pair.
+//
+// Protocol v2 (default, multiplexed): the client opens one connection per
+// destination, announces itself with a 4-byte preamble, and pipelines
+// request-ID-tagged frames through a shared reader/writer goroutine pair
+// (see tcpmux.go). The server detects the preamble and dispatches
+// concurrently on the same connection. NoPipeline forces outgoing calls
+// onto v1 — the knob the QPS benchmarks compare against; servers always
+// speak both.
 type TCP struct {
 	// DialTimeout bounds connection establishment (default 5s).
 	DialTimeout time.Duration
 	// CallTimeout bounds a full request/response exchange (default 30s).
 	CallTimeout time.Duration
+	// MaxIdlePerHost caps the idle v1 connections pooled per destination
+	// (default 4). Excess connections are closed on return.
+	MaxIdlePerHost int
+	// NoPipeline forces outgoing calls onto the legacy one-in-flight
+	// protocol — the unpipelined baseline. Incoming traffic is
+	// unaffected: the server always auto-detects the client's protocol.
+	NoPipeline bool
 
 	mu    sync.Mutex
-	idle  map[string][]net.Conn
-	close bool
+	idle  map[string][]*pooledConn
+	muxes map[string]*muxEntry
 }
+
+// pooledConn is one idle-pooled v1 connection with its persistent buffered
+// reader/writer, so pooled exchanges reuse the buffers instead of
+// allocating a fresh pair per call.
+type pooledConn struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+func newPooledConn(conn net.Conn) *pooledConn {
+	return &pooledConn{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+}
+
+func (pc *pooledConn) Close() error { return pc.conn.Close() }
 
 // NewTCP returns a TCP network with default timeouts.
 func NewTCP() *TCP {
 	return &TCP{
 		DialTimeout: 5 * time.Second,
 		CallTimeout: 30 * time.Second,
-		idle:        make(map[string][]net.Conn),
+		idle:        make(map[string][]*pooledConn),
+		muxes:       make(map[string]*muxEntry),
 	}
 }
 
 // maxFrame bounds accepted method and payload lengths (64 MiB) so a
 // corrupt length prefix cannot trigger an absurd allocation.
 const maxFrame = 64 << 20
+
+func (t *TCP) callTimeout() time.Duration {
+	if t.CallTimeout <= 0 {
+		return 30 * time.Second
+	}
+	return t.CallTimeout
+}
+
+func (t *TCP) maxIdle() int {
+	if t.MaxIdlePerHost <= 0 {
+		return 4
+	}
+	return t.MaxIdlePerHost
+}
+
+// acceptBackoffCap bounds the retry backoff of a persistently failing
+// Accept loop (e.g. EMFILE): the loop retries with doubling sleeps
+// instead of busy-spinning, capped here.
+const acceptBackoffCap = time.Second
 
 // Register implements Network: it listens on addr (e.g. "127.0.0.1:0" is
 // NOT supported — the address must be the peer's canonical address, since
@@ -70,6 +123,7 @@ func (t *TCP) Register(addr string, mux *Mux) (func(), error) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
+		var backoff time.Duration
 		for {
 			conn, err := ln.Accept()
 			if err != nil {
@@ -78,8 +132,24 @@ func (t *TCP) Register(addr string, mux *Mux) (func(), error) {
 					return
 				default:
 				}
+				// A temporary accept failure (fd exhaustion, aborted
+				// handshake) must not busy-loop: back off with doubling
+				// capped sleeps until accepts succeed again.
+				if backoff == 0 {
+					backoff = time.Millisecond
+				} else if backoff *= 2; backoff > acceptBackoffCap {
+					backoff = acceptBackoffCap
+				}
+				timer := time.NewTimer(backoff)
+				select {
+				case <-done:
+					timer.Stop()
+					return
+				case <-timer.C:
+				}
 				continue
 			}
+			backoff = 0
 			connMu.Lock()
 			select {
 			case <-done:
@@ -114,9 +184,16 @@ func (t *TCP) Register(addr string, mux *Mux) (func(), error) {
 }
 
 // serveConn answers framed requests on one connection until EOF or error.
+// The first bytes select the protocol: a v2 preamble hands the connection
+// to the multiplexed server loop; anything else is a legacy v1 stream.
 func (t *TCP) serveConn(conn net.Conn, mux *Mux, done chan struct{}) {
 	defer conn.Close()
 	r := bufio.NewReader(conn)
+	if peek, err := r.Peek(len(muxPreamble)); err == nil && string(peek) == muxPreamble {
+		r.Discard(len(muxPreamble))
+		t.serveMuxConn(conn, r, mux, done)
+		return
+	}
 	w := bufio.NewWriter(conn)
 	for {
 		select {
@@ -141,14 +218,22 @@ func (t *TCP) Call(addr, method string, req []byte) ([]byte, error) {
 }
 
 // CallDeadline implements DeadlineCaller: the whole exchange — pooled
-// or fresh dial included — must finish within d. The deadline is armed
-// on the connection itself, so a timed-out call fails in place instead
-// of being abandoned to a goroutine: the connection is closed, never
-// pooled (its stream may still carry the late response), and the
-// stale-connection redial is skipped once the budget is spent (an
-// abandoned caller must not have its request silently re-sent). d ≤ 0
-// bounds each exchange only by the transport's CallTimeout default.
+// or fresh dial included — must finish within d. d ≤ 0 bounds each
+// exchange only by the transport's CallTimeout default.
+//
+// On the default multiplexed path the call rides the destination's
+// shared connection: a timed-out call abandons only its own request slot
+// (the connection and its other in-flight calls stay healthy, and the
+// late response is discarded by ID). On the legacy path (NoPipeline) the
+// deadline is armed on the connection itself, so a timed-out call fails
+// in place instead of being abandoned to a goroutine: the connection is
+// closed, never pooled (its stream may still carry the late response),
+// and the stale-connection redial is skipped once the budget is spent
+// (an abandoned caller must not have its request silently re-sent).
 func (t *TCP) CallDeadline(addr, method string, req []byte, d time.Duration) ([]byte, error) {
+	if !t.NoPipeline {
+		return t.callMux(addr, method, req, d)
+	}
 	var deadline time.Time
 	if d > 0 {
 		deadline = time.Now().Add(d)
@@ -195,23 +280,18 @@ func (t *TCP) CallDeadline(addr, method string, req []byte, d time.Duration) ([]
 // exchange performs one framed request/response on an open connection,
 // bounded by the earlier of the caller's deadline (zero: none) and the
 // transport's CallTimeout default.
-func (t *TCP) exchange(conn net.Conn, method string, req []byte, deadline time.Time) ([]byte, *RemoteError, error) {
-	timeout := t.CallTimeout
-	if timeout <= 0 {
-		timeout = 30 * time.Second
-	}
-	limit := time.Now().Add(timeout)
+func (t *TCP) exchange(pc *pooledConn, method string, req []byte, deadline time.Time) ([]byte, *RemoteError, error) {
+	limit := time.Now().Add(t.callTimeout())
 	if !deadline.IsZero() && deadline.Before(limit) {
 		limit = deadline
 	}
-	if err := conn.SetDeadline(limit); err != nil {
+	if err := pc.conn.SetDeadline(limit); err != nil {
 		return nil, nil, err
 	}
-	w := bufio.NewWriter(conn)
-	if err := writeRequest(w, method, req); err != nil {
+	if err := writeRequest(pc.w, method, req); err != nil {
 		return nil, nil, err
 	}
-	resp, rmsg, err := readResponse(bufio.NewReader(conn))
+	resp, rmsg, err := readResponse(pc.r)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -221,7 +301,7 @@ func (t *TCP) exchange(conn net.Conn, method string, req []byte, deadline time.T
 	return resp, nil, nil
 }
 
-func (t *TCP) getConn(addr string) (conn net.Conn, fresh bool, err error) {
+func (t *TCP) getConn(addr string) (conn *pooledConn, fresh bool, err error) {
 	t.mu.Lock()
 	pool := t.idle[addr]
 	if n := len(pool); n > 0 {
@@ -236,7 +316,7 @@ func (t *TCP) getConn(addr string) (conn net.Conn, fresh bool, err error) {
 	return conn, true, err
 }
 
-func (t *TCP) dial(addr string) (net.Conn, error) {
+func (t *TCP) dial(addr string) (*pooledConn, error) {
 	timeout := t.DialTimeout
 	if timeout <= 0 {
 		timeout = 5 * time.Second
@@ -245,29 +325,37 @@ func (t *TCP) dial(addr string) (net.Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
 	}
-	return conn, nil
+	return newPooledConn(conn), nil
 }
 
-func (t *TCP) putConn(addr string, conn net.Conn) {
+func (t *TCP) putConn(addr string, conn *pooledConn) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if len(t.idle[addr]) >= 4 {
+	if len(t.idle[addr]) >= t.maxIdle() {
 		conn.Close()
 		return
 	}
 	t.idle[addr] = append(t.idle[addr], conn)
 }
 
-// CloseIdle drops all pooled connections (for shutdown hygiene in tests).
+// CloseIdle drops all pooled v1 connections and every multiplexed
+// connection (for shutdown hygiene in tests). In-flight multiplexed
+// calls fail with a connection error and redial on their retry.
 func (t *TCP) CloseIdle() {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	for _, pool := range t.idle {
+	idle := t.idle
+	muxes := t.muxes
+	t.idle = make(map[string][]*pooledConn)
+	t.muxes = make(map[string]*muxEntry)
+	t.mu.Unlock()
+	for _, pool := range idle {
 		for _, c := range pool {
 			c.Close()
 		}
 	}
-	t.idle = make(map[string][]net.Conn)
+	for _, e := range muxes {
+		e.close()
+	}
 }
 
 func writeRequest(w *bufio.Writer, method string, payload []byte) error {
@@ -292,18 +380,24 @@ func readRequest(r *bufio.Reader) (string, []byte, error) {
 	return string(method), payload, nil
 }
 
+// responseStatus classifies a handler outcome for the wire.
+func responseStatus(herr error) (status byte, body []byte) {
+	if herr == nil {
+		return 0, nil
+	}
+	if errors.Is(herr, ErrOverloaded) {
+		// Admission-control rejects cross the wire with their own
+		// status so the client can classify them as retryable
+		// (RemoteError is not) without string-matching.
+		return 2, []byte(herr.Error())
+	}
+	return 1, []byte(herr.Error())
+}
+
 func writeResponse(w *bufio.Writer, payload []byte, herr error) error {
-	status := byte(0)
-	body := payload
-	if herr != nil {
-		status = 1
-		if errors.Is(herr, ErrOverloaded) {
-			// Admission-control rejects cross the wire with their own
-			// status so the client can classify them as retryable
-			// (RemoteError is not) without string-matching.
-			status = 2
-		}
-		body = []byte(herr.Error())
+	status, body := responseStatus(herr)
+	if herr == nil {
+		body = payload
 	}
 	if err := w.WriteByte(status); err != nil {
 		return err
@@ -312,6 +406,21 @@ func writeResponse(w *bufio.Writer, payload []byte, herr error) error {
 		return err
 	}
 	return w.Flush()
+}
+
+// decodeStatus converts a wire status + body into the caller-visible
+// (payload, remote-error-text, error) triple shared by both protocols.
+func decodeStatus(status byte, body []byte) (payload []byte, remoteErr string, err error) {
+	switch status {
+	case 0:
+		return body, "", nil
+	case 1:
+		return nil, string(body), nil
+	case 2:
+		return nil, "", fmt.Errorf("%w: %s", ErrOverloaded, string(body))
+	default:
+		return nil, "", errors.New("transport: bad response status")
+	}
 }
 
 func readResponse(r *bufio.Reader) (payload []byte, remoteErr string, err error) {
@@ -323,16 +432,7 @@ func readResponse(r *bufio.Reader) (payload []byte, remoteErr string, err error)
 	if err != nil {
 		return nil, "", err
 	}
-	if status == 1 {
-		return nil, string(body), nil
-	}
-	if status == 2 {
-		return nil, "", fmt.Errorf("%w: %s", ErrOverloaded, string(body))
-	}
-	if status != 0 {
-		return nil, "", errors.New("transport: bad response status")
-	}
-	return body, "", nil
+	return decodeStatus(status, body)
 }
 
 func writeChunk(w *bufio.Writer, b []byte) error {

@@ -1,0 +1,257 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestTCPMuxSharedConnection proves pipelining actually multiplexes: a
+// burst of concurrent calls to one destination rides exactly one client
+// connection, and the server dispatches them concurrently on it.
+func TestTCPMuxSharedConnection(t *testing.T) {
+	tr := NewTCP()
+	defer tr.CloseIdle()
+	m := NewMux()
+	var inFlight, peak atomic.Int64
+	m.Handle("hold", func(req []byte) ([]byte, error) {
+		n := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+		inFlight.Add(-1)
+		return req, nil
+	})
+	addr := freeAddr(t)
+	stop, err := tr.Register(addr, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			msg := []byte(fmt.Sprintf("m%d", i))
+			resp, err := tr.Call(addr, "hold", msg)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if string(resp) != string(msg) {
+				errs <- fmt.Errorf("cross-wired response: got %q want %q", resp, msg)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got < 2 {
+		t.Fatalf("server-side dispatch concurrency peaked at %d — requests were serialized", got)
+	}
+	tr.mu.Lock()
+	conns := len(tr.muxes)
+	idle := len(tr.idle[addr])
+	tr.mu.Unlock()
+	if conns != 1 {
+		t.Fatalf("16 concurrent calls used %d multiplexed connections, want 1", conns)
+	}
+	if idle != 0 {
+		t.Fatalf("pipelined calls leaked %d legacy pooled connections", idle)
+	}
+}
+
+// TestTCPMuxTimeoutLeavesConnectionHealthy: a timed-out pipelined call
+// abandons only its own request slot. The shared connection survives, the
+// late response is discarded by ID, and concurrent in-flight calls on the
+// same connection complete untouched.
+func TestTCPMuxTimeoutLeavesConnectionHealthy(t *testing.T) {
+	tr := NewTCP()
+	defer tr.CloseIdle()
+	m := NewMux()
+	m.Handle("slow", func([]byte) ([]byte, error) {
+		time.Sleep(150 * time.Millisecond)
+		return []byte("late"), nil
+	})
+	m.Handle("echo", func(req []byte) ([]byte, error) {
+		return append([]byte("echo:"), req...), nil
+	})
+	addr := freeAddr(t)
+	stop, err := tr.Register(addr, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	if _, err := tr.Call(addr, "echo", []byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	tr.mu.Lock()
+	before := tr.muxes[addr]
+	tr.mu.Unlock()
+	// A concurrent slow call that outlives the timed-out one.
+	survivor := make(chan error, 1)
+	go func() {
+		resp, err := tr.Call(addr, "slow", nil)
+		if err == nil && string(resp) != "late" {
+			err = fmt.Errorf("survivor got %q", resp)
+		}
+		survivor <- err
+	}()
+	if _, err := CallTimeout(tr, addr, "slow", nil, 30*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("slow call = %v, want ErrTimeout", err)
+	}
+	// The connection is still the same one and still serves.
+	resp, err := tr.Call(addr, "echo", []byte("after"))
+	if err != nil || string(resp) != "echo:after" {
+		t.Fatalf("post-timeout call = %q, %v", resp, err)
+	}
+	tr.mu.Lock()
+	after := tr.muxes[addr]
+	tr.mu.Unlock()
+	if before != after {
+		t.Fatal("timeout replaced the shared connection; it should stay pooled")
+	}
+	if err := <-survivor; err != nil {
+		t.Fatalf("in-flight call on the shared connection: %v", err)
+	}
+	// Drain period: the late response for the abandoned ID must not be
+	// delivered to anyone (no cross-wiring on subsequent calls).
+	for i := 0; i < 4; i++ {
+		msg := fmt.Sprintf("x%d", i)
+		resp, err := tr.Call(addr, "echo", []byte(msg))
+		if err != nil || string(resp) != "echo:"+msg {
+			t.Fatalf("drain call %d = %q, %v", i, resp, err)
+		}
+	}
+}
+
+// TestTCPMuxReconnectsAfterServerRestart: a dead shared connection is
+// detected, dropped, and redialed transparently on the next call.
+func TestTCPMuxReconnectsAfterServerRestart(t *testing.T) {
+	tr := NewTCP()
+	defer tr.CloseIdle()
+	addr := freeAddr(t)
+	stop, err := tr.Register(addr, echoMux())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Call(addr, "echo", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	stop, err = tr.Register(addr, echoMux())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	// The cached mux conn is stale; the call must fail over to a fresh
+	// dial within the same CallDeadline.
+	resp, err := tr.Call(addr, "echo", []byte("two"))
+	if err != nil || string(resp) != "echo:two" {
+		t.Fatalf("post-restart call = %q, %v", resp, err)
+	}
+}
+
+// TestTCPMuxOverloadStatus: admission-control rejects keep their
+// retryable ErrOverloaded identity across the multiplexed wire, and the
+// shared connection remains usable (a reject is a clean exchange).
+func TestTCPMuxOverloadStatus(t *testing.T) {
+	for _, mode := range []struct {
+		name       string
+		noPipeline bool
+	}{{"pipelined", false}, {"bare", true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			tr := NewTCP()
+			tr.NoPipeline = mode.noPipeline
+			defer tr.CloseIdle()
+			m := NewMux()
+			block := make(chan struct{})
+			started := make(chan struct{}, 1)
+			m.Handle("slow", func([]byte) ([]byte, error) {
+				started <- struct{}{}
+				<-block
+				return []byte("late"), nil
+			})
+			m.Handle("fast", func([]byte) ([]byte, error) { return []byte("ok"), nil })
+			m.SetLimit(1, 0)
+			addr := freeAddr(t)
+			stop, err := tr.Register(addr, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer stop()
+			slowDone := make(chan error, 1)
+			go func() {
+				_, err := tr.Call(addr, "slow", nil)
+				slowDone <- err
+			}()
+			<-started
+			_, err = tr.Call(addr, "fast", nil)
+			if !errors.Is(err, ErrOverloaded) {
+				t.Fatalf("overloaded call = %v", err)
+			}
+			var re *RemoteError
+			if errors.As(err, &re) {
+				t.Fatal("overload crossed as RemoteError")
+			}
+			close(block)
+			if err := <-slowDone; err != nil {
+				t.Fatalf("slow call = %v", err)
+			}
+			resp, err := tr.Call(addr, "fast", nil)
+			if err != nil || string(resp) != "ok" {
+				t.Fatalf("post-reject call = %q, %v", resp, err)
+			}
+		})
+	}
+}
+
+// TestTCPBareUsesLegacyPool: NoPipeline keeps the one-in-flight pooled
+// protocol (the QPS baseline) — no multiplexed connections are created,
+// and the idle pool honors MaxIdlePerHost.
+func TestTCPBareUsesLegacyPool(t *testing.T) {
+	tr := NewTCP()
+	tr.NoPipeline = true
+	tr.MaxIdlePerHost = 2
+	defer tr.CloseIdle()
+	addr := freeAddr(t)
+	stop, err := tr.Register(addr, echoMux())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			msg := fmt.Sprintf("b%d", i)
+			resp, err := tr.Call(addr, "echo", []byte(msg))
+			if err != nil || string(resp) != "echo:"+msg {
+				t.Errorf("bare call = %q, %v", resp, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	tr.mu.Lock()
+	muxConns := len(tr.muxes)
+	idle := len(tr.idle[addr])
+	tr.mu.Unlock()
+	if muxConns != 0 {
+		t.Fatalf("bare mode created %d multiplexed connections", muxConns)
+	}
+	if idle > 2 {
+		t.Fatalf("idle pool holds %d connections, MaxIdlePerHost is 2", idle)
+	}
+}
