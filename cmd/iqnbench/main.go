@@ -12,6 +12,7 @@
 //	iqnbench -exp overload                        # tail latency bare vs overload-hardened
 //	iqnbench -exp cache                           # directory read cache on a Zipfian repeated-term workload
 //	iqnbench -exp qps                             # saturation queries/sec, bare vs optimized serving engine
+//	iqnbench -exp topk                            # bytes on the wire, pull-everything vs threshold streaming
 //	iqnbench -exp all                             # everything, default sizes
 //
 // The defaults are laptop-scale (20k documents); raise -docs for runs
@@ -59,12 +60,19 @@ type benchExperiment struct {
 	Churn    *eval.ChurnResult `json:"churn,omitempty"`
 	Cache    []cachePoint      `json:"cache,omitempty"`
 	QPS      *eval.QPSResult   `json:"qps,omitempty"`
+	TopK     []topkPoint       `json:"topk,omitempty"`
 	// RPCReductionPct is set only for the cache experiment: the
 	// directory read-RPC reduction of cached over cold, in percent.
 	RPCReductionPct float64 `json:"rpcReductionPct,omitempty"`
 	// SpeedupX is set only for the qps experiment: the optimized/bare
 	// saturation-QPS ratio over TCP — the serving-engine speedup.
 	SpeedupX float64 `json:"speedupX,omitempty"`
+	// BytesReductionPct and ParityOK are set only for the topk
+	// experiment: the worst sweep cell's transport.bytes_in reduction
+	// of streaming over pull, and whether every draw's merged results
+	// were byte-identical under both protocols.
+	BytesReductionPct float64 `json:"bytesReductionPct,omitempty"`
+	ParityOK          bool    `json:"parityOK,omitempty"`
 }
 
 // benchSeries is a recall/error curve: one named series of (x, y)
@@ -128,6 +136,26 @@ type cachePoint struct {
 	Recall          float64 `json:"recall"`
 }
 
+// topkPoint mirrors eval.TopKPoint: one (k, peers, chunk) sweep cell of
+// the pull-vs-streaming bandwidth comparison.
+type topkPoint struct {
+	K                 int     `json:"k"`
+	MaxPeers          int     `json:"maxPeers"`
+	ChunkSize         int     `json:"chunkSize"`
+	PullBytesIn       int64   `json:"pullBytesIn"`
+	StreamBytesIn     int64   `json:"streamBytesIn"`
+	BytesReductionPct float64 `json:"bytesReductionPct"`
+	PullBytesOut      int64   `json:"pullBytesOut"`
+	StreamBytesOut    int64   `json:"streamBytesOut"`
+	PullEntries       int64   `json:"pullEntries"`
+	StreamEntries     int64   `json:"streamEntries"`
+	Chunks            int64   `json:"chunks"`
+	EarlyStops        int64   `json:"earlyStops"`
+	PullRecall        float64 `json:"pullRecall"`
+	StreamRecall      float64 `json:"streamRecall"`
+	ParityOK          bool    `json:"parityOK"`
+}
+
 // loadPoint mirrors eval.LoadPoint: how evenly forwarded queries spread
 // over peers.
 type loadPoint struct {
@@ -153,7 +181,7 @@ func toBenchSeries(series []eval.Series) []benchSeries {
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig2left|fig2right|fig3left|fig3right|aggregation|histogram|budget|hetero|prior|cost|churn|chaos|load|route|overload|cache|qps|all")
+		exp     = flag.String("exp", "all", "experiment: fig2left|fig2right|fig3left|fig3right|aggregation|histogram|budget|hetero|prior|cost|churn|chaos|load|route|overload|cache|qps|topk|all")
 		docs    = flag.Int("docs", 20000, "corpus size for fig3-style experiments")
 		vocab   = flag.Int("vocab", 0, "vocabulary size (0: docs/10)")
 		runs    = flag.Int("runs", 50, "runs per point for fig2-style experiments")
@@ -383,6 +411,32 @@ func main() {
 				e.SpeedupX = res.SpeedupX["tcp"]
 			})
 			fmt.Print(eval.QPSTable(res))
+		case "topk":
+			res, err := eval.TopK(eval.TopKConfig{
+				CorpusDocs: *docs, VocabSize: *vocab, Strategy: right,
+				QueryPool: *numQ, Seed: *seed, PeerCounts: peerCounts,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "iqnbench: topk: %v\n", err)
+				os.Exit(1)
+			}
+			record(name, func(e *benchExperiment) {
+				for _, p := range res.Points {
+					e.TopK = append(e.TopK, topkPoint{
+						K: p.K, MaxPeers: p.MaxPeers, ChunkSize: p.ChunkSize,
+						PullBytesIn: p.PullBytesIn, StreamBytesIn: p.StreamBytesIn,
+						BytesReductionPct: p.BytesReductionPct,
+						PullBytesOut:      p.PullBytesOut, StreamBytesOut: p.StreamBytesOut,
+						PullEntries: p.PullEntries, StreamEntries: p.StreamEntries,
+						Chunks: p.Chunks, EarlyStops: p.EarlyStops,
+						PullRecall: p.PullRecall, StreamRecall: p.StreamRecall,
+						ParityOK: p.ParityOK,
+					})
+				}
+				e.BytesReductionPct = res.MinReductionPct
+				e.ParityOK = res.ParityOK
+			})
+			fmt.Print(eval.TopKTable(res))
 		case "chaos":
 			points, err := eval.Chaos(eval.ChaosConfig{
 				CorpusDocs: *docs, VocabSize: *vocab, Strategy: right,
@@ -408,7 +462,7 @@ func main() {
 
 	if *exp == "all" {
 		for _, name := range []string{"fig2left", "fig2right", "fig3left", "fig3right",
-			"aggregation", "histogram", "budget", "hetero", "prior", "cost", "churn", "chaos", "load", "route", "overload", "cache", "qps"} {
+			"aggregation", "histogram", "budget", "hetero", "prior", "cost", "churn", "chaos", "load", "route", "overload", "cache", "qps", "topk"} {
 			run(name)
 		}
 	} else {

@@ -1,0 +1,60 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTopKExperiment(t *testing.T) {
+	res, err := TopK(TopKConfig{
+		CorpusDocs: 2000,
+		VocabSize:  1500,
+		Strategy:   Strategy{Fragments: 10, R: 4, Offset: 2},
+		QueryPool:  6,
+		Draws:      30,
+		Ks:         []int{10, 30},
+		PeerCounts: []int{3},
+		ChunkSizes: []int{4},
+		Seed:       9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("%d points, want 2 (k sweep)", len(res.Points))
+	}
+	for _, p := range res.Points {
+		// The headline claim: streaming must return byte-identical
+		// results while shipping strictly fewer response bytes — a
+		// protocol that saved nothing (or broke exactness) is a bug,
+		// not a tuning matter.
+		if !p.ParityOK {
+			t.Fatalf("k=%d: merged results diverged between pull and streaming", p.K)
+		}
+		if p.PullRecall != p.StreamRecall {
+			t.Fatalf("k=%d: recall diverged: pull %v, stream %v", p.K, p.PullRecall, p.StreamRecall)
+		}
+		if p.StreamBytesIn >= p.PullBytesIn {
+			t.Fatalf("k=%d: streaming shipped %d bytes >= pull's %d", p.K, p.StreamBytesIn, p.PullBytesIn)
+		}
+		if p.BytesReductionPct <= 0 {
+			t.Fatalf("k=%d: reduction %v%%, want > 0", p.K, p.BytesReductionPct)
+		}
+		if p.Chunks == 0 {
+			t.Fatalf("k=%d: streaming run pulled no chunks", p.K)
+		}
+		if p.PullRecall <= 0 {
+			t.Fatalf("k=%d: degenerate workload: recall %v", p.K, p.PullRecall)
+		}
+	}
+	if !res.ParityOK {
+		t.Fatal("result-level parity flag false with all points ok")
+	}
+	if res.MinReductionPct <= 0 {
+		t.Fatalf("worst-cell reduction %v%%, want > 0", res.MinReductionPct)
+	}
+	table := TopKTable(res)
+	if !strings.Contains(table, "parity") || !strings.Contains(table, "reduction") {
+		t.Fatalf("table:\n%s", table)
+	}
+}

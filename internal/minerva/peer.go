@@ -18,6 +18,7 @@ package minerva
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,6 +41,21 @@ const MethodQuery = "peer.query"
 
 // methodQuery is the internal alias.
 const methodQuery = MethodQuery
+
+// MethodQueryChunk is the incremental top-k RPC: one score-descending
+// chunk of the peer's local result list per call, addressed by a
+// (generation, offset) cursor. Exported for the same fault-injection
+// reason as MethodQuery.
+const MethodQueryChunk = "peer.query_chunk"
+
+// methodQueryChunk is the internal alias.
+const methodQueryChunk = MethodQueryChunk
+
+// staleCursorMsg is the error text the chunk handler returns when a
+// cursor's generation no longer matches the live index snapshot; the
+// streaming client matches on it to restart the stream from offset 0
+// instead of failing the peer.
+const staleCursorMsg = "minerva: stale cursor"
 
 // Config is the network-wide peer configuration. All peers must agree on
 // SynopsisSeed (the shared MIPs permutation sequence); everything else
@@ -111,6 +127,10 @@ type Config struct {
 	// AdmissionQueue bounds the admission wait queue (only meaningful
 	// with AdmissionLimit > 0).
 	AdmissionQueue int
+	// TopKChunkSize is the default entries-per-chunk of the incremental
+	// top-k protocol (SearchOptions.TopKStreaming); per-query
+	// SearchOptions.ChunkSize overrides it. Default 16.
+	TopKChunkSize int
 	// Metrics, non-nil, arms telemetry: the peer's network is wrapped
 	// with transport.Instrument (calls, errors, bytes, latency), the
 	// directory client counts fetches/retries/repairs, breakers count
@@ -137,6 +157,13 @@ func (c Config) bits() int {
 
 func (c Config) synopsisConfig(bits int) synopsis.Config {
 	return synopsis.Config{Kind: c.kind(), Bits: bits, Seed: c.SynopsisSeed}
+}
+
+func (c Config) topKChunkSize() int {
+	if c.TopKChunkSize <= 0 {
+		return 16
+	}
+	return c.TopKChunkSize
 }
 
 // Peer is one MINERVA node.
@@ -174,6 +201,13 @@ type Peer struct {
 type indexSnapshot struct {
 	index *ir.Index
 
+	// gen is the snapshot's process-unique generation identity. Chunk
+	// stream cursors are offsets into a score-sorted result list, so
+	// they are only meaningful within one generation: the chunk handler
+	// rejects cursors stamped with any other generation (stale cursor)
+	// and the client restarts the stream.
+	gen uint64
+
 	// postsOnce memoizes BuildPosts: synopsis construction over every
 	// term is the expensive half of a publish round, and the posts are a
 	// pure function of the index + config, so one computation serves all
@@ -188,14 +222,55 @@ type indexSnapshot struct {
 	selfMu   sync.Mutex
 	selfSyn  map[string]synopsis.Set
 	selfCard map[string]float64
+
+	// queryMu guards the chunk handler's query memo: one stream issues
+	// an RPC per chunk, and without the memo each would re-execute the
+	// local query. Entries are read-only once stored (the handler only
+	// slices them), so concurrent streams share them.
+	queryMu   sync.Mutex
+	queryMemo map[string][]ir.Result
 }
+
+// snapshotGen issues index snapshot generations. Process-wide rather
+// than per-peer so a cursor can never validate against a different
+// peer's snapshot by coincidence; starting from 1 keeps generation 0
+// free as the client's "no generation pinned yet" sentinel.
+var snapshotGen atomic.Uint64
 
 func newIndexSnapshot(idx *ir.Index) *indexSnapshot {
 	return &indexSnapshot{
-		index:    idx,
-		selfSyn:  map[string]synopsis.Set{},
-		selfCard: map[string]float64{},
+		index:     idx,
+		gen:       snapshotGen.Add(1),
+		selfSyn:   map[string]synopsis.Set{},
+		selfCard:  map[string]float64{},
+		queryMemo: map[string][]ir.Result{},
 	}
+}
+
+// maxQueryMemo bounds the per-snapshot query memo; at the cap the memo
+// resets wholesale (later streams simply re-execute — correctness is
+// unaffected, the memo is purely a work saver).
+const maxQueryMemo = 64
+
+// queryResults returns the snapshot's full local result list for one
+// query shape, memoized — the list every chunk of a stream slices.
+func (s *indexSnapshot) queryResults(terms []string, k int, conjunctive bool) []ir.Result {
+	key := fmt.Sprintf("%d\x00%t\x00%s", k, conjunctive, strings.Join(terms, "\x1f"))
+	s.queryMu.Lock()
+	defer s.queryMu.Unlock()
+	if rs, ok := s.queryMemo[key]; ok {
+		return rs
+	}
+	mode := ir.Disjunctive
+	if conjunctive {
+		mode = ir.Conjunctive
+	}
+	rs := s.index.Search(terms, k, mode)
+	if len(s.queryMemo) >= maxQueryMemo {
+		s.queryMemo = map[string][]ir.Result{}
+	}
+	s.queryMemo[key] = rs
+	return rs
 }
 
 // selfSynopsis returns the memoized synopsis and cardinality of one local
@@ -221,6 +296,21 @@ type queryRequest struct {
 	Terms       []string
 	K           int
 	Conjunctive bool
+}
+
+// chunkRequest is the wire form of one incremental top-k pull: the
+// query shape plus a (generation, offset) cursor into the peer's
+// score-sorted local result list. Gen 0 means "any generation" (the
+// stream's first pull); afterwards the client pins the generation the
+// first chunk reported, and a mismatch is answered with a stale-cursor
+// error instead of silently mixing two snapshots' orderings.
+type chunkRequest struct {
+	Terms       []string
+	K           int
+	Conjunctive bool
+	Offset      int
+	Size        int
+	Gen         uint64
 }
 
 // NewPeer creates a peer serving at addr (its name) on the network. The
@@ -279,6 +369,56 @@ func NewPeer(addr string, net transport.Network, cfg Config) (*Peer, error) {
 		p.queriesServed.Add(1)
 		served.Inc()
 		return transport.Marshal(p.LocalSearch(q.Terms, q.K, q.Conjunctive))
+	})
+	chunksServed := cfg.Metrics.Counter("peer.chunks_served")
+	node.Mux().Handle(methodQueryChunk, func(req []byte) ([]byte, error) {
+		var q chunkRequest
+		if err := transport.Unmarshal(req, &q); err != nil {
+			return nil, err
+		}
+		if q.Offset < 0 {
+			return nil, fmt.Errorf("minerva: chunk offset %d is negative", q.Offset)
+		}
+		chunksServed.Inc()
+		s := p.snap.Load()
+		if s == nil {
+			// No index: an exhausted stream, not an error — mirrors
+			// LocalSearch returning nil.
+			return transport.EncodeChunk(transport.ResultChunk{Done: true}), nil
+		}
+		if q.Gen != 0 && q.Gen != s.gen {
+			return nil, fmt.Errorf("%s: generation %d replaced by %d", staleCursorMsg, q.Gen, s.gen)
+		}
+		if q.Offset == 0 {
+			// One stream = one served query, however many chunks it
+			// pulls — keeps the load counter comparable to peer.query.
+			p.queriesServed.Add(1)
+			served.Inc()
+		}
+		if q.K <= 0 {
+			q.K = 50
+		}
+		results := s.queryResults(q.Terms, q.K, q.Conjunctive)
+		size := q.Size
+		if size <= 0 {
+			size = cfg.topKChunkSize()
+		}
+		off := q.Offset
+		if off > len(results) {
+			off = len(results)
+		}
+		end := off + size
+		if end > len(results) {
+			end = len(results)
+		}
+		c := transport.ResultChunk{Gen: s.gen, Done: end == len(results)}
+		if end > off {
+			c.Entries = make([]transport.ScoredEntry, 0, end-off)
+			for _, r := range results[off:end] {
+				c.Entries = append(c.Entries, transport.ScoredEntry{Doc: r.DocID, Score: r.Score})
+			}
+		}
+		return transport.EncodeChunk(c), nil
 	})
 	return p, nil
 }

@@ -107,6 +107,22 @@ type SearchOptions struct {
 	// BudgetExpired is set — instead of hanging past the deadline. Zero
 	// means no budget (the pre-deadline behavior).
 	Budget time.Duration
+	// TopKStreaming switches query forwarding to the incremental top-k
+	// protocol: instead of each selected peer shipping its full local
+	// top-K in one response, peers stream score-descending chunks
+	// (MethodQueryChunk) and the initiator's threshold coordinator
+	// stops each peer the moment its score upper bound — seeded from
+	// the directory's published MaxScore statistics, refined by every
+	// chunk — drops strictly below the k-th best merged score. Entries
+	// the threshold proves irrelevant never cross the wire, and the
+	// merged top-k is byte-identical to the pull-everything path's.
+	// Streaming never materializes the full result union, so the
+	// merged depth is MergeK (or K when MergeK is 0) — MergeK = 0's
+	// keep-everything semantics do not apply in this mode.
+	TopKStreaming bool
+	// ChunkSize is the entries-per-chunk of the streaming protocol
+	// (0: the peer's Config.TopKChunkSize, default 16).
+	ChunkSize int
 }
 
 func (o SearchOptions) k() int {
@@ -121,6 +137,22 @@ func (o SearchOptions) maxPeers() int {
 		return 5
 	}
 	return o.MaxPeers
+}
+
+// streamK is the streaming path's merge depth: the explicit MergeK, or
+// the per-peer depth K when merging is left untruncated.
+func (o SearchOptions) streamK() int {
+	if o.MergeK > 0 {
+		return o.MergeK
+	}
+	return o.k()
+}
+
+func (o SearchOptions) chunkSize(cfg Config) int {
+	if o.ChunkSize > 0 {
+		return o.ChunkSize
+	}
+	return cfg.topKChunkSize()
 }
 
 // PerPeerError reports one selected peer that failed during query
@@ -255,10 +287,10 @@ type searchFlight struct {
 // changing a result.
 func coalesceKey(terms []string, o SearchOptions) string {
 	r := o.Retry
-	return fmt.Sprintf("%s\x00k=%d mk=%d mp=%d me=%d ag=%d cj=%t hi=%t no=%t cl=%d ds=%t nr=%t fd=%t bu=%d ra=%d rb=%d rm=%d rj=%g rt=%d rs=%d",
+	return fmt.Sprintf("%s\x00k=%d mk=%d mp=%d me=%d ag=%d cj=%t hi=%t no=%t cl=%d ds=%t nr=%t fd=%t bu=%d tk=%t cs=%d ra=%d rb=%d rm=%d rj=%g rt=%d rs=%d",
 		strings.Join(terms, "\x1f"), o.K, o.MergeK, o.MaxPeers, o.Method, o.Aggregation,
 		o.Conjunctive, o.UseHistograms, o.NoveltyOnly, o.CandidateLimit, o.DisableSelf,
-		o.NoReroute, o.FreshDirectory, o.Budget,
+		o.NoReroute, o.FreshDirectory, o.Budget, o.TopKStreaming, o.ChunkSize,
 		r.MaxAttempts, r.BaseDelay, r.MaxDelay, r.Jitter, r.Timeout, r.Seed)
 }
 
@@ -330,16 +362,22 @@ func (p *Peer) searchUncoalesced(ctx context.Context, terms []string, opts Searc
 	}
 	routeSpan.SetInt("planned", int64(len(plan.Peers)))
 	routeSpan.End()
-	exec := p.execute(q, plan, initiator, cands, opts, dl, span)
-	resultLists := exec.lists
-	if !opts.DisableSelf {
-		resultLists = append(resultLists, p.LocalSearch(terms, opts.k(), opts.Conjunctive))
+	var exec execOutcome
+	var merged []ir.Result
+	if opts.TopKStreaming {
+		exec, merged = p.executeStreaming(q, plan, lists, initiator, cands, opts, dl, span)
+	} else {
+		exec = p.execute(q, plan, initiator, cands, opts, dl, span)
+		resultLists := exec.lists
+		if !opts.DisableSelf {
+			resultLists = append(resultLists, p.LocalSearch(terms, opts.k(), opts.Conjunctive))
+		}
+		mergeSpan := span.Child("merge")
+		merged = ir.Merge(resultLists, opts.MergeK)
+		mergeSpan.SetInt("lists", int64(len(resultLists)))
+		mergeSpan.SetInt("results", int64(len(merged)))
+		mergeSpan.End()
 	}
-	mergeSpan := span.Child("merge")
-	merged := ir.Merge(resultLists, opts.MergeK)
-	mergeSpan.SetInt("lists", int64(len(resultLists)))
-	mergeSpan.SetInt("results", int64(len(merged)))
-	mergeSpan.End()
 	if exec.budgetExpired {
 		span.Set("budget_expired", "true")
 		m.Counter("search.budget_expired").Inc()

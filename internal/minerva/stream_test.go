@@ -1,0 +1,392 @@
+package minerva
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"iqn/internal/dataset"
+	"iqn/internal/ir"
+	"iqn/internal/telemetry"
+	"iqn/internal/transport"
+)
+
+// pullChunk issues one raw chunk RPC against a peer, the way the
+// streaming client does.
+func pullChunk(t *testing.T, net transport.Network, addr string, req chunkRequest) (transport.ResultChunk, error) {
+	t.Helper()
+	payload, err := transport.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := net.Call(addr, MethodQueryChunk, payload)
+	if err != nil {
+		return transport.ResultChunk{}, err
+	}
+	return transport.DecodeChunk(raw)
+}
+
+func TestChunkHandlerServesCursor(t *testing.T) {
+	net, _, queries := buildTestNetwork(t, Config{SynopsisSeed: 7})
+	peer := net.Peers[2]
+	terms := queries[0].Terms
+	full := peer.LocalSearch(terms, 20, false)
+	if len(full) < 3 {
+		t.Skipf("peer %s has only %d local results for %v", peer.Name(), len(full), terms)
+	}
+	// Walk the stream in size-2 chunks and reassemble the full list.
+	var got []ir.Result
+	var gen uint64
+	for off := 0; ; {
+		c, err := pullChunk(t, net.Transport, peer.Name(), chunkRequest{
+			Terms: terms, K: 20, Offset: off, Size: 2, Gen: gen,
+		})
+		if err != nil {
+			t.Fatalf("chunk at %d: %v", off, err)
+		}
+		if gen == 0 {
+			gen = c.Gen
+		} else if c.Gen != gen {
+			t.Fatalf("generation moved mid-stream: %d then %d", gen, c.Gen)
+		}
+		for _, e := range c.Entries {
+			got = append(got, ir.Result{DocID: e.Doc, Score: e.Score})
+		}
+		off += len(c.Entries)
+		if c.Done {
+			break
+		}
+	}
+	if len(got) != len(full) {
+		t.Fatalf("reassembled %d entries, local search has %d", len(got), len(full))
+	}
+	for i := range full {
+		if got[i] != full[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, got[i], full[i])
+		}
+	}
+	// A cursor past the end is an empty final chunk, not an error.
+	c, err := pullChunk(t, net.Transport, peer.Name(), chunkRequest{
+		Terms: terms, K: 20, Offset: len(full) + 100, Size: 2, Gen: gen,
+	})
+	if err != nil || !c.Done || len(c.Entries) != 0 {
+		t.Fatalf("past-end chunk = %+v, %v; want empty done", c, err)
+	}
+	// A negative offset is rejected.
+	if _, err := pullChunk(t, net.Transport, peer.Name(), chunkRequest{
+		Terms: terms, K: 20, Offset: -1, Size: 2,
+	}); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	// Re-indexing replaces the snapshot generation: the old cursor is
+	// answered with a stale-cursor error, a fresh stream succeeds.
+	peer.IndexCollection(nil)
+	peer.IndexCollection(nil) // twice: gen must move even if docs match
+	_, err = pullChunk(t, net.Transport, peer.Name(), chunkRequest{
+		Terms: terms, K: 20, Offset: 2, Size: 2, Gen: gen,
+	})
+	if err == nil || !isStaleCursor(err) {
+		t.Fatalf("stale cursor answered with %v, want stale-cursor error", err)
+	}
+	if c, err := pullChunk(t, net.Transport, peer.Name(), chunkRequest{
+		Terms: terms, K: 20, Offset: 0, Size: 2, Gen: 0,
+	}); err != nil || c.Gen == gen {
+		t.Fatalf("fresh stream after re-index: chunk %+v, err %v", c, err)
+	}
+}
+
+// TestStreamingMatchesPull is the equivalence property at the search
+// level: for every query and chunk size, the streaming search returns
+// exactly the pull search's merged top-k (same docs, same scores, same
+// order), the same plan, and the same error surface.
+func TestStreamingMatchesPull(t *testing.T) {
+	net, _, queries := buildTestNetwork(t, Config{SynopsisSeed: 7})
+	initiator := net.Peers[0]
+	for _, q := range queries {
+		pull, err := initiator.Search(q.Terms, SearchOptions{K: 20, MaxPeers: 3, MergeK: 20})
+		if err != nil {
+			t.Fatalf("pull %v: %v", q.Terms, err)
+		}
+		for _, chunk := range []int{1, 3, 16, 64} {
+			stream, err := initiator.Search(q.Terms, SearchOptions{
+				K: 20, MaxPeers: 3, MergeK: 20, TopKStreaming: true, ChunkSize: chunk,
+			})
+			if err != nil {
+				t.Fatalf("stream %v chunk=%d: %v", q.Terms, chunk, err)
+			}
+			if len(stream.Errors) != 0 {
+				t.Fatalf("stream %v chunk=%d lost peers: %+v", q.Terms, chunk, stream.Errors)
+			}
+			if fmt.Sprint(stream.Plan.Peers) != fmt.Sprint(pull.Plan.Peers) {
+				t.Fatalf("plans diverge: stream %v, pull %v", stream.Plan.Peers, pull.Plan.Peers)
+			}
+			if len(stream.Results) != len(pull.Results) {
+				t.Fatalf("query %v chunk=%d: stream %d results, pull %d",
+					q.Terms, chunk, len(stream.Results), len(pull.Results))
+			}
+			for i := range pull.Results {
+				if stream.Results[i] != pull.Results[i] {
+					t.Fatalf("query %v chunk=%d result %d: stream %+v, pull %+v",
+						q.Terms, chunk, i, stream.Results[i], pull.Results[i])
+				}
+			}
+		}
+	}
+}
+
+// TestStreamingConjunctiveMatchesPull covers the conjunctive model too.
+func TestStreamingConjunctiveMatchesPull(t *testing.T) {
+	net, _, queries := buildTestNetwork(t, Config{SynopsisSeed: 7})
+	initiator := net.Peers[1]
+	for _, q := range queries {
+		pull, err := initiator.Search(q.Terms, SearchOptions{K: 15, MaxPeers: 4, MergeK: 15, Conjunctive: true})
+		if err != nil {
+			t.Fatalf("pull %v: %v", q.Terms, err)
+		}
+		stream, err := initiator.Search(q.Terms, SearchOptions{
+			K: 15, MaxPeers: 4, MergeK: 15, Conjunctive: true, TopKStreaming: true, ChunkSize: 4,
+		})
+		if err != nil {
+			t.Fatalf("stream %v: %v", q.Terms, err)
+		}
+		if len(stream.Results) != len(pull.Results) {
+			t.Fatalf("query %v: stream %d results, pull %d", q.Terms, len(stream.Results), len(pull.Results))
+		}
+		for i := range pull.Results {
+			if stream.Results[i] != pull.Results[i] {
+				t.Fatalf("query %v result %d: stream %+v, pull %+v", q.Terms, i, stream.Results[i], pull.Results[i])
+			}
+		}
+	}
+}
+
+// TestStreamingPullsFewerEntries pins the protocol's reason to exist:
+// at a small merge depth, the entries crossing the wire are strictly
+// fewer than the pull path's (which ships every peer's full top-K),
+// while the results stay identical (TestStreamingMatchesPull).
+func TestStreamingPullsFewerEntries(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	net, _, queries := buildTestNetwork(t, Config{SynopsisSeed: 7, Metrics: reg})
+	initiator := net.Peers[0]
+	var pullEntries, streamEntries int64
+	for _, q := range queries {
+		pull, err := initiator.Search(q.Terms, SearchOptions{K: 50, MaxPeers: 5, MergeK: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for peer, n := range pull.PerPeer {
+			if string(peer) != initiator.Name() {
+				pullEntries += int64(n)
+			}
+		}
+	}
+	before := reg.Counter("topk.stream_entries").Value()
+	for _, q := range queries {
+		if _, err := initiator.Search(q.Terms, SearchOptions{
+			K: 50, MaxPeers: 5, MergeK: 10, TopKStreaming: true, ChunkSize: 8,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	streamEntries = reg.Counter("topk.stream_entries").Value() - before
+	if streamEntries == 0 {
+		t.Fatal("streaming transferred zero entries")
+	}
+	if streamEntries >= pullEntries {
+		t.Fatalf("streaming transferred %d entries, pull %d — no savings", streamEntries, pullEntries)
+	}
+	if reg.Counter("topk.chunks").Value() == 0 {
+		t.Fatal("topk.chunks counter never incremented")
+	}
+}
+
+// hookNetwork wraps a transport and runs a callback before every
+// outgoing call — the test's lever for re-indexing or killing a peer
+// at an exact point of a chunk stream.
+type hookNetwork struct {
+	transport.Network
+	mu     sync.Mutex
+	before func(addr, method string, calls int) error
+	calls  map[string]int
+}
+
+func (h *hookNetwork) Call(addr, method string, req []byte) ([]byte, error) {
+	h.mu.Lock()
+	key := addr + "\x00" + method
+	if h.calls == nil {
+		h.calls = map[string]int{}
+	}
+	h.calls[key]++
+	n := h.calls[key]
+	h.mu.Unlock()
+	if h.before != nil {
+		if err := h.before(addr, method, n); err != nil {
+			return nil, err
+		}
+	}
+	return h.Network.Call(addr, method, req)
+}
+
+// streamHarness builds a network whose initiator routes outgoing calls
+// through a hookNetwork, and returns the per-peer document assignment
+// so tests can re-index peers mid-stream.
+func streamHarness(t *testing.T) (*Network, *hookNetwork, map[string][]dataset.Document, []dataset.Query) {
+	t.Helper()
+	corpus := dataset.Generate(dataset.CorpusConfig{NumDocs: 1200, VocabSize: 900, Seed: 23})
+	cols := dataset.AssignSlidingWindow(corpus, 15, 4, 2)
+	base := transport.NewInMem()
+	hook := &hookNetwork{Network: base}
+	docsOf := map[string][]dataset.Document{}
+	for _, col := range cols {
+		docsOf[col.Name] = col.Docs
+	}
+	initiatorName := cols[0].Name
+	net, err := BuildNetworkEndpoints(base, func(name string) transport.Network {
+		if name == initiatorName {
+			return hook
+		}
+		return base
+	}, corpus, cols, Config{SynopsisSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(net.Close)
+	return net, hook, docsOf, dataset.GenerateQueries(corpus, dataset.QueryConfig{Count: 3, Seed: 23})
+}
+
+// TestStreamingStaleCursorRestart re-indexes a streamed peer between
+// two of its chunks: the pinned generation goes stale, the stream must
+// restart from offset zero against the new snapshot, and the final
+// results must still match the pull path exactly (the re-index loads
+// identical documents, so the result lists are unchanged).
+func TestStreamingStaleCursorRestart(t *testing.T) {
+	net, hook, docsOf, queries := streamHarness(t)
+	initiator := net.Peers[0]
+	q := queries[0]
+	opts := SearchOptions{K: 20, MaxPeers: 3, MergeK: 20}
+	pull, err := initiator.Search(q.Terms, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pull.Plan.Peers) == 0 {
+		t.Fatal("empty plan")
+	}
+	victim := string(pull.Plan.Peers[0])
+	restarted := false
+	hook.before = func(addr, method string, calls int) error {
+		// Between the victim's first and second chunk, swap its index:
+		// the stream's pinned generation goes stale.
+		if method == MethodQueryChunk && addr == victim && calls == 2 && !restarted {
+			restarted = true
+			net.Peer(victim).IndexCollection(docsOf[victim])
+		}
+		return nil
+	}
+	opts.TopKStreaming, opts.ChunkSize = true, 2
+	stream, err := initiator.Search(q.Terms, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restarted {
+		t.Skip("victim early-stopped before its second chunk; restart not exercised")
+	}
+	if len(stream.Errors) != 0 {
+		t.Fatalf("restart surfaced as peer loss: %+v", stream.Errors)
+	}
+	if len(stream.Results) != len(pull.Results) {
+		t.Fatalf("stream %d results, pull %d", len(stream.Results), len(pull.Results))
+	}
+	for i := range pull.Results {
+		if stream.Results[i] != pull.Results[i] {
+			t.Fatalf("result %d: stream %+v, pull %+v", i, stream.Results[i], pull.Results[i])
+		}
+	}
+}
+
+// TestStreamingMidStreamDeath kills a streamed peer after its first
+// chunk: the stream's partial entries must be dropped wholesale (the
+// dead peer contributes nothing, like an unanswered peer.query), the
+// loss must be reported in Errors, and the merged results must be
+// exact over the survivors.
+func TestStreamingMidStreamDeath(t *testing.T) {
+	net, hook, _, queries := streamHarness(t)
+	initiator := net.Peers[0]
+	q := queries[0]
+	// A merge depth no stream can fill keeps θ undefined, so every
+	// planned peer streams to completion — the victim's second chunk
+	// is guaranteed to be pulled, and the death is deterministic.
+	opts := SearchOptions{K: 20, MaxPeers: 3, MergeK: 100000, NoReroute: true}
+	pull, err := initiator.Search(q.Terms, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pull.Plan.Peers) < 2 {
+		t.Fatalf("plan too small: %v", pull.Plan.Peers)
+	}
+	victim := string(pull.Plan.Peers[0])
+	hook.before = func(addr, method string, calls int) error {
+		if method == MethodQueryChunk && addr == victim && calls >= 2 {
+			return fmt.Errorf("%w: %s cut mid-stream", transport.ErrUnreachable, addr)
+		}
+		return nil
+	}
+	opts.TopKStreaming, opts.ChunkSize = true, 2
+	stream, err := initiator.Search(q.Terms, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var victimErr *PerPeerError
+	for i := range stream.Errors {
+		if string(stream.Errors[i].Peer) == victim {
+			victimErr = &stream.Errors[i]
+		}
+	}
+	if victimErr == nil {
+		t.Fatalf("victim %s missing from Errors: %+v", victim, stream.Errors)
+	}
+	if !victimErr.Unreachable {
+		t.Fatalf("victim loss not classified unreachable: %+v", victimErr)
+	}
+	if !strings.Contains(victimErr.Err, "cut mid-stream") {
+		t.Fatalf("victim error text %q", victimErr.Err)
+	}
+	// Expected: the merge over the surviving planned peers' full local
+	// lists plus the initiator's own — the victim's partial chunk must
+	// not leak a single document into the results.
+	var lists [][]ir.Result
+	for _, peer := range pull.Plan.Peers {
+		if string(peer) == victim {
+			continue
+		}
+		lists = append(lists, net.Peer(string(peer)).LocalSearch(q.Terms, 20, false))
+	}
+	lists = append(lists, initiator.LocalSearch(q.Terms, 20, false))
+	want := ir.Merge(lists, opts.MergeK)
+	if len(stream.Results) != len(want) {
+		t.Fatalf("stream %d results, want %d over survivors", len(stream.Results), len(want))
+	}
+	for i := range want {
+		if stream.Results[i] != want[i] {
+			t.Fatalf("result %d: stream %+v, want %+v", i, stream.Results[i], want[i])
+		}
+	}
+}
+
+// TestStreamingCoalesceKeySeparates pins that a streaming search and a
+// pull search never coalesce onto one flight, nor do two streaming
+// searches with different chunk sizes.
+func TestStreamingCoalesceKeySeparates(t *testing.T) {
+	terms := []string{"a", "b"}
+	base := SearchOptions{K: 10}
+	stream := base
+	stream.TopKStreaming = true
+	chunked := stream
+	chunked.ChunkSize = 4
+	if coalesceKey(terms, base) == coalesceKey(terms, stream) {
+		t.Fatal("pull and streaming searches share a coalesce key")
+	}
+	if coalesceKey(terms, stream) == coalesceKey(terms, chunked) {
+		t.Fatal("different chunk sizes share a coalesce key")
+	}
+}

@@ -39,6 +39,9 @@ func (c Config) Validate() error {
 	if c.AdmissionQueue < 0 {
 		return fmt.Errorf("minerva: AdmissionQueue %d is negative", c.AdmissionQueue)
 	}
+	if c.TopKChunkSize < 0 {
+		return fmt.Errorf("minerva: TopKChunkSize %d is negative (use 0 for the default)", c.TopKChunkSize)
+	}
 	if r := c.DirectoryRetry; r.BaseDelay < 0 || r.MaxDelay < 0 || r.Timeout < 0 {
 		return fmt.Errorf("minerva: DirectoryRetry has a negative duration (base %v, max %v, timeout %v)",
 			r.BaseDelay, r.MaxDelay, r.Timeout)

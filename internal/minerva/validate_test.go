@@ -39,6 +39,9 @@ func TestConfigValidate(t *testing.T) {
 		{name: "quorum exceeds default single replica", cfg: Config{ReadQuorum: 2}, wantErr: "replication factor"},
 		{name: "negative admission limit", cfg: Config{AdmissionLimit: -4}, wantErr: "AdmissionLimit"},
 		{name: "negative admission queue", cfg: Config{AdmissionQueue: -1}, wantErr: "AdmissionQueue"},
+		{name: "chunk size disabled by zero", cfg: Config{TopKChunkSize: 0}},
+		{name: "chunk size enabled", cfg: Config{TopKChunkSize: 32}},
+		{name: "negative chunk size", cfg: Config{TopKChunkSize: -8}, wantErr: "TopKChunkSize"},
 		{name: "negative retry delay", cfg: Config{DirectoryRetry: transport.RetryPolicy{BaseDelay: -time.Second}}, wantErr: "DirectoryRetry"},
 		{name: "negative retry timeout", cfg: Config{DirectoryRetry: transport.RetryPolicy{Timeout: -time.Second}}, wantErr: "DirectoryRetry"},
 		{name: "negative breaker threshold", cfg: Config{Breakers: &transport.BreakerConfig{FailureThreshold: -1}}, wantErr: "Breakers"},

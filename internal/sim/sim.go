@@ -212,6 +212,36 @@ type Scenario struct {
 	// same fault schedule), and Report.Metrics holds the run's aggregate
 	// counter/histogram snapshot.
 	Telemetry bool
+	// TopKStreaming runs every query under the incremental top-k
+	// protocol (minerva.SearchOptions.TopKStreaming): peers stream
+	// score-descending result chunks and the initiator's threshold
+	// coordinator stops them early instead of pulling full top-K lists.
+	TopKStreaming bool
+	// ChunkSize is the streaming protocol's entries-per-chunk (0: the
+	// peer default).
+	ChunkSize int
+	// MergeK truncates each query's merged result list (minerva.
+	// SearchOptions.MergeK). Zero keeps the pull path's keep-everything
+	// default — except under TopKParity, which normalizes MergeK to K
+	// for both twins (streaming never materializes the full union, so
+	// the twins must merge at one explicit depth to be comparable).
+	MergeK int
+	// TopKParity, with TopKStreaming set, runs a pull-everything twin
+	// of the scenario (same seed, same events, TopKStreaming off) and
+	// asserts the streaming protocol is semantically invisible: every
+	// query must produce byte-identical Docs, the same Planned peers,
+	// the same lost-peer set, and the same search-level error text in
+	// both runs. A third run replays the streaming scenario and asserts
+	// its canonical traces are byte-identical to the first — streaming's
+	// chunk counts and early-stop decisions must be deterministic, not
+	// schedule-dependent. (Streaming and pull traces are structurally
+	// different by design, so trace identity is asserted between the
+	// streaming replays, not across the protocol twins.) Any divergence
+	// is an invariant violation. Meaningful for fault-free or
+	// deterministic-fault scenarios, like CacheParity; note that
+	// CrashOnQuery rules arm on the pull RPC (peer.query), which the
+	// streaming run never issues, so such scripts legitimately diverge.
+	TopKParity bool
 	// Events is the fault script.
 	Events []Event
 }
@@ -346,9 +376,34 @@ func Run(sc Scenario) (*Report, error) {
 	if sc.CacheParity && sc.DirectoryCacheTTL <= 0 {
 		return nil, fmt.Errorf("sim: scenario %q sets CacheParity without DirectoryCacheTTL", sc.Name)
 	}
+	if sc.TopKParity {
+		if !sc.TopKStreaming {
+			return nil, fmt.Errorf("sim: scenario %q sets TopKParity without TopKStreaming", sc.Name)
+		}
+		// Both twins must merge at one explicit depth: the pull path's
+		// MergeK=0 keeps every returned document, which streaming (the
+		// point of which is not transferring everything) cannot match.
+		if sc.MergeK <= 0 {
+			sc.MergeK = sc.K
+		}
+	}
 	report, err := runOnce(sc, true)
 	if err != nil {
 		return nil, err
+	}
+	if sc.TopKParity {
+		pullTwin := sc
+		pullTwin.TopKStreaming = false
+		pullTwin.ChunkSize = 0
+		pull, err := runOnce(pullTwin, true)
+		if err != nil {
+			return nil, fmt.Errorf("sim: pull twin: %w", err)
+		}
+		replay, err := runOnce(sc, true)
+		if err != nil {
+			return nil, fmt.Errorf("sim: streaming replay twin: %w", err)
+		}
+		report.Violations = append(report.Violations, topKParityViolations(report, pull, replay)...)
 	}
 	if sc.CacheParity {
 		uncached := sc
@@ -518,11 +573,14 @@ func runOnce(sc Scenario, withFaults bool) (*Report, error) {
 		}
 		qStart := time.Now()
 		res, err := searchWatchdog(ctx, initiator, q.Terms, minerva.SearchOptions{
-			K:         sc.K,
-			MaxPeers:  sc.MaxPeers,
-			Retry:     sc.Retry,
-			NoReroute: sc.NoReroute,
-			Budget:    sc.Budget,
+			K:             sc.K,
+			MergeK:        sc.MergeK,
+			MaxPeers:      sc.MaxPeers,
+			Retry:         sc.Retry,
+			NoReroute:     sc.NoReroute,
+			Budget:        sc.Budget,
+			TopKStreaming: sc.TopKStreaming,
+			ChunkSize:     sc.ChunkSize,
 		})
 		out.Elapsed = time.Since(qStart)
 		out.Trace = trace.Canonical()
@@ -625,6 +683,61 @@ func cacheParityViolations(cached, uncached *Report) []string {
 		}
 	}
 	return v
+}
+
+// topKParityViolations checks the streaming protocol's differential
+// promises: against the pull twin, every query's merged docs, routing
+// plan, lost-peer set, and search-level error must match exactly (the
+// threshold protocol trades bytes, never results); against the
+// streaming replay, every query's canonical trace must be byte-
+// identical (chunk counts and early-stop decisions are deterministic).
+func topKParityViolations(stream, pull, replay *Report) []string {
+	var v []string
+	if len(stream.Outcomes) != len(pull.Outcomes) || len(stream.Outcomes) != len(replay.Outcomes) {
+		return []string{fmt.Sprintf("topk parity: %d outcomes streaming vs %d pull vs %d replay",
+			len(stream.Outcomes), len(pull.Outcomes), len(replay.Outcomes))}
+	}
+	for i := range stream.Outcomes {
+		s, p, r := &stream.Outcomes[i], &pull.Outcomes[i], &replay.Outcomes[i]
+		if !equalUint64s(s.Docs, p.Docs) {
+			v = append(v, fmt.Sprintf("topk parity: query %d merged docs diverge (%d streaming vs %d pull)",
+				i, len(s.Docs), len(p.Docs)))
+		}
+		if !equalPeerIDs(s.Planned, p.Planned) {
+			v = append(v, fmt.Sprintf("topk parity: query %d routing plans diverge", i))
+		}
+		if !equalLostPeers(s.Errors, p.Errors) {
+			v = append(v, fmt.Sprintf("topk parity: query %d lost-peer sets diverge (%d streaming vs %d pull)",
+				i, len(s.Errors), len(p.Errors)))
+		}
+		if s.Err != p.Err {
+			v = append(v, fmt.Sprintf("topk parity: query %d errors diverge (%q vs %q)", i, s.Err, p.Err))
+		}
+		if s.Trace != r.Trace {
+			v = append(v, fmt.Sprintf("topk parity: query %d streaming replay traces diverge", i))
+		}
+		if !equalUint64s(s.Docs, r.Docs) {
+			v = append(v, fmt.Sprintf("topk parity: query %d streaming replay docs diverge", i))
+		}
+	}
+	return v
+}
+
+// equalLostPeers compares the peers two error reports name (error text
+// and attempt counts legitimately differ across the protocols — the
+// same dead peer fails a peer.query in one and a peer.query_chunk in
+// the other). Both reports are sorted by peer, so positional comparison
+// is set comparison.
+func equalLostPeers(a, b []minerva.PerPeerError) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Peer != b[i].Peer {
+			return false
+		}
+	}
+	return true
 }
 
 func equalUint64s(a, b []uint64) bool {

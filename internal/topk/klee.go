@@ -103,7 +103,6 @@ type ApproxResult struct {
 // number of distinct prefix keys as a floor).
 func ApproxSelect(summaries []ListSummary, k, universeSize int) []ApproxResult {
 	seen := map[string][]float64{} // key → per-list prefix score (NaN = unseen)
-	keyOf := map[string]int{}
 	for li, s := range summaries {
 		for _, it := range s.Prefix {
 			if _, ok := seen[it.Key]; !ok {
@@ -111,7 +110,6 @@ func ApproxSelect(summaries []ListSummary, k, universeSize int) []ApproxResult {
 				for i := range seen[it.Key] {
 					seen[it.Key][i] = math.NaN()
 				}
-				keyOf[it.Key] = len(keyOf)
 			}
 			seen[it.Key][li] = it.Score
 		}

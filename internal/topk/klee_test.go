@@ -124,6 +124,47 @@ func TestApproxSelectApproximatesExactTopK(t *testing.T) {
 	}
 }
 
+func TestApproxSelectDeterministicTieBreak(t *testing.T) {
+	// Keys engineered to the same estimate must come back in ascending
+	// key order, and the whole ordering must be reproducible run to run
+	// — map iteration order must not leak into the output.
+	mk := func(keys ...string) ListSummary {
+		items := make([]Item, len(keys))
+		for i, k := range keys {
+			items[i] = Item{Key: k, Score: 7}
+		}
+		return ListSummary{Prefix: items}
+	}
+	sums := []ListSummary{
+		mk("zz", "mm", "aa", "qq"),
+		mk("qq", "aa", "zz", "mm"),
+	}
+	first := ApproxSelect(sums, 0, 0)
+	wantKeys := []string{"aa", "mm", "qq", "zz"}
+	if len(first) != len(wantKeys) {
+		t.Fatalf("%d results, want %d", len(first), len(wantKeys))
+	}
+	for i, k := range wantKeys {
+		if first[i].Key != k || first[i].Estimate != 14 {
+			t.Fatalf("result %d = %+v, want key %s estimate 14 (Estimate desc, Key asc)", i, first[i], k)
+		}
+	}
+	for run := 0; run < 20; run++ {
+		got := ApproxSelect(sums, 0, 0)
+		for i := range first {
+			if got[i] != first[i] {
+				t.Fatalf("run %d result %d = %+v, want %+v (nondeterministic ordering)", run, i, got[i], first[i])
+			}
+		}
+	}
+	// Distinct estimates still dominate the key tie-break.
+	sums = append(sums, ListSummary{Prefix: []Item{{Key: "zz", Score: 1}}})
+	got := ApproxSelect(sums, 0, 0)
+	if got[0].Key != "zz" || got[0].Estimate != 15 {
+		t.Fatalf("top = %+v, want zz with estimate 15", got[0])
+	}
+}
+
 func TestApproxSelectEmpty(t *testing.T) {
 	if got := ApproxSelect(nil, 5, 0); len(got) != 0 {
 		t.Fatalf("empty summaries: %v", got)

@@ -267,6 +267,118 @@ func TestTransportConformance(t *testing.T) {
 				}
 			})
 
+			t.Run("chunk stream out of order", func(t *testing.T) {
+				// A server serving result chunks by offset, with earlier
+				// offsets answering slower: concurrent chunk requests
+				// complete out of submission order, and every caller must
+				// get the chunk for its own offset back. On a multiplexed
+				// connection this exercises response-ID matching with the
+				// real chunk codec as payload; on InMem and bare TCP it
+				// degenerates to plain concurrency.
+				addr := addrOf(t)
+				const total, size = 64, 8
+				entries := make([]ScoredEntry, total)
+				for i := range entries {
+					entries[i] = ScoredEntry{Doc: uint64(1000 + i), Score: float64(total - i)}
+				}
+				m := NewMux()
+				m.Handle("chunk", func(req []byte) ([]byte, error) {
+					var off int
+					if err := Unmarshal(req, &off); err != nil {
+						return nil, err
+					}
+					time.Sleep(time.Duration(total-off) * time.Millisecond / 2)
+					end := off + size
+					if end > total {
+						end = total
+					}
+					return EncodeChunk(ResultChunk{
+						Gen:     9,
+						Done:    end == total,
+						Entries: entries[off:end],
+					}), nil
+				})
+				stop, err := net.Register(addr, m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer stop()
+				var wg sync.WaitGroup
+				errs := make(chan error, total/size)
+				for off := 0; off < total; off += size {
+					wg.Add(1)
+					go func(off int) {
+						defer wg.Done()
+						req, _ := Marshal(off)
+						resp, err := net.Call(addr, "chunk", req)
+						if err != nil {
+							errs <- fmt.Errorf("offset %d: %v", off, err)
+							return
+						}
+						c, err := DecodeChunk(resp)
+						if err != nil {
+							errs <- fmt.Errorf("offset %d: decode: %v", off, err)
+							return
+						}
+						if c.Gen != 9 || len(c.Entries) != size {
+							errs <- fmt.Errorf("offset %d: gen %d, %d entries", off, c.Gen, len(c.Entries))
+							return
+						}
+						for i, e := range c.Entries {
+							if want := entries[off+i]; e != want {
+								errs <- fmt.Errorf("offset %d entry %d: %+v want %+v", off, i, e, want)
+								return
+							}
+						}
+						if c.Done != (off+size == total) {
+							errs <- fmt.Errorf("offset %d: done = %t", off, c.Done)
+						}
+					}(off)
+				}
+				wg.Wait()
+				close(errs)
+				for err := range errs {
+					t.Fatal(err)
+				}
+			})
+
+			t.Run("chunk stream mid-stream death", func(t *testing.T) {
+				// The server dies after serving the first chunk: the next
+				// pull must surface a retryable connectivity error, never
+				// hang and never return a fabricated chunk.
+				addr := addrOf(t)
+				var stopOnce sync.Once
+				var stop func()
+				m := NewMux()
+				m.Handle("chunk", func(req []byte) ([]byte, error) {
+					return EncodeChunk(ResultChunk{
+						Gen:     1,
+						Entries: []ScoredEntry{{Doc: 1, Score: 2}},
+					}), nil
+				})
+				stop, err := net.Register(addr, m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer stopOnce.Do(stop)
+				resp, err := net.Call(addr, "chunk", nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if c, err := DecodeChunk(resp); err != nil || len(c.Entries) != 1 {
+					t.Fatalf("first chunk = %+v, %v", c, err)
+				}
+				stopOnce.Do(stop)
+				cleanup() // drop pooled connections so TCP re-dials
+				_, err = net.Call(addr, "chunk", nil)
+				if !errors.Is(err, ErrUnreachable) {
+					t.Fatalf("post-death pull error = %v (want ErrUnreachable)", err)
+				}
+				if !Retryable(err) {
+					t.Fatal("mid-stream death not classified retryable")
+				}
+			})
+
 			t.Run("typed invoke", func(t *testing.T) {
 				addr := addrOf(t)
 				m := NewMux()

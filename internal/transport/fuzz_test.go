@@ -119,6 +119,103 @@ func TestReadChunkOversizedPrefix(t *testing.T) {
 	}
 }
 
+// FuzzResultChunk fuzzes the chunked-result frame codec with arbitrary
+// bytes: truncated frames, unknown versions, lying entry counts, and
+// garbage must all return errors — never panic, and never allocate an
+// entries slice the bytes cannot back. Frames that do decode must
+// re-encode to the exact same bytes (the codec has one canonical form).
+func FuzzResultChunk(f *testing.F) {
+	f.Add(EncodeChunk(ResultChunk{}))
+	f.Add(EncodeChunk(ResultChunk{Gen: 7, Done: true}))
+	f.Add(EncodeChunk(ResultChunk{
+		Gen: 1 << 40,
+		Entries: []ScoredEntry{
+			{Doc: 42, Score: 3.5},
+			{Doc: 41, Score: 3.5},
+			{Doc: 9000000, Score: -1.25},
+		},
+	}))
+	// Lying count: claims many entries, carries none.
+	lying := []byte{chunkVersion, 0, 0, 0xff, 0xff, 0x03}
+	f.Add(lying)
+	// Unknown version and unknown flags.
+	f.Add([]byte{99, 0, 0, 0})
+	f.Add([]byte{chunkVersion, 0x80, 0, 0})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeChunk(data)
+		if err != nil {
+			return
+		}
+		if len(c.Entries) > len(data) {
+			t.Fatalf("decoded %d entries from %d bytes", len(c.Entries), len(data))
+		}
+		round := EncodeChunk(c)
+		if !bytes.Equal(round, data) {
+			t.Fatalf("re-encode diverged:\n in  %x\n out %x", data, round)
+		}
+	})
+}
+
+// TestResultChunkRoundTrip pins the codec outside the fuzzer: typical
+// chunks survive encode/decode exactly, including NaN-free negative and
+// tied scores and the done flag.
+func TestResultChunkRoundTrip(t *testing.T) {
+	chunks := []ResultChunk{
+		{},
+		{Gen: 1, Done: true},
+		{Gen: 123456789, Entries: []ScoredEntry{{Doc: 0, Score: 0}}},
+		{Gen: 3, Done: true, Entries: []ScoredEntry{
+			{Doc: 18446744073709551615, Score: 12.75},
+			{Doc: 5, Score: 12.75},
+			{Doc: 6, Score: -0.5},
+		}},
+	}
+	for i, c := range chunks {
+		got, err := DecodeChunk(EncodeChunk(c))
+		if err != nil {
+			t.Fatalf("chunk %d: %v", i, err)
+		}
+		if got.Gen != c.Gen || got.Done != c.Done || len(got.Entries) != len(c.Entries) {
+			t.Fatalf("chunk %d: round trip %+v != %+v", i, got, c)
+		}
+		for j := range c.Entries {
+			if got.Entries[j] != c.Entries[j] {
+				t.Fatalf("chunk %d entry %d: %+v != %+v", i, j, got.Entries[j], c.Entries[j])
+			}
+		}
+	}
+}
+
+// TestResultChunkLyingCount pins the allocation bound: a count claiming
+// the maximum cannot allocate anywhere near it when the frame is a
+// handful of bytes.
+func TestResultChunkLyingCount(t *testing.T) {
+	frame := []byte{chunkVersion, 0, 0}
+	hdr := make([]byte, binary.MaxVarintLen64)
+	n := binary.PutUvarint(hdr, maxChunkEntries)
+	frame = append(frame, hdr[:n]...)
+	frame = append(frame, "short"...)
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := DecodeChunk(frame); err == nil {
+				b.Fatal("lying count decoded successfully")
+			}
+		}
+	})
+	if per := res.AllocedBytesPerOp(); per > 1<<12 {
+		t.Fatalf("lying count allocated %d bytes/op (limit 4KiB)", per)
+	}
+	over := []byte{chunkVersion, 0, 0}
+	n = binary.PutUvarint(hdr, maxChunkEntries+1)
+	over = append(over, hdr[:n]...)
+	if _, err := DecodeChunk(over); err == nil {
+		t.Fatal("oversized count accepted")
+	}
+}
+
 func TestReadChunkLargeValid(t *testing.T) {
 	// A genuine multi-step frame (crosses the 64KiB growth step) round
 	// trips intact.
