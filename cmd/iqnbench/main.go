@@ -58,9 +58,13 @@ type benchExperiment struct {
 	Load     []loadPoint       `json:"load,omitempty"`
 	Chaos    []eval.ChaosPoint `json:"chaos,omitempty"`
 	Churn    *eval.ChurnResult `json:"churn,omitempty"`
-	Cache    []cachePoint      `json:"cache,omitempty"`
-	QPS      *eval.QPSResult   `json:"qps,omitempty"`
-	TopK     []topkPoint       `json:"topk,omitempty"`
+	// ChurnSweep is set alongside Churn: the sustained live join/leave
+	// sweep over (ring size × churn rate), with the churn-free twin's
+	// recall per cell as the static baseline.
+	ChurnSweep []eval.ChurnSweepCell `json:"churnSweep,omitempty"`
+	Cache      []cachePoint          `json:"cache,omitempty"`
+	QPS        *eval.QPSResult       `json:"qps,omitempty"`
+	TopK       []topkPoint           `json:"topk,omitempty"`
 	// RPCReductionPct is set only for the cache experiment: the
 	// directory read-RPC reduction of cached over cold, in percent.
 	RPCReductionPct float64 `json:"rpcReductionPct,omitempty"`
@@ -347,11 +351,20 @@ func main() {
 				fmt.Fprintf(os.Stderr, "iqnbench: churn: %v\n", err)
 				os.Exit(1)
 			}
-			record(name, func(e *benchExperiment) { e.Churn = res })
+			sweep, err := eval.ChurnSweep(eval.ChurnSweepConfig{
+				Queries: *numQ, K: *k, MaxPeers: 5, Seed: *seed,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "iqnbench: churn sweep: %v\n", err)
+				os.Exit(1)
+			}
+			record(name, func(e *benchExperiment) { e.Churn = res; e.ChurnSweep = sweep })
 			fmt.Printf("# Churn: %d peers killed mid-workload\n", res.Killed)
 			fmt.Printf("recall before      %0.3f\n", res.Before)
 			fmt.Printf("recall degraded    %0.3f (stale posts still name dead peers)\n", res.Degraded)
 			fmt.Printf("recall healed      %0.3f (after republish + prune of %d posts)\n", res.Healed, res.Pruned)
+			fmt.Println("# Churn sweep: sustained graceful join/leave, recall vs the churn-free twin")
+			fmt.Print(eval.ChurnSweepTable(sweep))
 		case "overload":
 			points, err := eval.Overload(eval.OverloadConfig{
 				CorpusDocs: *docs, VocabSize: *vocab, Strategy: right,

@@ -1,0 +1,228 @@
+package chord
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"iqn/internal/transport"
+)
+
+// This file holds the churn convergence property test: from any seeded
+// sequence of joins, graceful leaves, and crashes, bounded rounds of
+// Stabilize (plus finger repair) must restore a correct ring — every
+// live node's successor is the next live ID. It runs under -race in CI
+// (verify.sh runs the whole suite with the race detector).
+
+// convergenceBound is the declared maximum number of network-wide
+// stabilization rounds a single membership change may take to converge.
+// Graceful changes splice in one round; the bound leaves room for crash
+// healing through successor lists (up to r dead entries to shift past).
+const convergenceBound = 16
+
+// liveRing is the test's view of the current membership.
+type liveRing struct {
+	t     *testing.T
+	net   *transport.InMem
+	nodes map[string]*Node // live nodes by address
+}
+
+// sortedLive returns the live nodes in ring-ID order.
+func (r *liveRing) sortedLive() []*Node {
+	out := make([]*Node, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Self().ID < out[j].Self().ID })
+	return out
+}
+
+// ringError returns nil when every live node's successor is the next
+// live ID on the ring, or a description of the first violation.
+func (r *liveRing) ringError() error {
+	live := r.sortedLive()
+	for i, n := range live {
+		want := live[(i+1)%len(live)]
+		if len(live) == 1 {
+			want = n
+		}
+		got := n.Successor()
+		if got.Addr != want.Self().Addr {
+			return fmt.Errorf("%s successor = %s, want %s", n.Self(), got, want.Self())
+		}
+	}
+	return nil
+}
+
+// stabilizeUntilCorrect runs network-wide stabilization rounds until
+// the ring is correct, failing the test past the declared bound.
+// Returns the number of rounds taken.
+func (r *liveRing) stabilizeUntilCorrect(context string) int {
+	for round := 1; round <= convergenceBound; round++ {
+		for _, n := range r.sortedLive() {
+			n.Stabilize()
+		}
+		if r.ringError() == nil {
+			return round
+		}
+	}
+	r.t.Fatalf("%s: ring not converged after %d rounds: %v", context, convergenceBound, r.ringError())
+	return convergenceBound
+}
+
+// bootBootstrapped builds an n-node ring instantly via Bootstrap.
+func bootBootstrapped(t *testing.T, n int) *liveRing {
+	t.Helper()
+	net := transport.NewInMem()
+	r := &liveRing{t: t, net: net, nodes: make(map[string]*Node, n)}
+	refs := make([]NodeRef, 0, n)
+	for i := 0; i < n; i++ {
+		addr := fmt.Sprintf("node-%03d", i)
+		node, err := New(addr, net, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.nodes[addr] = node
+		refs = append(refs, node.Self())
+	}
+	for _, node := range r.nodes {
+		node.Bootstrap(refs)
+	}
+	return r
+}
+
+func (r *liveRing) closeAll() {
+	for _, n := range r.nodes {
+		n.Close()
+	}
+}
+
+func TestBootstrapRingIsImmediatelyCorrect(t *testing.T) {
+	for _, n := range []int{1, 2, 8, 64} {
+		r := bootBootstrapped(t, n)
+		if err := r.ringError(); err != nil {
+			t.Errorf("bootstrap n=%d: %v", n, err)
+		}
+		// Lookups must agree with direct successor-of-hash ownership.
+		live := r.sortedLive()
+		for _, key := range []string{"alpha", "beta", "gamma"} {
+			id := HashKey(key)
+			i := sort.Search(len(live), func(i int) bool { return live[i].Self().ID >= id })
+			want := live[i%len(live)].Self().Addr
+			got, err := live[0].Lookup(key)
+			if err != nil {
+				t.Fatalf("bootstrap n=%d: lookup %q: %v", n, key, err)
+			}
+			if got.Addr != want {
+				t.Errorf("bootstrap n=%d: lookup %q = %s, want %s", n, key, got.Addr, want)
+			}
+		}
+		r.closeAll()
+	}
+}
+
+func TestGracefulLeaveSplicesWithoutStabilization(t *testing.T) {
+	r := bootBootstrapped(t, 8)
+	defer r.closeAll()
+	live := r.sortedLive()
+	leaver := live[3]
+	prev, next := live[2], live[4]
+	leaver.Leave()
+	delete(r.nodes, leaver.Self().Addr)
+	leaver.Close()
+	// The leave notices alone must have closed the ring over the gap —
+	// zero stabilization rounds.
+	if got := prev.Successor().Addr; got != next.Self().Addr {
+		t.Fatalf("predecessor successor = %s, want %s (no stabilize run)", got, next.Self().Addr)
+	}
+	if got := next.Predecessor().Addr; got != prev.Self().Addr {
+		t.Fatalf("successor predecessor = %s, want %s (no stabilize run)", got, prev.Self().Addr)
+	}
+	if err := r.ringError(); err != nil {
+		t.Fatalf("ring after graceful leave: %v", err)
+	}
+}
+
+// TestChurnSequencesConverge is the convergence property test: seeded
+// random join/leave/crash sequences on rings of 8–256 nodes, asserting
+// the ring re-converges within convergenceBound rounds after every
+// membership change.
+func TestChurnSequencesConverge(t *testing.T) {
+	sizes := []int{8, 32, 256}
+	ops := 12
+	if testing.Short() {
+		sizes = []int{8, 32}
+		ops = 8
+	}
+	for _, size := range sizes {
+		for seed := int64(1); seed <= 2; seed++ {
+			t.Run(fmt.Sprintf("n%d_seed%d", size, seed), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(seed))
+				r := bootBootstrapped(t, size)
+				defer r.closeAll()
+				joined := size // name counter for fresh joiners
+				worst := 0
+				for op := 0; op < ops; op++ {
+					live := r.sortedLive()
+					var context string
+					switch k := rng.Intn(3); {
+					case k == 0 || len(live) <= 4:
+						// Join a brand-new node through a random live seed.
+						addr := fmt.Sprintf("node-%03d", joined)
+						joined++
+						node, err := New(addr, r.net, Config{})
+						if err != nil {
+							t.Fatal(err)
+						}
+						seedNode := live[rng.Intn(len(live))]
+						if err := node.Join(seedNode.Self().Addr); err != nil {
+							t.Fatalf("join %s via %s: %v", addr, seedNode.Self().Addr, err)
+						}
+						r.nodes[addr] = node
+						context = fmt.Sprintf("op %d: join %s", op, addr)
+					case k == 1:
+						// Graceful leave.
+						victim := live[rng.Intn(len(live))]
+						victim.Leave()
+						delete(r.nodes, victim.Self().Addr)
+						victim.Close()
+						context = fmt.Sprintf("op %d: leave %s", op, victim.Self().Addr)
+					default:
+						// Crash: the node vanishes without a word.
+						victim := live[rng.Intn(len(live))]
+						delete(r.nodes, victim.Self().Addr)
+						victim.Close()
+						context = fmt.Sprintf("op %d: crash %s", op, victim.Self().Addr)
+					}
+					if rounds := r.stabilizeUntilCorrect(context); rounds > worst {
+						worst = rounds
+					}
+				}
+				// Finger repair must leave lookups consistent across every
+				// live node.
+				live := r.sortedLive()
+				for _, n := range live {
+					n.FixAllFingers()
+				}
+				key := "converge-probe"
+				want, err := live[0].Lookup(key)
+				if err != nil {
+					t.Fatalf("final lookup: %v", err)
+				}
+				probes := []*Node{live[len(live)/3], live[2*len(live)/3], live[len(live)-1]}
+				for _, n := range probes {
+					got, err := n.Lookup(key)
+					if err != nil {
+						t.Fatalf("final lookup from %s: %v", n.Self().Addr, err)
+					}
+					if got.Addr != want.Addr {
+						t.Errorf("lookup disagreement: %s says %s, %s says %s",
+							live[0].Self().Addr, want.Addr, n.Self().Addr, got.Addr)
+					}
+				}
+				t.Logf("n=%d seed=%d: worst convergence %d rounds (bound %d)", size, seed, worst, convergenceBound)
+			})
+		}
+	}
+}

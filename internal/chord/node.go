@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"iqn/internal/telemetry"
 	"iqn/internal/transport"
 )
 
@@ -17,6 +18,7 @@ const (
 	methodNotify           = "chord.notify"
 	methodSuccessors       = "chord.successors"
 	methodPing             = "chord.ping"
+	methodLeave            = "chord.leave"
 )
 
 // ErrNotFound reports a lookup that could not complete (no live route).
@@ -38,6 +40,14 @@ type Config struct {
 	// started by Start (default 50ms). Tests that drive maintenance
 	// manually never call Start.
 	StabilizeInterval time.Duration
+	// Metrics, non-nil, counts ring maintenance: chord.stabilize.rounds,
+	// chord.stabilize.notifies, chord.stabilize.ping_failures,
+	// chord.stabilize.successor_failovers (a successor died mid-round and
+	// the round failed over to the next list entry), chord.lookup.restarts
+	// (a lookup walked into a corpse and restarted from self), and
+	// chord.leaves / chord.leave_notices (graceful departures sent /
+	// received). Nil disarms all counting at zero cost.
+	Metrics *telemetry.Registry
 }
 
 func (c Config) successors() int {
@@ -61,9 +71,12 @@ type Node struct {
 	mux  *transport.Mux
 
 	mu      sync.RWMutex
+	caller  transport.Caller // outgoing-call path; nil = net directly
 	pred    NodeRef
 	succs   []NodeRef // successor list, succs[0] is THE successor
 	fingers [M]NodeRef
+
+	metrics nodeMetrics
 
 	stopServe func()
 	loopStop  chan struct{}
@@ -71,15 +84,40 @@ type Node struct {
 	closeOnce sync.Once
 }
 
+// nodeMetrics pre-resolves the maintenance counters once (all methods
+// are no-ops on the nil instruments a nil registry hands out).
+type nodeMetrics struct {
+	stabilizeRounds *telemetry.Counter
+	notifies        *telemetry.Counter
+	pingFailures    *telemetry.Counter
+	succFailovers   *telemetry.Counter
+	lookupRestarts  *telemetry.Counter
+	leaves          *telemetry.Counter
+	leaveNotices    *telemetry.Counter
+}
+
+func newNodeMetrics(r *telemetry.Registry) nodeMetrics {
+	return nodeMetrics{
+		stabilizeRounds: r.Counter("chord.stabilize.rounds"),
+		notifies:        r.Counter("chord.stabilize.notifies"),
+		pingFailures:    r.Counter("chord.stabilize.ping_failures"),
+		succFailovers:   r.Counter("chord.stabilize.successor_failovers"),
+		lookupRestarts:  r.Counter("chord.lookup.restarts"),
+		leaves:          r.Counter("chord.leaves"),
+		leaveNotices:    r.Counter("chord.leave_notices"),
+	}
+}
+
 // New creates a node for addr on the network, registers its RPC handlers,
 // and starts serving. The node initially forms a ring of itself; call
 // Join to enter an existing ring.
 func New(addr string, net transport.Network, cfg Config) (*Node, error) {
 	n := &Node{
-		self: NodeRef{ID: HashAddr(addr), Addr: addr},
-		cfg:  cfg,
-		net:  net,
-		mux:  transport.NewMux(),
+		self:    NodeRef{ID: HashAddr(addr), Addr: addr},
+		cfg:     cfg,
+		net:     net,
+		mux:     transport.NewMux(),
+		metrics: newNodeMetrics(cfg.Metrics),
 	}
 	n.succs = []NodeRef{n.self}
 	for i := range n.fingers {
@@ -103,6 +141,28 @@ func (n *Node) Mux() *transport.Mux { return n.mux }
 
 // Network returns the transport the node communicates over.
 func (n *Node) Network() transport.Network { return n.net }
+
+// SetCaller routes the node's outgoing RPCs (stabilization pings,
+// notifies, successor queries, lookups) through an alternative caller —
+// typically a circuit-breaker wrapper over the same network — so ring
+// maintenance respects the same per-link overload discipline as query
+// traffic. Call at setup time, before the node originates traffic; nil
+// restores the raw network.
+func (n *Node) SetCaller(c transport.Caller) {
+	n.mu.Lock()
+	n.caller = c
+	n.mu.Unlock()
+}
+
+// rpc returns the node's current outgoing-call path.
+func (n *Node) rpc() transport.Caller {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if n.caller != nil {
+		return n.caller
+	}
+	return n.net
+}
 
 // Successor returns the current immediate successor.
 func (n *Node) Successor() NodeRef {
@@ -155,7 +215,7 @@ func (n *Node) Create() {
 // state converges through stabilization).
 func (n *Node) Join(seedAddr string) error {
 	var succ NodeRef
-	err := transport.Invoke(n.net, seedAddr, methodFindSuccessor, n.self.ID, &succ)
+	err := transport.Invoke(n.rpc(), seedAddr, methodFindSuccessor, n.self.ID, &succ)
 	if err != nil {
 		return fmt.Errorf("chord: join via %s: %w", seedAddr, err)
 	}
@@ -236,6 +296,14 @@ func (n *Node) registerHandlers() {
 	n.mux.Handle(methodPing, func([]byte) ([]byte, error) {
 		return transport.Marshal(true)
 	})
+	n.mux.Handle(methodLeave, func(req []byte) ([]byte, error) {
+		var ln leaveNotice
+		if err := transport.Unmarshal(req, &ln); err != nil {
+			return nil, err
+		}
+		n.handleLeave(ln)
+		return transport.Marshal(true)
+	})
 }
 
 // FindSuccessor resolves the node responsible for id: the first node
@@ -257,6 +325,7 @@ func (n *Node) FindSuccessor(id ID) (NodeRef, error) {
 		succs, err := n.successorListOf(cur)
 		if err != nil {
 			// cur died mid-walk: remember it and restart from self.
+			n.metrics.lookupRestarts.Inc()
 			avoid[cur.Addr] = struct{}{}
 			lastErr = err
 			cur = n.self
@@ -305,7 +374,7 @@ func (n *Node) successorListOf(ref NodeRef) ([]NodeRef, error) {
 		return n.SuccessorList(), nil
 	}
 	var succs []NodeRef
-	if err := transport.Invoke(n.net, ref.Addr, methodSuccessors, struct{}{}, &succs); err != nil {
+	if err := transport.Invoke(n.rpc(), ref.Addr, methodSuccessors, struct{}{}, &succs); err != nil {
 		return nil, err
 	}
 	if len(succs) == 0 {
@@ -321,7 +390,7 @@ func (n *Node) closestPrecedingOf(ref NodeRef, id ID) (NodeRef, error) {
 		return n.closestPreceding(id), nil
 	}
 	var next NodeRef
-	if err := transport.Invoke(n.net, ref.Addr, methodClosestPreceding, id, &next); err != nil {
+	if err := transport.Invoke(n.rpc(), ref.Addr, methodClosestPreceding, id, &next); err != nil {
 		return NodeRef{}, err
 	}
 	if next.IsZero() {
@@ -369,7 +438,7 @@ func (n *Node) SuccessorsOf(ref NodeRef) ([]NodeRef, error) {
 		return n.SuccessorList(), nil
 	}
 	var succs []NodeRef
-	if err := transport.Invoke(n.net, ref.Addr, methodSuccessors, struct{}{}, &succs); err != nil {
+	if err := transport.Invoke(n.rpc(), ref.Addr, methodSuccessors, struct{}{}, &succs); err != nil {
 		return nil, err
 	}
 	return succs, nil

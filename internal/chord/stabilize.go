@@ -20,19 +20,46 @@ import (
 // Stabilize is also how a freshly-joined node becomes visible: its
 // notify call teaches the successor about it, and the predecessor's next
 // stabilization discovers it in turn.
+//
+// The round tolerates a successor dying mid-round: when the chosen
+// successor stops answering between the liveness probe and the notify,
+// it is evicted from the list and the round fails over to the next
+// entry instead of wedging until the next tick — under churn a peer can
+// lose several consecutive successors inside one stabilization period.
 func (n *Node) Stabilize() {
-	succ := n.liveSuccessor()
-	if succ.IsZero() {
-		// Every known successor is dead; collapse to a self-ring so the
-		// node stays usable and can be re-joined.
+	n.metrics.stabilizeRounds.Inc()
+	for attempt := 0; attempt < n.cfg.successors(); attempt++ {
+		succ := n.liveSuccessor()
+		if succ.IsZero() {
+			// Every known successor is dead; collapse to a self-ring so the
+			// node stays usable and can be re-joined.
+			n.mu.Lock()
+			n.succs = []NodeRef{n.self}
+			n.mu.Unlock()
+			return
+		}
+		if n.stabilizeWith(succ) {
+			n.checkPredecessor()
+			return
+		}
+		// succ died between the liveness probe and the round's RPCs:
+		// evict it and fail over to the next successor-list entry.
+		n.metrics.succFailovers.Inc()
 		n.mu.Lock()
-		n.succs = []NodeRef{n.self}
+		n.spliceSuccessorsLocked(succ, nil)
 		n.mu.Unlock()
-		return
 	}
+	n.checkPredecessor()
+}
+
+// stabilizeWith runs the adopt/notify/refresh steps against one chosen
+// successor. It returns false only when the successor stopped answering
+// mid-round (the caller evicts it and retries); application-level
+// oddities are absorbed as before.
+func (n *Node) stabilizeWith(succ NodeRef) bool {
 	if succ.Addr != n.self.Addr {
 		var pred NodeRef
-		if err := transport.Invoke(n.net, succ.Addr, methodGetPredecessor, struct{}{}, &pred); err == nil &&
+		if err := transport.Invoke(n.rpc(), succ.Addr, methodGetPredecessor, struct{}{}, &pred); err == nil &&
 			!pred.IsZero() && between(n.self.ID, pred.ID, succ.ID) {
 			// A node slipped in between: verify it's alive before
 			// adopting it.
@@ -40,18 +67,28 @@ func (n *Node) Stabilize() {
 				succ = pred
 			}
 		}
-		_ = transport.Invoke(n.net, succ.Addr, methodNotify, n.self, nil)
+		n.metrics.notifies.Inc()
+		if err := transport.Invoke(n.rpc(), succ.Addr, methodNotify, n.self, nil); err != nil && transport.Retryable(err) {
+			// The notify bounced after the liveness probe passed: on a
+			// lossy link that is a dropped packet, under churn a death.
+			// Only a double-ping failure (the same discipline as
+			// liveSuccessor) declares the successor dead mid-round.
+			if !n.ping(succ) && !n.ping(succ) {
+				return false
+			}
+		}
 	} else if pred := n.Predecessor(); !pred.IsZero() && pred.Addr != n.self.Addr {
 		// Self-successor but a predecessor is known (e.g. we were the
 		// seed of a two-node ring): the predecessor is our successor on
 		// a two-node ring.
 		if n.ping(pred) {
 			succ = pred
-			_ = transport.Invoke(n.net, succ.Addr, methodNotify, n.self, nil)
+			n.metrics.notifies.Inc()
+			_ = transport.Invoke(n.rpc(), succ.Addr, methodNotify, n.self, nil)
 		}
 	}
 	n.refreshSuccessors(succ)
-	n.checkPredecessor()
+	return true
 }
 
 // liveSuccessor returns the first responsive entry of the successor
@@ -77,7 +114,7 @@ func (n *Node) refreshSuccessors(succ NodeRef) {
 	list := []NodeRef{succ}
 	if succ.Addr != n.self.Addr {
 		var remote []NodeRef
-		if err := transport.Invoke(n.net, succ.Addr, methodSuccessors, struct{}{}, &remote); err == nil {
+		if err := transport.Invoke(n.rpc(), succ.Addr, methodSuccessors, struct{}{}, &remote); err == nil {
 			for _, s := range remote {
 				if s.Addr == n.self.Addr || s.IsZero() {
 					continue
@@ -148,5 +185,9 @@ func (n *Node) FixAllFingers() {
 // ping reports whether a node answers its ping RPC.
 func (n *Node) ping(ref NodeRef) bool {
 	var ok bool
-	return transport.Invoke(n.net, ref.Addr, methodPing, struct{}{}, &ok) == nil && ok
+	if transport.Invoke(n.rpc(), ref.Addr, methodPing, struct{}{}, &ok) == nil && ok {
+		return true
+	}
+	n.metrics.pingFailures.Inc()
+	return false
 }

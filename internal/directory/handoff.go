@@ -8,31 +8,82 @@ import (
 	"iqn/internal/transport"
 )
 
-// This file implements directory key handoff: when a node joins the
-// ring, it becomes the owner of every term whose hash falls between its
-// predecessor and itself, but the posts for those terms still live on
-// the previous owner (its successor). Without a transfer, lookups route
-// to the newcomer and find nothing until every peer republishes. The
-// handoff closes that window: the newcomer pulls the posts for its
-// interval from its successor (which keeps its copy — it is now the
-// first replica).
+// This file implements directory key handoff for both directions of a
+// membership change.
+//
+// Join (pull): a node that joins the ring becomes the owner of every
+// term whose hash falls between its predecessor and itself, but the
+// posts for those terms still live on the previous owner (its
+// successor). Without a transfer, lookups route to the newcomer and
+// find nothing until every peer republishes. The newcomer pulls the
+// posts for its interval from the successor-list replicas (each keeps
+// its copy — they are now the trailing replicas).
+//
+// Leave (push): a gracefully departing node owns a directory fraction
+// that would otherwise be dark until the origin peers republish. Before
+// leaving it pushes its whole stored fraction to the first live
+// successor (an acknowledged transfer), failing over down the successor
+// list, and falls back to re-publishing the posts to their post-
+// departure replica sets when every successor is dead.
 
-// methodHandoff serves range extraction.
-const methodHandoff = "dir.handoff"
+// RPC methods of the handoff subsystem.
+const (
+	// methodHandoff serves range extraction (the join-side pull).
+	methodHandoff = "dir.handoff"
+	// methodHandoffPush accepts a departing node's stored fraction (the
+	// leave-side push). The reply acknowledges how many posts landed.
+	methodHandoffPush = "dir.handoff_push"
+	// methodWithdraw retracts a named peer's posts for a set of terms —
+	// a departing peer uses it to pull its own publications out of the
+	// directory instead of leaving them to age out over prune epochs.
+	methodWithdraw = "dir.withdraw"
+)
 
 // handoffRequest asks for all posts whose term hashes into (From, To].
 type handoffRequest struct {
 	From, To chord.ID
 }
 
-// registerHandoff wires the handoff RPC; called from NewService.
+// handoffPush is the wire form of the dir.handoff_push RPC. Floor
+// carries the departing node's prune floor so the receiver does not
+// resurrect posts the departing node had already pruned.
+type handoffPush struct {
+	Posts []Post
+	Floor int64
+}
+
+// withdrawRequest names the peer whose posts should be removed and the
+// terms to remove them from.
+type withdrawRequest struct {
+	Peer  string
+	Terms []string
+}
+
+// registerHandoff wires the handoff RPCs; called from NewService.
 func (s *Service) registerHandoff() {
-	s.node.Mux().Handle(methodHandoff, func(req []byte) ([]byte, error) {
+	mux := s.node.Mux()
+	mux.Handle(methodHandoff, func(req []byte) ([]byte, error) {
 		var hr handoffRequest
 		if err := transport.Unmarshal(req, &hr); err != nil {
 			return nil, err
 		}
 		return transport.Marshal(s.PostsInRange(hr.From, hr.To))
+	})
+	mux.Handle(methodHandoffPush, func(req []byte) ([]byte, error) {
+		var hp handoffPush
+		if err := transport.Unmarshal(req, &hp); err != nil {
+			return nil, err
+		}
+		s.raiseFloor(hp.Floor)
+		s.store(applyEpochFloor(hp.Posts, s.Floor()))
+		return transport.Marshal(len(hp.Posts))
+	})
+	mux.Handle(methodWithdraw, func(req []byte) ([]byte, error) {
+		var wr withdrawRequest
+		if err := transport.Unmarshal(req, &wr); err != nil {
+			return nil, err
+		}
+		return transport.Marshal(s.removePeerPosts(wr.Peer, wr.Terms))
 	})
 }
 
@@ -59,25 +110,288 @@ func (s *Service) PostsInRange(from, to chord.ID) []Post {
 	return out
 }
 
+// AllPosts snapshots the node's entire stored fraction, ordered by
+// (term, peer) — the payload of a leave-side handoff push.
+func (s *Service) AllPosts() []Post {
+	// The interval (x, x] covers the whole ring.
+	self := s.node.Self().ID
+	return s.PostsInRange(self, self)
+}
+
+// removePeerPosts deletes a peer's posts for the given terms, returning
+// how many were removed.
+func (s *Service) removePeerPosts(peer string, terms []string) int {
+	s.mu.Lock()
+	removed := 0
+	var touched []string
+	for _, term := range terms {
+		byPeer := s.data[term]
+		if _, ok := byPeer[peer]; !ok {
+			continue
+		}
+		delete(byPeer, peer)
+		removed++
+		touched = append(touched, term)
+		if len(byPeer) == 0 {
+			delete(s.data, term)
+		}
+	}
+	floor := s.floor
+	s.mu.Unlock()
+	s.fireInvalidate(touched, floor)
+	return removed
+}
+
+// AcquireReport details one owned-range acquisition: how many replica
+// sources were tried, how many answered, how many posts were merged in,
+// and exactly which sources failed — the per-replica account matching
+// the FetchReport/PublishReport style.
+type AcquireReport struct {
+	// Sources is the number of replica nodes the range was requested from.
+	Sources int
+	// Answered is how many of them returned their copy.
+	Answered int
+	// Acquired is the number of posts stored after merging the copies.
+	Acquired int
+	// Errors lists each source that failed.
+	Errors []ReplicaError
+}
+
 // AcquireOwnedRange pulls the posts this node now owns — the interval
-// (predecessor, self] — from its successor and stores them locally.
-// Call it after joining once the ring has stabilized (the predecessor
-// must be known). Returns the number of posts acquired. A node whose
-// successor is itself (single-node ring) or whose predecessor is unknown
-// acquires nothing.
+// (predecessor, self] — from its successor-list replicas and stores the
+// merged result locally. Call it after joining once the predecessor is
+// known. Returns the number of posts acquired. A node whose successor
+// is itself (single-node ring) or whose predecessor is unknown acquires
+// nothing. The pull is best-effort per replica: one dead successor no
+// longer aborts the acquisition — the error is non-nil only when every
+// replica failed (see AcquireOwnedRangeReport for the account).
 func (s *Service) AcquireOwnedRange() (int, error) {
-	self := s.node.Self()
+	rep, err := s.AcquireOwnedRangeReport()
+	return rep.Acquired, err
+}
+
+// AcquireOwnedRangeReport is AcquireOwnedRange with the per-replica
+// error report.
+func (s *Service) AcquireOwnedRangeReport() (AcquireReport, error) {
 	pred := s.node.Predecessor()
-	succ := s.node.Successor()
-	if pred.IsZero() || succ.IsZero() || succ.Addr == self.Addr {
-		return 0, nil
+	if pred.IsZero() {
+		return AcquireReport{}, nil
 	}
-	var posts []Post
-	err := transport.Invoke(s.node.Network(), succ.Addr, methodHandoff,
-		handoffRequest{From: pred.ID, To: self.ID}, &posts)
-	if err != nil {
-		return 0, fmt.Errorf("directory: handoff from %s: %w", succ.Addr, err)
+	return s.AcquireRangeFrom(pred.ID, s.handoffSources())
+}
+
+// handoffSources returns the replica nodes a range pull should ask: the
+// successor followed by the rest of the successor list, self excluded.
+func (s *Service) handoffSources() []chord.NodeRef {
+	self := s.node.Self()
+	var out []chord.NodeRef
+	seen := map[string]struct{}{self.Addr: {}}
+	for _, r := range s.node.SuccessorList() {
+		if r.IsZero() {
+			continue
+		}
+		if _, dup := seen[r.Addr]; dup {
+			continue
+		}
+		seen[r.Addr] = struct{}{}
+		out = append(out, r)
 	}
-	s.store(posts)
-	return len(posts), nil
+	return out
+}
+
+// AcquireRangeFrom pulls the interval (from, self] from each source in
+// turn, merges the copies per term (highest epoch wins), and stores the
+// result. Sources are best-effort: each failure is recorded in the
+// report and the remaining sources are still tried; the error is
+// non-nil only when sources existed and every one of them failed. A
+// joining node that is not yet visible to the ring can pass the range
+// bound it learned from its future successor (chord.Node.PredecessorOf)
+// before its own predecessor pointer is set.
+func (s *Service) AcquireRangeFrom(from chord.ID, sources []chord.NodeRef) (AcquireReport, error) {
+	rep := AcquireReport{Sources: len(sources)}
+	if len(sources) == 0 {
+		return rep, nil
+	}
+	self := s.node.Self()
+	req := handoffRequest{From: from, To: self.ID}
+	byTerm := make(map[string][]PeerList)
+	for _, src := range sources {
+		var posts []Post
+		if err := transport.Invoke(s.node.Network(), src.Addr, methodHandoff, req, &posts); err != nil {
+			rep.Errors = append(rep.Errors, replicaError(src.Addr, "handoff", "", err))
+			continue
+		}
+		rep.Answered++
+		for _, p := range posts {
+			byTerm[p.Term] = append(byTerm[p.Term], PeerList{p})
+		}
+	}
+	if rep.Answered == 0 {
+		first := rep.Errors[0]
+		return rep, fmt.Errorf("directory: handoff: all %d sources failed (first: %s: %s)",
+			rep.Sources, first.Addr, first.Err)
+	}
+	var merged []Post
+	for _, lists := range byTerm {
+		merged = append(merged, MergePeerLists(lists)...)
+	}
+	merged = applyEpochFloor(merged, s.Floor())
+	s.store(merged)
+	rep.Acquired = len(merged)
+	return rep, nil
+}
+
+// HandoffReport details one leave-side push: where the fraction landed,
+// how big it was, and what failed along the way.
+type HandoffReport struct {
+	// Posts is the number of posts in the pushed fraction.
+	Posts int
+	// Bytes is the marshaled size of the pushed payload.
+	Bytes int
+	// Target is the successor that acknowledged the push ("" when the
+	// push fell back to re-publication).
+	Target string
+	// Republished counts posts re-published through the normal publish
+	// path because no successor acknowledged the push.
+	Republished int
+	// Errors lists each successor push (or re-publish group) that failed.
+	Errors []ReplicaError
+}
+
+// PushHandoff transfers a departing node's stored fraction to the first
+// live successor (acknowledged), failing over down the successor list.
+// When every successor is dead the posts are re-published to their
+// post-departure replica sets instead (self excluded), so the fraction
+// survives the departure either way. Call it after chord.Node.Leave and
+// before Close, while the node still serves RPCs. The error is non-nil
+// only when the fraction could not be placed anywhere.
+func (c *Client) PushHandoff(s *Service) (HandoffReport, error) {
+	posts := s.AllPosts()
+	rep := HandoffReport{Posts: len(posts)}
+	if len(posts) == 0 {
+		return rep, nil
+	}
+	push := handoffPush{Posts: posts, Floor: s.Floor()}
+	if raw, err := transport.Marshal(push); err == nil {
+		rep.Bytes = len(raw)
+	}
+	self := c.node.Self()
+	for _, succ := range c.node.SuccessorList() {
+		if succ.IsZero() || succ.Addr == self.Addr {
+			continue
+		}
+		var acked int
+		if err := c.invoke(succ.Addr, methodHandoffPush, push, &acked); err != nil {
+			rep.Errors = append(rep.Errors, replicaError(succ.Addr, "handoff_push", "", err))
+			c.Metrics.Counter("directory.handoff.failovers").Inc()
+			continue
+		}
+		rep.Target = succ.Addr
+		c.Metrics.Counter("directory.handoff.pushes").Inc()
+		c.Metrics.Counter("directory.handoff.posts").Add(int64(len(posts)))
+		c.Metrics.Counter("directory.handoff.bytes").Add(int64(rep.Bytes))
+		return rep, nil
+	}
+	// Every successor is gone: place the posts through the publish path,
+	// excluding self (whatever lands back here dies with the departure).
+	republished, errs := c.republishExcludingSelf(posts)
+	rep.Republished = republished
+	rep.Errors = append(rep.Errors, errs...)
+	if republished == 0 {
+		return rep, fmt.Errorf("directory: handoff push: no successor or replica accepted %d posts", len(posts))
+	}
+	c.Metrics.Counter("directory.handoff.republished").Add(int64(republished))
+	return rep, nil
+}
+
+// republishExcludingSelf writes posts to their current replica sets
+// minus this node, grouped per target address. Returns how many posts
+// were acknowledged by at least one target.
+func (c *Client) republishExcludingSelf(posts []Post) (int, []ReplicaError) {
+	self := c.node.Self()
+	groups := make(map[string][]Post)
+	placed := make(map[int]bool, len(posts))
+	index := make(map[string][]int) // addr → post indexes in the group
+	for i, p := range posts {
+		replicas, err := c.node.ReplicaSet(p.Term, c.Replicas+1)
+		if err != nil {
+			continue
+		}
+		for _, r := range replicas {
+			if r.Addr == self.Addr {
+				continue
+			}
+			groups[r.Addr] = append(groups[r.Addr], p)
+			index[r.Addr] = append(index[r.Addr], i)
+		}
+	}
+	addrs := make([]string, 0, len(groups))
+	for addr := range groups {
+		addrs = append(addrs, addr)
+	}
+	sort.Strings(addrs)
+	var errs []ReplicaError
+	for _, addr := range addrs {
+		var n int
+		if err := c.invoke(addr, methodPost, groups[addr], &n); err != nil {
+			errs = append(errs, replicaError(addr, "post", "", err))
+			continue
+		}
+		for _, i := range index[addr] {
+			placed[i] = true
+		}
+	}
+	return len(placed), errs
+}
+
+// Withdraw retracts a peer's posts for the given terms from their
+// replica sets — the departing peer's own publications stop routing
+// queries to it immediately instead of aging out over prune epochs.
+// Best-effort: unreachable replicas keep their copies (which then die
+// by epoch pruning). Returns the number of posts removed.
+func (c *Client) Withdraw(peer string, terms []string) int {
+	if peer == "" || len(terms) == 0 {
+		return 0
+	}
+	var ring []chord.NodeRef
+	if len(terms) > 16 {
+		ring = c.ringSnapshot()
+	}
+	byAddr := make(map[string][]string)
+	for _, t := range terms {
+		var replicas []chord.NodeRef
+		if ring != nil {
+			replicas = replicasFromRing(ring, chord.HashKey(t), c.Replicas)
+		} else {
+			var err error
+			replicas, err = c.node.ReplicaSet(t, c.Replicas)
+			if err != nil {
+				continue
+			}
+		}
+		for _, r := range replicas {
+			byAddr[r.Addr] = append(byAddr[r.Addr], t)
+		}
+	}
+	addrs := make([]string, 0, len(byAddr))
+	for addr := range byAddr {
+		addrs = append(addrs, addr)
+	}
+	sort.Strings(addrs)
+	removed := 0
+	for _, addr := range addrs {
+		var n int
+		if err := c.invoke(addr, methodWithdraw, withdrawRequest{Peer: peer, Terms: byAddr[addr]}, &n); err != nil {
+			continue
+		}
+		removed += n
+	}
+	if removed > 0 {
+		c.Metrics.Counter("directory.withdrawals").Add(int64(removed))
+	}
+	// The withdrawn terms changed remotely; drop any cached copies.
+	for _, t := range terms {
+		c.InvalidateCachedTerm(t)
+	}
+	return removed
 }

@@ -3,9 +3,11 @@ package eval
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"iqn/internal/dataset"
 	"iqn/internal/minerva"
+	"iqn/internal/sim"
 	"iqn/internal/transport"
 )
 
@@ -150,4 +152,135 @@ func Churn(cfg ChurnConfig) (*ChurnResult, error) {
 		return nil, err
 	}
 	return result, nil
+}
+
+// ChurnSweepCell is one (ring size, churn rate) cell of the sustained-
+// churn sweep: recall under live join/leave churn against the same
+// workload's churn-free twin, the worst directory convergence lag, the
+// handoff traffic, and the permanently-lost-post count (zero is the
+// graceful-churn guarantee).
+type ChurnSweepCell struct {
+	Peers          int     `json:"peers"`
+	Rate           float64 `json:"rate"`
+	Joins          int     `json:"joins"`
+	Leaves         int     `json:"leaves"`
+	Recall         float64 `json:"recall"`
+	StaticRecall   float64 `json:"staticRecall"`
+	ConvergenceLag int     `json:"convergenceLag"`
+	HandoffPosts   int     `json:"handoffPosts"`
+	HandoffBytes   int     `json:"handoffBytes"`
+	LostPosts      int     `json:"lostPosts"`
+}
+
+// ChurnSweepConfig parameterizes the sustained-churn sweep.
+type ChurnSweepConfig struct {
+	// RingSizes are the boot populations to sweep (default 16, 64).
+	RingSizes []int
+	// Rates are the per-round departure probabilities (default 0.05,
+	// 0.20).
+	Rates []float64
+	// Queries, K, MaxPeers, Replicas, Seed as elsewhere (defaults 6, 20,
+	// 3, 2, 2006).
+	Queries, K, MaxPeers, Replicas int
+	Seed                           int64
+}
+
+// ChurnSweep measures IQN under sustained graceful churn: for every
+// (ring size, rate) cell it boots a ring, drives the query workload
+// while a seeded churn schedule joins and gracefully departs peers
+// between rounds, and reports recall, the churn-free twin's recall on
+// the identical workload (the static baseline), the worst convergence
+// lag of any single membership change, the handoff traffic, and the
+// lost-post count of the final directory sweep. The whole sweep is a
+// pure function of the config.
+func ChurnSweep(cfg ChurnSweepConfig) ([]ChurnSweepCell, error) {
+	if len(cfg.RingSizes) == 0 {
+		cfg.RingSizes = []int{16, 64}
+	}
+	if len(cfg.Rates) == 0 {
+		cfg.Rates = []float64{0.05, 0.20}
+	}
+	if cfg.Queries <= 0 {
+		cfg.Queries = 6
+	}
+	if cfg.K <= 0 {
+		cfg.K = 20
+	}
+	if cfg.MaxPeers <= 0 {
+		cfg.MaxPeers = 3
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 2
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 2006
+	}
+	var cells []ChurnSweepCell
+	for _, peers := range cfg.RingSizes {
+		// A quarter of the ring again as join headroom keeps departures
+		// matched by arrivals deep into the run.
+		total := peers + peers/4
+		for _, rate := range cfg.Rates {
+			events := sim.ChurnEvents(sim.ChurnConfig{
+				Seed:         cfg.Seed + int64(peers)*1000 + int64(rate*100),
+				Queries:      cfg.Queries,
+				InitialPeers: peers,
+				TotalPeers:   total,
+				Rate:         rate,
+			})
+			sc := sim.Scenario{
+				Name:           fmt.Sprintf("churn-sweep-%dp-%02.0f%%", peers, rate*100),
+				Seed:           cfg.Seed,
+				NumDocs:        40 * total,
+				VocabSize:      16 * total,
+				Fragments:      total,
+				Window:         2,
+				Offset:         1,
+				Queries:        cfg.Queries,
+				K:              cfg.K,
+				MaxPeers:       cfg.MaxPeers,
+				Replicas:       cfg.Replicas,
+				InitialPeers:   peers,
+				CheckLostPosts: true,
+				Events:         events,
+			}
+			rep, err := sim.Run(sc)
+			if err != nil {
+				return nil, fmt.Errorf("eval: churn sweep %s: %w", sc.Name, err)
+			}
+			static := sc
+			static.Events = nil
+			static.CheckLostPosts = false
+			staticRep, err := sim.Run(static)
+			if err != nil {
+				return nil, fmt.Errorf("eval: churn sweep %s static twin: %w", sc.Name, err)
+			}
+			cells = append(cells, ChurnSweepCell{
+				Peers:          peers,
+				Rate:           rate,
+				Joins:          rep.Joins,
+				Leaves:         rep.Leaves,
+				Recall:         rep.Recall,
+				StaticRecall:   staticRep.Recall,
+				ConvergenceLag: rep.ConvergenceLag,
+				HandoffPosts:   rep.HandoffPosts,
+				HandoffBytes:   rep.HandoffBytes,
+				LostPosts:      rep.LostPosts,
+			})
+		}
+	}
+	return cells, nil
+}
+
+// ChurnSweepTable renders the sweep as an aligned table.
+func ChurnSweepTable(cells []ChurnSweepCell) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s %6s %6s %7s %7s %8s %5s %9s %10s %5s\n",
+		"peers", "rate", "joins", "leaves", "recall", "static", "lag", "handoff", "bytes", "lost")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%6d %5.0f%% %6d %7d %7.3f %8.3f %5d %9d %10d %5d\n",
+			c.Peers, c.Rate*100, c.Joins, c.Leaves, c.Recall, c.StaticRecall,
+			c.ConvergenceLag, c.HandoffPosts, c.HandoffBytes, c.LostPosts)
+	}
+	return b.String()
 }

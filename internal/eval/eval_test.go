@@ -367,6 +367,40 @@ func TestChurnExperiment(t *testing.T) {
 		res.Before, res.Degraded, res.Healed, res.Pruned)
 }
 
+func TestChurnSweep(t *testing.T) {
+	cells, err := ChurnSweep(ChurnSweepConfig{
+		RingSizes: []int{12},
+		Rates:     []float64{0.15},
+		Queries:   4,
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 {
+		t.Fatalf("got %d cells, want 1", len(cells))
+	}
+	c := cells[0]
+	if c.Leaves == 0 || c.Joins == 0 {
+		t.Fatalf("sweep cell fired no churn: %+v", c)
+	}
+	if c.LostPosts != 0 {
+		t.Errorf("%d posts lost under graceful sweep churn, want 0", c.LostPosts)
+	}
+	if c.HandoffBytes == 0 {
+		t.Errorf("no handoff bytes recorded despite %d leaves", c.Leaves)
+	}
+	if c.StaticRecall <= 0 {
+		t.Errorf("static twin recall %v, want > 0", c.StaticRecall)
+	}
+	table := ChurnSweepTable(cells)
+	if !strings.Contains(table, "static") || !strings.Contains(table, "lost") {
+		t.Fatalf("table:\n%s", table)
+	}
+	t.Logf("sweep cell: recall %.3f vs static %.3f, lag %d, %d handoff bytes",
+		c.Recall, c.StaticRecall, c.ConvergenceLag, c.HandoffBytes)
+}
+
 func TestLoadExperiment(t *testing.T) {
 	points, err := Load(LoadConfig{
 		CorpusDocs: 2500,

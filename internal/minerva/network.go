@@ -3,7 +3,9 @@ package minerva
 import (
 	"fmt"
 
+	"iqn/internal/chord"
 	"iqn/internal/dataset"
+	"iqn/internal/directory"
 	"iqn/internal/ir"
 	"iqn/internal/transport"
 )
@@ -23,7 +25,17 @@ type Network struct {
 	Reference *ir.Index
 
 	byName map[string]*Peer
+	netFor func(name string) transport.Network
+	cfg    Config
 }
+
+// bootstrapThreshold is the network size above which ring construction
+// switches from the join-and-stabilize protocol (O(n²) RPCs — the
+// faithful but slow path that small deterministic tests depend on) to a
+// zero-RPC warm start from the full membership snapshot
+// (chord.Node.Bootstrap). Live joins and leaves afterwards always go
+// through the real protocol.
+const bootstrapThreshold = 64
 
 // BuildNetwork boots one peer per collection on the given transport,
 // stabilizes the ring deterministically, indexes every collection, and
@@ -43,7 +55,7 @@ func BuildNetworkEndpoints(base transport.Network, netFor func(name string) tran
 	if len(cols) == 0 {
 		return nil, fmt.Errorf("minerva: no collections")
 	}
-	n := &Network{Transport: base, byName: map[string]*Peer{}}
+	n := &Network{Transport: base, byName: map[string]*Peer{}, netFor: netFor, cfg: cfg}
 	for _, col := range cols {
 		peerNet := base
 		if netFor != nil {
@@ -57,21 +69,33 @@ func BuildNetworkEndpoints(base transport.Network, netFor func(name string) tran
 		n.Peers = append(n.Peers, p)
 		n.byName[col.Name] = p
 	}
-	// Deterministic ring construction: join everyone through the first
-	// peer, then run stabilization rounds to convergence.
-	n.Peers[0].CreateRing()
-	for _, p := range n.Peers[1:] {
-		if err := p.JoinRing(n.Peers[0].Name()); err != nil {
-			n.Close()
-			return nil, err
+	if len(n.Peers) >= bootstrapThreshold {
+		// Warm start: every node computes its ring state locally from the
+		// full membership snapshot — no joins, no stabilization rounds.
+		refs := make([]chord.NodeRef, len(n.Peers))
+		for i, p := range n.Peers {
+			refs[i] = p.Node().Self()
 		}
-		for round := 0; round < 3; round++ {
-			for _, q := range n.Peers {
-				q.Node().Stabilize()
+		for _, p := range n.Peers {
+			p.Node().Bootstrap(refs)
+		}
+	} else {
+		// Deterministic ring construction: join everyone through the first
+		// peer, then run stabilization rounds to convergence.
+		n.Peers[0].CreateRing()
+		for _, p := range n.Peers[1:] {
+			if err := p.JoinRing(n.Peers[0].Name()); err != nil {
+				n.Close()
+				return nil, err
+			}
+			for round := 0; round < 3; round++ {
+				for _, q := range n.Peers {
+					q.Node().Stabilize()
+				}
 			}
 		}
+		n.StabilizeAll()
 	}
-	n.StabilizeAll()
 	// Index and publish.
 	for i, col := range cols {
 		n.Peers[i].IndexCollection(col.Docs)
@@ -108,6 +132,62 @@ func (n *Network) StabilizeAll() {
 
 // Peer returns a peer by name (nil if unknown).
 func (n *Network) Peer(name string) *Peer { return n.byName[name] }
+
+// AddPeer grows a live network: the new peer indexes its collection,
+// joins through the first live peer with the no-dark-window handoff
+// (Peer.JoinLive), and publishes its directory posts at the given
+// epoch. Returns the new peer.
+func (n *Network) AddPeer(col dataset.Collection, epoch int64) (*Peer, error) {
+	if n.byName[col.Name] != nil {
+		return nil, fmt.Errorf("minerva: peer %s already exists", col.Name)
+	}
+	var seed string
+	for _, p := range n.Peers {
+		if p.Reachable() {
+			seed = p.Name()
+			break
+		}
+	}
+	if seed == "" {
+		return nil, fmt.Errorf("minerva: no live peer to join through")
+	}
+	peerNet := n.Transport
+	if n.netFor != nil {
+		peerNet = n.netFor(col.Name)
+	}
+	p, err := NewPeer(col.Name, peerNet, n.cfg)
+	if err != nil {
+		return nil, err
+	}
+	p.IndexCollection(col.Docs)
+	if _, err := p.JoinLive(seed, epoch); err != nil {
+		p.Close()
+		return nil, fmt.Errorf("minerva: join %s: %w", col.Name, err)
+	}
+	n.Peers = append(n.Peers, p)
+	n.byName[col.Name] = p
+	return p, nil
+}
+
+// RemovePeer gracefully departs a named peer (Peer.Leave: withdraw,
+// handoff push, ring splice, stop serving) and drops it from the
+// network's bookkeeping. The peer stays in Peers order for the
+// remaining members.
+func (n *Network) RemovePeer(name string) (directory.HandoffReport, error) {
+	p := n.byName[name]
+	if p == nil {
+		return directory.HandoffReport{}, fmt.Errorf("minerva: unknown peer %s", name)
+	}
+	rep, err := p.Leave()
+	delete(n.byName, name)
+	for i, q := range n.Peers {
+		if q == p {
+			n.Peers = append(n.Peers[:i], n.Peers[i+1:]...)
+			break
+		}
+	}
+	return rep, err
+}
 
 // Close shuts every peer down.
 func (n *Network) Close() {

@@ -324,7 +324,7 @@ func NewPeer(addr string, net transport.Network, cfg Config) (*Peer, error) {
 	// directory traffic, and query forwarding are all counted; with a
 	// nil registry the wrapper IS the raw network (zero overhead).
 	net = transport.Instrument(net, cfg.Metrics)
-	node, err := chord.New(addr, net, chord.Config{})
+	node, err := chord.New(addr, net, chord.Config{Metrics: cfg.Metrics})
 	if err != nil {
 		return nil, err
 	}
@@ -356,6 +356,11 @@ func NewPeer(addr string, net transport.Network, cfg Config) (*Peer, error) {
 	if cfg.Breakers != nil {
 		p.breakers = transport.NewBreakers(*cfg.Breakers)
 		p.breakers.SetMetrics(cfg.Metrics)
+		// Ring maintenance shares the breaker-aware path: churn-era probe
+		// storms against dead links are fast-rejected instead of hammered,
+		// and stabilization failures feed the same per-link state as
+		// query traffic.
+		node.SetCaller(p.caller())
 	}
 	if cfg.AdmissionLimit > 0 {
 		node.Mux().SetLimit(cfg.AdmissionLimit, cfg.AdmissionQueue)
@@ -465,9 +470,75 @@ func (p *Peer) CreateRing() { p.node.Create() }
 func (p *Peer) JoinRing(seedAddr string) error { return p.node.Join(seedAddr) }
 
 // AcquireDirectoryRange pulls the directory posts this peer now owns
-// from its successor — the key-handoff step of a join. Returns the
-// number of posts acquired.
+// from its successor-list replicas — the key-handoff step of a join.
+// Returns the number of posts acquired.
 func (p *Peer) AcquireDirectoryRange() (int, error) { return p.svc.AcquireOwnedRange() }
+
+// JoinLive enters an existing network with the directory handoff
+// ordered so lookups never route to a dark range: the peer joins the
+// ring (not yet visible — nobody routes to it until its notify lands),
+// publishes its own posts at the given epoch while the old ring still
+// routes (so they land on the current owners, including the successor
+// holding the range the peer is about to take over), pulls its future
+// range from the successor-list replicas — own posts riding along —
+// and only then stabilizes to become visible. By the time any lookup
+// can route to the newcomer, the posts are already here. Publishing
+// after the join instead would race ring convergence: until the
+// predecessor learns about the newcomer, lookups for the newcomer's
+// own arc resolve to the old owner, and posts published through that
+// stale view would be stored where post-convergence fetches never
+// look. Returns the number of posts acquired.
+func (p *Peer) JoinLive(seedAddr string, epoch int64) (int, error) {
+	if err := p.node.Join(seedAddr); err != nil {
+		return 0, err
+	}
+	if p.snap.Load() != nil {
+		if err := p.PublishPostsEpoch(epoch); err != nil {
+			return 0, fmt.Errorf("minerva: publish on join: %w", err)
+		}
+	}
+	acquired := 0
+	succ := p.node.Successor()
+	if !succ.IsZero() && succ.Addr != p.name {
+		sources := []chord.NodeRef{succ}
+		if more, err := p.node.SuccessorsOf(succ); err == nil {
+			for _, r := range more {
+				if !r.IsZero() && r.Addr != p.name && r.Addr != succ.Addr {
+					sources = append(sources, r)
+				}
+			}
+		}
+		if pred, err := p.node.PredecessorOf(succ); err == nil && !pred.IsZero() {
+			rep, err := p.svc.AcquireRangeFrom(pred.ID, sources)
+			if err != nil {
+				return 0, err
+			}
+			acquired = rep.Acquired
+		}
+	}
+	// Become visible: the notify inside Stabilize teaches the successor
+	// about us; the rest of the ring catches up over its own rounds.
+	p.node.Stabilize()
+	return acquired, nil
+}
+
+// Leave departs gracefully: the peer's own publications are withdrawn
+// from the directory (queries stop routing to a peer that is gone), its
+// stored directory fraction is pushed to the first live successor
+// (acknowledged, with re-publication as the last resort), the ring is
+// spliced over the gap via leave notices, and only then does the peer
+// stop serving. The handoff report says where the fraction landed; the
+// error is non-nil only when no replica accepted it (those posts then
+// reappear when their origin peers republish).
+func (p *Peer) Leave() (directory.HandoffReport, error) {
+	if s := p.snap.Load(); s != nil {
+		p.dir.Withdraw(p.name, s.index.Terms())
+	}
+	rep, err := p.dir.PushHandoff(p.svc)
+	p.node.Leave()
+	p.node.Close()
+	return rep, err
+}
 
 // Close removes the peer from the network.
 func (p *Peer) Close() { p.node.Close() }

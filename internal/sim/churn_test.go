@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// gracefulChurnScenario: 12 of 16 peers boot, then sustained 15%/round
+// pure-graceful churn across the workload. CheckLostPosts asserts the
+// handoff protocol's core promise.
+func gracefulChurnScenario(seed int64) Scenario {
+	events := ChurnEvents(ChurnConfig{
+		Seed:         seed,
+		Queries:      6,
+		InitialPeers: 12,
+		TotalPeers:   16,
+		Rate:         0.15,
+	})
+	return Scenario{
+		Name:           "graceful-churn",
+		Seed:           seed,
+		Queries:        6,
+		Fragments:      32, // 16 collections at offset 2
+		InitialPeers:   12,
+		Retry:          fastRetry(),
+		CheckLostPosts: true,
+		RecallBound:    0.6,
+		Events:         events,
+	}
+}
+
+func TestGracefulChurnZeroLostPosts(t *testing.T) {
+	rep, err := Run(gracefulChurnScenario(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Leaves == 0 || rep.Joins == 0 {
+		t.Fatalf("churn schedule fired %d leaves / %d joins — generator produced no churn", rep.Leaves, rep.Joins)
+	}
+	if rep.LostPosts != 0 {
+		t.Errorf("%d posts lost under pure graceful churn, want 0", rep.LostPosts)
+	}
+	if rep.HandoffPosts == 0 || rep.HandoffBytes == 0 {
+		t.Errorf("no handoff traffic recorded (%d posts, %d bytes) despite %d leaves",
+			rep.HandoffPosts, rep.HandoffBytes, rep.Leaves)
+	}
+	if rep.ConvergenceLag <= 0 || rep.ConvergenceLag >= maxConvergeRounds {
+		t.Errorf("convergence lag %d rounds, want within (0, %d)", rep.ConvergenceLag, maxConvergeRounds)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("invariant violated: %s", v)
+	}
+}
+
+// TestChurnReplayDeterminism runs the graceful-churn scenario twice and
+// requires byte-identical replay: same membership history (joins/leaves
+// counts), same handoff totals, same fault schedule, same merged top-k
+// per query.
+func TestChurnReplayDeterminism(t *testing.T) {
+	sc := gracefulChurnScenario(33)
+	a, err := Run(sc)
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	b, err := Run(sc)
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	if a.Joins != b.Joins || a.Leaves != b.Leaves {
+		t.Fatalf("membership history diverged: %d/%d joins, %d/%d leaves", a.Joins, b.Joins, a.Leaves, b.Leaves)
+	}
+	if a.HandoffPosts != b.HandoffPosts || a.HandoffBytes != b.HandoffBytes {
+		t.Fatalf("handoff totals diverged: %d/%d posts, %d/%d bytes",
+			a.HandoffPosts, b.HandoffPosts, a.HandoffBytes, b.HandoffBytes)
+	}
+	if a.ConvergenceLag != b.ConvergenceLag {
+		t.Fatalf("convergence lag diverged: %d vs %d", a.ConvergenceLag, b.ConvergenceLag)
+	}
+	if a.Schedule != b.Schedule {
+		t.Fatalf("fault schedules diverged:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a.Schedule, b.Schedule)
+	}
+	if len(a.Outcomes) != len(b.Outcomes) {
+		t.Fatalf("outcome counts diverged: %d vs %d", len(a.Outcomes), len(b.Outcomes))
+	}
+	for i := range a.Outcomes {
+		if fmt.Sprint(a.Outcomes[i].Docs) != fmt.Sprint(b.Outcomes[i].Docs) {
+			t.Errorf("query %d: merged top-k diverged:\nrun 1: %v\nrun 2: %v",
+				i, a.Outcomes[i].Docs, b.Outcomes[i].Docs)
+		}
+		if a.Outcomes[i].Err != b.Outcomes[i].Err {
+			t.Errorf("query %d: errors diverged: %q vs %q", i, a.Outcomes[i].Err, b.Outcomes[i].Err)
+		}
+	}
+}
+
+// TestMixedChurnRecallFloor: 20% per-round churn, 40% of departures
+// crashing. Crashed peers' documents are legitimately unreachable, so
+// the floor is on absolute recall of what remains routable — the CI
+// smoke gate asserts ≥ 0.6 of the churn-free twin.
+func TestMixedChurnRecallFloor(t *testing.T) {
+	events := ChurnEvents(ChurnConfig{
+		Seed:          44,
+		Queries:       6,
+		InitialPeers:  12,
+		TotalPeers:    16,
+		Rate:          0.20,
+		CrashFraction: 0.4,
+	})
+	kills := 0
+	for _, e := range events {
+		if e.Kind == Kill {
+			kills++
+		}
+	}
+	if kills == 0 {
+		t.Fatal("mixed schedule produced no crashes; raise Rate or CrashFraction")
+	}
+	rep, err := Run(Scenario{
+		Name:         "mixed-churn",
+		Seed:         44,
+		Queries:      6,
+		Fragments:    32,
+		InitialPeers: 12,
+		Replicas:     3,
+		MaxPeers:     5,
+		Retry:        fastRetry(),
+		RecallBound:  0.6,
+		Events:       events,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FaultFreeRecall <= 0 {
+		t.Fatal("churn-free twin did not run")
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("invariant violated: %s", v)
+	}
+	t.Logf("mixed churn: recall %.3f vs churn-free %.3f (lag %d rounds, %d leaves, %d kills)",
+		rep.Recall, rep.FaultFreeRecall, rep.ConvergenceLag, rep.Leaves, kills)
+}
+
+// TestThousandPeerGracefulChurn is the scale acceptance run: a
+// 1,000-peer ring under sustained 5%/round graceful churn must complete
+// with zero permanently-lost directory posts and replay byte-identically.
+// Skipped under -race (the instrumented run is ~10× slower; the same
+// code paths race-test on the small rings above) and in -short mode.
+func TestThousandPeerGracefulChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1,000-peer scenario skipped in short mode")
+	}
+	if raceEnabled {
+		t.Skip("1,000-peer scenario skipped under -race; small-ring churn tests cover the same paths")
+	}
+	const initial, total = 1000, 1050
+	events := ChurnEvents(ChurnConfig{
+		Seed:         71,
+		Queries:      4,
+		InitialPeers: initial,
+		TotalPeers:   total,
+		Rate:         0.05,
+	})
+	sc := Scenario{
+		Name:           "thousand-peer-churn",
+		Seed:           71,
+		NumDocs:        6000,
+		VocabSize:      2500,
+		Fragments:      total,
+		Window:         2,
+		Offset:         1,
+		Queries:        4,
+		InitialPeers:   initial,
+		Replicas:       2,
+		Retry:          fastRetry(),
+		CheckLostPosts: true,
+		Events:         events,
+	}
+	a, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Leaves < initial/25 {
+		t.Fatalf("only %d leaves fired; 5%%/round churn on %d peers should sustain more", a.Leaves, initial)
+	}
+	if a.LostPosts != 0 {
+		t.Errorf("%d posts lost under graceful churn at 1,000 peers, want 0", a.LostPosts)
+	}
+	for _, v := range a.Violations {
+		t.Errorf("invariant violated: %s", v)
+	}
+	b, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Schedule != b.Schedule || a.Joins != b.Joins || a.Leaves != b.Leaves ||
+		a.HandoffBytes != b.HandoffBytes || a.ConvergenceLag != b.ConvergenceLag {
+		t.Fatalf("replay diverged: schedule %v, joins %d/%d, leaves %d/%d, bytes %d/%d, lag %d/%d",
+			a.Schedule == b.Schedule, a.Joins, b.Joins, a.Leaves, b.Leaves,
+			a.HandoffBytes, b.HandoffBytes, a.ConvergenceLag, b.ConvergenceLag)
+	}
+	for i := range a.Outcomes {
+		if fmt.Sprint(a.Outcomes[i].Docs) != fmt.Sprint(b.Outcomes[i].Docs) {
+			t.Errorf("query %d: merged top-k diverged across replays", i)
+		}
+	}
+	t.Logf("1,000-peer churn: %d joins, %d leaves, lag %d rounds, %d handoff posts (%d bytes), recall %.3f",
+		a.Joins, a.Leaves, a.ConvergenceLag, a.HandoffPosts, a.HandoffBytes, a.Recall)
+}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package sim
+
+// raceEnabled reports whether the race detector is compiled in; the
+// 1,000-peer churn test skips under -race (the instrumented run is an
+// order of magnitude slower and the same protocol paths are raced by
+// the small-ring scenarios).
+const raceEnabled = false

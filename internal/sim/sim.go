@@ -84,6 +84,17 @@ const (
 	// peer digest-compares its stored terms' replica sets and patches
 	// divergent replicas — no republishing.
 	AntiEntropy
+	// Join boots the peer with index Peer (which must be above the
+	// scenario's InitialPeers floor, i.e. not yet booted) and enters it
+	// through the live-join protocol: the newcomer pulls its directory
+	// range before becoming visible, then publishes its own posts at the
+	// current epoch.
+	Join
+	// Leave departs the peer gracefully: its own posts are withdrawn,
+	// its stored directory fraction is pushed to its successor, the ring
+	// is spliced via leave notices, and the peer stops serving. Contrast
+	// with Kill, which drops everything on the floor.
+	Leave
 )
 
 // String names the event kind.
@@ -111,6 +122,10 @@ func (k EventKind) String() string {
 		return "saturate"
 	case AntiEntropy:
 		return "anti-entropy"
+	case Join:
+		return "join"
+	case Leave:
+		return "leave"
 	}
 	return "?"
 }
@@ -226,6 +241,19 @@ type Scenario struct {
 	// for both twins (streaming never materializes the full union, so
 	// the twins must merge at one explicit depth to be comparable).
 	MergeK int
+	// InitialPeers, when > 0, boots only the first InitialPeers
+	// collections; the rest exist as named-but-unbooted slots that Join
+	// events grow the ring with. Zero boots every collection (the
+	// pre-churn behavior).
+	InitialPeers int
+	// CheckLostPosts, when true, runs a final directory sweep after the
+	// workload: every live peer's published terms (sampled per peer at
+	// scale, exhaustive on small rings) must still resolve to a PeerList
+	// containing that peer's post. Every miss is counted in
+	// Report.LostPosts and reported as an invariant violation — the
+	// "zero permanently-lost directory posts under graceful churn"
+	// guarantee.
+	CheckLostPosts bool
 	// TopKParity, with TopKStreaming set, runs a pull-everything twin
 	// of the scenario (same seed, same events, TopKStreaming off) and
 	// asserts the streaming protocol is semantically invisible: every
@@ -337,6 +365,20 @@ type Report struct {
 	// totals. Counter values are deterministic for a fixed scenario and
 	// seed; histogram observations carry wall-clock latency and are not.
 	Metrics *telemetry.Snapshot
+	// ConvergenceLag is the worst-case directory convergence lag over
+	// the run: the maximum number of network-wide stabilization rounds
+	// any single membership change (Join, Leave, Kill, Revive) needed
+	// before every live peer's successor was again the next live ID.
+	ConvergenceLag int
+	// Joins and Leaves count the membership changes fired.
+	Joins, Leaves int
+	// HandoffPosts and HandoffBytes total the graceful-leave directory
+	// transfers (acknowledged pushes plus re-publication fallbacks).
+	HandoffPosts, HandoffBytes int
+	// LostPosts counts published posts of live peers that the final
+	// directory sweep could not find (Scenario.CheckLostPosts only).
+	// Graceful churn promises zero.
+	LostPosts int
 	// Violations lists broken invariants (empty = all held).
 	Violations []string
 }
@@ -444,6 +486,10 @@ func runOnce(sc Scenario, withFaults bool) (*Report, error) {
 		return nil, fmt.Errorf("sim: scenario %q produced no collections", sc.Name)
 	}
 	queries := dataset.GenerateQueries(corpus, dataset.QueryConfig{Count: sc.Queries, Seed: sc.Seed})
+	bootCols := cols
+	if sc.InitialPeers > 0 && sc.InitialPeers < len(cols) {
+		bootCols = cols[:sc.InitialPeers]
+	}
 	faulty := transport.NewFaulty(transport.NewInMem(), sc.Seed)
 	var breakers *transport.BreakerConfig
 	if sc.Breakers != nil {
@@ -455,7 +501,7 @@ func runOnce(sc Scenario, withFaults bool) (*Report, error) {
 	if sc.Telemetry {
 		registry = telemetry.NewRegistry()
 	}
-	net, err := minerva.BuildNetworkEndpoints(faulty, faulty.Endpoint, corpus, cols, minerva.Config{
+	net, err := minerva.BuildNetworkEndpoints(faulty, faulty.Endpoint, corpus, bootCols, minerva.Config{
 		SynopsisSeed:      uint64(sc.Seed) + 99,
 		Replicas:          sc.Replicas,
 		DirectoryRetry:    sc.Retry,
@@ -471,9 +517,11 @@ func runOnce(sc Scenario, withFaults bool) (*Report, error) {
 		return nil, fmt.Errorf("sim: boot %q: %w", sc.Name, err)
 	}
 	defer net.Close()
-	names := make([]string, len(net.Peers))
-	for i, p := range net.Peers {
-		names[i] = p.Name()
+	// Event peer indexes address the full collection list — including
+	// slots beyond InitialPeers that only exist once a Join boots them.
+	names := make([]string, len(cols))
+	for i, col := range cols {
+		names[i] = col.Name
 	}
 	name := func(i int) string {
 		if i < 0 || i >= len(names) {
@@ -489,14 +537,21 @@ func runOnce(sc Scenario, withFaults bool) (*Report, error) {
 
 	r := &Report{Scenario: sc.Name}
 	epoch := int64(0)
+	// converged runs measured stabilization after a membership change and
+	// folds the lag into the report's worst case.
+	converged := func() {
+		if lag := convergeAlive(net, faulty); lag > r.ConvergenceLag {
+			r.ConvergenceLag = lag
+		}
+	}
 	fire := func(e Event) error {
 		switch e.Kind {
 		case Kill:
 			faulty.Crash(name(e.Peer))
-			stabilizeAlive(net, faulty)
+			converged()
 		case Revive:
 			faulty.Revive(name(e.Peer))
-			stabilizeAlive(net, faulty)
+			converged()
 		case PartitionLink:
 			faulty.AddRule(transport.Rule{From: name(e.From), To: name(e.To), Partition: true})
 		case HealLink:
@@ -540,6 +595,34 @@ func runOnce(sc Scenario, withFaults bool) (*Report, error) {
 			}
 		case AntiEntropy:
 			net.AntiEntropyRound()
+		case Join:
+			if e.Peer < 0 || e.Peer >= len(cols) {
+				return fmt.Errorf("sim: join event peer %d out of range", e.Peer)
+			}
+			if net.Peer(name(e.Peer)) != nil {
+				return fmt.Errorf("sim: join event peer %s already live", name(e.Peer))
+			}
+			if _, err := net.AddPeer(cols[e.Peer], epoch); err != nil {
+				return fmt.Errorf("sim: join %s: %w", name(e.Peer), err)
+			}
+			r.Joins++
+			converged()
+		case Leave:
+			p := net.Peer(name(e.Peer))
+			if p == nil {
+				return fmt.Errorf("sim: leave event peer %s not live", name(e.Peer))
+			}
+			rep, err := net.RemovePeer(p.Name())
+			if err != nil && !faulty.Crashed(p.Name()) {
+				// A live peer's graceful leave must place its fraction
+				// somewhere; failure to do so is the lost-posts hazard the
+				// protocol exists to prevent.
+				return fmt.Errorf("sim: leave %s: %w", p.Name(), err)
+			}
+			r.Leaves++
+			r.HandoffPosts += rep.Posts
+			r.HandoffBytes += rep.Bytes
+			converged()
 		default:
 			return fmt.Errorf("sim: unknown event kind %d", e.Kind)
 		}
@@ -644,6 +727,13 @@ func runOnce(sc Scenario, withFaults bool) (*Report, error) {
 	}
 	if recallN > 0 {
 		r.Recall = recallSum / float64(recallN)
+	}
+	if withFaults && sc.CheckLostPosts {
+		r.LostPosts = countLostPosts(net, faulty)
+		if r.LostPosts > 0 {
+			r.Violations = append(r.Violations, fmt.Sprintf(
+				"%d directory posts of live peers permanently lost", r.LostPosts))
+		}
 	}
 	r.Schedule = faulty.ScheduleString()
 	if sc.Breakers != nil {
@@ -820,25 +910,5 @@ func searchWatchdog(ctx context.Context, p *minerva.Peer, terms []string, opts m
 		return out.res, out.err
 	case <-timer.C:
 		return nil, errWatchdog
-	}
-}
-
-// stabilizeAlive re-runs ring maintenance on the peers that can still
-// talk, so lookups route around crashed nodes (the deterministic stand-in
-// for the peers' background stabilization loops).
-func stabilizeAlive(net *minerva.Network, faulty *transport.Faulty) {
-	var alive []*minerva.Peer
-	for _, p := range net.Peers {
-		if !faulty.Crashed(p.Name()) {
-			alive = append(alive, p)
-		}
-	}
-	for round := 0; round < 2*len(alive); round++ {
-		for _, p := range alive {
-			p.Node().Stabilize()
-		}
-	}
-	for _, p := range alive {
-		p.Node().FixAllFingers()
 	}
 }
