@@ -13,6 +13,7 @@
 //	iqnbench -exp cache                           # directory read cache on a Zipfian repeated-term workload
 //	iqnbench -exp qps                             # saturation queries/sec, bare vs optimized serving engine
 //	iqnbench -exp topk                            # bytes on the wire, pull-everything vs threshold streaming
+//	iqnbench -exp build -docs 1000000             # out-of-core index build: throughput, peak RSS, parity, resume
 //	iqnbench -exp all                             # everything, default sizes
 //
 // The defaults are laptop-scale (20k documents); raise -docs for runs
@@ -65,6 +66,9 @@ type benchExperiment struct {
 	Cache      []cachePoint          `json:"cache,omitempty"`
 	QPS        *eval.QPSResult       `json:"qps,omitempty"`
 	TopK       []topkPoint           `json:"topk,omitempty"`
+	// Build is set only for the build experiment: out-of-core indexing
+	// throughput, peak RSS vs budget, and the parity/resume gates.
+	Build *eval.BuildResult `json:"build,omitempty"`
 	// RPCReductionPct is set only for the cache experiment: the
 	// directory read-RPC reduction of cached over cold, in percent.
 	RPCReductionPct float64 `json:"rpcReductionPct,omitempty"`
@@ -185,7 +189,7 @@ func toBenchSeries(series []eval.Series) []benchSeries {
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig2left|fig2right|fig3left|fig3right|aggregation|histogram|budget|hetero|prior|cost|churn|chaos|load|route|overload|cache|qps|topk|all")
+		exp     = flag.String("exp", "all", "experiment: fig2left|fig2right|fig3left|fig3right|aggregation|histogram|budget|hetero|prior|cost|churn|chaos|load|route|overload|cache|qps|topk|build|all")
 		docs    = flag.Int("docs", 20000, "corpus size for fig3-style experiments")
 		vocab   = flag.Int("vocab", 0, "vocabulary size (0: docs/10)")
 		runs    = flag.Int("runs", 50, "runs per point for fig2-style experiments")
@@ -198,6 +202,7 @@ func main() {
 		svgDir  = flag.String("svgdir", "", "also write each experiment's chart as an SVG file into this directory")
 		peers   = flag.String("peers", "", "comma-separated peer counts (default 1..10)")
 		jsonOut = flag.String("json", "", "also write machine-readable results for the selected experiments to this JSON file")
+		memMB   = flag.Int64("membudget", 128, "build experiment: spill-buffer budget in MiB")
 	)
 	flag.Parse()
 
@@ -450,6 +455,23 @@ func main() {
 				e.ParityOK = res.ParityOK
 			})
 			fmt.Print(eval.TopKTable(res))
+		case "build":
+			res, err := eval.Build(eval.BuildConfig{
+				CorpusDocs: *docs, VocabSize: *vocab, Seed: *seed,
+				MemBudgetMB: *memMB, SynopsisBits: 2048,
+				Queries: *numQ, ParityCheck: true, ResumeCheck: true,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "iqnbench: build: %v\n", err)
+				os.Exit(1)
+			}
+			record(name, func(e *benchExperiment) { e.Build = res })
+			fmt.Print(eval.BuildTable(res))
+			if !res.ParityOK || !res.ResumeOK {
+				fmt.Fprintf(os.Stderr, "iqnbench: build: parity/resume gate failed (parity=%v resume=%v)\n",
+					res.ParityOK, res.ResumeOK)
+				os.Exit(1)
+			}
 		case "chaos":
 			points, err := eval.Chaos(eval.ChaosConfig{
 				CorpusDocs: *docs, VocabSize: *vocab, Strategy: right,
@@ -475,7 +497,7 @@ func main() {
 
 	if *exp == "all" {
 		for _, name := range []string{"fig2left", "fig2right", "fig3left", "fig3right",
-			"aggregation", "histogram", "budget", "hetero", "prior", "cost", "churn", "chaos", "load", "route", "overload", "cache", "qps", "topk"} {
+			"aggregation", "histogram", "budget", "hetero", "prior", "cost", "churn", "chaos", "load", "route", "overload", "cache", "qps", "topk", "build"} {
 			run(name)
 		}
 	} else {

@@ -1,0 +1,308 @@
+// Package buildix is the out-of-core index construction pipeline: it
+// builds the on-disk posting format (ir.DiskIndex) from a document
+// stream whose total size can far exceed RAM.
+//
+// The build runs in three durable stages, the classic external-memory
+// sort-merge arrangement:
+//
+//  1. spill — stream documents one at a time, tokenize, and accumulate
+//     (term, doc, tf) triples in a bounded buffer. When the buffer
+//     reaches the memory budget it is sorted by (term, docID) and
+//     flushed as a flate-compressed run file. Per-document lengths go
+//     to a side file for the length-normalized scoring models.
+//  2. merge — k-way merge the sorted runs with a heap, limited to
+//     MergeFanIn inputs per pass (extra passes write intermediate runs
+//     in the same format). The final pass scores each term with the
+//     exact in-memory scoring kernel (ir.ScoreTerm) and streams it into
+//     an ir.DiskWriter, producing the single-file index.
+//  3. synopsis — stream the merged index term by term and precompute
+//     each term's set synopsis into the side file the directory
+//     publisher reads, so a loaded index never re-derives synopses.
+//
+// Every stage records its completion in a manifest before the pipeline
+// moves on, so a build killed at any point resumes at the last
+// completed stage instead of starting over; the artifacts of a resumed
+// build are byte-identical to an uninterrupted one. Peak memory is
+// governed by MemBudget (the spill buffer) plus two O(corpus)-but-small
+// tables that every external build keeps in core: the term dictionary
+// and, during merge, the document-length table (~16 bytes per
+// document).
+package buildix
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"iqn/internal/ir"
+	"iqn/internal/synopsis"
+	"iqn/internal/telemetry"
+)
+
+// Doc is one input document. Terms takes precedence when set; otherwise
+// Text is tokenized with ir.TokenizeInto.
+type Doc struct {
+	ID    uint64
+	Text  string
+	Terms []string
+}
+
+// Source yields the document stream, one Doc per call, ok=false at the
+// end. It is consumed only by the spill stage — a resumed build whose
+// spill already completed never calls it.
+type Source func() (Doc, bool)
+
+// ErrStopped reports that the build stopped deliberately after the
+// stage named by Config.StopAfter. The manifest records the completed
+// stage, so a subsequent Build resumes from there.
+var ErrStopped = errors.New("buildix: stopped after requested stage")
+
+// Stage names, in pipeline order.
+const (
+	StageSpill    = "spill"
+	StageMerge    = "merge"
+	StageSynopsis = "synopsis"
+)
+
+// Config parameterizes a build.
+type Config struct {
+	// Dir is the working directory: run files, the doc-length side
+	// file, and the manifest live here. Created if missing. The final
+	// index is also written here unless IndexPath overrides it.
+	Dir string
+	// IndexPath is the output index file. Default Dir/index.iqdx. The
+	// synopsis side file is IndexPath+".syn".
+	IndexPath string
+	// Scoring selects the scoring model baked into the postings.
+	Scoring ir.Scoring
+	// MemBudget bounds the spill buffer, in bytes. When the buffered
+	// postings (plus the term dictionary) exceed it, a sorted run is
+	// flushed. Default 64 MiB; the floor is 1 MiB.
+	MemBudget int64
+	// MergeFanIn caps how many runs a single merge pass reads. More
+	// runs than this trigger intermediate passes. Default 64.
+	MergeFanIn int
+	// Synopsis, when non-nil, enables the synopsis stage with this
+	// scheme. Nil skips the stage (the manifest marks it done).
+	Synopsis *synopsis.Config
+	// Metrics receives buildix.* counters; nil disables telemetry.
+	Metrics *telemetry.Registry
+	// StopAfter names a stage after which Build returns ErrStopped —
+	// a crash-injection hook for resume tests and operational
+	// checkpointing. Empty runs the full pipeline.
+	StopAfter string
+}
+
+func (c *Config) fillDefaults() {
+	if c.IndexPath == "" {
+		c.IndexPath = filepath.Join(c.Dir, "index.iqdx")
+	}
+	if c.MemBudget <= 0 {
+		c.MemBudget = 64 << 20
+	}
+	if c.MemBudget < 1<<20 {
+		c.MemBudget = 1 << 20
+	}
+	if c.MergeFanIn < 2 {
+		c.MergeFanIn = 64
+	}
+}
+
+// fingerprint identifies the artifact-affecting configuration. A
+// manifest with a different fingerprint is discarded and the build
+// starts over — resuming someone else's artifacts would silently
+// produce a differently-scored index.
+func (c *Config) fingerprint() string {
+	syn := "none"
+	if c.Synopsis != nil {
+		syn = fmt.Sprintf("%d/%d/%d/%d",
+			c.Synopsis.Kind, c.Synopsis.Bits, c.Synopsis.Seed, c.Synopsis.BloomHashes)
+	}
+	return fmt.Sprintf("buildix-v1|scoring=%d|syn=%s|out=%s", c.Scoring, syn, c.IndexPath)
+}
+
+// Result reports what a (possibly resumed) build did.
+type Result struct {
+	// IndexPath is the built index file.
+	IndexPath string
+	// NumDocs and TotalTokens are corpus-level statistics.
+	NumDocs     int
+	TotalTokens int64
+	// Runs is the number of sorted runs the spill stage produced.
+	Runs int
+	// MergePasses counts merge passes, 1 when the fan-in sufficed.
+	MergePasses int
+	// SkippedStages lists stages found already complete in the
+	// manifest and not re-run.
+	SkippedStages []string
+}
+
+// manifest is the durable stage ledger, stored as Dir/MANIFEST.json.
+type manifest struct {
+	Fingerprint string          `json:"fingerprint"`
+	Done        map[string]bool `json:"done"`
+	Runs        []string        `json:"runs,omitempty"`
+	NumDocs     int             `json:"num_docs"`
+	TotalTokens int64           `json:"total_tokens"`
+}
+
+const manifestName = "MANIFEST.json"
+
+func loadManifest(dir, fingerprint string) *manifest {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil
+	}
+	var m manifest
+	if json.Unmarshal(data, &m) != nil || m.Fingerprint != fingerprint {
+		return nil
+	}
+	if m.Done == nil {
+		m.Done = map[string]bool{}
+	}
+	return &m
+}
+
+// save writes the manifest atomically and durably: a crash after save
+// returns must still see the recorded stages on restart.
+func (m *manifest) save(dir string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("buildix: manifest: %w", err)
+	}
+	path := filepath.Join(dir, manifestName)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("buildix: manifest: %w", err)
+	}
+	if _, err := f.Write(data); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("buildix: manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("buildix: manifest: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("buildix: manifest: %w", err)
+	}
+	return nil
+}
+
+// Build runs the pipeline, resuming from the manifest when one with a
+// matching fingerprint exists. The source is consumed only when the
+// spill stage actually runs. Returns ErrStopped (with valid partial
+// Result) when Config.StopAfter cut the pipeline short.
+func Build(cfg Config, source Source) (*Result, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("buildix: Config.Dir is required")
+	}
+	cfg.fillDefaults()
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("buildix: %w", err)
+	}
+
+	fp := cfg.fingerprint()
+	m := loadManifest(cfg.Dir, fp)
+	if m == nil {
+		// Fresh build (or stale fingerprint): drop leftover artifacts
+		// so a partially-written run from a killed build can't leak in.
+		if err := cleanDir(cfg.Dir); err != nil {
+			return nil, err
+		}
+		m = &manifest{Fingerprint: fp, Done: map[string]bool{}}
+		if err := m.save(cfg.Dir); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{IndexPath: cfg.IndexPath}
+	skipped := cfg.Metrics.Counter("buildix.stages_skipped")
+
+	// Stage 1: spill.
+	if m.Done[StageSpill] {
+		res.SkippedStages = append(res.SkippedStages, StageSpill)
+		skipped.Inc()
+	} else {
+		if err := runSpill(&cfg, source, m); err != nil {
+			return nil, err
+		}
+		m.Done[StageSpill] = true
+		if err := m.save(cfg.Dir); err != nil {
+			return nil, err
+		}
+	}
+	res.Runs = len(m.Runs)
+	res.NumDocs = m.NumDocs
+	res.TotalTokens = m.TotalTokens
+	if cfg.StopAfter == StageSpill {
+		return res, ErrStopped
+	}
+
+	// Stage 2: merge.
+	if m.Done[StageMerge] {
+		res.SkippedStages = append(res.SkippedStages, StageMerge)
+		skipped.Inc()
+	} else {
+		passes, err := runMerge(&cfg, m)
+		if err != nil {
+			return nil, err
+		}
+		res.MergePasses = passes
+		m.Done[StageMerge] = true
+		if err := m.save(cfg.Dir); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.StopAfter == StageMerge {
+		return res, ErrStopped
+	}
+
+	// Stage 3: synopsis.
+	if m.Done[StageSynopsis] {
+		res.SkippedStages = append(res.SkippedStages, StageSynopsis)
+		skipped.Inc()
+	} else {
+		if cfg.Synopsis != nil {
+			if err := runSynopsis(&cfg); err != nil {
+				return nil, err
+			}
+		}
+		m.Done[StageSynopsis] = true
+		if err := m.save(cfg.Dir); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.StopAfter == StageSynopsis {
+		return res, ErrStopped
+	}
+	return res, nil
+}
+
+// cleanDir removes prior build artifacts from the working directory
+// (runs, doc-length file, manifest temp files), keeping anything it
+// does not recognize.
+func cleanDir(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("buildix: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if name == manifestName || name == manifestName+".tmp" ||
+			name == docLenName || isRunName(name) {
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				return fmt.Errorf("buildix: clean: %w", err)
+			}
+		}
+	}
+	return nil
+}

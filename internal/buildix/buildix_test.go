@@ -1,0 +1,393 @@
+package buildix
+
+import (
+	"errors"
+	"os"
+	"reflect"
+	"testing"
+
+	"iqn/internal/dataset"
+	"iqn/internal/ir"
+	"iqn/internal/synopsis"
+	"iqn/internal/telemetry"
+)
+
+// corpusSource adapts a generated corpus to a Source.
+func corpusSource(c *dataset.Corpus) Source {
+	i := 0
+	return func() (Doc, bool) {
+		if i >= len(c.Docs) {
+			return Doc{}, false
+		}
+		d := c.Docs[i]
+		i++
+		return Doc{ID: d.ID, Terms: d.Terms}, true
+	}
+}
+
+// memIndex builds the reference in-memory index for a corpus.
+func memIndex(c *dataset.Corpus, scoring ir.Scoring) *ir.Index {
+	x := ir.NewIndex()
+	x.SetScoring(scoring)
+	for _, d := range c.Docs {
+		x.AddDocument(d.ID, d.Terms)
+	}
+	x.Finalize()
+	return x
+}
+
+// assertSearcherParity checks every Searcher method agrees between the
+// disk-built and in-memory indexes, bit for bit.
+func assertSearcherParity(t *testing.T, disk *ir.DiskIndex, mem *ir.Index, c *dataset.Corpus) {
+	t.Helper()
+	if disk.NumDocs() != mem.NumDocs() || disk.TermSpaceSize() != mem.TermSpaceSize() ||
+		disk.MaxDocFreq() != mem.MaxDocFreq() || disk.Scoring() != mem.Scoring() {
+		t.Fatalf("shape mismatch: docs %d/%d terms %d/%d maxdf %d/%d",
+			disk.NumDocs(), mem.NumDocs(), disk.TermSpaceSize(), mem.TermSpaceSize(),
+			disk.MaxDocFreq(), mem.MaxDocFreq())
+	}
+	for _, term := range disk.Terms() {
+		if !reflect.DeepEqual(disk.Postings(term), mem.Postings(term)) {
+			t.Fatalf("postings differ for %q", term)
+		}
+		if disk.MaxScore(term) != mem.MaxScore(term) || disk.AvgScore(term) != mem.AvgScore(term) {
+			t.Fatalf("summary stats differ for %q", term)
+		}
+	}
+	queries := dataset.GenerateQueries(c, dataset.QueryConfig{Count: 5, Seed: 99})
+	for _, q := range queries {
+		for _, mode := range []ir.Mode{ir.Disjunctive, ir.Conjunctive} {
+			want := mem.Search(q.Terms, 10, mode)
+			have := disk.Search(q.Terms, 10, mode)
+			if !reflect.DeepEqual(want, have) {
+				t.Fatalf("query %v (%v) differs", q.Terms, mode)
+			}
+		}
+	}
+}
+
+func TestBuildParityAllScoringModels(t *testing.T) {
+	corpus := dataset.Generate(dataset.CorpusConfig{NumDocs: 600, Seed: 21})
+	for _, scoring := range []ir.Scoring{ir.ScoringTFIDF, ir.ScoringBM25, ir.ScoringLM} {
+		t.Run(scoring.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			res, err := Build(Config{Dir: dir, Scoring: scoring}, corpusSource(corpus))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.NumDocs != len(corpus.Docs) {
+				t.Fatalf("NumDocs = %d, want %d", res.NumDocs, len(corpus.Docs))
+			}
+			disk, err := ir.OpenDisk(res.IndexPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer disk.Close()
+			assertSearcherParity(t, disk, memIndex(corpus, scoring), corpus)
+		})
+	}
+}
+
+func TestBuildSpillsUnderBudget(t *testing.T) {
+	// A tiny budget forces many runs; the result must still be exact.
+	corpus := dataset.Generate(dataset.CorpusConfig{NumDocs: 2000, Seed: 5})
+	reg := telemetry.NewRegistry()
+	dir := t.TempDir()
+	res, err := Build(Config{
+		Dir:       dir,
+		Scoring:   ir.ScoringBM25,
+		MemBudget: 1 << 20, // floor: 1 MiB
+		Metrics:   reg,
+	}, corpusSource(corpus))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs < 2 {
+		t.Fatalf("budget produced %d runs, want several", res.Runs)
+	}
+	if got := reg.Counter("buildix.runs_spilled").Value(); got != int64(res.Runs) {
+		t.Fatalf("runs_spilled counter = %d, want %d", got, res.Runs)
+	}
+	if got := reg.Counter("buildix.docs_indexed").Value(); got != int64(len(corpus.Docs)) {
+		t.Fatalf("docs_indexed counter = %d, want %d", got, len(corpus.Docs))
+	}
+	disk, err := ir.OpenDisk(res.IndexPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+	assertSearcherParity(t, disk, memIndex(corpus, ir.ScoringBM25), corpus)
+}
+
+func TestBuildMultiPassMerge(t *testing.T) {
+	// Fan-in 2 over many runs forces reduction passes.
+	corpus := dataset.Generate(dataset.CorpusConfig{NumDocs: 2500, Seed: 13})
+	res, err := Build(Config{
+		Dir:        t.TempDir(),
+		Scoring:    ir.ScoringTFIDF,
+		MemBudget:  1 << 20,
+		MergeFanIn: 2,
+	}, corpusSource(corpus))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs <= 2 {
+		t.Fatalf("corpus too small to exercise multi-pass merge: %d runs", res.Runs)
+	}
+	if res.MergePasses < 2 {
+		t.Fatalf("%d runs with fan-in 2 merged in %d passes", res.Runs, res.MergePasses)
+	}
+	disk, err := ir.OpenDisk(res.IndexPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+	assertSearcherParity(t, disk, memIndex(corpus, ir.ScoringTFIDF), corpus)
+}
+
+func TestBuildTokenizesText(t *testing.T) {
+	dir := t.TempDir()
+	docs := []Doc{
+		{ID: 1, Text: "Forest FIRE safety"},
+		{ID: 2, Text: "forest pest control"},
+		{ID: 3, Text: ""}, // empty doc still counts
+	}
+	i := 0
+	src := func() (Doc, bool) {
+		if i >= len(docs) {
+			return Doc{}, false
+		}
+		d := docs[i]
+		i++
+		return d, true
+	}
+	res, err := Build(Config{Dir: dir, Scoring: ir.ScoringTFIDF}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumDocs != 3 {
+		t.Fatalf("NumDocs = %d, want 3 (empty doc must count)", res.NumDocs)
+	}
+	disk, err := ir.OpenDisk(res.IndexPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+	mem := ir.NewIndex()
+	for _, d := range docs {
+		mem.AddText(d.ID, d.Text)
+	}
+	mem.Finalize()
+	if disk.NumDocs() != mem.NumDocs() || disk.DocFreq("forest") != 2 {
+		t.Fatalf("tokenized build wrong: docs=%d df(forest)=%d", disk.NumDocs(), disk.DocFreq("forest"))
+	}
+	got := disk.Search([]string{"forest", "fire"}, 5, ir.Disjunctive)
+	want := mem.Search([]string{"forest", "fire"}, 5, ir.Disjunctive)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("text query differs: %v vs %v", got, want)
+	}
+}
+
+func TestBuildDuplicateDocIDsSumTF(t *testing.T) {
+	// Feeding the same doc ID twice accumulates tf, like AddDocument.
+	mk := func() Source {
+		docs := []Doc{
+			{ID: 1, Terms: []string{"alpha", "beta"}},
+			{ID: 1, Terms: []string{"alpha", "gamma"}},
+			{ID: 2, Terms: []string{"beta"}},
+		}
+		i := 0
+		return func() (Doc, bool) {
+			if i >= len(docs) {
+				return Doc{}, false
+			}
+			d := docs[i]
+			i++
+			return d, true
+		}
+	}
+	res, err := Build(Config{Dir: t.TempDir(), Scoring: ir.ScoringBM25}, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumDocs != 2 {
+		t.Fatalf("NumDocs = %d, want 2 (duplicate IDs collapse)", res.NumDocs)
+	}
+	disk, err := ir.OpenDisk(res.IndexPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+	mem := ir.NewIndex()
+	mem.SetScoring(ir.ScoringBM25)
+	mem.AddDocument(1, []string{"alpha", "beta"})
+	mem.AddDocument(1, []string{"alpha", "gamma"})
+	mem.AddDocument(2, []string{"beta"})
+	mem.Finalize()
+	for _, term := range []string{"alpha", "beta", "gamma"} {
+		if !reflect.DeepEqual(disk.Postings(term), mem.Postings(term)) {
+			t.Fatalf("postings differ for %q: %v vs %v", term, disk.Postings(term), mem.Postings(term))
+		}
+	}
+}
+
+// TestBuildResumesAfterKill kills the pipeline after each stage in
+// turn, resumes, and asserts the final artifacts are byte-identical to
+// an uninterrupted build.
+func TestBuildResumesAfterKill(t *testing.T) {
+	corpus := dataset.Generate(dataset.CorpusConfig{NumDocs: 350, Seed: 31})
+	scfg := &synopsis.Config{Kind: synopsis.KindMIPs, Bits: 512, Seed: 7}
+
+	// Reference: uninterrupted build.
+	refDir := t.TempDir()
+	refRes, err := Build(Config{Dir: refDir, Scoring: ir.ScoringLM, MemBudget: 1 << 20, Synopsis: scfg},
+		corpusSource(corpus))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refIndex, err := os.ReadFile(refRes.IndexPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSyn, err := os.ReadFile(refRes.IndexPath + ".syn")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, killAfter := range []string{StageSpill, StageMerge, StageSynopsis} {
+		t.Run("kill-after-"+killAfter, func(t *testing.T) {
+			dir := t.TempDir()
+			cfg := Config{Dir: dir, Scoring: ir.ScoringLM, MemBudget: 1 << 20,
+				Synopsis: scfg, StopAfter: killAfter}
+			_, err := Build(cfg, corpusSource(corpus))
+			if !errors.Is(err, ErrStopped) {
+				t.Fatalf("expected ErrStopped, got %v", err)
+			}
+			// Resume. The source is exhausted-on-purpose when spill is
+			// done: a nil-yielding source proves it is not re-read.
+			cfg.StopAfter = ""
+			var src Source
+			if killAfter == StageSpill || killAfter == StageMerge || killAfter == StageSynopsis {
+				src = func() (Doc, bool) { return Doc{}, false }
+			}
+			res, err := Build(cfg, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantSkipped := map[string][]string{
+				StageSpill:    {StageSpill},
+				StageMerge:    {StageSpill, StageMerge},
+				StageSynopsis: {StageSpill, StageMerge, StageSynopsis},
+			}[killAfter]
+			if !reflect.DeepEqual(res.SkippedStages, wantSkipped) {
+				t.Fatalf("skipped %v, want %v", res.SkippedStages, wantSkipped)
+			}
+			gotIndex, err := os.ReadFile(res.IndexPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(gotIndex, refIndex) {
+				t.Fatal("resumed index differs from uninterrupted build")
+			}
+			gotSyn, err := os.ReadFile(res.IndexPath + ".syn")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(gotSyn, refSyn) {
+				t.Fatal("resumed synopsis side file differs from uninterrupted build")
+			}
+		})
+	}
+}
+
+func TestBuildFingerprintMismatchRebuilds(t *testing.T) {
+	corpus := dataset.Generate(dataset.CorpusConfig{NumDocs: 120, Seed: 3})
+	dir := t.TempDir()
+	if _, err := Build(Config{Dir: dir, Scoring: ir.ScoringTFIDF}, corpusSource(corpus)); err != nil {
+		t.Fatal(err)
+	}
+	// Same dir, different scoring: the stale manifest must not be
+	// trusted; the build reruns all stages (source consumed again).
+	consumed := 0
+	src := corpusSource(corpus)
+	wrapped := func() (Doc, bool) {
+		d, ok := src()
+		if ok {
+			consumed++
+		}
+		return d, ok
+	}
+	res, err := Build(Config{Dir: dir, Scoring: ir.ScoringBM25}, wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consumed != len(corpus.Docs) {
+		t.Fatalf("rebuild consumed %d docs, want %d", consumed, len(corpus.Docs))
+	}
+	if len(res.SkippedStages) != 0 {
+		t.Fatalf("rebuild skipped stages: %v", res.SkippedStages)
+	}
+	disk, err := ir.OpenDisk(res.IndexPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+	if disk.Scoring() != ir.ScoringBM25 {
+		t.Fatalf("rebuilt index kept old scoring %v", disk.Scoring())
+	}
+}
+
+func TestBuildSynopsisSideFile(t *testing.T) {
+	corpus := dataset.Generate(dataset.CorpusConfig{NumDocs: 200, Seed: 17})
+	scfg := &synopsis.Config{Kind: synopsis.KindMIPs, Bits: 1024, Seed: 99}
+	res, err := Build(Config{Dir: t.TempDir(), Scoring: ir.ScoringTFIDF, Synopsis: scfg},
+		corpusSource(corpus))
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, err := ir.OpenDisk(res.IndexPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+	kind, bits, seed, ok := disk.SynopsisScheme()
+	if !ok || kind != int(synopsis.KindMIPs) || bits != 1024 || seed != 99 {
+		t.Fatalf("scheme = %d/%d/%d/%v", kind, bits, seed, ok)
+	}
+	// Every term's precomputed synopsis matches a fresh FromIDs build.
+	for _, term := range disk.Terms()[:10] {
+		data, ok := disk.PrebuiltSynopsis(term)
+		if !ok {
+			t.Fatalf("no prebuilt synopsis for %q", term)
+		}
+		want, err := scfg.FromIDs(disk.DocIDs(term)).MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(data, want) {
+			t.Fatalf("synopsis for %q differs from fresh build", term)
+		}
+	}
+}
+
+func TestBuildRequiresDir(t *testing.T) {
+	if _, err := Build(Config{}, nil); err == nil {
+		t.Fatal("Build without Dir succeeded")
+	}
+}
+
+func TestBuildEmptySource(t *testing.T) {
+	res, err := Build(Config{Dir: t.TempDir(), Scoring: ir.ScoringTFIDF},
+		func() (Doc, bool) { return Doc{}, false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, err := ir.OpenDisk(res.IndexPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+	if disk.NumDocs() != 0 || disk.TermSpaceSize() != 0 {
+		t.Fatal("empty build not empty")
+	}
+}

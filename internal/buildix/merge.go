@@ -1,0 +1,364 @@
+package buildix
+
+import (
+	"bufio"
+	"compress/flate"
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"iqn/internal/ir"
+)
+
+// The merge stage k-way merges the sorted runs into the final on-disk
+// index. Runs hold raw (term, doc, tf) triples; scoring happens here,
+// once per term, with the same ir.ScoreTerm kernel the in-memory index
+// uses — so disk-built scores are bit-identical to an in-memory build
+// over the same documents.
+//
+// When the spill produced more runs than Config.MergeFanIn, extra
+// passes first merge groups of runs into intermediate runs of the same
+// format; only the final pass scores and writes the index.
+
+// runEntry is one (docID, tf) posting inside a term group.
+type runEntry struct {
+	doc uint64
+	tf  uint32
+}
+
+// runReader sequentially decodes one run file, group by group.
+type runReader struct {
+	f    *os.File
+	br   io.ByteReader
+	term string     // current group's term
+	ents []runEntry // current group's postings
+	done bool
+}
+
+func openRun(path string) (*runReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("buildix: merge: %w", err)
+	}
+	r := &runReader{
+		f:  f,
+		br: bufio.NewReaderSize(flate.NewReader(bufio.NewReaderSize(f, 1<<20)), 1<<16),
+	}
+	if err := r.next(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// next advances to the following term group; sets done at EOF.
+func (r *runReader) next() error {
+	tl, err := binary.ReadUvarint(r.br)
+	if err == io.EOF {
+		r.done = true
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("buildix: run read: %w", err)
+	}
+	name := make([]byte, tl)
+	if _, err := io.ReadFull(r.br.(io.Reader), name); err != nil {
+		return fmt.Errorf("buildix: run read: %w", err)
+	}
+	n, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return fmt.Errorf("buildix: run read: %w", err)
+	}
+	r.term = string(name)
+	r.ents = r.ents[:0]
+	var doc uint64
+	for i := uint64(0); i < n; i++ {
+		d, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			return fmt.Errorf("buildix: run read: %w", err)
+		}
+		if i == 0 {
+			doc = d
+		} else {
+			doc += d
+		}
+		tf, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			return fmt.Errorf("buildix: run read: %w", err)
+		}
+		r.ents = append(r.ents, runEntry{doc: doc, tf: uint32(tf)})
+	}
+	return nil
+}
+
+func (r *runReader) close() { r.f.Close() }
+
+// runHeap orders readers by their current term (ties broken by reader
+// index for determinism).
+type runHeap struct {
+	rs  []*runReader
+	idx []int
+}
+
+func (h *runHeap) Len() int { return len(h.rs) }
+func (h *runHeap) Less(i, j int) bool {
+	if h.rs[i].term != h.rs[j].term {
+		return h.rs[i].term < h.rs[j].term
+	}
+	return h.idx[i] < h.idx[j]
+}
+func (h *runHeap) Swap(i, j int) {
+	h.rs[i], h.rs[j] = h.rs[j], h.rs[i]
+	h.idx[i], h.idx[j] = h.idx[j], h.idx[i]
+}
+func (h *runHeap) Push(x any) { panic("unused") }
+func (h *runHeap) Pop() any {
+	n := len(h.rs) - 1
+	r := h.rs[n]
+	h.rs = h.rs[:n]
+	h.idx = h.idx[:n]
+	return r
+}
+
+// mergeGroups merges the given runs, invoking emit once per distinct
+// term in ascending order with the term's postings sorted by docID and
+// duplicate doc IDs summed.
+func mergeGroups(paths []string, emit func(term string, ents []runEntry) error) error {
+	h := &runHeap{}
+	defer func() {
+		for _, r := range h.rs {
+			r.close()
+		}
+	}()
+	for i, p := range paths {
+		r, err := openRun(p)
+		if err != nil {
+			return err
+		}
+		if r.done {
+			r.close()
+			continue
+		}
+		h.rs = append(h.rs, r)
+		h.idx = append(h.idx, i)
+	}
+	heap.Init(h)
+
+	var merged []runEntry
+	for h.Len() > 0 {
+		term := h.rs[0].term
+		merged = merged[:0]
+		// Pull every reader currently positioned at this term.
+		for h.Len() > 0 && h.rs[0].term == term {
+			r := h.rs[0]
+			merged = append(merged, r.ents...)
+			if err := r.next(); err != nil {
+				return err
+			}
+			if r.done {
+				r.close()
+				heap.Pop(h)
+			} else {
+				heap.Fix(h, 0)
+			}
+		}
+		// Each run's group is sorted by docID; with several runs a
+		// plain sort keeps it simple (groups are one term's postings).
+		sort.Slice(merged, func(i, j int) bool { return merged[i].doc < merged[j].doc })
+		w := 0
+		for r := 0; r < len(merged); r++ {
+			if w > 0 && merged[w-1].doc == merged[r].doc {
+				merged[w-1].tf += merged[r].tf
+				continue
+			}
+			merged[w] = merged[r]
+			w++
+		}
+		if err := emit(term, merged[:w]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeIntermediateRun streams merged groups back into run format.
+func writeIntermediateRun(path string, paths []string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("buildix: merge pass: %w", err)
+	}
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	fw, err := flate.NewWriter(bw, flate.BestSpeed)
+	if err != nil {
+		return fail(fmt.Errorf("buildix: merge pass: %w", err))
+	}
+	var out []byte
+	err = mergeGroups(paths, func(term string, ents []runEntry) error {
+		out = binary.AppendUvarint(out[:0], uint64(len(term)))
+		out = append(out, term...)
+		out = binary.AppendUvarint(out, uint64(len(ents)))
+		prev := uint64(0)
+		for k, e := range ents {
+			if k == 0 {
+				out = binary.AppendUvarint(out, e.doc)
+			} else {
+				out = binary.AppendUvarint(out, e.doc-prev)
+			}
+			prev = e.doc
+			out = binary.AppendUvarint(out, uint64(e.tf))
+		}
+		_, werr := fw.Write(out)
+		return werr
+	})
+	if err != nil {
+		return fail(err)
+	}
+	if err := fw.Close(); err != nil {
+		return fail(fmt.Errorf("buildix: merge pass: %w", err))
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(fmt.Errorf("buildix: merge pass: %w", err))
+	}
+	if err := f.Sync(); err != nil {
+		return fail(fmt.Errorf("buildix: merge pass: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("buildix: merge pass: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("buildix: merge pass: %w", err)
+	}
+	return nil
+}
+
+// runMerge reduces the spill runs to the final index, multi-pass when
+// the run count exceeds the fan-in. Returns the number of passes.
+func runMerge(cfg *Config, m *manifest) (int, error) {
+	termsCtr := cfg.Metrics.Counter("buildix.terms_written")
+	passesCtr := cfg.Metrics.Counter("buildix.merge_passes")
+
+	paths := make([]string, len(m.Runs))
+	for i, name := range m.Runs {
+		paths[i] = filepath.Join(cfg.Dir, name)
+	}
+
+	// Reduction passes: collapse groups of MergeFanIn runs until one
+	// pass can read everything. Intermediate runs are temporary — a
+	// crash here restarts the merge stage from the recorded spill runs.
+	passes := 1
+	gen := 0
+	for len(paths) > cfg.MergeFanIn {
+		var nextPaths []string
+		for i := 0; i < len(paths); i += cfg.MergeFanIn {
+			j := i + cfg.MergeFanIn
+			if j > len(paths) {
+				j = len(paths)
+			}
+			out := filepath.Join(cfg.Dir, fmt.Sprintf("pass%d-%06d%s", gen, len(nextPaths), runSuffix))
+			if err := writeIntermediateRun(out, paths[i:j]); err != nil {
+				return 0, err
+			}
+			nextPaths = append(nextPaths, out)
+		}
+		// Intermediate inputs of this pass are no longer needed.
+		if gen > 0 {
+			for _, p := range paths {
+				os.Remove(p)
+			}
+		}
+		paths = nextPaths
+		gen++
+		passes++
+		passesCtr.Inc()
+	}
+
+	lens, err := readDocLens(filepath.Join(cfg.Dir, docLenName))
+	if err != nil {
+		return 0, err
+	}
+	stats := ir.CorpusStats{
+		NumDocs:     len(lens),
+		TotalTokens: 0,
+		DocLen:      func(docID uint64) int { return lens[docID] },
+	}
+	docIDs := make([]uint64, 0, len(lens))
+	for id, n := range lens {
+		stats.TotalTokens += int64(n)
+		docIDs = append(docIDs, id)
+	}
+
+	w, err := ir.NewDiskWriter(cfg.IndexPath, cfg.Scoring)
+	if err != nil {
+		return 0, err
+	}
+	var entries []ir.DocTF
+	err = mergeGroups(paths, func(term string, ents []runEntry) error {
+		entries = entries[:0]
+		for _, e := range ents {
+			entries = append(entries, ir.DocTF{DocID: e.doc, TF: int(e.tf)})
+		}
+		termsCtr.Inc()
+		return w.AddTerm(term, ir.ScoreTerm(cfg.Scoring, stats, entries))
+	})
+	if err != nil {
+		w.Close()
+		os.Remove(cfg.IndexPath + ".tmp")
+		return 0, err
+	}
+	w.AddDocs(docIDs)
+	if err := w.Close(); err != nil {
+		return 0, err
+	}
+	passesCtr.Inc()
+	// Drop leftover intermediates from the last reduction generation.
+	if gen > 0 {
+		for _, p := range paths {
+			os.Remove(p)
+		}
+	}
+	return passes, nil
+}
+
+// runSynopsis streams the merged index and precomputes one synopsis
+// per term into the side file the directory publisher consumes.
+func runSynopsis(cfg *Config) error {
+	synCtr := cfg.Metrics.Counter("buildix.synopses_built")
+	d, err := ir.OpenDisk(cfg.IndexPath)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	sw, err := ir.NewSynopsisWriter(cfg.IndexPath+".syn",
+		int(cfg.Synopsis.Kind), cfg.Synopsis.Bits, cfg.Synopsis.Seed)
+	if err != nil {
+		return err
+	}
+	for _, term := range d.Terms() {
+		set := cfg.Synopsis.FromIDs(d.DocIDs(term))
+		data, err := set.MarshalBinary()
+		if err != nil {
+			sw.Close()
+			os.Remove(cfg.IndexPath + ".syn.tmp")
+			return fmt.Errorf("buildix: synopsis for %q: %w", term, err)
+		}
+		if err := sw.AddTerm(term, data); err != nil {
+			sw.Close()
+			os.Remove(cfg.IndexPath + ".syn.tmp")
+			return err
+		}
+		synCtr.Inc()
+	}
+	return sw.Close()
+}

@@ -1,0 +1,289 @@
+package buildix
+
+import (
+	"bufio"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"iqn/internal/ir"
+)
+
+// The spill stage streams documents and flushes sorted posting runs.
+//
+// Buffered postings are flat {termID, docID, tf} triples; the term
+// dictionary (term string → dense ID) is the in-core vocabulary, the
+// standard SPIMI arrangement. Memory accounting charges the triple
+// storage plus the dictionary strings against Config.MemBudget; when
+// the budget is hit after a document, the buffer is sorted by (term,
+// docID) and written as one flate-compressed run.
+//
+// Run file layout (after decompression): per term group, in ascending
+// term order —
+//
+//	uvarint len(term) | term | uvarint n | n × (uvarint docID-delta, uvarint tf)
+//
+// Doc IDs ascend within a group; the first is raw, the rest deltas.
+// EOF ends the run. A document is never split across runs (the budget
+// check runs between documents), but the same (term, doc) pair can
+// appear in several runs when a document ID is fed twice — the merge
+// sums term frequencies, matching ir.Index.AddDocument.
+//
+// Per-document lengths append to doclen.dat as (uvarint docID,
+// uvarint length) pairs — including zero-length documents, which the
+// in-memory index also counts as documents.
+
+const (
+	runPrefix  = "run-"
+	runSuffix  = ".postings"
+	docLenName = "doclen.dat"
+)
+
+func runName(i int) string { return fmt.Sprintf("%s%06d%s", runPrefix, i, runSuffix) }
+
+func isRunName(name string) bool {
+	return strings.HasPrefix(name, runPrefix) && strings.HasSuffix(name, runSuffix)
+}
+
+// postEntry is one buffered posting triple.
+type postEntry struct {
+	term uint32
+	doc  uint64
+	tf   uint32
+}
+
+// postEntrySize is the memory charge per buffered triple: the struct
+// itself (padded to 16 bytes) plus slice overhead amortized away.
+const postEntrySize = 16
+
+func runSpill(cfg *Config, source Source, m *manifest) error {
+	if source == nil {
+		return fmt.Errorf("buildix: spill stage needs a document source")
+	}
+	docsCtr := cfg.Metrics.Counter("buildix.docs_indexed")
+	tokensCtr := cfg.Metrics.Counter("buildix.tokens_indexed")
+	runsCtr := cfg.Metrics.Counter("buildix.runs_spilled")
+	runBytes := cfg.Metrics.Counter("buildix.run_bytes")
+
+	lenPath := filepath.Join(cfg.Dir, docLenName)
+	lenFile, err := os.Create(lenPath)
+	if err != nil {
+		return fmt.Errorf("buildix: spill: %w", err)
+	}
+	lenBuf := bufio.NewWriterSize(lenFile, 1<<20)
+
+	dict := map[string]uint32{} // term → dense ID
+	var terms []string          // ID → term
+	var dictBytes int64
+	var buf []postEntry
+	var scratch []string // TokenizeInto reuse
+	tfCount := map[uint32]uint32{}
+	var runs []string
+	var numDocs int
+	var totalTokens int64
+	seenDocs := map[uint64]struct{}{}
+
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		name := runName(len(runs))
+		n, err := writeRun(filepath.Join(cfg.Dir, name), terms, buf)
+		if err != nil {
+			return err
+		}
+		runs = append(runs, name)
+		runsCtr.Inc()
+		runBytes.Add(n)
+		buf = buf[:0]
+		return nil
+	}
+
+	var lenScratch [2 * binary.MaxVarintLen64]byte
+	for {
+		doc, ok := source()
+		if !ok {
+			break
+		}
+		toks := doc.Terms
+		if toks == nil {
+			scratch = ir.TokenizeInto(scratch[:0], doc.Text)
+			toks = scratch
+		}
+		// Per-document term frequencies.
+		clear(tfCount)
+		for _, t := range toks {
+			id, ok := dict[t]
+			if !ok {
+				id = uint32(len(terms))
+				// The token may alias the caller's text buffer; clone
+				// before retaining it as a map key.
+				t = strings.Clone(t)
+				dict[t] = id
+				terms = append(terms, t)
+				dictBytes += int64(len(t)) + 48 // string + map entry overhead
+			}
+			tfCount[id]++
+		}
+		for id, tf := range tfCount {
+			buf = append(buf, postEntry{term: id, doc: doc.ID, tf: tf})
+		}
+		// Record the document even when empty: the in-memory index
+		// counts it (docLen entry of zero) and parity demands we do too.
+		if _, dup := seenDocs[doc.ID]; !dup {
+			seenDocs[doc.ID] = struct{}{}
+			numDocs++
+		}
+		totalTokens += int64(len(toks))
+		p := binary.PutUvarint(lenScratch[:], doc.ID)
+		p += binary.PutUvarint(lenScratch[p:], uint64(len(toks)))
+		if _, err := lenBuf.Write(lenScratch[:p]); err != nil {
+			lenFile.Close()
+			return fmt.Errorf("buildix: spill: %w", err)
+		}
+		docsCtr.Inc()
+		tokensCtr.Add(int64(len(toks)))
+
+		if int64(len(buf))*postEntrySize+dictBytes >= cfg.MemBudget {
+			if err := flush(); err != nil {
+				lenFile.Close()
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		lenFile.Close()
+		return err
+	}
+	if err := lenBuf.Flush(); err != nil {
+		lenFile.Close()
+		return fmt.Errorf("buildix: spill: %w", err)
+	}
+	if err := lenFile.Sync(); err != nil {
+		lenFile.Close()
+		return fmt.Errorf("buildix: spill: %w", err)
+	}
+	if err := lenFile.Close(); err != nil {
+		return fmt.Errorf("buildix: spill: %w", err)
+	}
+
+	m.Runs = runs
+	m.NumDocs = numDocs
+	m.TotalTokens = totalTokens
+	return nil
+}
+
+// writeRun sorts the buffer by (term, docID) and writes one compressed
+// run, returning the compressed byte count. Duplicate (term, doc)
+// pairs within the buffer are merged here by summing tf.
+func writeRun(path string, terms []string, buf []postEntry) (int64, error) {
+	sort.Slice(buf, func(i, j int) bool {
+		if buf[i].term != buf[j].term {
+			return terms[buf[i].term] < terms[buf[j].term]
+		}
+		return buf[i].doc < buf[j].doc
+	})
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, fmt.Errorf("buildix: run: %w", err)
+	}
+	fail := func(err error) (int64, error) {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	fw, err := flate.NewWriter(bw, flate.BestSpeed)
+	if err != nil {
+		return fail(fmt.Errorf("buildix: run: %w", err))
+	}
+
+	var out []byte
+	for i := 0; i < len(buf); {
+		j := i
+		for j < len(buf) && buf[j].term == buf[i].term {
+			j++
+		}
+		group := buf[i:j]
+		// Merge duplicate doc IDs (same doc fed twice before a flush).
+		w := 0
+		for r := 0; r < len(group); r++ {
+			if w > 0 && group[w-1].doc == group[r].doc {
+				group[w-1].tf += group[r].tf
+				continue
+			}
+			group[w] = group[r]
+			w++
+		}
+		group = group[:w]
+		term := terms[group[0].term]
+		out = binary.AppendUvarint(out[:0], uint64(len(term)))
+		out = append(out, term...)
+		out = binary.AppendUvarint(out, uint64(len(group)))
+		prev := uint64(0)
+		for k, e := range group {
+			if k == 0 {
+				out = binary.AppendUvarint(out, e.doc)
+			} else {
+				out = binary.AppendUvarint(out, e.doc-prev)
+			}
+			prev = e.doc
+			out = binary.AppendUvarint(out, uint64(e.tf))
+		}
+		if _, err := fw.Write(out); err != nil {
+			return fail(fmt.Errorf("buildix: run: %w", err))
+		}
+		i = j
+	}
+	if err := fw.Close(); err != nil {
+		return fail(fmt.Errorf("buildix: run: %w", err))
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(fmt.Errorf("buildix: run: %w", err))
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return fail(fmt.Errorf("buildix: run: %w", err))
+	}
+	if err := f.Sync(); err != nil {
+		return fail(fmt.Errorf("buildix: run: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("buildix: run: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("buildix: run: %w", err)
+	}
+	return st.Size(), nil
+}
+
+// readDocLens loads the doc-length side file, summing repeated IDs
+// (a document fed twice accumulates length, as in the in-memory index).
+func readDocLens(path string) (map[uint64]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("buildix: doc lengths: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	lens := map[uint64]int{}
+	for {
+		id, err := binary.ReadUvarint(br)
+		if err != nil {
+			break
+		}
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("buildix: doc lengths truncated: %w", err)
+		}
+		lens[id] += int(n)
+	}
+	return lens, nil
+}

@@ -1,0 +1,62 @@
+package dataset
+
+import "math/rand"
+
+// Stream is a doc-at-a-time view of a synthetic corpus. It produces the
+// exact same document sequence as Generate for the same configuration —
+// byte-identical IDs and term slices — but holds only one document in
+// memory at a time, so the out-of-core build pipeline can index corpora
+// far larger than RAM.
+//
+// The equivalence hinges on consuming the shared RNG in exactly the
+// order Generate does: rand.NewZipf draws from the same *rand.Rand as
+// the length draws, so per document it must be one Intn for the length
+// (only when MaxDocLen > MinDocLen) followed by one zipf.Uint64 per
+// term occurrence. A parity test locks this in.
+type Stream struct {
+	cfg   CorpusConfig
+	rng   *rand.Rand
+	zipf  *rand.Zipf
+	vocab []string
+	next  int
+}
+
+// NewStream starts a streaming generator over the corpus described by
+// the configuration. The vocabulary (one short string per term) is the
+// only O(corpus) state it keeps, and it is ~VocabSize strings, not
+// NumDocs documents.
+func NewStream(cfg CorpusConfig) *Stream {
+	cfg.fillDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.VocabSize-1))
+	vocab := make([]string, cfg.VocabSize)
+	for i := range vocab {
+		vocab[i] = TermName(i)
+	}
+	return &Stream{cfg: cfg, rng: rng, zipf: zipf, vocab: vocab}
+}
+
+// NumDocs reports how many documents the stream will produce in total.
+func (s *Stream) NumDocs() int { return s.cfg.NumDocs }
+
+// Vocab returns the vocabulary by popularity rank, same as Corpus.Vocab.
+func (s *Stream) Vocab() []string { return s.vocab }
+
+// Next generates the next document. The returned Terms slice is owned
+// by the caller (a fresh allocation per call, exactly like Generate).
+// ok is false once the stream is exhausted.
+func (s *Stream) Next() (doc Document, ok bool) {
+	if s.next >= s.cfg.NumDocs {
+		return Document{}, false
+	}
+	length := s.cfg.MinDocLen
+	if s.cfg.MaxDocLen > s.cfg.MinDocLen {
+		length += s.rng.Intn(s.cfg.MaxDocLen - s.cfg.MinDocLen + 1)
+	}
+	terms := make([]string, length)
+	for j := range terms {
+		terms[j] = s.vocab[s.zipf.Uint64()]
+	}
+	s.next++
+	return Document{ID: uint64(s.next), Terms: terms}, true
+}

@@ -1,0 +1,59 @@
+package dataset
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestStreamMatchesGenerate is the parity contract: the streaming
+// generator must produce byte-identical documents, in order, to the
+// batch Generate for the same configuration.
+func TestStreamMatchesGenerate(t *testing.T) {
+	cfgs := []CorpusConfig{
+		{NumDocs: 500, Seed: 1},
+		{NumDocs: 200, Seed: 42, VocabSize: 300, ZipfS: 1.5},
+		{NumDocs: 100, Seed: 7, MinDocLen: 10, MaxDocLen: 10}, // fixed length: no Intn draws
+		{NumDocs: 50, Seed: -3, MinDocLen: 5, MaxDocLen: 500},
+	}
+	for _, cfg := range cfgs {
+		corpus := Generate(cfg)
+		s := NewStream(cfg)
+		if s.NumDocs() != len(corpus.Docs) {
+			t.Fatalf("cfg %+v: NumDocs %d, want %d", cfg, s.NumDocs(), len(corpus.Docs))
+		}
+		if !reflect.DeepEqual(s.Vocab(), corpus.Vocab) {
+			t.Fatalf("cfg %+v: vocabulary differs", cfg)
+		}
+		for i := range corpus.Docs {
+			doc, ok := s.Next()
+			if !ok {
+				t.Fatalf("cfg %+v: stream exhausted at doc %d of %d", cfg, i, len(corpus.Docs))
+			}
+			if doc.ID != corpus.Docs[i].ID {
+				t.Fatalf("cfg %+v: doc %d ID %d, want %d", cfg, i, doc.ID, corpus.Docs[i].ID)
+			}
+			if !reflect.DeepEqual(doc.Terms, corpus.Docs[i].Terms) {
+				t.Fatalf("cfg %+v: doc %d terms differ (len %d vs %d)",
+					cfg, i, len(doc.Terms), len(corpus.Docs[i].Terms))
+			}
+		}
+		if _, ok := s.Next(); ok {
+			t.Fatalf("cfg %+v: stream yields documents past NumDocs", cfg)
+		}
+		// Exhausted streams stay exhausted.
+		if _, ok := s.Next(); ok {
+			t.Fatalf("cfg %+v: exhausted stream revived", cfg)
+		}
+	}
+}
+
+func TestStreamOwnsTermSlices(t *testing.T) {
+	s := NewStream(CorpusConfig{NumDocs: 2, Seed: 9})
+	a, _ := s.Next()
+	saved := append([]string(nil), a.Terms...)
+	b, _ := s.Next()
+	b.Terms[0] = "clobbered"
+	if !reflect.DeepEqual(a.Terms, saved) {
+		t.Fatal("documents share term-slice storage")
+	}
+}

@@ -1,0 +1,374 @@
+package eval
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"os"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"iqn/internal/buildix"
+	"iqn/internal/dataset"
+	"iqn/internal/ir"
+	"iqn/internal/synopsis"
+	"iqn/internal/telemetry"
+)
+
+// This file measures the out-of-core build pipeline (internal/buildix):
+// indexing throughput (docs/sec, tokens/sec) under a fixed spill-buffer
+// budget, the process's peak RSS against that budget, and — on demand —
+// two correctness gates: a full parity sweep against an in-memory build
+// of the same corpus (every term's postings plus query results must be
+// bit-identical) and a kill/resume pass (a build stopped after its
+// spill stage and resumed must produce a byte-identical index file).
+
+// BuildResult is the build experiment's outcome.
+type BuildResult struct {
+	// Docs and Tokens describe the generated corpus.
+	Docs   int   `json:"docs"`
+	Tokens int64 `json:"tokens"`
+	// Terms is the merged index's vocabulary size.
+	Terms int `json:"terms"`
+	// Runs is how many sorted runs the spill produced; MergePasses how
+	// many merge passes folded them.
+	Runs        int `json:"runs"`
+	MergePasses int `json:"mergePasses"`
+	// ElapsedSec, DocsPerSec, TokensPerSec are the throughput figures
+	// for the full pipeline (spill through synopsis).
+	ElapsedSec   float64 `json:"elapsedSec"`
+	DocsPerSec   float64 `json:"docsPerSec"`
+	TokensPerSec float64 `json:"tokensPerSec"`
+	// MemBudgetMB is the configured spill budget; PeakRSSMB the
+	// process's high-water resident set right after the build
+	// (VmHWM — 0 when /proc is unavailable).
+	MemBudgetMB int64   `json:"memBudgetMB"`
+	PeakRSSMB   float64 `json:"peakRSSMB"`
+	// IndexBytes is the final index file size (synopsis side file not
+	// included); SynBytes the side file's.
+	IndexBytes int64 `json:"indexBytes"`
+	SynBytes   int64 `json:"synBytes,omitempty"`
+	// ParityOK reports the in-memory comparison (true when skipped
+	// vacuously — ParityDetail says "skipped" then).
+	ParityOK     bool   `json:"parityOK"`
+	ParityDetail string `json:"parityDetail,omitempty"`
+	// ResumeOK reports the kill/resume byte-identity check.
+	ResumeOK     bool   `json:"resumeOK"`
+	ResumeDetail string `json:"resumeDetail,omitempty"`
+}
+
+// BuildConfig parameterizes the build experiment.
+type BuildConfig struct {
+	// CorpusDocs, VocabSize, Seed describe the synthetic corpus
+	// (defaults 200000 docs, docs/10 vocabulary, seed 1).
+	CorpusDocs int
+	VocabSize  int
+	Seed       int64
+	// Scoring is the model baked into the postings (default BM25 — the
+	// model whose scores depend on corpus-wide statistics, the hardest
+	// parity case).
+	Scoring ir.Scoring
+	// MemBudgetMB bounds the spill buffer (default 128).
+	MemBudgetMB int64
+	// Dir is the build working directory (default: a temp dir, removed
+	// afterwards).
+	Dir string
+	// Synopsis bits for the precomputed side file; 0 skips it.
+	SynopsisBits int
+	// ParityCheck compares the disk index against an in-memory build
+	// of the same corpus, term by term — memory-hungry (it holds the
+	// full in-memory index), so large corpora may want it off.
+	ParityCheck bool
+	// ResumeCheck builds a second copy with a kill after the spill
+	// stage, resumes it, and requires a byte-identical index file.
+	ResumeCheck bool
+	// Queries is the number of parity queries (default 10).
+	Queries int
+	// Metrics receives buildix.* counters (optional).
+	Metrics *telemetry.Registry
+}
+
+func (c *BuildConfig) fillDefaults() {
+	if c.CorpusDocs <= 0 {
+		c.CorpusDocs = 200000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MemBudgetMB <= 0 {
+		c.MemBudgetMB = 128
+	}
+	if c.Queries <= 0 {
+		c.Queries = 10
+	}
+}
+
+// streamSource adapts dataset.Stream to a buildix.Source.
+func streamSource(s *dataset.Stream) buildix.Source {
+	return func() (buildix.Doc, bool) {
+		d, ok := s.Next()
+		if !ok {
+			return buildix.Doc{}, false
+		}
+		return buildix.Doc{ID: d.ID, Terms: d.Terms}, true
+	}
+}
+
+// Build runs the out-of-core build experiment.
+func Build(cfg BuildConfig) (*BuildResult, error) {
+	cfg.fillDefaults()
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "iqn-build-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+	}
+	ccfg := dataset.CorpusConfig{NumDocs: cfg.CorpusDocs, VocabSize: cfg.VocabSize, Seed: cfg.Seed}
+	bcfg := buildix.Config{
+		Dir:       dir,
+		Scoring:   cfg.Scoring,
+		MemBudget: cfg.MemBudgetMB << 20,
+		Metrics:   cfg.Metrics,
+	}
+	if cfg.SynopsisBits > 0 {
+		bcfg.Synopsis = &synopsis.Config{Kind: synopsis.KindMIPs, Bits: cfg.SynopsisBits, Seed: uint64(cfg.Seed)}
+	}
+
+	start := time.Now()
+	res, err := buildix.Build(bcfg, streamSource(dataset.NewStream(ccfg)))
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+
+	out := &BuildResult{
+		Docs:        res.NumDocs,
+		Tokens:      res.TotalTokens,
+		Runs:        res.Runs,
+		MergePasses: res.MergePasses,
+		ElapsedSec:  elapsed.Seconds(),
+		MemBudgetMB: cfg.MemBudgetMB,
+		PeakRSSMB:   peakRSSMB(),
+		ParityOK:    true,
+		ResumeOK:    true,
+	}
+	if elapsed > 0 {
+		out.DocsPerSec = float64(res.NumDocs) / elapsed.Seconds()
+		out.TokensPerSec = float64(res.TotalTokens) / elapsed.Seconds()
+	}
+	if st, err := os.Stat(res.IndexPath); err == nil {
+		out.IndexBytes = st.Size()
+	}
+	if st, err := os.Stat(res.IndexPath + ".syn"); err == nil {
+		out.SynBytes = st.Size()
+	}
+	disk, err := ir.OpenDisk(res.IndexPath)
+	if err != nil {
+		return nil, fmt.Errorf("eval: built index does not open: %w", err)
+	}
+	defer disk.Close()
+	out.Terms = disk.TermSpaceSize()
+
+	if cfg.ParityCheck {
+		out.ParityOK, out.ParityDetail = buildParity(disk, ccfg, cfg)
+	} else {
+		out.ParityDetail = "skipped"
+	}
+	if cfg.ResumeCheck {
+		out.ResumeOK, out.ResumeDetail = buildResume(res.IndexPath, ccfg, bcfg)
+	} else {
+		out.ResumeDetail = "skipped"
+	}
+	return out, nil
+}
+
+// buildParity compares the disk index against a fresh in-memory build:
+// shape, every term's postings, and a handful of mid-band queries, all
+// bit-exact.
+func buildParity(disk *ir.DiskIndex, ccfg dataset.CorpusConfig, cfg BuildConfig) (bool, string) {
+	mem := ir.NewIndex()
+	mem.SetScoring(cfg.Scoring)
+	s := dataset.NewStream(ccfg)
+	for {
+		d, ok := s.Next()
+		if !ok {
+			break
+		}
+		mem.AddDocument(d.ID, d.Terms)
+	}
+	mem.Finalize()
+	if disk.NumDocs() != mem.NumDocs() || disk.TermSpaceSize() != mem.TermSpaceSize() ||
+		disk.MaxDocFreq() != mem.MaxDocFreq() {
+		return false, fmt.Sprintf("shape: docs %d/%d terms %d/%d",
+			disk.NumDocs(), mem.NumDocs(), disk.TermSpaceSize(), mem.TermSpaceSize())
+	}
+	for _, term := range disk.Terms() {
+		if !reflect.DeepEqual(disk.Postings(term), mem.Postings(term)) {
+			return false, fmt.Sprintf("postings differ for %q", term)
+		}
+		if disk.MaxScore(term) != mem.MaxScore(term) || disk.AvgScore(term) != mem.AvgScore(term) {
+			return false, fmt.Sprintf("summary stats differ for %q", term)
+		}
+	}
+	for _, q := range buildQueries(disk, cfg.Queries, cfg.Seed) {
+		for _, mode := range []ir.Mode{ir.Disjunctive, ir.Conjunctive} {
+			if !reflect.DeepEqual(disk.Search(q, 20, mode), mem.Search(q, 20, mode)) {
+				return false, fmt.Sprintf("query %v differs (%v)", q, mode)
+			}
+		}
+	}
+	return true, ""
+}
+
+// buildQueries draws multi-term queries from the index's mid-frequency
+// band (df between 1% and 20% of the corpus), the selectivity profile
+// dataset.GenerateQueries uses — but sourced from the disk dictionary,
+// so no materialized corpus is needed.
+func buildQueries(disk *ir.DiskIndex, count int, seed int64) [][]string {
+	n := disk.NumDocs()
+	lo, hi := n/100, n/5
+	if lo < 1 {
+		lo = 1
+	}
+	var band []string
+	for _, t := range disk.Terms() {
+		if df := disk.DocFreq(t); df >= lo && df <= hi {
+			band = append(band, t)
+		}
+	}
+	if len(band) == 0 {
+		band = disk.Terms()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	queries := make([][]string, 0, count)
+	for i := 0; i < count && len(band) > 0; i++ {
+		width := 2 + rng.Intn(2)
+		q := make([]string, 0, width)
+		for j := 0; j < width; j++ {
+			q = append(q, band[rng.Intn(len(band))])
+		}
+		sort.Strings(q)
+		queries = append(queries, q)
+	}
+	return queries
+}
+
+// buildResume builds a second copy of the index with a stop injected
+// after the spill stage, resumes it, and compares the file bytes with
+// the reference index.
+func buildResume(refPath string, ccfg dataset.CorpusConfig, bcfg buildix.Config) (bool, string) {
+	dir, err := os.MkdirTemp("", "iqn-build-resume-*")
+	if err != nil {
+		return false, err.Error()
+	}
+	defer os.RemoveAll(dir)
+	cfg2 := bcfg
+	cfg2.Dir = dir
+	cfg2.IndexPath = ""
+	cfg2.StopAfter = buildix.StageSpill
+	if _, err := buildix.Build(cfg2, streamSource(dataset.NewStream(ccfg))); err != buildix.ErrStopped {
+		return false, fmt.Sprintf("stop injection: %v", err)
+	}
+	cfg2.StopAfter = ""
+	res, err := buildix.Build(cfg2, nil) // nil source: spill must be skipped
+	if err != nil {
+		return false, fmt.Sprintf("resume: %v", err)
+	}
+	same, err := filesEqual(refPath, res.IndexPath)
+	if err != nil {
+		return false, err.Error()
+	}
+	if !same {
+		return false, "resumed index differs from uninterrupted build"
+	}
+	return true, ""
+}
+
+// filesEqual streams both files and compares bytes.
+func filesEqual(a, b string) (bool, error) {
+	fa, err := os.Open(a)
+	if err != nil {
+		return false, err
+	}
+	defer fa.Close()
+	fb, err := os.Open(b)
+	if err != nil {
+		return false, err
+	}
+	defer fb.Close()
+	sa, _ := fa.Stat()
+	sb, _ := fb.Stat()
+	if sa.Size() != sb.Size() {
+		return false, nil
+	}
+	ra, rb := bufio.NewReaderSize(fa, 1<<20), bufio.NewReaderSize(fb, 1<<20)
+	for {
+		ca, ea := ra.ReadByte()
+		cb, eb := rb.ReadByte()
+		if ea != nil || eb != nil {
+			return ea == eb, nil
+		}
+		if ca != cb {
+			return false, nil
+		}
+	}
+}
+
+// peakRSSMB reads the process high-water resident set from
+// /proc/self/status (VmHWM); 0 when unavailable (non-Linux).
+func peakRSSMB() float64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return 0
+		}
+		return kb / 1024
+	}
+	return 0
+}
+
+// BuildTable renders the result as an aligned text table.
+func BuildTable(r *BuildResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Out-of-core build: %d docs, %d tokens, %d terms\n", r.Docs, r.Tokens, r.Terms)
+	fmt.Fprintf(&b, "%-18s %12.1f\n", "elapsed (s)", r.ElapsedSec)
+	fmt.Fprintf(&b, "%-18s %12.0f\n", "docs/sec", r.DocsPerSec)
+	fmt.Fprintf(&b, "%-18s %12.0f\n", "tokens/sec", r.TokensPerSec)
+	fmt.Fprintf(&b, "%-18s %12d\n", "spill runs", r.Runs)
+	fmt.Fprintf(&b, "%-18s %12d\n", "merge passes", r.MergePasses)
+	fmt.Fprintf(&b, "%-18s %12d\n", "mem budget (MB)", r.MemBudgetMB)
+	fmt.Fprintf(&b, "%-18s %12.1f\n", "peak RSS (MB)", r.PeakRSSMB)
+	fmt.Fprintf(&b, "%-18s %12d\n", "index bytes", r.IndexBytes)
+	if r.SynBytes > 0 {
+		fmt.Fprintf(&b, "%-18s %12d\n", "synopsis bytes", r.SynBytes)
+	}
+	status := func(ok bool, detail string) string {
+		if detail == "skipped" {
+			return "skipped"
+		}
+		if ok {
+			return "ok"
+		}
+		return "FAIL: " + detail
+	}
+	fmt.Fprintf(&b, "%-18s %12s\n", "parity", status(r.ParityOK, r.ParityDetail))
+	fmt.Fprintf(&b, "%-18s %12s\n", "resume", status(r.ResumeOK, r.ResumeDetail))
+	return b.String()
+}

@@ -1,0 +1,127 @@
+package eval
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"iqn/internal/ir"
+	"iqn/internal/telemetry"
+)
+
+// TestBuildExperimentSmall runs the full build experiment — both
+// correctness gates armed — at a scale small enough for every test
+// run.
+func TestBuildExperimentSmall(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	res, err := Build(BuildConfig{
+		CorpusDocs:   3000,
+		Seed:         5,
+		MemBudgetMB:  1,
+		SynopsisBits: 512,
+		ParityCheck:  true,
+		ResumeCheck:  true,
+		Queries:      4,
+		Metrics:      reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Docs != 3000 {
+		t.Fatalf("docs = %d, want 3000", res.Docs)
+	}
+	if res.Tokens <= 0 || res.Terms <= 0 || res.Runs < 1 || res.MergePasses < 1 {
+		t.Fatalf("implausible result: %+v", res)
+	}
+	if res.IndexBytes <= 0 || res.SynBytes <= 0 {
+		t.Fatalf("artifact sizes not recorded: index=%d syn=%d", res.IndexBytes, res.SynBytes)
+	}
+	if !res.ParityOK {
+		t.Fatalf("parity gate failed: %s", res.ParityDetail)
+	}
+	if !res.ResumeOK {
+		t.Fatalf("resume gate failed: %s", res.ResumeDetail)
+	}
+	if res.DocsPerSec <= 0 || res.ElapsedSec <= 0 {
+		t.Fatalf("throughput not recorded: %+v", res)
+	}
+	// VmHWM is always readable on the Linux CI machines this runs on.
+	if res.PeakRSSMB <= 0 {
+		t.Fatalf("peak RSS not recorded: %f", res.PeakRSSMB)
+	}
+
+	table := BuildTable(res)
+	for _, want := range []string{"docs/sec", "peak RSS (MB)", "parity", "ok"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+// TestBuildExperimentSkippedGates leaves both gates off: the verdicts
+// are vacuously true and marked skipped, in the result and the table.
+func TestBuildExperimentSkippedGates(t *testing.T) {
+	dir := t.TempDir()
+	res, err := Build(BuildConfig{CorpusDocs: 300, Seed: 2, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ParityOK || res.ParityDetail != "skipped" {
+		t.Fatalf("parity verdict = %v %q, want vacuous skip", res.ParityOK, res.ParityDetail)
+	}
+	if !res.ResumeOK || res.ResumeDetail != "skipped" {
+		t.Fatalf("resume verdict = %v %q, want vacuous skip", res.ResumeOK, res.ResumeDetail)
+	}
+	if !strings.Contains(BuildTable(res), "skipped") {
+		t.Fatal("table does not show skipped gates")
+	}
+	// An explicit Dir keeps the artifacts: the index must be there and
+	// auto-detect as a disk index.
+	path := filepath.Join(dir, "index.iqdx")
+	if !ir.IsDiskIndex(path) {
+		t.Fatalf("%s is not a detectable disk index", path)
+	}
+	// No synopsis bits requested: no side file.
+	if _, err := os.Stat(path + ".syn"); !os.IsNotExist(err) {
+		t.Fatalf("unexpected synopsis side file (stat err %v)", err)
+	}
+}
+
+// TestBuildTableRendersFailures exercises the failure branch of the
+// table renderer without failing a real gate.
+func TestBuildTableRendersFailures(t *testing.T) {
+	table := BuildTable(&BuildResult{ParityOK: false, ParityDetail: "postings differ for \"x\"", ResumeOK: true})
+	if !strings.Contains(table, "FAIL: postings differ") {
+		t.Fatalf("failure not rendered:\n%s", table)
+	}
+}
+
+// TestFilesEqual covers the comparator's three answers: equal,
+// different bytes at equal size, different size.
+func TestFilesEqual(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a := write("a", "hello world")
+	b := write("b", "hello world")
+	c := write("c", "hello worlD")
+	d := write("d", "hello")
+	if same, err := filesEqual(a, b); err != nil || !same {
+		t.Fatalf("identical files: same=%v err=%v", same, err)
+	}
+	if same, err := filesEqual(a, c); err != nil || same {
+		t.Fatalf("same-size different files: same=%v err=%v", same, err)
+	}
+	if same, err := filesEqual(a, d); err != nil || same {
+		t.Fatalf("different-size files: same=%v err=%v", same, err)
+	}
+	if _, err := filesEqual(a, filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing file did not error")
+	}
+}

@@ -1,0 +1,270 @@
+package ir
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// This file defines the on-disk index format the external-memory build
+// pipeline (internal/buildix) emits and DiskIndex reads. One index is
+// one self-contained file:
+//
+//	header   magic "IQDX" + uvarint version
+//	postings per term, in ascending term order:
+//	           uvarint n, then n × (uvarint scoreDelta, uvarint docID)
+//	         where the first scoreDelta is the raw Float64bits of the
+//	         highest score and each subsequent delta is prevBits−curBits.
+//	         Scores are non-negative and the list is sorted descending,
+//	         so the bit patterns are monotonically non-increasing and
+//	         every delta is a small non-negative integer — the uvarint
+//	         sweet spot.
+//	docs     uvarint nDocs, then delta/uvarint-encoded sorted doc IDs
+//	dict     uvarint nTerms, then per term (ascending): uvarint len,
+//	         term bytes, uvarint df, uvarint offset, uvarint byteLen,
+//	         uvarint maxScoreBits, uvarint sumScoreBits
+//	footer   uint64 dictOff | uint64 docsOff | byte scoring |
+//	         uint32 crc32c(file[0:crcField]) | 8-byte trailer magic
+//
+// The postings blob is the bulk and is never resident: DiskIndex preads
+// a term's byte range on demand. The dictionary and doc-ID list are
+// small (O(terms), O(docs)) and load at open.
+
+const (
+	diskMagic     = "IQDX"
+	diskVersion   = 1
+	diskEndMagic  = "IQDXEND\x01"
+	diskFooterLen = 8 + 8 + 1 + 4 + 8
+)
+
+// crcWriter counts bytes and maintains a running CRC over everything
+// written through it.
+type crcWriter struct {
+	w   io.Writer
+	n   int64
+	crc hash.Hash32
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func newCRCWriter(w io.Writer) *crcWriter {
+	return &crcWriter{w: w, crc: crc32.New(castagnoli)}
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.crc.Write(p[:n])
+	return n, err
+}
+
+// diskDictEntry is one term's dictionary row.
+type diskDictEntry struct {
+	df      int
+	off     int64
+	byteLen int64
+	maxBits uint64
+	sumBits uint64 // Float64bits of the score sum, for exact AvgScore
+}
+
+// DiskWriter streams an index into the on-disk format. Terms must be
+// added in strictly ascending order with their postings already scored
+// and sorted (ScoreTerm order); Close writes the doc list, dictionary,
+// and checksummed footer, then atomically renames the file into place.
+type DiskWriter struct {
+	path    string
+	f       *os.File
+	bw      *bufio.Writer
+	cw      *crcWriter
+	scoring Scoring
+	terms   []string
+	dict    []diskDictEntry
+	docIDs  []uint64
+	scratch []byte
+	err     error
+}
+
+// NewDiskWriter starts writing a disk index to path (via path+".tmp").
+func NewDiskWriter(path string, scoring Scoring) (*DiskWriter, error) {
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return nil, fmt.Errorf("ir: disk writer: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	w := &DiskWriter{path: path, f: f, bw: bw, cw: newCRCWriter(bw), scoring: scoring}
+	w.scratch = make([]byte, 0, 4096)
+	w.writeBytes([]byte(diskMagic))
+	w.scratch = binary.AppendUvarint(w.scratch[:0], diskVersion)
+	w.writeBytes(w.scratch)
+	return w, nil
+}
+
+func (w *DiskWriter) writeBytes(p []byte) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.cw.Write(p)
+}
+
+// AddTerm appends one term's postings. list must be sorted by
+// descending score (ties by ascending docID) with non-negative scores —
+// the order and range ScoreTerm guarantees.
+func (w *DiskWriter) AddTerm(term string, list []Posting) error {
+	if w.err != nil {
+		return w.err
+	}
+	if n := len(w.terms); n > 0 && w.terms[n-1] >= term {
+		w.err = fmt.Errorf("ir: disk writer: term %q out of order (after %q)", term, w.terms[n-1])
+		return w.err
+	}
+	if len(list) == 0 {
+		return nil // absent terms are simply not in the dictionary
+	}
+	off := w.cw.n
+	buf := binary.AppendUvarint(w.scratch[:0], uint64(len(list)))
+	prev := uint64(0)
+	var sum float64
+	for i, p := range list {
+		if p.Score < 0 {
+			w.err = fmt.Errorf("ir: disk writer: negative score %g for %q", p.Score, term)
+			return w.err
+		}
+		bits := math.Float64bits(p.Score)
+		if i == 0 {
+			buf = binary.AppendUvarint(buf, bits)
+		} else {
+			if bits > prev {
+				w.err = fmt.Errorf("ir: disk writer: postings for %q not score-descending", term)
+				return w.err
+			}
+			buf = binary.AppendUvarint(buf, prev-bits)
+		}
+		prev = bits
+		buf = binary.AppendUvarint(buf, p.DocID)
+		sum += p.Score
+	}
+	w.scratch = buf[:0]
+	w.writeBytes(buf)
+	if w.err != nil {
+		return w.err
+	}
+	w.terms = append(w.terms, term)
+	w.dict = append(w.dict, diskDictEntry{
+		df:      len(list),
+		off:     off,
+		byteLen: w.cw.n - off,
+		maxBits: math.Float64bits(list[0].Score),
+		sumBits: math.Float64bits(sum),
+	})
+	return nil
+}
+
+// AddDocs records the document ID set (any order; duplicates are
+// collapsed). Must be called before Close.
+func (w *DiskWriter) AddDocs(ids []uint64) {
+	w.docIDs = append(w.docIDs, ids...)
+}
+
+// Close writes the doc list, dictionary, and footer, syncs, and renames
+// the temp file over the target path.
+func (w *DiskWriter) Close() error {
+	if w.err == nil {
+		sort.Slice(w.docIDs, func(i, j int) bool { return w.docIDs[i] < w.docIDs[j] })
+		// Collapse duplicates in place.
+		uniq := w.docIDs[:0]
+		for i, d := range w.docIDs {
+			if i == 0 || d != uniq[len(uniq)-1] {
+				uniq = append(uniq, d)
+			}
+		}
+		w.docIDs = uniq
+
+		docsOff := w.cw.n
+		buf := binary.AppendUvarint(w.scratch[:0], uint64(len(w.docIDs)))
+		prev := uint64(0)
+		for _, d := range w.docIDs {
+			buf = binary.AppendUvarint(buf, d-prev)
+			prev = d
+		}
+		w.writeBytes(buf)
+
+		dictOff := w.cw.n
+		buf = binary.AppendUvarint(buf[:0], uint64(len(w.terms)))
+		w.writeBytes(buf)
+		for i, t := range w.terms {
+			e := w.dict[i]
+			buf = binary.AppendUvarint(buf[:0], uint64(len(t)))
+			buf = append(buf, t...)
+			buf = binary.AppendUvarint(buf, uint64(e.df))
+			buf = binary.AppendUvarint(buf, uint64(e.off))
+			buf = binary.AppendUvarint(buf, uint64(e.byteLen))
+			buf = binary.AppendUvarint(buf, e.maxBits)
+			buf = binary.AppendUvarint(buf, e.sumBits)
+			w.writeBytes(buf)
+		}
+
+		var foot [diskFooterLen]byte
+		binary.BigEndian.PutUint64(foot[0:], uint64(dictOff))
+		binary.BigEndian.PutUint64(foot[8:], uint64(docsOff))
+		foot[16] = byte(w.scoring)
+		// CRC covers everything before the CRC field itself.
+		w.writeBytes(foot[:17])
+		crc := w.cw.crc.Sum32()
+		binary.BigEndian.PutUint32(foot[17:], crc)
+		copy(foot[21:], diskEndMagic)
+		w.writeBytes(foot[17:])
+	}
+	if w.err == nil {
+		w.err = w.bw.Flush()
+	}
+	if w.err == nil {
+		w.err = w.f.Sync()
+	}
+	if cerr := w.f.Close(); w.err == nil {
+		w.err = cerr
+	}
+	if w.err != nil {
+		os.Remove(w.path + ".tmp")
+		return fmt.Errorf("ir: disk writer: %w", w.err)
+	}
+	if err := os.Rename(w.path+".tmp", w.path); err != nil {
+		os.Remove(w.path + ".tmp")
+		return fmt.Errorf("ir: disk writer: %w", err)
+	}
+	return nil
+}
+
+// BytesWritten returns how many bytes have been written so far.
+func (w *DiskWriter) BytesWritten() int64 { return w.cw.n }
+
+// WriteDiskIndex writes a finalized in-memory index in the on-disk
+// format — the seam tests and small deployments use to produce disk
+// indexes without the full pipeline. Postings are streamed in ascending
+// term order.
+func WriteDiskIndex(x *Index, path string) error {
+	x.mustFinal()
+	w, err := NewDiskWriter(path, x.scoring)
+	if err != nil {
+		return err
+	}
+	terms := x.Terms()
+	sort.Strings(terms)
+	for _, t := range terms {
+		if err := w.AddTerm(t, x.postings[t]); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	ids := make([]uint64, 0, len(x.docs))
+	for d := range x.docs {
+		ids = append(ids, d)
+	}
+	w.AddDocs(ids)
+	return w.Close()
+}

@@ -2,6 +2,7 @@ package ir
 
 import (
 	"bytes"
+	"encoding/gob"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -75,13 +76,111 @@ func TestLoadFileErrors(t *testing.T) {
 	if _, err := LoadFile(filepath.Join(t.TempDir(), "absent")); err == nil {
 		t.Fatal("loading a missing file succeeded")
 	}
-	// Corrupt payloads fail cleanly.
+	// Garbage too short for any trailer fails cleanly.
 	path := filepath.Join(t.TempDir(), "garbage")
 	if err := os.WriteFile(path, []byte("not a snapshot"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadFile(path); err == nil || !strings.Contains(err.Error(), "decode") {
+	if _, err := LoadFile(path); err == nil || !strings.Contains(err.Error(), "truncated") {
 		t.Fatalf("garbage load error = %v", err)
+	}
+	// Garbage long enough to be trailer-sized but without the magic is
+	// reported as pre-v2 or truncated.
+	if err := os.WriteFile(path, []byte(strings.Repeat("x", 100)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err == nil || !strings.Contains(err.Error(), "checksum trailer") {
+		t.Fatalf("trailerless load error = %v", err)
+	}
+}
+
+func TestChecksumDetectsTruncationAndCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "index.snap")
+	x := NewIndex()
+	corpus := dataset.Generate(dataset.CorpusConfig{NumDocs: 120, Seed: 4})
+	for _, d := range corpus.Docs {
+		x.AddDocument(d.ID, d.Terms)
+	}
+	x.Finalize()
+	if err := x.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err != nil {
+		t.Fatalf("pristine snapshot failed to load: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncation: drop bytes from the middle of the payload (the trailer
+	// magic survives, so only the length/CRC checks can catch it).
+	cut := append(append([]byte(nil), data[:len(data)/2]...), data[len(data)/2+8:]...)
+	if err := os.WriteFile(path, cut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("truncated load error = %v", err)
+	}
+	// Corruption: flip one payload byte; length matches, CRC must not.
+	flip := append([]byte(nil), data...)
+	flip[len(flip)/3] ^= 0xff
+	if err := os.WriteFile(path, flip, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("corrupt load error = %v", err)
+	}
+}
+
+func TestOldSnapshotVersionRejected(t *testing.T) {
+	// A version-1 stream decodes but is refused with a clear error.
+	var buf bytes.Buffer
+	x := NewIndex()
+	x.AddText(1, "forest fire")
+	x.Finalize()
+	if err := x.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Re-encode with the old version number.
+	old := indexSnapshot{Version: 1, Postings: x.postings, Docs: []uint64{1}}
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(old); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadSnapshot(&buf)
+	if err == nil || !strings.Contains(err.Error(), "version 1 unsupported") {
+		t.Fatalf("old version error = %v", err)
+	}
+}
+
+func TestLoadFileAutoDetectsDiskIndex(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "index.iqdx")
+	corpus := dataset.Generate(dataset.CorpusConfig{NumDocs: 200, Seed: 11})
+	x := NewIndex()
+	for _, d := range corpus.Docs {
+		x.AddDocument(d.ID, d.Terms)
+	}
+	x.Finalize()
+	if err := WriteDiskIndex(x, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile on disk-index format: %v", err)
+	}
+	if got.NumDocs() != x.NumDocs() || got.TermSpaceSize() != x.TermSpaceSize() {
+		t.Fatalf("materialized shape %d/%d, want %d/%d",
+			got.NumDocs(), got.TermSpaceSize(), x.NumDocs(), x.TermSpaceSize())
+	}
+	q := dataset.GenerateQueries(corpus, dataset.QueryConfig{Count: 3, Seed: 11})
+	for _, query := range q {
+		want := x.Search(query.Terms, 20, Disjunctive)
+		have := got.Search(query.Terms, 20, Disjunctive)
+		if !reflect.DeepEqual(want, have) {
+			t.Fatalf("query %v results differ after materialize", query.Terms)
+		}
 	}
 }
 

@@ -56,6 +56,16 @@ func (h *resultHeap) Pop() interface{} {
 // unlimited. Duplicate query terms are collapsed.
 func (x *Index) Search(terms []string, k int, mode Mode) []Result {
 	x.mustFinal()
+	return searchPostings(func(t string) []Posting { return x.postings[t] }, terms, k, mode)
+}
+
+// searchPostings is the query execution core shared by the in-memory
+// index and the on-disk reader: given a postings source, it accumulates
+// per-document scores over the (de-duplicated) query terms and returns
+// the top k. Both implementations hand postings lists in identical
+// order, so accumulation — and therefore every returned score bit — is
+// identical between them.
+func searchPostings(postings func(term string) []Posting, terms []string, k int, mode Mode) []Result {
 	uniq := make([]string, 0, len(terms))
 	seen := make(map[string]struct{}, len(terms))
 	for _, t := range terms {
@@ -69,7 +79,7 @@ func (x *Index) Search(terms []string, k int, mode Mode) []Result {
 	scores := make(map[uint64]float64)
 	hits := make(map[uint64]int)
 	for _, t := range uniq {
-		for _, p := range x.postings[t] {
+		for _, p := range postings(t) {
 			scores[p.DocID] += p.Score
 			hits[p.DocID]++
 		}

@@ -61,65 +61,113 @@ func (x *Index) SetScoring(s Scoring) {
 // Scoring returns the index's relevance model.
 func (x *Index) Scoring() Scoring { return x.scoring }
 
-// finalizeScores computes the postings lists for the configured model.
-// Called by Finalize with x.tf still populated.
-func (x *Index) finalizeScores() {
-	n := float64(len(x.docs))
-	var avgdl, totalTokens float64
-	if x.scoring == ScoringBM25 || x.scoring == ScoringLM {
-		var total int
-		for _, l := range x.docLen {
-			total += l
+// DocTF is one raw pre-scoring posting: a document and the term's
+// occurrence count within it. The external-memory build pipeline spills
+// and merges DocTF entries; scoring turns them into Postings.
+type DocTF struct {
+	// DocID is the global document identifier.
+	DocID uint64
+	// TF is the term frequency in the document.
+	TF int
+}
+
+// CorpusStats are the collection-wide statistics scoring needs beyond
+// the term's own entries. DocLen may be nil for models that ignore
+// document length (TF·IDF).
+type CorpusStats struct {
+	// NumDocs is the total number of indexed documents (N).
+	NumDocs int
+	// TotalTokens is the total token count over all documents (the
+	// denominator of the collection language model).
+	TotalTokens int64
+	// DocLen returns a document's token count (BM25/LM length
+	// normalization).
+	DocLen func(docID uint64) int
+}
+
+// ScoreTerm computes one term's postings list from raw (docID, tf)
+// entries under the given model and sorts it by descending score (ties
+// broken by ascending docID). Both the in-memory Finalize and the
+// out-of-core merge stage score through this single kernel, so the two
+// index builds produce bit-identical postings: every score is a
+// deterministic function of integer statistics (tf, df, N, Σ|d|), with
+// no accumulation whose order could differ between the paths.
+func ScoreTerm(model Scoring, stats CorpusStats, entries []DocTF) []Posting {
+	n := float64(stats.NumDocs)
+	df := float64(len(entries))
+	docLen := stats.DocLen
+	if docLen == nil {
+		docLen = func(uint64) int { return 0 }
+	}
+	list := make([]Posting, 0, len(entries))
+	switch model {
+	case ScoringLM:
+		totalTokens := float64(stats.TotalTokens)
+		if totalTokens == 0 {
+			totalTokens = 1
 		}
-		totalTokens = float64(total)
-		if len(x.docLen) > 0 {
-			avgdl = float64(total) / float64(len(x.docLen))
+		// Collection frequency of the term (total occurrences). The
+		// summands are integers, so the sum is exact regardless of the
+		// order the entries arrive in.
+		var cf float64
+		for _, e := range entries {
+			cf += float64(e.TF)
+		}
+		pc := cf / totalTokens
+		for _, e := range entries {
+			tf := float64(e.TF)
+			score := math.Log((tf + lmMu*pc) / ((float64(docLen(e.DocID)) + lmMu) * pc))
+			if score < 0 {
+				score = 0 // below-background terms carry no evidence
+			}
+			list = append(list, Posting{DocID: e.DocID, Score: score})
+		}
+	case ScoringBM25:
+		avgdl := float64(0)
+		if stats.NumDocs > 0 {
+			avgdl = float64(stats.TotalTokens) / float64(stats.NumDocs)
 		}
 		if avgdl == 0 {
 			avgdl = 1
 		}
-		if totalTokens == 0 {
-			totalTokens = 1
+		idf := math.Log(1 + (n-df+0.5)/(df+0.5))
+		for _, e := range entries {
+			tf := float64(e.TF)
+			norm := tf + bm25K1*(1-bm25B+bm25B*float64(docLen(e.DocID))/avgdl)
+			list = append(list, Posting{DocID: e.DocID, Score: idf * tf * (bm25K1 + 1) / norm})
+		}
+	default:
+		idf := math.Log(1 + n/df)
+		for _, e := range entries {
+			list = append(list, Posting{DocID: e.DocID, Score: (1 + math.Log(float64(e.TF))) * idf})
 		}
 	}
-	for t, m := range x.tf {
-		df := float64(len(m))
-		list := make([]Posting, 0, len(m))
-		switch x.scoring {
-		case ScoringLM:
-			// Collection frequency of the term (total occurrences).
-			var cf float64
-			for _, f := range m {
-				cf += float64(f)
-			}
-			pc := cf / totalTokens
-			for d, f := range m {
-				tf := float64(f)
-				score := math.Log((tf + lmMu*pc) / ((float64(x.docLen[d]) + lmMu) * pc))
-				if score < 0 {
-					score = 0 // below-background terms carry no evidence
-				}
-				list = append(list, Posting{DocID: d, Score: score})
-			}
-		case ScoringBM25:
-			idf := math.Log(1 + (n-df+0.5)/(df+0.5))
-			for d, f := range m {
-				tf := float64(f)
-				norm := tf + bm25K1*(1-bm25B+bm25B*float64(x.docLen[d])/avgdl)
-				list = append(list, Posting{DocID: d, Score: idf * tf * (bm25K1 + 1) / norm})
-			}
-		default:
-			idf := math.Log(1 + n/df)
-			for d, f := range m {
-				list = append(list, Posting{DocID: d, Score: (1 + math.Log(float64(f))) * idf})
-			}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].Score != list[j].Score {
+			return list[i].Score > list[j].Score
 		}
-		sort.Slice(list, func(i, j int) bool {
-			if list[i].Score != list[j].Score {
-				return list[i].Score > list[j].Score
-			}
-			return list[i].DocID < list[j].DocID
-		})
-		x.postings[t] = list
+		return list[i].DocID < list[j].DocID
+	})
+	return list
+}
+
+// finalizeScores computes the postings lists for the configured model.
+// Called by Finalize with x.tf still populated.
+func (x *Index) finalizeScores() {
+	var total int64
+	for _, l := range x.docLen {
+		total += int64(l)
+	}
+	stats := CorpusStats{
+		NumDocs:     len(x.docs),
+		TotalTokens: total,
+		DocLen:      func(d uint64) int { return x.docLen[d] },
+	}
+	for t, m := range x.tf {
+		entries := make([]DocTF, 0, len(m))
+		for d, f := range m {
+			entries = append(entries, DocTF{DocID: d, TF: f})
+		}
+		x.postings[t] = ScoreTerm(x.scoring, stats, entries)
 	}
 }

@@ -1,0 +1,45 @@
+package ir
+
+// Searcher is the read side of a finalized index — the interface the
+// rest of the system (peer snapshots, directory publishing, streaming
+// top-k, evaluation) queries against. Two implementations exist:
+//
+//   - *Index, the in-memory inverted index built document-at-a-time;
+//   - *DiskIndex, the out-of-core reader over the on-disk posting
+//     format the external-memory build pipeline (internal/buildix)
+//     produces.
+//
+// The two are interchangeable: both score through ScoreTerm and execute
+// queries through the shared search core, so for the same corpus and
+// scoring model every method returns identical values — including the
+// exact float bits of scores.
+type Searcher interface {
+	// NumDocs returns the number of indexed documents.
+	NumDocs() int
+	// TermSpaceSize returns |V_i|, the number of distinct terms.
+	TermSpaceSize() int
+	// Terms returns the indexed terms in unspecified order.
+	Terms() []string
+	// Postings returns the term's postings sorted by descending score;
+	// the slice must not be modified.
+	Postings(term string) []Posting
+	// DocFreq returns df(term).
+	DocFreq(term string) int
+	// MaxDocFreq returns the largest document frequency of any term.
+	MaxDocFreq() int
+	// MaxScore returns the highest score in the term's list (0 if absent).
+	MaxScore(term string) float64
+	// AvgScore returns the mean score of the term's list (0 if absent).
+	AvgScore(term string) float64
+	// DocIDs returns the term's document IDs in list order.
+	DocIDs(term string) []uint64
+	// Search returns the top k results for a multi-keyword query.
+	Search(terms []string, k int, mode Mode) []Result
+	// Scoring returns the relevance model the index was built with.
+	Scoring() Scoring
+}
+
+var (
+	_ Searcher = (*Index)(nil)
+	_ Searcher = (*DiskIndex)(nil)
+)

@@ -1,0 +1,269 @@
+package ir
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// The synopsis side file ("<index>.syn") carries the per-term synopses
+// the build pipeline precomputes while streaming over the merged
+// postings, so a freshly loaded disk index can publish to the directory
+// without re-deriving every synopsis. The file is opaque to ir — it
+// stores marshaled synopsis bytes plus the scheme parameters (kind,
+// bits, seed) the publisher needs to decide whether the precomputed
+// bytes match its configuration. Layout:
+//
+//	magic "IQSY" | uvarint version | uvarint kind | uvarint bits |
+//	uvarint seed
+//	blobs: per term (ascending): the marshaled synopsis bytes
+//	dict:  uvarint nTerms, per term: uvarint len, term, uvarint off,
+//	       uvarint byteLen
+//	footer: uint64 dictOff | uint32 crc32c | 8-byte trailer magic
+
+const (
+	synMagic     = "IQSY"
+	synVersion   = 1
+	synEndMagic  = "IQSYEND\x01"
+	synFooterLen = 8 + 4 + 8
+)
+
+type synEntry struct {
+	off     int64
+	byteLen int64
+}
+
+type synReader struct {
+	f    *os.File
+	kind int
+	bits int
+	seed uint64
+	dict map[string]synEntry
+}
+
+// SynopsisWriter streams a synopsis side file. Terms must arrive in
+// ascending order.
+type SynopsisWriter struct {
+	path string
+	f    *os.File
+	bw   *bufio.Writer
+	cw   *crcWriter
+	last string
+	dict []synEntry
+	keys []string
+	err  error
+}
+
+// NewSynopsisWriter starts a side file for the given scheme parameters.
+func NewSynopsisWriter(path string, kind, bits int, seed uint64) (*SynopsisWriter, error) {
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return nil, fmt.Errorf("ir: synopsis writer: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	w := &SynopsisWriter{path: path, f: f, bw: bw, cw: newCRCWriter(bw)}
+	head := append([]byte(synMagic), 0)
+	head = head[:len(synMagic)]
+	head = binary.AppendUvarint(head, synVersion)
+	head = binary.AppendUvarint(head, uint64(kind))
+	head = binary.AppendUvarint(head, uint64(bits))
+	head = binary.AppendUvarint(head, seed)
+	if _, err := w.cw.Write(head); err != nil {
+		w.err = err
+	}
+	return w, nil
+}
+
+// AddTerm appends one term's marshaled synopsis.
+func (w *SynopsisWriter) AddTerm(term string, data []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.last != "" && term <= w.last {
+		w.err = fmt.Errorf("ir: synopsis writer: term %q out of order", term)
+		return w.err
+	}
+	w.last = term
+	off := w.cw.n
+	if _, err := w.cw.Write(data); err != nil {
+		w.err = err
+		return w.err
+	}
+	w.keys = append(w.keys, term)
+	w.dict = append(w.dict, synEntry{off: off, byteLen: int64(len(data))})
+	return nil
+}
+
+// Close writes the dictionary and footer and renames the file in place.
+func (w *SynopsisWriter) Close() error {
+	if w.err == nil {
+		dictOff := w.cw.n
+		buf := binary.AppendUvarint(nil, uint64(len(w.keys)))
+		for i, t := range w.keys {
+			buf = binary.AppendUvarint(buf, uint64(len(t)))
+			buf = append(buf, t...)
+			buf = binary.AppendUvarint(buf, uint64(w.dict[i].off))
+			buf = binary.AppendUvarint(buf, uint64(w.dict[i].byteLen))
+		}
+		if _, err := w.cw.Write(buf); err != nil {
+			w.err = err
+		}
+		if w.err == nil {
+			var foot [synFooterLen]byte
+			binary.BigEndian.PutUint64(foot[0:], uint64(dictOff))
+			if _, err := w.cw.Write(foot[:8]); err != nil {
+				w.err = err
+			} else {
+				binary.BigEndian.PutUint32(foot[8:], w.cw.crc.Sum32())
+				copy(foot[12:], synEndMagic)
+				if _, err := w.cw.Write(foot[8:]); err != nil {
+					w.err = err
+				}
+			}
+		}
+	}
+	if w.err == nil {
+		w.err = w.bw.Flush()
+	}
+	if w.err == nil {
+		w.err = w.f.Sync()
+	}
+	if cerr := w.f.Close(); w.err == nil {
+		w.err = cerr
+	}
+	if w.err != nil {
+		os.Remove(w.path + ".tmp")
+		return fmt.Errorf("ir: synopsis writer: %w", w.err)
+	}
+	if err := os.Rename(w.path+".tmp", w.path); err != nil {
+		os.Remove(w.path + ".tmp")
+		return fmt.Errorf("ir: synopsis writer: %w", err)
+	}
+	return nil
+}
+
+// openSyn opens a synopsis side file; a missing file is (nil, nil).
+func openSyn(path string) (*synReader, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ir: open synopses: %w", err)
+	}
+	s, err := parseSyn(f, path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func parseSyn(f *os.File, path string) (*synReader, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("ir: synopses %s: %w", path, err)
+	}
+	size := st.Size()
+	if size < int64(len(synMagic))+synFooterLen {
+		return nil, fmt.Errorf("ir: synopses %s: file too short", path)
+	}
+	var foot [synFooterLen]byte
+	if _, err := f.ReadAt(foot[:], size-synFooterLen); err != nil {
+		return nil, fmt.Errorf("ir: synopses %s: read footer: %w", path, err)
+	}
+	if string(foot[12:]) != synEndMagic {
+		return nil, fmt.Errorf("ir: synopses %s: bad trailer magic (truncated?)", path)
+	}
+	wantCRC := binary.BigEndian.Uint32(foot[8:])
+	crc := crc32.New(castagnoli)
+	if _, err := io.Copy(crc, io.NewSectionReader(f, 0, size-12)); err != nil {
+		return nil, fmt.Errorf("ir: synopses %s: checksum read: %w", path, err)
+	}
+	if crc.Sum32() != wantCRC {
+		return nil, fmt.Errorf("ir: synopses %s: checksum mismatch", path)
+	}
+	dictOff := int64(binary.BigEndian.Uint64(foot[0:]))
+	if dictOff < 0 || dictOff > size-synFooterLen {
+		return nil, fmt.Errorf("ir: synopses %s: corrupt dictionary offset", path)
+	}
+	hr := bufio.NewReader(io.NewSectionReader(f, int64(len(synMagic)), size))
+	var magic [len(synMagic)]byte
+	if _, err := f.ReadAt(magic[:], 0); err != nil || string(magic[:]) != synMagic {
+		return nil, fmt.Errorf("ir: synopses %s: bad magic", path)
+	}
+	ver, err := binary.ReadUvarint(hr)
+	if err != nil || ver != synVersion {
+		return nil, fmt.Errorf("ir: synopses %s: version %d, want %d", path, ver, synVersion)
+	}
+	s := &synReader{f: f, dict: map[string]synEntry{}}
+	kind, err := binary.ReadUvarint(hr)
+	if err != nil {
+		return nil, fmt.Errorf("ir: synopses %s: header: %w", path, err)
+	}
+	bits, err := binary.ReadUvarint(hr)
+	if err != nil {
+		return nil, fmt.Errorf("ir: synopses %s: header: %w", path, err)
+	}
+	seed, err := binary.ReadUvarint(hr)
+	if err != nil {
+		return nil, fmt.Errorf("ir: synopses %s: header: %w", path, err)
+	}
+	s.kind, s.bits, s.seed = int(kind), int(bits), seed
+	dr := bufio.NewReaderSize(io.NewSectionReader(f, dictOff, size-synFooterLen-dictOff), 1<<16)
+	n, err := binary.ReadUvarint(dr)
+	if err != nil {
+		return nil, fmt.Errorf("ir: synopses %s: dictionary: %w", path, err)
+	}
+	for i := uint64(0); i < n; i++ {
+		tl, err := binary.ReadUvarint(dr)
+		if err != nil {
+			return nil, fmt.Errorf("ir: synopses %s: dictionary: %w", path, err)
+		}
+		name := make([]byte, tl)
+		if _, err := io.ReadFull(dr, name); err != nil {
+			return nil, fmt.Errorf("ir: synopses %s: dictionary: %w", path, err)
+		}
+		off, err := binary.ReadUvarint(dr)
+		if err != nil {
+			return nil, fmt.Errorf("ir: synopses %s: dictionary: %w", path, err)
+		}
+		bl, err := binary.ReadUvarint(dr)
+		if err != nil {
+			return nil, fmt.Errorf("ir: synopses %s: dictionary: %w", path, err)
+		}
+		s.dict[string(name)] = synEntry{off: int64(off), byteLen: int64(bl)}
+	}
+	return s, nil
+}
+
+// PrebuiltSynopsis returns the term's precomputed marshaled synopsis,
+// or (nil, false) when the index has no synopsis side file or the term
+// is absent from it.
+func (x *DiskIndex) PrebuiltSynopsis(term string) ([]byte, bool) {
+	if x.syn == nil {
+		return nil, false
+	}
+	e, ok := x.syn.dict[term]
+	if !ok {
+		return nil, false
+	}
+	buf := make([]byte, e.byteLen)
+	if _, err := x.syn.f.ReadAt(buf, e.off); err != nil {
+		return nil, false
+	}
+	return buf, true
+}
+
+// SynopsisScheme reports the scheme parameters (synopsis kind, bits,
+// permutation seed) the side file was built with; ok is false when the
+// index has no precomputed synopses.
+func (x *DiskIndex) SynopsisScheme() (kind, bits int, seed uint64, ok bool) {
+	if x.syn == nil {
+		return 0, 0, 0, false
+	}
+	return x.syn.kind, x.syn.bits, x.syn.seed, true
+}

@@ -1,14 +1,17 @@
 // Package ir is the local information-retrieval engine of a MINERVA peer:
-// an in-memory inverted index with <term, docID, score> postings (the
-// paper's Section 1.2 data model), TF·IDF scoring, top-k query execution
-// in conjunctive and disjunctive modes, cross-peer result merging, and
+// an inverted index with <term, docID, score> postings (the paper's
+// Section 1.2 data model), TF·IDF scoring, top-k query execution in
+// conjunctive and disjunctive modes, cross-peer result merging, and
 // relative-recall measurement against a centralized reference index
-// (Section 8.1's evaluation metric).
+// (Section 8.1's evaluation metric). The index comes in two
+// interchangeable forms behind the Searcher interface: the in-memory
+// *Index and the out-of-core *DiskIndex reader over the on-disk posting
+// format written by the external-memory build pipeline.
 package ir
 
 import (
-	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // stopwords is a minimal English stopword list; enough to keep synthetic
@@ -21,29 +24,57 @@ var stopwords = map[string]struct{}{
 }
 
 // Tokenize splits free text into index terms: lower-cased maximal runs of
-// letters and digits, with stopwords and single-character tokens dropped.
+// letters and digits, with stopwords and single-byte tokens dropped.
 func Tokenize(text string) []string {
-	var terms []string
-	var sb strings.Builder
-	flush := func() {
-		if sb.Len() < 2 {
-			sb.Reset()
+	return TokenizeInto(nil, text)
+}
+
+// TokenizeInto appends text's index terms to dst and returns the
+// extended slice — the allocation-free form the out-of-core build hot
+// loop uses. Tokens that are already lower-case are emitted as
+// substrings of text (zero copies, zero allocations when dst has
+// capacity); only tokens that need case folding are rebuilt in a
+// scratch buffer. Callers that retain the returned terms beyond the
+// lifetime of text must copy them (substrings pin text's backing
+// array) — the build pipeline interns them anyway.
+func TokenizeInto(dst []string, text string) []string {
+	var scratch []byte // grown only when a token needs case folding
+	start := -1        // byte offset of the current token, -1 outside one
+	fold := false      // current token contains an upper-case rune
+	emit := func(end int) {
+		if start < 0 {
 			return
 		}
-		t := sb.String()
-		sb.Reset()
-		if _, stop := stopwords[t]; stop {
+		tok := text[start:end]
+		start = -1
+		if fold {
+			fold = false
+			scratch = scratch[:0]
+			for _, r := range tok {
+				scratch = utf8.AppendRune(scratch, unicode.ToLower(r))
+			}
+			tok = string(scratch)
+		}
+		if len(tok) < 2 {
 			return
 		}
-		terms = append(terms, t)
+		if _, stop := stopwords[tok]; stop {
+			return
+		}
+		dst = append(dst, tok)
 	}
-	for _, r := range text {
+	for i, r := range text {
 		if unicode.IsLetter(r) || unicode.IsDigit(r) {
-			sb.WriteRune(unicode.ToLower(r))
+			if start < 0 {
+				start = i
+			}
+			if unicode.ToLower(r) != r {
+				fold = true
+			}
 			continue
 		}
-		flush()
+		emit(i)
 	}
-	flush()
-	return terms
+	emit(len(text))
+	return dst
 }

@@ -1,0 +1,126 @@
+package ir
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestTokenizeIntoMatchesTokenize(t *testing.T) {
+	inputs := []string{
+		"Forest FIRE burns",
+		"pest-safety  control!",
+		"MP3 files by Theodorakis",
+		"öffnen die Tür ÖFFNEN",
+		"the and of to in is",            // stopwords only
+		"a b c d e",                      // all single-rune, all dropped
+		"Ω ω 中文 числа 123 x9",            // unicode letters and digits
+		"",                               //
+		"   \t\n  ",                      // whitespace only
+		strings.Repeat("reuse me ", 50),  // long input
+		"CamelCase lowerUPPER MixedCase", // folding mid-token
+	}
+	var dst []string
+	for _, in := range inputs {
+		want := Tokenize(in)
+		dst = TokenizeInto(dst[:0], in)
+		if len(want) == 0 && len(dst) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual([]string(dst), want) {
+			t.Errorf("TokenizeInto(%q) = %v, want %v", in, dst, want)
+		}
+	}
+}
+
+func TestTokenizeEdgeCases(t *testing.T) {
+	cases := map[string][]string{
+		// Unicode letters survive; folding is applied per rune.
+		"ÖFFNEN DIE TÜR": {"öffnen", "die", "tür"},
+		"中文 检索":          {"中文", "检索"},
+		// Digits count as token characters.
+		"mp3 4x4 90s": {"mp3", "4x4", "90s"},
+		// The minimum-length filter is measured in bytes, so single
+		// ASCII runes drop while a single multi-byte rune survives.
+		"a 中 x y": {"中"},
+		// Stopword-only input yields no tokens.
+		"the and of a an to": nil,
+		// Mixed: stopwords ("be" included) and short tokens drop.
+		"To be OR not I": {"not"},
+		// Punctuation splits; apostrophes are separators too.
+		"don't stop-word": {"don", "stop", "word"},
+	}
+	for in, want := range cases {
+		if got := Tokenize(in); !reflect.DeepEqual(got, want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestTokenizeIntoAppends(t *testing.T) {
+	dst := []string{"existing"}
+	dst = TokenizeInto(dst, "forest fire")
+	want := []string{"existing", "forest", "fire"}
+	if !reflect.DeepEqual(dst, want) {
+		t.Fatalf("TokenizeInto append = %v, want %v", dst, want)
+	}
+}
+
+func TestTokenizeIntoZeroAllocSteadyState(t *testing.T) {
+	// Once dst has grown to capacity, tokenizing already-lowercase text
+	// performs no allocations at all: tokens are substrings of the input.
+	text := strings.Repeat("forest fire safety control pest service wildfire ", 20)
+	dst := TokenizeInto(nil, text)
+	if len(dst) == 0 {
+		t.Fatal("no tokens")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = TokenizeInto(dst[:0], text)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state TokenizeInto allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func BenchmarkTokenizeInto(b *testing.B) {
+	text := strings.Repeat("forest fire safety control pest service wildfire response ", 16)
+	dst := TokenizeInto(nil, text)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = TokenizeInto(dst[:0], text)
+	}
+	_ = dst
+}
+
+func BenchmarkTokenize(b *testing.B) {
+	text := strings.Repeat("forest fire safety control pest service wildfire response ", 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Tokenize(text)
+	}
+}
+
+func TestMergeDuplicateDocsAcrossLists(t *testing.T) {
+	// The same document appearing in several peers' lists collapses to
+	// its single best score, even across three lists and with ties.
+	a := []Result{{10, 3.0}, {11, 2.0}}
+	b := []Result{{10, 5.0}, {12, 2.0}}
+	c := []Result{{10, 4.0}, {11, 2.0}}
+	m := Merge([][]Result{a, b, c}, 0)
+	want := []Result{{10, 5.0}, {11, 2.0}, {12, 2.0}}
+	if !reflect.DeepEqual(m, want) {
+		t.Fatalf("Merge = %v, want %v", m, want)
+	}
+	// Equal-score duplicates keep one entry; ties order by doc ID.
+	m2 := Merge([][]Result{{{7, 1.5}}, {{7, 1.5}}, {{6, 1.5}}}, 0)
+	want2 := []Result{{6, 1.5}, {7, 1.5}}
+	if !reflect.DeepEqual(m2, want2) {
+		t.Fatalf("tie merge = %v, want %v", m2, want2)
+	}
+	// k smaller than the dedup'd size truncates after dedup.
+	if got := Merge([][]Result{a, b, c}, 1); !reflect.DeepEqual(got, want[:1]) {
+		t.Fatalf("top-1 merge = %v, want %v", got, want[:1])
+	}
+}

@@ -159,19 +159,30 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// SaveIndex snapshots the peer's local index to a file (see ir.SaveFile)
-// so a restart can skip re-indexing.
+// SaveIndex persists the peer's local index to a file so a restart can
+// skip re-indexing. An in-memory index writes a checksummed snapshot
+// (ir.SaveFile); a disk-backed index copies its on-disk files.
 func (p *Peer) SaveIndex(path string) error {
 	idx := p.Index()
 	if idx == nil {
 		return fmt.Errorf("minerva: %s has no index to save", p.name)
 	}
-	return idx.SaveFile(path)
+	saver, ok := idx.(interface{ SaveFile(string) error })
+	if !ok {
+		return fmt.Errorf("minerva: index type %T cannot be saved", idx)
+	}
+	return saver.SaveFile(path)
 }
 
-// LoadIndex restores a snapshot written by SaveIndex. The peer still
-// needs to PublishPosts afterwards to re-enter directories.
+// LoadIndex restores a persisted index. The format is auto-detected:
+// an out-of-core index built by the buildix pipeline is mounted
+// disk-backed (see LoadDiskIndex), a gob snapshot written by SaveIndex
+// is loaded into memory. The peer still needs to PublishPosts
+// afterwards to re-enter directories.
 func (p *Peer) LoadIndex(path string) error {
+	if ir.IsDiskIndex(path) {
+		return p.LoadDiskIndex(path)
+	}
 	idx, err := ir.LoadFile(path)
 	if err != nil {
 		return err

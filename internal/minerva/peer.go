@@ -199,7 +199,11 @@ type Peer struct {
 // reader, and discarded wholesale when the index is replaced (derived
 // state can never outlive or mix with its source index).
 type indexSnapshot struct {
-	index *ir.Index
+	// index is either the in-memory *ir.Index or the out-of-core
+	// *ir.DiskIndex built by the buildix pipeline — the whole peer
+	// engine runs against the Searcher interface, so which one backs a
+	// generation is invisible to queries, publishes, and streams.
+	index ir.Searcher
 
 	// gen is the snapshot's process-unique generation identity. Chunk
 	// stream cursors are offsets into a score-sorted result list, so
@@ -237,7 +241,7 @@ type indexSnapshot struct {
 // free as the client's "no generation pinned yet" sentinel.
 var snapshotGen atomic.Uint64
 
-func newIndexSnapshot(idx *ir.Index) *indexSnapshot {
+func newIndexSnapshot(idx ir.Searcher) *indexSnapshot {
 	return &indexSnapshot{
 		index:     idx,
 		gen:       snapshotGen.Add(1),
@@ -570,11 +574,34 @@ func (p *Peer) IndexCollection(docs []dataset.Document) {
 	p.snap.Store(newIndexSnapshot(idx))
 }
 
-// Index returns the peer's local index (nil before IndexCollection).
-func (p *Peer) Index() *ir.Index {
+// Index returns the peer's local index as the scoring-neutral Searcher
+// view (nil before IndexCollection/LoadIndex/LoadDiskIndex). The
+// backing store may be in-memory or the out-of-core disk reader.
+func (p *Peer) Index() ir.Searcher {
 	if s := p.snap.Load(); s != nil {
 		return s.index
 	}
+	return nil
+}
+
+// LoadDiskIndex mounts an index built by the out-of-core pipeline
+// (internal/buildix) without materializing it: postings stay on disk
+// and are read per term. The snapshot swap is atomic, exactly like
+// IndexCollection — in-flight queries finish on the old generation.
+// When a synopsis side file accompanies the index and its scheme
+// matches the peer's configuration, publish rounds reuse the
+// precomputed synopses instead of rebuilding them.
+func (p *Peer) LoadDiskIndex(path string) error {
+	d, err := ir.OpenDisk(path)
+	if err != nil {
+		return err
+	}
+	if d.Scoring() != p.cfg.Scoring {
+		d.Close()
+		return fmt.Errorf("minerva: disk index %s scored with %v, peer configured for %v",
+			path, d.Scoring(), p.cfg.Scoring)
+	}
+	p.snap.Store(newIndexSnapshot(d))
 	return nil
 }
 
@@ -616,11 +643,29 @@ func (p *Peer) BuildPosts() ([]directory.Post, error) {
 	return out, nil
 }
 
+// prebuiltSynopses is implemented by index backends (ir.DiskIndex with
+// a synopsis side file) that carry synopses precomputed at build time.
+type prebuiltSynopses interface {
+	PrebuiltSynopsis(term string) ([]byte, bool)
+	SynopsisScheme() (kind, bits int, seed uint64, ok bool)
+}
+
 // buildPosts is the pure computation behind BuildPosts, memoized per
 // index generation by indexSnapshot.
-func buildPosts(idx *ir.Index, cfg Config, name string) ([]directory.Post, error) {
+func buildPosts(idx ir.Searcher, cfg Config, name string) ([]directory.Post, error) {
 	terms := idx.Terms()
 	sort.Strings(terms)
+	// A disk index built with a matching synopsis scheme lets publish
+	// rounds skip per-term synopsis construction entirely — the bytes
+	// were computed once by the build pipeline. Adaptive budgets vary
+	// bits per term, so they always rebuild.
+	var pre prebuiltSynopses
+	if p, ok := idx.(prebuiltSynopses); ok && cfg.TotalBudgetBits == 0 {
+		if kind, bits, seed, ok := p.SynopsisScheme(); ok &&
+			kind == int(cfg.kind()) && bits == cfg.bits() && seed == cfg.SynopsisSeed {
+			pre = p
+		}
+	}
 	var budget map[string]int
 	if cfg.TotalBudgetBits > 0 {
 		benefits := make(map[string]float64, len(terms))
@@ -651,11 +696,18 @@ func buildPosts(idx *ir.Index, cfg Config, name string) ([]directory.Post, error
 		}
 		if bits > 0 {
 			scfg := cfg.synopsisConfig(bits)
-			data, err := scfg.FromIDs(idx.DocIDs(t)).MarshalBinary()
-			if err != nil {
-				return nil, fmt.Errorf("minerva: synopsis for %q: %w", t, err)
+			if pre != nil {
+				if data, ok := pre.PrebuiltSynopsis(t); ok {
+					post.Synopsis = data
+				}
 			}
-			post.Synopsis = data
+			if post.Synopsis == nil {
+				data, err := scfg.FromIDs(idx.DocIDs(t)).MarshalBinary()
+				if err != nil {
+					return nil, fmt.Errorf("minerva: synopsis for %q: %w", t, err)
+				}
+				post.Synopsis = data
+			}
 			if cells := cfg.HistogramCells; cells > 0 {
 				h := histogram.Build(idx.Postings(t), cells, scfg)
 				post.Histogram = make([]directory.HistCell, len(h.Cells))
