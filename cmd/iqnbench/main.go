@@ -13,6 +13,7 @@
 //	iqnbench -exp cache                           # directory read cache on a Zipfian repeated-term workload
 //	iqnbench -exp qps                             # saturation queries/sec, bare vs optimized serving engine
 //	iqnbench -exp topk                            # bytes on the wire, pull-everything vs threshold streaming
+//	iqnbench -exp adaptive                        # query-log prior vs cold IQN, inflated-publisher defense
 //	iqnbench -exp build -docs 1000000             # out-of-core index build: throughput, peak RSS, parity, resume
 //	iqnbench -exp all                             # everything, default sizes
 //
@@ -69,6 +70,10 @@ type benchExperiment struct {
 	// Build is set only for the build experiment: out-of-core indexing
 	// throughput, peak RSS vs budget, and the parity/resume gates.
 	Build *eval.BuildResult `json:"build,omitempty"`
+	// Adaptive is set only for the adaptive experiment: the query-log
+	// prior's cold-vs-warm recall sweep, the inflated-publisher attack
+	// recovery, and the replay parity gate.
+	Adaptive *eval.AdaptiveResult `json:"adaptive,omitempty"`
 	// RPCReductionPct is set only for the cache experiment: the
 	// directory read-RPC reduction of cached over cold, in percent.
 	RPCReductionPct float64 `json:"rpcReductionPct,omitempty"`
@@ -189,7 +194,7 @@ func toBenchSeries(series []eval.Series) []benchSeries {
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig2left|fig2right|fig3left|fig3right|aggregation|histogram|budget|hetero|prior|cost|churn|chaos|load|route|overload|cache|qps|topk|build|all")
+		exp     = flag.String("exp", "all", "experiment: fig2left|fig2right|fig3left|fig3right|aggregation|histogram|budget|hetero|prior|cost|churn|chaos|load|route|overload|cache|qps|topk|build|adaptive|all")
 		docs    = flag.Int("docs", 20000, "corpus size for fig3-style experiments")
 		vocab   = flag.Int("vocab", 0, "vocabulary size (0: docs/10)")
 		runs    = flag.Int("runs", 50, "runs per point for fig2-style experiments")
@@ -205,6 +210,8 @@ func main() {
 		memMB   = flag.Int64("membudget", 128, "build experiment: spill-buffer budget in MiB")
 	)
 	flag.Parse()
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
 	output := benchOutput{Seed: *seed, Docs: *docs, Runs: *runs, Queries: *numQ, K: *k, Experiments: []benchExperiment{}}
 	record := func(name string, fill func(*benchExperiment)) {
@@ -472,6 +479,40 @@ func main() {
 					res.ParityOK, res.ResumeOK)
 				os.Exit(1)
 			}
+		case "adaptive":
+			// The adaptive gates are calibrated against the experiment's
+			// canonical workload (eval.AdaptiveConfig defaults), so the
+			// shared flags only apply when explicitly set — a bare
+			// `-exp all` keeps the canonical regime instead of inheriting
+			// fig3's 20k-doc default.
+			acfg := eval.AdaptiveConfig{Seed: *seed}
+			if explicit["docs"] {
+				acfg.CorpusDocs = *docs
+			}
+			if explicit["vocab"] {
+				acfg.VocabSize = *vocab
+			}
+			if explicit["queries"] {
+				acfg.QueryPool = *numQ
+			}
+			if explicit["k"] {
+				acfg.K = *k
+			}
+			res, err := eval.Adaptive(acfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "iqnbench: adaptive: %v\n", err)
+				os.Exit(1)
+			}
+			record(name, func(e *benchExperiment) { e.Adaptive = res })
+			fmt.Print(eval.AdaptiveTable(res))
+			// Parity must hold at any scale; the recall gates are only
+			// meaningful on the workload they were calibrated for.
+			canonical := !explicit["docs"] && !explicit["vocab"] && !explicit["queries"] && !explicit["k"] && *seed == 2006
+			if !res.ParityOK || (canonical && (res.PeersSaved < 1 || res.RecoveredFrac < 0.9)) {
+				fmt.Fprintf(os.Stderr, "iqnbench: adaptive: gate failed (peersSaved=%d recoveredFrac=%.3f parity=%v)\n",
+					res.PeersSaved, res.RecoveredFrac, res.ParityOK)
+				os.Exit(1)
+			}
 		case "chaos":
 			points, err := eval.Chaos(eval.ChaosConfig{
 				CorpusDocs: *docs, VocabSize: *vocab, Strategy: right,
@@ -497,7 +538,7 @@ func main() {
 
 	if *exp == "all" {
 		for _, name := range []string{"fig2left", "fig2right", "fig3left", "fig3right",
-			"aggregation", "histogram", "budget", "hetero", "prior", "cost", "churn", "chaos", "load", "route", "overload", "cache", "qps", "topk", "build"} {
+			"aggregation", "histogram", "budget", "hetero", "prior", "cost", "churn", "chaos", "load", "route", "overload", "cache", "qps", "topk", "build", "adaptive"} {
 			run(name)
 		}
 	} else {

@@ -1,0 +1,631 @@
+// Package adapt mines the query log for routing priors — the learned
+// layer PAPERS.md's "Queries mining for efficient routing in P2P
+// communities" (arXiv:1109.5679) suggests on top of IQN.
+//
+// IQN's Select-Best-Peer ranks candidates purely from published
+// synopses, so it re-pays the full estimation cost for every repeated
+// query and trusts whatever a peer publishes. This package closes both
+// gaps from data the search path already produces:
+//
+//   - a bounded, deterministic query-log store records, per normalized
+//     term set, which peers actually supplied merged top-k entries
+//     (SearchResult contribution data);
+//   - a lightweight clusterer matches a new query to its own history or
+//     to the most similar logged term set (Jaccard overlap), so near
+//     duplicates share one cluster;
+//   - a historical-contribution prior blends that history into routing
+//     through core.Options.Prior: peers that delivered merged top-k
+//     entries for this cluster before are boosted proportionally to
+//     their contribution share;
+//   - a result-vs-synopsis divergence detector compares what a peer
+//     claimed when it published (directory MaxScore bound, predicted
+//     novelty at selection time) against what it delivered, and
+//     downweights peers caught publishing inflated synopses through the
+//     same prior channel (arXiv:0909.2623 motivates defending the
+//     score-bound machinery against exactly this).
+//
+// Everything is deterministic: cluster eviction is LRU on a record
+// sequence number, similarity ties break lexicographically, and the
+// prior snapshot taken at lookup time is a pure function of the
+// observations recorded so far — which is what lets sim replay a
+// prior-on run byte-identically.
+package adapt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"iqn/internal/core"
+	"iqn/internal/telemetry"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultCapacity        = 256
+	DefaultPeerCapacity    = 1024
+	DefaultPriorWeight     = 2.0
+	DefaultSimilarityFloor = 0.5
+	DefaultMinObservations = 3
+	DefaultMaxScoreRatio   = 0.3
+	DefaultDudFraction     = 0.9
+	DefaultDownweight      = 0.05
+	DefaultWindow          = 16
+)
+
+// Config tunes the query-log store and the divergence detector. The
+// zero value of every field selects its default; negative values (and
+// fractions outside their domain) are rejected by Validate.
+type Config struct {
+	// Capacity bounds the number of distinct query clusters retained;
+	// the least-recently-recorded cluster is evicted first.
+	Capacity int
+	// PeerCapacity bounds the number of peers the divergence detector
+	// tracks, evicted LRU like clusters.
+	PeerCapacity int
+	// PriorWeight scales the contribution boost: a peer holding share f
+	// of a cluster's summed per-query contribution rates gets prior
+	// 1 + PriorWeight·f.
+	PriorWeight float64
+	// SimilarityFloor is the minimum Jaccard overlap between a query's
+	// normalized term set and a logged cluster for the cluster to match
+	// when there is no exact hit. In (0, 1].
+	SimilarityFloor float64
+	// MinObservations is how many windowed observations of a peer the
+	// detector needs before it may flag the peer.
+	MinObservations int
+	// MaxScoreRatio flags a peer whose mean delivered-vs-claimed
+	// max-score ratio falls to or below this value: honest peers always
+	// deliver at least one document scoring ≥ max-term-MaxScore, so the
+	// ratio stays above 1/|terms| unless the published MaxScore was
+	// inflated. In (0, 1).
+	MaxScoreRatio float64
+	// DudFraction flags a peer when at least this fraction of its
+	// windowed observations are duds: selected on a predicted novelty at
+	// least matching the best contributing peer's, yet contributing zero
+	// merged top-k entries — the signature of an inflated synopsis. In
+	// (0, 1].
+	DudFraction float64
+	// Downweight is the base prior factor applied to flagged peers, in
+	// (0, 1]. 1 disables downweighting. The effective factor is
+	// Downweight scaled by the peer's observed claim-trust (see
+	// peerStats.severity): a peer whose claims are off by 50× is
+	// suppressed ~50× harder than one just past the flag threshold,
+	// so no fabrication is extreme enough to out-shout its own
+	// penalty.
+	Downweight float64
+	// Window bounds the per-peer ring of recent observations the
+	// detector judges from, so peers can redeem themselves after honest
+	// republishes.
+	Window int
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Capacity == 0 {
+		c.Capacity = DefaultCapacity
+	}
+	if c.PeerCapacity == 0 {
+		c.PeerCapacity = DefaultPeerCapacity
+	}
+	if c.PriorWeight == 0 {
+		c.PriorWeight = DefaultPriorWeight
+	}
+	if c.SimilarityFloor == 0 {
+		c.SimilarityFloor = DefaultSimilarityFloor
+	}
+	if c.MinObservations == 0 {
+		c.MinObservations = DefaultMinObservations
+	}
+	if c.MaxScoreRatio == 0 {
+		c.MaxScoreRatio = DefaultMaxScoreRatio
+	}
+	if c.DudFraction == 0 {
+		c.DudFraction = DefaultDudFraction
+	}
+	if c.Downweight == 0 {
+		c.Downweight = DefaultDownweight
+	}
+	if c.Window == 0 {
+		c.Window = DefaultWindow
+	}
+	return c
+}
+
+// Validate rejects impossible knobs (negative bounds, fractions outside
+// their domain). Zero fields are fine — they select defaults.
+func (c Config) Validate() error {
+	if c.Capacity < 0 {
+		return fmt.Errorf("adapt: negative Capacity %d", c.Capacity)
+	}
+	if c.PeerCapacity < 0 {
+		return fmt.Errorf("adapt: negative PeerCapacity %d", c.PeerCapacity)
+	}
+	if c.PriorWeight < 0 {
+		return fmt.Errorf("adapt: negative PriorWeight %g", c.PriorWeight)
+	}
+	if c.SimilarityFloor < 0 || c.SimilarityFloor > 1 {
+		return fmt.Errorf("adapt: SimilarityFloor %g outside [0, 1]", c.SimilarityFloor)
+	}
+	if c.MinObservations < 0 {
+		return fmt.Errorf("adapt: negative MinObservations %d", c.MinObservations)
+	}
+	if c.MaxScoreRatio < 0 || c.MaxScoreRatio >= 1 {
+		return fmt.Errorf("adapt: MaxScoreRatio %g outside [0, 1)", c.MaxScoreRatio)
+	}
+	if c.DudFraction < 0 || c.DudFraction > 1 {
+		return fmt.Errorf("adapt: DudFraction %g outside [0, 1]", c.DudFraction)
+	}
+	if c.Downweight < 0 || c.Downweight > 1 {
+		return fmt.Errorf("adapt: Downweight %g outside [0, 1]", c.Downweight)
+	}
+	if c.Window < 0 {
+		return fmt.Errorf("adapt: negative Window %d", c.Window)
+	}
+	return nil
+}
+
+// Normalize maps a query's terms to the canonical cluster identity:
+// lower-cased, deduplicated, sorted, joined by '\x00'. Queries that
+// differ only in term order, case, or repetition share a cluster. An
+// empty (or all-empty-string) query returns an empty key.
+func Normalize(terms []string) (key string, norm []string) {
+	seen := make(map[string]bool, len(terms))
+	for _, t := range terms {
+		t = strings.ToLower(strings.TrimSpace(t))
+		if t == "" || seen[t] {
+			continue
+		}
+		seen[t] = true
+		norm = append(norm, t)
+	}
+	sort.Strings(norm)
+	return strings.Join(norm, "\x00"), norm
+}
+
+// PeerObservation is one peer's claimed-vs-delivered record from a
+// single answered search. Only peers that answered belong in an
+// observation — transport failures say nothing about honesty.
+type PeerObservation struct {
+	// Peer identifies the answering peer.
+	Peer core.PeerID
+	// PredictedNovelty is the routing plan's novelty estimate for the
+	// peer at selection time — what its published synopsis claimed it
+	// would add.
+	PredictedNovelty float64
+	// ClaimedMax is the directory-claimed score bound: the sum over the
+	// query's distinct terms of the peer's posted MaxScore (the same
+	// bound that seeds the streaming top-k coordinator). 0 means the
+	// directory had no claim to compare against.
+	ClaimedMax float64
+	// DeliveredMax is the best score among the entries the peer actually
+	// delivered (0 when it delivered none).
+	DeliveredMax float64
+	// Delivered counts the entries the peer delivered.
+	Delivered int
+	// Contributed is the peer's credit for delivered entries that made
+	// the merged top-k — the quantity the contribution prior is built
+	// from. Credit is fractional: a doc several peers delivered splits
+	// its unit of credit evenly among them, so a replication group
+	// shares one doc's worth of credit instead of each member claiming
+	// it whole (which would steer the prior toward redundant picks),
+	// while a peer whose coverage replicates others' still accumulates
+	// credit proportional to what it covers.
+	Contributed float64
+}
+
+// Observation is the per-search feed into the store: the query's terms
+// and every answered peer's record.
+type Observation struct {
+	Terms []string
+	Peers []PeerObservation
+}
+
+// cluster is one logged normalized term set with per-peer contribution
+// counts.
+type cluster struct {
+	key     string
+	terms   []string
+	lastSeq uint64
+	contrib map[core.PeerID]float64 // top-k credit (split per doc), cumulative
+	seen    map[core.PeerID]uint64  // observations the peer was queried in
+}
+
+// peerObs is one windowed divergence sample.
+type peerObs struct {
+	ratio    float64 // delivered/claimed max score, clamped to [0, 1]
+	hasRatio bool    // false when the directory claimed nothing
+	dud      bool    // predicted ≥ best contributor's novelty, contributed 0
+}
+
+// peerStats is the divergence detector's per-peer state.
+type peerStats struct {
+	lastSeq uint64
+	ring    []peerObs // most recent Window observations, oldest first
+	flagged bool
+	reason  string
+}
+
+// Store is the bounded, deterministic query-log store. All methods are
+// safe for concurrent use; determinism statements assume the caller
+// serializes Record/Prior per logical query stream (as search does).
+type Store struct {
+	mu       sync.Mutex
+	cfg      Config
+	reg      *telemetry.Registry
+	seq      uint64
+	clusters map[string]*cluster
+	byTerm   map[string]map[string]bool // term → cluster keys containing it
+	peers    map[core.PeerID]*peerStats
+}
+
+// NewStore validates cfg and builds an empty store. A nil registry
+// leaves the store uncounted.
+func NewStore(cfg Config, reg *telemetry.Registry) (*Store, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Store{
+		cfg:      cfg.withDefaults(),
+		reg:      reg,
+		clusters: map[string]*cluster{},
+		byTerm:   map[string]map[string]bool{},
+		peers:    map[core.PeerID]*peerStats{},
+	}, nil
+}
+
+// count increments a counter if a registry is attached.
+func (s *Store) count(name string, delta int64) {
+	if s.reg != nil && delta != 0 {
+		s.reg.Counter(name).Add(delta)
+	}
+}
+
+// Record folds one search's outcome into the log: contribution counts
+// into the query's cluster, claimed-vs-delivered divergence samples
+// into the per-peer detector state. Empty queries are ignored.
+func (s *Store) Record(obs Observation) {
+	key, terms := Normalize(obs.Terms)
+	if key == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	s.count("adapt.records", 1)
+
+	cl := s.clusters[key]
+	if cl == nil {
+		cl = &cluster{key: key, terms: terms, contrib: map[core.PeerID]float64{}, seen: map[core.PeerID]uint64{}}
+		s.clusters[key] = cl
+		for _, t := range terms {
+			if s.byTerm[t] == nil {
+				s.byTerm[t] = map[string]bool{}
+			}
+			s.byTerm[t][key] = true
+		}
+	}
+	cl.lastSeq = s.seq
+	s.evictClusters()
+
+	// novScale anchors the dud test: the largest predicted novelty among
+	// peers that did contribute. A peer predicted at least that novel
+	// which contributed nothing was overpromising relative to a peer
+	// whose promise held up — the signature of an inflated synopsis,
+	// self-normalized per query so no absolute threshold is needed.
+	novScale := 0.0
+	for _, po := range obs.Peers {
+		if po.Contributed > 0 && po.PredictedNovelty > novScale {
+			novScale = po.PredictedNovelty
+		}
+	}
+	// Shares are mean contributions per queried observation, not
+	// cumulative counts: a cumulative share grows with how often a peer
+	// happens to be selected, so small-budget repeats would lock routing
+	// into whichever subset it picked first. A rate only moves when the
+	// peer is actually queried, keeping warm-up evidence from broad
+	// exploratory searches alive through narrow-budget repetition.
+	var contributions float64
+	for _, po := range obs.Peers {
+		cl.seen[po.Peer]++
+		if po.Contributed > 0 {
+			cl.contrib[po.Peer] += po.Contributed
+			contributions += po.Contributed
+		}
+		s.observePeer(po, novScale)
+	}
+	// Fractional credits per query sum to the number of remotely
+	// delivered top-k entries; the counter keeps that whole-entry unit.
+	s.count("adapt.contributions", int64(contributions+0.5))
+}
+
+// observePeer appends one divergence sample to the peer's window and
+// re-judges the flag. Caller holds s.mu.
+func (s *Store) observePeer(po PeerObservation, novScale float64) {
+	ps := s.peers[po.Peer]
+	if ps == nil {
+		ps = &peerStats{}
+		s.peers[po.Peer] = ps
+		s.evictPeers(po.Peer)
+	}
+	ps.lastSeq = s.seq
+	sample := peerObs{
+		dud: po.Contributed == 0 && novScale > 0 && po.PredictedNovelty >= novScale,
+	}
+	if po.ClaimedMax > 0 {
+		sample.hasRatio = true
+		sample.ratio = po.DeliveredMax / po.ClaimedMax
+		if sample.ratio > 1 {
+			// A peer whose index grew past its last publish can out-score
+			// its claim; that is staleness, not honesty evidence worth
+			// more than full credit.
+			sample.ratio = 1
+		}
+		if sample.ratio < 0 {
+			sample.ratio = 0
+		}
+	}
+	ps.ring = append(ps.ring, sample)
+	if len(ps.ring) > s.cfg.Window {
+		ps.ring = ps.ring[len(ps.ring)-s.cfg.Window:]
+	}
+
+	flagged, reason := s.judge(ps)
+	if flagged && !ps.flagged {
+		s.count("adapt.flagged", 1)
+	} else if !flagged && ps.flagged {
+		s.count("adapt.unflagged", 1)
+	}
+	ps.flagged, ps.reason = flagged, reason
+}
+
+// severity returns the fraction of a flagged peer's claims its
+// deliveries actually back, in [0, 1]: the mean delivered/claimed
+// max-score ratio for "maxscore" flags, the non-dud fraction for
+// "novelty" flags. Routing scores scale with the claim, so
+// multiplying the downweight by this cancels the inflation that won
+// the peer its slot. Caller holds s.mu.
+func (ps *peerStats) severity() float64 {
+	var nRatio, duds int
+	var ratioSum float64
+	for _, o := range ps.ring {
+		if o.hasRatio {
+			nRatio++
+			ratioSum += o.ratio
+		}
+		if o.dud {
+			duds++
+		}
+	}
+	switch ps.reason {
+	case "maxscore":
+		if nRatio > 0 {
+			return ratioSum / float64(nRatio)
+		}
+	case "novelty":
+		if n := len(ps.ring); n > 0 {
+			return 1 - float64(duds)/float64(n)
+		}
+	}
+	return 1
+}
+
+// judge applies the divergence rules to a peer's window. Caller holds
+// s.mu.
+func (s *Store) judge(ps *peerStats) (bool, string) {
+	var nRatio, duds int
+	var ratioSum float64
+	for _, o := range ps.ring {
+		if o.hasRatio {
+			nRatio++
+			ratioSum += o.ratio
+		}
+		if o.dud {
+			duds++
+		}
+	}
+	if nRatio >= s.cfg.MinObservations && ratioSum/float64(nRatio) <= s.cfg.MaxScoreRatio {
+		return true, "maxscore"
+	}
+	n := len(ps.ring)
+	if n >= s.cfg.MinObservations && float64(duds)/float64(n) >= s.cfg.DudFraction {
+		return true, "novelty"
+	}
+	return false, ""
+}
+
+// evictClusters drops least-recently-recorded clusters down to
+// capacity. Caller holds s.mu.
+func (s *Store) evictClusters() {
+	for len(s.clusters) > s.cfg.Capacity {
+		victim := ""
+		var oldest uint64
+		for k, cl := range s.clusters {
+			if victim == "" || cl.lastSeq < oldest || (cl.lastSeq == oldest && k < victim) {
+				victim, oldest = k, cl.lastSeq
+			}
+		}
+		cl := s.clusters[victim]
+		delete(s.clusters, victim)
+		for _, t := range cl.terms {
+			delete(s.byTerm[t], victim)
+			if len(s.byTerm[t]) == 0 {
+				delete(s.byTerm, t)
+			}
+		}
+		s.count("adapt.evictions", 1)
+	}
+}
+
+// evictPeers drops least-recently-observed peers down to capacity,
+// never the peer just inserted. Caller holds s.mu.
+func (s *Store) evictPeers(keep core.PeerID) {
+	for len(s.peers) > s.cfg.PeerCapacity {
+		victim := core.PeerID("")
+		var oldest uint64
+		for p, ps := range s.peers {
+			if p == keep {
+				continue
+			}
+			if victim == "" || ps.lastSeq < oldest || (ps.lastSeq == oldest && p < victim) {
+				victim, oldest = p, ps.lastSeq
+			}
+		}
+		if victim == "" {
+			return
+		}
+		delete(s.peers, victim)
+		s.count("adapt.evictions", 1)
+	}
+}
+
+// PriorInfo describes how a Prior lookup resolved, for span
+// annotations and tests.
+type PriorInfo struct {
+	// Hit reports whether any cluster matched.
+	Hit bool
+	// Cluster is the matched cluster's key ("" on miss). Keys join the
+	// normalized terms with '\x00'; ClusterTerms is the readable form.
+	Cluster string
+	// Exact reports an exact key hit (vs a similarity match).
+	Exact bool
+	// Similarity is the Jaccard overlap with the matched cluster (1 on
+	// an exact hit, 0 on a miss).
+	Similarity float64
+	// Flagged counts peers currently downweighted by the detector.
+	Flagged int
+}
+
+// ClusterTerms renders the matched cluster key readably.
+func (pi PriorInfo) ClusterTerms() string {
+	return strings.ReplaceAll(pi.Cluster, "\x00", " ")
+}
+
+// Prior resolves the query against the log and returns the routing
+// prior: a deterministic per-peer factor
+//
+//	factor(p) = downweight(p) · (1 + PriorWeight · share(p))
+//
+// where share(p) is p's fraction of the matched cluster's summed mean
+// per-query contribution rates (0 on a miss or for unseen peers) —
+// rates, not cumulative counts, so share is independent of how often
+// the routing happened to select the peer — and downweight(p) is
+// Config.Downweight scaled by the observed claim-trust severity for
+// peers the divergence detector currently flags, 1 otherwise. The returned function reads an immutable snapshot, so
+// it stays deterministic for the duration of the routing call even if
+// the store keeps learning concurrently.
+func (s *Store) Prior(terms []string) (func(core.PeerID) float64, PriorInfo) {
+	key, norm := Normalize(terms)
+	s.mu.Lock()
+
+	info := PriorInfo{}
+	var cl *cluster
+	if key != "" {
+		if c := s.clusters[key]; c != nil {
+			cl, info = c, PriorInfo{Hit: true, Cluster: key, Exact: true, Similarity: 1}
+		} else if c, sim := s.closest(norm); c != nil {
+			cl, info = c, PriorInfo{Hit: true, Cluster: c.key, Similarity: sim}
+		}
+	}
+
+	factors := make(map[core.PeerID]float64)
+	if cl != nil {
+		var total float64
+		rates := make(map[core.PeerID]float64, len(cl.contrib))
+		for p, n := range cl.contrib {
+			if sn := cl.seen[p]; sn > 0 {
+				r := n / float64(sn)
+				rates[p] = r
+				total += r
+			}
+		}
+		if total > 0 {
+			w := s.cfg.PriorWeight
+			for p, r := range rates {
+				factors[p] = 1 + w*r/total
+			}
+		}
+	}
+	for p, ps := range s.peers {
+		if !ps.flagged {
+			continue
+		}
+		info.Flagged++
+		f, ok := factors[p]
+		if !ok {
+			f = 1
+		}
+		factors[p] = f * s.cfg.Downweight * ps.severity()
+	}
+	s.mu.Unlock()
+
+	if info.Hit {
+		s.count("adapt.prior_hits", 1)
+	} else {
+		s.count("adapt.prior_misses", 1)
+	}
+	if len(factors) == 0 {
+		return nil, info
+	}
+	return func(p core.PeerID) float64 {
+		if f, ok := factors[p]; ok {
+			return f
+		}
+		return 1
+	}, info
+}
+
+// closest finds the logged cluster with the highest Jaccard overlap
+// with the normalized term set, at or above the similarity floor.
+// Candidates come from the inverted term index (only clusters sharing
+// at least one term can clear a positive floor); ties prefer the
+// lexicographically smallest key. Caller holds s.mu.
+func (s *Store) closest(norm []string) (*cluster, float64) {
+	if len(norm) == 0 {
+		return nil, 0
+	}
+	overlap := map[string]int{}
+	for _, t := range norm {
+		for k := range s.byTerm[t] {
+			overlap[k]++
+		}
+	}
+	keys := make([]string, 0, len(overlap))
+	for k := range overlap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var best *cluster
+	bestSim := 0.0
+	for _, k := range keys {
+		cl := s.clusters[k]
+		union := len(norm) + len(cl.terms) - overlap[k]
+		sim := float64(overlap[k]) / float64(union)
+		if sim >= s.cfg.SimilarityFloor && sim > bestSim {
+			best, bestSim = cl, sim
+		}
+	}
+	return best, bestSim
+}
+
+// Flagged returns the currently downweighted peers in sorted order,
+// with the rule that flagged each ("maxscore" or "novelty").
+func (s *Store) Flagged() map[core.PeerID]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := map[core.PeerID]string{}
+	for p, ps := range s.peers {
+		if ps.flagged {
+			out[p] = ps.reason
+		}
+	}
+	return out
+}
+
+// Clusters reports how many query clusters the log currently holds.
+func (s *Store) Clusters() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.clusters)
+}

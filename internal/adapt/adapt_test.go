@@ -1,0 +1,388 @@
+package adapt
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"iqn/internal/core"
+	"iqn/internal/telemetry"
+)
+
+func mustStore(t *testing.T, cfg Config) *Store {
+	t.Helper()
+	s, err := NewStore(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// contribution builds the minimal observation: peers with given
+// contribution counts, no divergence signals.
+func contribution(terms []string, contribs map[core.PeerID]int) Observation {
+	obs := Observation{Terms: terms}
+	for p, n := range contribs {
+		obs.Peers = append(obs.Peers, PeerObservation{Peer: p, Delivered: n + 1, Contributed: float64(n)})
+	}
+	return obs
+}
+
+func TestNormalize(t *testing.T) {
+	cases := []struct {
+		name  string
+		terms []string
+		key   string
+		norm  []string
+	}{
+		{"empty query", nil, "", nil},
+		{"blank terms only", []string{"", "  "}, "", nil},
+		{"single", []string{"apple"}, "apple", []string{"apple"}},
+		{"duplicate terms", []string{"apple", "apple", "banana"}, "apple\x00banana", []string{"apple", "banana"}},
+		{"order independent", []string{"banana", "apple"}, "apple\x00banana", []string{"apple", "banana"}},
+		{"case folded", []string{"Apple", "BANANA", "apple"}, "apple\x00banana", []string{"apple", "banana"}},
+		{"whitespace trimmed", []string{" apple ", "banana"}, "apple\x00banana", []string{"apple", "banana"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			key, norm := Normalize(tc.terms)
+			if key != tc.key {
+				t.Fatalf("key = %q, want %q", key, tc.key)
+			}
+			if !reflect.DeepEqual(norm, tc.norm) {
+				t.Fatalf("norm = %v, want %v", norm, tc.norm)
+			}
+		})
+	}
+}
+
+func TestClustererLookup(t *testing.T) {
+	// One logged cluster; table of lookups that must resolve (or not)
+	// against it through normalization and Jaccard similarity.
+	cases := []struct {
+		name  string
+		query []string
+		hit   bool
+		exact bool
+		sim   float64
+	}{
+		{"exact", []string{"alpha", "beta", "gamma"}, true, true, 1},
+		{"reordered duplicate terms", []string{"gamma", "beta", "alpha", "beta"}, true, true, 1},
+		{"case variant", []string{"Alpha", "BETA", "gamma"}, true, true, 1},
+		{"two of three terms", []string{"alpha", "beta"}, true, false, 2.0 / 3},
+		{"one extra term", []string{"alpha", "beta", "gamma", "delta"}, true, false, 3.0 / 4},
+		{"one of three terms", []string{"alpha"}, false, false, 0}, // 1/3 < floor
+		{"disjoint", []string{"omega"}, false, false, 0},
+		{"empty query", nil, false, false, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := mustStore(t, Config{SimilarityFloor: 0.5})
+			s.Record(contribution([]string{"alpha", "beta", "gamma"}, map[core.PeerID]int{"p1": 3}))
+			prior, info := s.Prior(tc.query)
+			if info.Hit != tc.hit || info.Exact != tc.exact {
+				t.Fatalf("info = %+v, want hit=%v exact=%v", info, tc.hit, tc.exact)
+			}
+			if info.Similarity != tc.sim {
+				t.Fatalf("similarity = %g, want %g", info.Similarity, tc.sim)
+			}
+			if tc.hit {
+				if prior == nil {
+					t.Fatal("hit returned nil prior")
+				}
+				// p1 holds the full contribution share: 1 + weight·1.
+				if got, want := prior("p1"), 1+DefaultPriorWeight; got != want {
+					t.Fatalf("prior(p1) = %g, want %g", got, want)
+				}
+				if got := prior("unseen"); got != 1 {
+					t.Fatalf("prior(unseen) = %g, want 1", got)
+				}
+			} else if prior != nil {
+				t.Fatalf("miss returned a non-nil prior (factors for %+v)", info)
+			}
+		})
+	}
+}
+
+func TestClustererPrefersBestThenSmallestKey(t *testing.T) {
+	s := mustStore(t, Config{SimilarityFloor: 0.4})
+	s.Record(contribution([]string{"alpha", "beta"}, map[core.PeerID]int{"p1": 1}))
+	s.Record(contribution([]string{"alpha", "beta", "gamma"}, map[core.PeerID]int{"p2": 1}))
+	// {alpha,beta,delta}: Jaccard 2/3 with {alpha,beta}, 1/2 with the
+	// triple — the higher overlap must win.
+	_, info := s.Prior([]string{"alpha", "beta", "delta"})
+	if !info.Hit || info.Cluster != "alpha\x00beta" {
+		t.Fatalf("info = %+v, want the pair cluster", info)
+	}
+	// Equal similarity (1/2 each): {alpha,gamma} overlaps 1 of 2 with
+	// {alpha,beta} and 2 of 3... build a clean tie instead.
+	s2 := mustStore(t, Config{SimilarityFloor: 0.4})
+	s2.Record(contribution([]string{"alpha", "beta"}, map[core.PeerID]int{"p1": 1}))
+	s2.Record(contribution([]string{"alpha", "zeta"}, map[core.PeerID]int{"p2": 1}))
+	// {alpha}: Jaccard 1/2 with both pairs → lexicographically smaller
+	// key wins, deterministically.
+	_, info = s2.Prior([]string{"alpha"})
+	if !info.Hit || info.Cluster != "alpha\x00beta" {
+		t.Fatalf("tie info = %+v, want alpha\\x00beta", info)
+	}
+}
+
+func TestEvictionBoundaries(t *testing.T) {
+	cases := []struct {
+		name     string
+		capacity int
+		record   [][]string // queries recorded in order
+		touch    []string   // re-recorded before the overflowing insert
+		kept     [][]string
+		evicted  [][]string
+	}{
+		{
+			name:     "at capacity keeps everything",
+			capacity: 2,
+			record:   [][]string{{"a"}, {"b"}},
+			kept:     [][]string{{"a"}, {"b"}},
+		},
+		{
+			name:     "overflow evicts oldest",
+			capacity: 2,
+			record:   [][]string{{"a"}, {"b"}, {"c"}},
+			kept:     [][]string{{"b"}, {"c"}},
+			evicted:  [][]string{{"a"}},
+		},
+		{
+			name:     "re-record refreshes recency",
+			capacity: 2,
+			record:   [][]string{{"a"}, {"b"}},
+			touch:    []string{"a"},
+			kept:     [][]string{{"a"}},
+			evicted:  [][]string{{"b"}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := telemetry.NewRegistry()
+			s, err := NewStore(Config{Capacity: tc.capacity}, reg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, q := range tc.record {
+				s.Record(contribution(q, map[core.PeerID]int{"p": 1}))
+			}
+			if tc.touch != nil {
+				s.Record(contribution(tc.touch, map[core.PeerID]int{"p": 1}))
+				s.Record(contribution([]string{"z-overflow"}, map[core.PeerID]int{"p": 1}))
+			}
+			for _, q := range tc.kept {
+				if _, info := s.Prior(q); !info.Hit {
+					t.Fatalf("cluster %v evicted, want kept", q)
+				}
+			}
+			for _, q := range tc.evicted {
+				if _, info := s.Prior(q); info.Hit {
+					t.Fatalf("cluster %v kept, want evicted", q)
+				}
+			}
+			if s.Clusters() > tc.capacity {
+				t.Fatalf("%d clusters exceed capacity %d", s.Clusters(), tc.capacity)
+			}
+			wantEvict := int64(len(tc.evicted))
+			if got := reg.Counter("adapt.evictions").Value(); got != wantEvict {
+				t.Fatalf("adapt.evictions = %d, want %d", got, wantEvict)
+			}
+		})
+	}
+}
+
+func TestEmptyQueriesIgnored(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s, err := NewStore(Config{}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Record(Observation{Terms: nil, Peers: []PeerObservation{{Peer: "p", Contributed: 5, Delivered: 5}}})
+	s.Record(Observation{Terms: []string{"", " "}, Peers: []PeerObservation{{Peer: "p", Contributed: 5, Delivered: 5}}})
+	if s.Clusters() != 0 {
+		t.Fatalf("empty queries created %d clusters", s.Clusters())
+	}
+	if got := reg.Counter("adapt.records").Value(); got != 0 {
+		t.Fatalf("adapt.records = %d, want 0", got)
+	}
+	if prior, info := s.Prior(nil); prior != nil || info.Hit {
+		t.Fatalf("empty-query prior = %+v, want nil miss", info)
+	}
+}
+
+func TestPriorSharesSplitByContribution(t *testing.T) {
+	s := mustStore(t, Config{PriorWeight: 4})
+	q := []string{"news", "sports"}
+	s.Record(contribution(q, map[core.PeerID]int{"heavy": 6, "light": 2}))
+	s.Record(contribution(q, map[core.PeerID]int{"heavy": 3, "light": 1}))
+	prior, info := s.Prior(q)
+	if !info.Hit || prior == nil {
+		t.Fatalf("expected a hit, got %+v", info)
+	}
+	// heavy: 9 of 12 → 1 + 4·0.75 = 4; light: 3 of 12 → 1 + 4·0.25 = 2.
+	if got := prior("heavy"); got != 4 {
+		t.Fatalf("prior(heavy) = %g, want 4", got)
+	}
+	if got := prior("light"); got != 2 {
+		t.Fatalf("prior(light) = %g, want 2", got)
+	}
+}
+
+func TestDivergenceFlagsInflatedMaxScore(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s, err := NewStore(Config{MinObservations: 3}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []string{"term"}
+	for i := 0; i < 3; i++ {
+		s.Record(Observation{Terms: q, Peers: []PeerObservation{
+			// honest: delivers what it claims.
+			{Peer: "honest", ClaimedMax: 10, DeliveredMax: 9, Delivered: 5, Contributed: 3, PredictedNovelty: 50},
+			// inflater: claims 10× what it can deliver.
+			{Peer: "inflater", ClaimedMax: 100, DeliveredMax: 8, Delivered: 5, Contributed: 0, PredictedNovelty: 500},
+		}})
+	}
+	flagged := s.Flagged()
+	if flagged["inflater"] != "maxscore" {
+		t.Fatalf("flagged = %v, want inflater flagged for maxscore", flagged)
+	}
+	if _, ok := flagged["honest"]; ok {
+		t.Fatalf("honest peer flagged: %v", flagged)
+	}
+	if got := reg.Counter("adapt.flagged").Value(); got != 1 {
+		t.Fatalf("adapt.flagged = %d, want 1", got)
+	}
+	prior, info := s.Prior(q)
+	if info.Flagged != 1 {
+		t.Fatalf("info.Flagged = %d, want 1", info.Flagged)
+	}
+	// Downweight scaled by severity: the claim-trust ratio here is
+	// 8/100 per sample, so the inflater's factor is 0.05 · 0.08.
+	want := DefaultDownweight * 0.08
+	if got := prior("inflater"); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("prior(inflater) = %g, want severity-scaled downweight %g", got, want)
+	}
+	if got := prior("honest"); got <= 1 {
+		t.Fatalf("prior(honest) = %g, want boosted above 1", got)
+	}
+}
+
+func TestDivergenceFlagsNoveltyDuds(t *testing.T) {
+	// A peer publishing only an inflated synopsis (honest MaxScore)
+	// evades the ratio rule but trips the dud rule: predicted at least
+	// as novel as the best contributor, delivering nothing that merges.
+	s := mustStore(t, Config{MinObservations: 3, DudFraction: 1})
+	q := []string{"term"}
+	for i := 0; i < 3; i++ {
+		s.Record(Observation{Terms: q, Peers: []PeerObservation{
+			{Peer: "honest", ClaimedMax: 10, DeliveredMax: 9, Delivered: 5, Contributed: 3, PredictedNovelty: 40},
+			{Peer: "ghost-synopsis", ClaimedMax: 10, DeliveredMax: 9, Delivered: 5, Contributed: 0, PredictedNovelty: 900},
+		}})
+	}
+	flagged := s.Flagged()
+	if flagged["ghost-synopsis"] != "novelty" {
+		t.Fatalf("flagged = %v, want ghost-synopsis flagged for novelty", flagged)
+	}
+	if _, ok := flagged["honest"]; ok {
+		t.Fatalf("honest peer flagged: %v", flagged)
+	}
+}
+
+func TestDivergenceWindowAllowsRedemption(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s, err := NewStore(Config{MinObservations: 2, Window: 4}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []string{"term"}
+	bad := Observation{Terms: q, Peers: []PeerObservation{
+		{Peer: "other", ClaimedMax: 10, DeliveredMax: 9, Delivered: 5, Contributed: 2, PredictedNovelty: 10},
+		{Peer: "redeemed", ClaimedMax: 100, DeliveredMax: 5, Delivered: 5, Contributed: 0, PredictedNovelty: 50},
+	}}
+	good := Observation{Terms: q, Peers: []PeerObservation{
+		{Peer: "other", ClaimedMax: 10, DeliveredMax: 9, Delivered: 5, Contributed: 2, PredictedNovelty: 10},
+		{Peer: "redeemed", ClaimedMax: 10, DeliveredMax: 9, Delivered: 5, Contributed: 2, PredictedNovelty: 10},
+	}}
+	s.Record(bad)
+	s.Record(bad)
+	if _, ok := s.Flagged()["redeemed"]; !ok {
+		t.Fatal("peer not flagged after two inflated observations")
+	}
+	// Four honest observations push the inflated ones out of the window.
+	for i := 0; i < 4; i++ {
+		s.Record(good)
+	}
+	if _, ok := s.Flagged()["redeemed"]; ok {
+		t.Fatal("peer still flagged after the window turned over honestly")
+	}
+	if got := reg.Counter("adapt.unflagged").Value(); got != 1 {
+		t.Fatalf("adapt.unflagged = %d, want 1", got)
+	}
+}
+
+func TestPeerEvictionBounded(t *testing.T) {
+	s := mustStore(t, Config{PeerCapacity: 8})
+	for i := 0; i < 40; i++ {
+		p := core.PeerID(fmt.Sprintf("peer-%02d", i))
+		s.Record(contribution([]string{"t"}, map[core.PeerID]int{p: 1}))
+	}
+	s.mu.Lock()
+	n := len(s.peers)
+	s.mu.Unlock()
+	if n > 8 {
+		t.Fatalf("%d peers tracked, capacity 8", n)
+	}
+}
+
+func TestPriorSnapshotIsImmutable(t *testing.T) {
+	// The closure returned by Prior must not see later Records — that
+	// is what keeps a routing call deterministic while the store learns.
+	s := mustStore(t, Config{})
+	q := []string{"x"}
+	s.Record(contribution(q, map[core.PeerID]int{"a": 1}))
+	prior, _ := s.Prior(q)
+	before := prior("a")
+	s.Record(contribution(q, map[core.PeerID]int{"b": 7}))
+	if got := prior("a"); got != before {
+		t.Fatalf("prior snapshot changed under a later Record: %g then %g", before, got)
+	}
+	if got := prior("b"); got != 1 {
+		t.Fatalf("prior(b) = %g, want 1 from the old snapshot", got)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	valid := []Config{
+		{}, // all defaults
+		{Capacity: 16, PeerCapacity: 4, PriorWeight: 1, SimilarityFloor: 0.9,
+			MinObservations: 1, MaxScoreRatio: 0.5, DudFraction: 1, Downweight: 1, Window: 2},
+	}
+	for i, c := range valid {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("valid config %d rejected: %v", i, err)
+		}
+	}
+	invalid := []Config{
+		{Capacity: -1},
+		{PeerCapacity: -2},
+		{PriorWeight: -0.5},
+		{SimilarityFloor: 1.5},
+		{MinObservations: -1},
+		{MaxScoreRatio: 1},
+		{DudFraction: -0.1},
+		{Downweight: 2},
+		{Window: -3},
+	}
+	for i, c := range invalid {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("invalid config %d accepted: %+v", i, c)
+		}
+		if _, err := NewStore(c, nil); err == nil {
+			t.Fatalf("NewStore accepted invalid config %d", i)
+		}
+	}
+}

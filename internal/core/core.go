@@ -148,9 +148,25 @@ type Options struct {
 	Span *telemetry.Span
 	// Metrics, when set, counts routing work: route.selections,
 	// route.candidates, route.evaluations (novelty estimations actually
-	// performed), and route.lazy_skips (evaluations the lazy engine's
-	// ceilings proved unnecessary). Nil leaves routing uncounted.
+	// performed), route.lazy_skips (evaluations the lazy engine's
+	// ceilings proved unnecessary), and route.lazy_disabled (calls where
+	// a NaN score forced the lazy engine back to exhaustive rescans).
+	// Nil leaves routing uncounted.
 	Metrics *telemetry.Registry
+	// Prior, when set, returns a per-peer multiplier folded into each
+	// candidate's quality factor before ranking, so selection ranks by
+	// prior · quality^qw · novelty^nw. It biases routing toward peers
+	// that historically delivered merged top-k entries (and away from
+	// peers caught publishing inflated synopses) without touching the
+	// synopsis-side novelty machinery: because the factor is constant per
+	// candidate, every lazy score ceiling scales with the exact score and
+	// Fast-IQN stays byte-identical to the exhaustive reference with the
+	// same prior. The function must be deterministic for the duration of
+	// the call and should return finite non-negative values: negative
+	// results are clamped to 0, +Inf is clamped to MaxFloat64, and NaN
+	// disables the lazy engine for the whole call (counted by
+	// route.lazy_disabled). Nil means no prior (factor 1 everywhere).
+	Prior func(PeerID) float64
 }
 
 // parallelism resolves the Parallelism option to an effective worker
@@ -186,7 +202,8 @@ type Step struct {
 	Peer PeerID
 	// Quality and Novelty are the factors at selection time.
 	Quality, Novelty float64
-	// Score is the combined ranking score quality^qw · novelty^nw.
+	// Score is the combined ranking score quality^qw · novelty^nw,
+	// scaled by the Options.Prior factor when one is set.
 	Score float64
 	// Covered is the estimated cardinality of the covered result space
 	// after absorbing the peer.

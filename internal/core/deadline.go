@@ -14,15 +14,33 @@ import "time"
 type Deadline struct {
 	start time.Time
 	total time.Duration
+	now   func() time.Time
 }
 
-// StartDeadline arms a budget of d starting now. d ≤ 0 returns nil (no
-// budget).
+// StartDeadline arms a budget of d starting now, measured on the wall
+// clock. d ≤ 0 returns nil (no budget).
 func StartDeadline(d time.Duration) *Deadline {
+	return StartDeadlineClock(d, nil)
+}
+
+// StartDeadlineClock arms a budget of d measured by the given clock
+// instead of time.Now, so budget-expiry branches are testable without
+// real sleeps: tests inject a fake clock and advance it explicitly. A
+// nil clock falls back to time.Now; d ≤ 0 returns nil (no budget).
+func StartDeadlineClock(d time.Duration, now func() time.Time) *Deadline {
 	if d <= 0 {
 		return nil
 	}
-	return &Deadline{start: time.Now(), total: d}
+	if now == nil {
+		now = time.Now
+	}
+	return &Deadline{start: now(), total: d, now: now}
+}
+
+// elapsed measures time spent since the budget was armed, on the
+// deadline's own clock.
+func (d *Deadline) elapsed() time.Duration {
+	return d.now().Sub(d.start)
 }
 
 // Armed reports whether a budget is in force.
@@ -42,7 +60,7 @@ func (d *Deadline) Remaining() time.Duration {
 	if d == nil {
 		return 0
 	}
-	r := d.total - time.Since(d.start)
+	r := d.total - d.elapsed()
 	if r < 0 {
 		return 0
 	}
@@ -52,7 +70,7 @@ func (d *Deadline) Remaining() time.Duration {
 // Expired reports whether an armed budget has run out. An unarmed
 // budget never expires.
 func (d *Deadline) Expired() bool {
-	return d != nil && time.Since(d.start) >= d.total
+	return d != nil && d.elapsed() >= d.total
 }
 
 // Cap bounds a per-attempt timeout by the remaining budget: with no

@@ -34,9 +34,24 @@ func TestDeadlineZeroBudgetUnarmed(t *testing.T) {
 	}
 }
 
+// fakeClock is a manually advanced clock for exercising budget-expiry
+// branches without real sleeps.
+type fakeClock struct {
+	t time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.t = c.t.Add(d)
+}
+
 func TestDeadlineAlreadyExpired(t *testing.T) {
-	dl := StartDeadline(time.Nanosecond)
-	time.Sleep(time.Millisecond)
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	dl := StartDeadlineClock(time.Nanosecond, clk.Now)
+	clk.Advance(time.Millisecond)
 	if !dl.Armed() {
 		t.Fatal("1ns budget should be armed")
 	}
@@ -78,12 +93,58 @@ func TestDeadlineCapTightensTimeouts(t *testing.T) {
 }
 
 func TestDeadlineExpiresOverTime(t *testing.T) {
-	dl := StartDeadline(5 * time.Millisecond)
+	clk := &fakeClock{t: time.Unix(100, 0)}
+	dl := StartDeadlineClock(5*time.Millisecond, clk.Now)
 	if dl.Expired() {
 		t.Fatal("fresh 5ms budget already expired")
 	}
-	time.Sleep(10 * time.Millisecond)
+	clk.Advance(10 * time.Millisecond)
 	if !dl.Expired() {
 		t.Fatal("5ms budget should expire after 10ms")
+	}
+}
+
+func TestDeadlineClockCountdown(t *testing.T) {
+	// With an injectable clock the whole lifecycle is exact: Remaining
+	// counts down deterministically, expiry flips precisely at the
+	// boundary, and Cap degrades from pass-through to remainder to the
+	// minimal positive sentinel.
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	dl := StartDeadlineClock(100*time.Millisecond, clk.Now)
+	if got := dl.Remaining(); got != 100*time.Millisecond {
+		t.Fatalf("fresh Remaining() = %v, want 100ms", got)
+	}
+	clk.Advance(40 * time.Millisecond)
+	if got := dl.Remaining(); got != 60*time.Millisecond {
+		t.Fatalf("Remaining() after 40ms = %v, want 60ms", got)
+	}
+	if got := dl.Cap(10 * time.Millisecond); got != 10*time.Millisecond {
+		t.Fatalf("Cap(10ms) = %v, want 10ms (tighter timeout survives)", got)
+	}
+	if got := dl.Cap(time.Hour); got != 60*time.Millisecond {
+		t.Fatalf("Cap(1h) = %v, want the 60ms remainder", got)
+	}
+	clk.Advance(60 * time.Millisecond)
+	if !dl.Expired() {
+		t.Fatal("budget must expire exactly at total elapsed")
+	}
+	if got := dl.Remaining(); got != 0 {
+		t.Fatalf("boundary Remaining() = %v, want 0", got)
+	}
+	if got := dl.Cap(time.Second); got != time.Nanosecond {
+		t.Fatalf("expired Cap() = %v, want the 1ns sentinel", got)
+	}
+}
+
+func TestStartDeadlineClockNilClockFallsBack(t *testing.T) {
+	dl := StartDeadlineClock(time.Hour, nil)
+	if !dl.Armed() {
+		t.Fatal("nil-clock deadline should be armed")
+	}
+	if dl.Expired() {
+		t.Fatal("1h wall-clock budget already expired")
+	}
+	if got := dl.Remaining(); got <= 0 || got > time.Hour {
+		t.Fatalf("Remaining() = %v, want within (0, 1h]", got)
 	}
 }

@@ -33,10 +33,15 @@ package core
 // the exhaustive scan, so the produced plans are byte-identical — under
 // the assumption that scores are never NaN, which holds whenever the
 // candidate qualities are not NaN (powWeight maps q ≤ 0 to 0, never to a
-// negative Pow base) and synopsis cardinalities are finite. A NaN
-// quality disables the lazy path for the whole call; a negative
-// NoveltyWeight does too, because powWeight is then anti-monotone in
-// novelty and ceilings would turn into floors.
+// negative Pow base) and synopsis cardinalities are finite. An
+// Options.Prior factor preserves all of this: it is folded into the
+// per-candidate quality factor qf, which multiplies the exact score and
+// every ceiling alike, so bounds scale with scores and stay sound. A NaN
+// quality (or NaN prior) disables the lazy path for the whole call —
+// counted by route.lazy_disabled and annotated on the span with the
+// poisoned candidate; a negative NoveltyWeight does too, because
+// powWeight is then anti-monotone in novelty and ceilings would turn
+// into floors.
 //
 // Evaluations are race-free: each one writes only its own candidate
 // index, and being value-identical per candidate, the parallel path is
@@ -123,11 +128,36 @@ func (e *engine) run() (Plan, error) {
 	e.score = make([]float64, n)
 	e.batch = make([]int, 0, e.par)
 	qw := e.opts.qualityWeight()
+	prior := e.opts.Prior
 	for i := range e.cands {
 		e.alive[i] = true
 		e.qf[i] = powWeight(e.cands[i].Quality, qw)
-		if math.IsNaN(e.qf[i]) {
-			e.lazy = false // NaN scores break the ceiling ordering
+		if prior != nil {
+			// The prior is a constant per-candidate factor on the quality
+			// side of the score. Folding it into qf scales the exact score
+			// (evalOne) and every ceiling built from qf (buildOrder,
+			// selectBest) by the same factor, so the lazy bounds stay sound
+			// and the lazy engine remains plan-identical to the exhaustive
+			// scan under the same prior.
+			f := prior(e.cands[i].Peer)
+			if f < 0 {
+				f = 0
+			} else if math.IsInf(f, 1) {
+				f = math.MaxFloat64
+			}
+			e.qf[i] *= f
+		}
+		if math.IsNaN(e.qf[i]) && e.lazy {
+			// NaN scores break the ceiling ordering, so the whole call
+			// degrades to exhaustive rescans. Surface the degradation —
+			// it is otherwise silent and costs a full rescan per round —
+			// and name the candidate that poisoned the scores.
+			e.lazy = false
+			if m := e.opts.Metrics; m != nil {
+				m.Counter("route.lazy_disabled").Inc()
+			}
+			e.opts.Span.Set("lazy_disabled", "nan-score")
+			e.opts.Span.Setf("lazy_disabled_by", "%s", e.cands[i].Peer)
 		}
 	}
 	e.left = n

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"iqn/internal/telemetry"
+)
+
+// The tests in this file cover the Options.Prior hook (the adaptive
+// routing blend) and the route.lazy_disabled degradation telemetry.
+
+// hashPrior is a deterministic, peer-dependent prior in (0.5, 2.5) —
+// enough spread to reorder plans without zeroing anyone out.
+func hashPrior(p PeerID) float64 {
+	h := fnv.New32a()
+	h.Write([]byte(p))
+	return 0.5 + 2*float64(h.Sum32()%1000)/1000
+}
+
+func TestPriorLazyMatchesExhaustive(t *testing.T) {
+	// The acceptance bar for the prior hook: Fast-IQN must stay
+	// bit-identical to the exhaustive reference with the same prior, for
+	// every synopsis family, aggregation mode, and parallelism setting.
+	raiseGOMAXPROCS(t, 8)
+	rng := rand.New(rand.NewSource(20260808))
+	weights := []float64{0, 0.5, 1, 2}
+	novWeights := []float64{-1, 0, 0.5, 1, 2}
+	for trial := 0; trial < 48; trial++ {
+		kc := lazyTestConfigs[rng.Intn(len(lazyTestConfigs))]
+		opts := Options{
+			MaxPeers:      rng.Intn(12),
+			Aggregation:   AggregationMode(rng.Intn(2)),
+			UseHistograms: rng.Float64() < 0.25,
+			QualityWeight: weights[rng.Intn(len(weights))],
+			NoveltyWeight: novWeights[rng.Intn(len(novWeights))],
+			Parallelism:   rng.Intn(5),
+			Prior:         hashPrior,
+		}
+		if rng.Float64() < 0.3 {
+			opts.TargetCoverage = 200 + rng.Float64()*1500
+		}
+		q := Query{Terms: []string{"alpha", "beta", "gamma"}[:1+rng.Intn(3)], Type: QueryType(rng.Intn(2))}
+		cands := randPlanCandidates(rng, kc.cfg, 5+rng.Intn(25), q.Terms, opts.UseHistograms)
+		var initiator *Candidate
+		if rng.Float64() < 0.5 {
+			init := cand("self", 0, kc.cfg, map[string][]uint64{q.Terms[0]: idRange(0, 200)})
+			initiator = &init
+		}
+		t.Run(fmt.Sprintf("trial%02d", trial), func(t *testing.T) {
+			assertSamePlan(t, q, initiator, cands, opts)
+		})
+	}
+}
+
+func TestPriorBiasesSelection(t *testing.T) {
+	// Two byte-identical candidates: without a prior the tie breaks to
+	// the lexicographically smaller peer; a prior favoring the other
+	// must flip the selection (and scale the winning Step.Score).
+	cfg := testCfg
+	ids := idRange(0, 400)
+	cands := []Candidate{
+		cand("peer-a", 1, cfg, map[string][]uint64{"x": ids}),
+		cand("peer-b", 1, cfg, map[string][]uint64{"x": ids}),
+	}
+	q := Query{Terms: []string{"x"}}
+
+	cold, err := Route(q, nil, cands, Options{MaxPeers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cold.Peers) != 1 || cold.Peers[0] != "peer-a" {
+		t.Fatalf("cold plan = %v, want the tie broken to peer-a", cold.Peers)
+	}
+
+	prior := func(p PeerID) float64 {
+		if p == "peer-b" {
+			return 3
+		}
+		return 1
+	}
+	warm, err := Route(q, nil, cands, Options{MaxPeers: 1, Prior: prior})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warm.Peers) != 1 || warm.Peers[0] != "peer-b" {
+		t.Fatalf("warm plan = %v, want the boosted peer-b", warm.Peers)
+	}
+	if warm.Steps[0].Score != 3*cold.Steps[0].Score {
+		t.Fatalf("boosted score = %g, want 3× the cold score %g", warm.Steps[0].Score, cold.Steps[0].Score)
+	}
+	assertSamePlan(t, q, nil, cands, Options{MaxPeers: 1, Prior: prior})
+}
+
+func TestPriorClamping(t *testing.T) {
+	cfg := testCfg
+	q := Query{Terms: []string{"x"}}
+	cands := []Candidate{
+		cand("strong", 5, cfg, map[string][]uint64{"x": idRange(0, 500)}),
+		cand("weak", 1, cfg, map[string][]uint64{"x": idRange(500, 600)}),
+	}
+	t.Run("negative clamps to zero", func(t *testing.T) {
+		prior := func(p PeerID) float64 {
+			if p == "strong" {
+				return -7 // hostile prior: must zero, not invert, the score
+			}
+			return 1
+		}
+		plan, err := Route(q, nil, cands, Options{MaxPeers: 1, Prior: prior})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plan.Peers) != 1 || plan.Peers[0] != "weak" {
+			t.Fatalf("plan = %v, want the un-penalized weak peer", plan.Peers)
+		}
+		assertSamePlan(t, q, nil, cands, Options{MaxPeers: 1, Prior: prior})
+	})
+	t.Run("positive infinity clamps finite", func(t *testing.T) {
+		prior := func(p PeerID) float64 {
+			if p == "weak" {
+				return math.Inf(1)
+			}
+			return 1
+		}
+		plan, err := Route(q, nil, cands, Options{MaxPeers: 2, Prior: prior})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plan.Peers) != 2 || plan.Peers[0] != "weak" {
+			t.Fatalf("plan = %v, want weak boosted to the front", plan.Peers)
+		}
+		for _, s := range plan.Steps {
+			if math.IsNaN(s.Score) {
+				t.Fatalf("infinite prior leaked a NaN score: %+v", s)
+			}
+		}
+		assertSamePlan(t, q, nil, cands, Options{MaxPeers: 2, Prior: prior})
+	})
+}
+
+// plansBitEqual compares plans down to the float bits of every Step —
+// unlike reflect.DeepEqual it treats identical NaN payloads as equal,
+// which the NaN regression below needs.
+func plansBitEqual(a, b Plan) bool {
+	if len(a.Peers) != len(b.Peers) || len(a.Steps) != len(b.Steps) {
+		return false
+	}
+	for i := range a.Peers {
+		if a.Peers[i] != b.Peers[i] {
+			return false
+		}
+	}
+	for i := range a.Steps {
+		x, y := a.Steps[i], b.Steps[i]
+		if x.Peer != y.Peer ||
+			math.Float64bits(x.Quality) != math.Float64bits(y.Quality) ||
+			math.Float64bits(x.Novelty) != math.Float64bits(y.Novelty) ||
+			math.Float64bits(x.Score) != math.Float64bits(y.Score) ||
+			math.Float64bits(x.Covered) != math.Float64bits(y.Covered) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestNaNQualityLazyDisabledTelemetry is the regression test for the
+// silent lazy-engine degradation: a NaN candidate quality must disable
+// the lazy path for the whole call, and that fact must surface as a
+// route.lazy_disabled counter tick plus span annotations naming the
+// poisoned candidate — while the produced plan still matches the
+// exhaustive reference end-to-end through Route.
+func TestNaNQualityLazyDisabledTelemetry(t *testing.T) {
+	cfg := testCfg
+	q := Query{Terms: []string{"x"}}
+	cands := []Candidate{
+		cand("good-a", 2, cfg, map[string][]uint64{"x": idRange(0, 300)}),
+		cand("poisoned", math.NaN(), cfg, map[string][]uint64{"x": idRange(300, 600)}),
+		cand("good-b", 1, cfg, map[string][]uint64{"x": idRange(600, 700)}),
+	}
+	reg := telemetry.NewRegistry()
+	trace := telemetry.NewTrace("nan-test", "route")
+	opts := Options{MaxPeers: 3, Metrics: reg, Span: trace.Root()}
+	plan, err := Route(q, nil, cands, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exhaustive, err := SelectExhaustive(q, nil, cands, Options{MaxPeers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plansBitEqual(plan, exhaustive) {
+		t.Fatalf("NaN-degraded plan differs from exhaustive\nlazy:       %+v\nexhaustive: %+v", plan, exhaustive)
+	}
+	if got := reg.Counter("route.lazy_disabled").Value(); got != 1 {
+		t.Fatalf("route.lazy_disabled = %d, want 1", got)
+	}
+	canon := trace.Canonical()
+	if !strings.Contains(canon, "lazy_disabled=nan-score") {
+		t.Fatalf("trace missing lazy_disabled annotation:\n%s", canon)
+	}
+	if !strings.Contains(canon, "lazy_disabled_by=poisoned") {
+		t.Fatalf("trace does not identify the poisoned candidate:\n%s", canon)
+	}
+
+	// A clean rerun of the same shape must not tick the counter: the
+	// counter isolates NaN degradations, not lazy routing in general.
+	clean := []Candidate{
+		cand("good-a", 2, cfg, map[string][]uint64{"x": idRange(0, 300)}),
+		cand("good-b", 1, cfg, map[string][]uint64{"x": idRange(600, 700)}),
+	}
+	if _, err := Route(q, nil, clean, Options{MaxPeers: 2, Metrics: reg}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("route.lazy_disabled").Value(); got != 1 {
+		t.Fatalf("route.lazy_disabled after clean route = %d, want still 1", got)
+	}
+
+	// A NaN prior poisons scores the same way and must be counted too.
+	nanPrior := func(p PeerID) float64 {
+		if p == "good-b" {
+			return math.NaN()
+		}
+		return 1
+	}
+	if _, err := Route(q, nil, clean, Options{MaxPeers: 2, Metrics: reg, Prior: nanPrior}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("route.lazy_disabled").Value(); got != 2 {
+		t.Fatalf("route.lazy_disabled after NaN prior = %d, want 2", got)
+	}
+}

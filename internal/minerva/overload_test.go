@@ -210,7 +210,7 @@ func TestExecuteBudgetExpiredBeforeForwarding(t *testing.T) {
 	}
 	dl := core.StartDeadline(time.Nanosecond)
 	time.Sleep(time.Millisecond)
-	exec := p.execute(q, plan, self, cands, SearchOptions{K: 20, MaxPeers: 3}, dl, nil)
+	exec := p.execute(q, plan, self, cands, SearchOptions{K: 20, MaxPeers: 3}, nil, dl, nil)
 	if !exec.budgetExpired {
 		t.Fatal("budgetExpired not set")
 	}

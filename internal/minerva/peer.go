@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"iqn/internal/adapt"
 	"iqn/internal/chord"
 	"iqn/internal/core"
 	"iqn/internal/dataset"
@@ -131,6 +132,19 @@ type Config struct {
 	// top-k protocol (SearchOptions.TopKStreaming); per-query
 	// SearchOptions.ChunkSize overrides it. Default 16.
 	TopKChunkSize int
+	// Adaptive, non-nil, arms adaptive routing from the query log
+	// (internal/adapt): every finished search records which answering
+	// peers supplied merged top-k entries, keyed by normalized term set,
+	// and subsequent searches blend a historical-contribution prior into
+	// Select-Best-Peer (core.Options.Prior) — repeated or similar
+	// queries route toward peers that actually delivered before. The
+	// same log powers the result-vs-synopsis divergence detector: peers
+	// whose published MaxScore/synopsis claims keep diverging from what
+	// they deliver are downweighted through the same prior channel.
+	// Routing stays deterministic for a deterministic workload — the
+	// prior is a pure function of the searches recorded so far. Nil (the
+	// default) keeps cold IQN: synopses only, no memory between queries.
+	Adaptive *adapt.Config
 	// Metrics, non-nil, arms telemetry: the peer's network is wrapped
 	// with transport.Instrument (calls, errors, bytes, latency), the
 	// directory client counts fetches/retries/repairs, breakers count
@@ -183,6 +197,10 @@ type Peer struct {
 	// consistent view (index + derived posts + self-synopses all from
 	// the same generation) until they finish.
 	snap atomic.Pointer[indexSnapshot]
+
+	// adaptive is the query-log store behind Config.Adaptive (nil when
+	// adaptive routing is off).
+	adaptive *adapt.Store
 
 	// searchMu guards searchFlights (whole-search coalescing).
 	searchMu      sync.Mutex
@@ -342,6 +360,13 @@ func NewPeer(addr string, net transport.Network, cfg Config) (*Peer, error) {
 		node: node,
 		svc:  directory.NewService(node),
 		dir:  directory.NewClient(node, replicas),
+	}
+	if cfg.Adaptive != nil {
+		store, err := adapt.NewStore(*cfg.Adaptive, cfg.Metrics)
+		if err != nil {
+			return nil, err
+		}
+		p.adaptive = store
 	}
 	p.dir.Retry = cfg.DirectoryRetry
 	p.dir.HedgeDelay = cfg.HedgeDelay

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"iqn/internal/adapt"
 	"iqn/internal/core"
 	"iqn/internal/cori"
 	"iqn/internal/directory"
@@ -342,6 +343,18 @@ func (p *Peer) searchUncoalesced(ctx context.Context, terms []string, opts Searc
 	if opts.NoveltyOnly {
 		routeOpts.QualityWeight, routeOpts.NoveltyWeight = 0, 1
 	}
+	if p.adaptive != nil {
+		var info adapt.PriorInfo
+		routeOpts.Prior, info = p.adaptive.Prior(terms)
+		if info.Hit {
+			routeSpan.Set("adaptive", "hit")
+			routeSpan.Setf("adaptive_cluster", "%s", info.ClusterTerms())
+			routeSpan.Setf("adaptive_similarity", "%.6g", info.Similarity)
+		} else {
+			routeSpan.Set("adaptive", "miss")
+		}
+		routeSpan.SetInt("adaptive_flagged", int64(info.Flagged))
+	}
 	var initiator *core.Candidate
 	if !opts.DisableSelf {
 		initiator = p.selfCandidate(terms)
@@ -365,9 +378,9 @@ func (p *Peer) searchUncoalesced(ctx context.Context, terms []string, opts Searc
 	var exec execOutcome
 	var merged []ir.Result
 	if opts.TopKStreaming {
-		exec, merged = p.executeStreaming(q, plan, lists, initiator, cands, opts, dl, span)
+		exec, merged = p.executeStreaming(q, plan, lists, initiator, cands, opts, routeOpts.Prior, dl, span)
 	} else {
-		exec = p.execute(q, plan, initiator, cands, opts, dl, span)
+		exec = p.execute(q, plan, initiator, cands, opts, routeOpts.Prior, dl, span)
 		resultLists := exec.lists
 		if !opts.DisableSelf {
 			resultLists = append(resultLists, p.LocalSearch(terms, opts.k(), opts.Conjunctive))
@@ -384,6 +397,9 @@ func (p *Peer) searchUncoalesced(ctx context.Context, terms []string, opts Searc
 	}
 	if n := len(exec.rerouted); n > 0 {
 		m.Counter("search.rerouted_peers").Add(int64(n))
+	}
+	if p.adaptive != nil {
+		p.recordAdaptive(terms, plan, lists, exec, merged, opts)
 	}
 	span.End()
 	return &SearchResult{
@@ -411,6 +427,13 @@ type execOutcome struct {
 	errs          []PerPeerError
 	rerouted      []core.PeerID
 	budgetExpired bool
+	// deliveries maps each answering remote peer to the entries it
+	// actually delivered (pull: its full returned list; streaming: the
+	// entries that crossed the wire before the threshold stopped it) —
+	// the raw material of adaptive contribution accounting. Failed
+	// streams and unanswered peers are absent: a transport failure says
+	// nothing about a peer's honesty or usefulness.
+	deliveries map[core.PeerID][]ir.Result
 }
 
 // execute forwards the query to the planned peers with per-peer
@@ -424,9 +447,12 @@ type execOutcome struct {
 // and a batch that would start after expiry is not forwarded at all —
 // its peers are reported as lost and the search returns the partial
 // results it already has.
-func (p *Peer) execute(q core.Query, plan core.Plan, initiator *core.Candidate, cands []core.Candidate, opts SearchOptions, dl *core.Deadline, span *telemetry.Span) execOutcome {
+func (p *Peer) execute(q core.Query, plan core.Plan, initiator *core.Candidate, cands []core.Candidate, opts SearchOptions, prior func(core.PeerID) float64, dl *core.Deadline, span *telemetry.Span) execOutcome {
 	m := p.cfg.Metrics
-	out := execOutcome{perPeer: make(map[core.PeerID]int, len(plan.Peers))}
+	out := execOutcome{
+		perPeer:    make(map[core.PeerID]int, len(plan.Peers)),
+		deliveries: make(map[core.PeerID][]ir.Result, len(plan.Peers)),
+	}
 	byID := make(map[core.PeerID]*core.Candidate, len(cands))
 	for i := range cands {
 		byID[cands[i].Peer] = &cands[i]
@@ -473,6 +499,9 @@ func (p *Peer) execute(q core.Query, plan core.Plan, initiator *core.Candidate, 
 			}
 			out.lists = append(out.lists, fo.results)
 			out.perPeer[peer] = len(fo.results)
+			if string(peer) != p.name {
+				out.deliveries[peer] = fo.results
+			}
 			if c := byID[peer]; c != nil {
 				reached = append(reached, *c)
 			}
@@ -499,6 +528,7 @@ func (p *Peer) execute(q core.Query, plan core.Plan, initiator *core.Candidate, 
 			Parallelism:   opts.Parallelism,
 			Span:          rerouteSpan,
 			Metrics:       m,
+			Prior:         prior,
 		}
 		if opts.NoveltyOnly {
 			ropts.QualityWeight, ropts.NoveltyWeight = 0, 1

@@ -49,9 +49,11 @@ import (
 // restarts from offset 0 against the new generation (bounded times)
 // rather than mixing two snapshots' orderings.
 
-// maxStreamRestarts bounds per-stream stale-cursor restarts: a peer
-// re-indexing faster than the stream can drain it is failed, not
-// chased forever.
+// maxStreamRestarts bounds consecutive stale-cursor restarts with no
+// successful chunk in between: a peer re-indexing faster than the
+// stream can pull even one chunk is failed, not chased forever. A
+// restart that makes progress resets the count — steady churn with
+// progress between generation bumps never exhausts the cap.
 const maxStreamRestarts = 2
 
 // peerStream is the client-side cursor of one remote result stream.
@@ -62,7 +64,8 @@ type peerStream struct {
 	// gen pins the server snapshot generation after the first chunk
 	// (0 = not pinned yet).
 	gen uint64
-	// restarts counts stale-cursor restarts.
+	// restarts counts stale-cursor restarts since the last successful
+	// chunk (reset on progress, capped by maxStreamRestarts).
 	restarts int
 	// failed marks the stream dead (entries dropped, error reported).
 	failed bool
@@ -71,6 +74,11 @@ type peerStream struct {
 	reached bool
 	// entries counts pulled entries (the per-peer result count).
 	entries int
+	// delivered accumulates the entries pulled from the current
+	// generation, feeding the adaptive log's divergence detector. A
+	// stale-cursor restart discards it along with the cursor — the old
+	// generation's ordering must not be mixed with the new one's.
+	delivered []ir.Result
 	// attempts accumulates transport attempts across chunks.
 	attempts int
 }
@@ -116,11 +124,14 @@ func streamSeedBounds(terms []string, lists map[string]directory.PeerList) map[c
 // executeStreaming runs the plan under the incremental top-k protocol
 // and returns the execution outcome plus the merged top-k (already at
 // the streaming merge depth — the caller does not run ir.Merge).
-func (p *Peer) executeStreaming(q core.Query, plan core.Plan, lists map[string]directory.PeerList, initiator *core.Candidate, cands []core.Candidate, opts SearchOptions, dl *core.Deadline, span *telemetry.Span) (execOutcome, []ir.Result) {
+func (p *Peer) executeStreaming(q core.Query, plan core.Plan, lists map[string]directory.PeerList, initiator *core.Candidate, cands []core.Candidate, opts SearchOptions, prior func(core.PeerID) float64, dl *core.Deadline, span *telemetry.Span) (execOutcome, []ir.Result) {
 	m := p.cfg.Metrics
 	coord := topk.NewCoordinator(opts.streamK())
 	bounds := streamSeedBounds(q.Terms, lists)
-	out := execOutcome{perPeer: make(map[core.PeerID]int, len(plan.Peers))}
+	out := execOutcome{
+		perPeer:    make(map[core.PeerID]int, len(plan.Peers)),
+		deliveries: make(map[core.PeerID][]ir.Result, len(plan.Peers)),
+	}
 	byID := make(map[core.PeerID]*core.Candidate, len(cands))
 	for i := range cands {
 		byID[cands[i].Peer] = &cands[i]
@@ -222,6 +233,7 @@ func (p *Peer) executeStreaming(q core.Query, plan core.Plan, lists map[string]d
 					// old generation sent and restart against the new one.
 					ps.restarts++
 					ps.offset, ps.gen = 0, 0
+					ps.delivered = nil
 					b, ok := bounds[ps.peer]
 					if !ok {
 						b = math.Inf(1)
@@ -242,6 +254,13 @@ func (p *Peer) executeStreaming(q core.Query, plan core.Plan, lists map[string]d
 				continue
 			}
 			ps.gen = chunk.Gen
+			// A successful chunk at the (possibly new) generation is
+			// progress: forgive past stale-cursor restarts so the cap
+			// bounds consecutive fruitless restarts, not lifetime restarts.
+			// A long-lived stream under steady churn would otherwise be
+			// dropped after maxStreamRestarts+1 generation bumps even when
+			// every restart drained fresh entries.
+			ps.restarts = 0
 			m.Counter("topk.chunks").Inc()
 			if n := len(chunk.Entries); n > 0 {
 				entries := make([]topk.DocScore, n)
@@ -249,6 +268,9 @@ func (p *Peer) executeStreaming(q core.Query, plan core.Plan, lists map[string]d
 					entries[j] = topk.DocScore{Doc: e.Doc, Score: e.Score}
 				}
 				coord.Offer(string(ps.peer), entries, chunk.Done)
+				for _, e := range chunk.Entries {
+					ps.delivered = append(ps.delivered, ir.Result{DocID: e.Doc, Score: e.Score})
+				}
 				ps.offset += n
 				ps.entries += n
 				m.Counter("topk.stream_entries").Add(int64(n))
@@ -285,6 +307,7 @@ func (p *Peer) executeStreaming(q core.Query, plan core.Plan, lists map[string]d
 			Parallelism:   opts.Parallelism,
 			Span:          rerouteSpan,
 			Metrics:       m,
+			Prior:         prior,
 		}
 		if opts.NoveltyOnly {
 			ropts.QualityWeight, ropts.NoveltyWeight = 0, 1
@@ -309,6 +332,7 @@ func (p *Peer) executeStreaming(q core.Query, plan core.Plan, lists map[string]d
 			continue
 		}
 		out.perPeer[ps.peer] = ps.entries
+		out.deliveries[ps.peer] = ps.delivered
 		if coord.EarlyStopped(string(ps.peer)) {
 			m.Counter("topk.early_stops").Inc()
 		}

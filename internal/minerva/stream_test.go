@@ -304,6 +304,91 @@ func TestStreamingStaleCursorRestart(t *testing.T) {
 	}
 }
 
+// TestStreamingRestartCounterResetsOnProgress is the regression test
+// for the stale-cursor restart cap: the cap must bound *consecutive
+// fruitless* restarts, not lifetime restarts. A long-lived stream under
+// steady churn — re-indexed between chunks three times, with a
+// successful chunk after every restart — used to be dropped on the
+// third generation bump (restarts 1, 2, 3 against the cap of 2) even
+// though every restart made progress. With the counter reset after
+// each successful chunk, the stream survives arbitrarily many
+// productive restarts and the results still match the pull path.
+func TestStreamingRestartCounterResetsOnProgress(t *testing.T) {
+	corpus := dataset.Generate(dataset.CorpusConfig{NumDocs: 1200, VocabSize: 900, Seed: 23})
+	cols := dataset.AssignSlidingWindow(corpus, 15, 4, 2)
+	base := transport.NewInMem()
+	hook := &hookNetwork{Network: base}
+	docsOf := map[string][]dataset.Document{}
+	for _, col := range cols {
+		docsOf[col.Name] = col.Docs
+	}
+	reg := telemetry.NewRegistry()
+	net, err := BuildNetworkEndpoints(base, func(name string) transport.Network {
+		if name == cols[0].Name {
+			return hook
+		}
+		return base
+	}, corpus, cols, Config{SynopsisSeed: 7, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(net.Close)
+	queries := dataset.GenerateQueries(corpus, dataset.QueryConfig{Count: 3, Seed: 23})
+
+	initiator := net.Peers[0]
+	q := queries[0]
+	// A merge depth no stream can fill keeps every planned peer
+	// streaming to completion (no early stops), so the victim's chunk
+	// sequence is long enough to drive three generation bumps.
+	opts := SearchOptions{K: 20, MaxPeers: 3, MergeK: 100000, NoReroute: true}
+	pull, err := initiator.Search(q.Terms, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pull.Plan.Peers) == 0 {
+		t.Fatal("empty plan")
+	}
+	victim := string(pull.Plan.Peers[0])
+	if n := len(net.Peer(victim).LocalSearch(q.Terms, 20, false)); n < 2 {
+		t.Fatalf("victim %s has only %d local results; need ≥ 2 for a multi-chunk stream", victim, n)
+	}
+	// Swap the victim's index before its 2nd, 4th, and 6th chunk calls:
+	// each swap stales the pinned generation (odd calls restart from
+	// offset 0 and succeed, resetting the counter with the fix in
+	// place). Three swaps exceed the old lifetime cap of 2.
+	swaps := 0
+	hook.before = func(addr, method string, calls int) error {
+		if method == MethodQueryChunk && addr == victim && calls%2 == 0 && calls <= 6 {
+			swaps++
+			net.Peer(victim).IndexCollection(docsOf[victim])
+		}
+		return nil
+	}
+	opts.TopKStreaming, opts.ChunkSize = true, 1
+	before := reg.Counter("topk.stream_restarts").Value()
+	stream, err := initiator.Search(q.Terms, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swaps < 3 {
+		t.Skipf("victim finished in %d swaps; restart sequence not exercised", swaps)
+	}
+	if len(stream.Errors) != 0 {
+		t.Fatalf("productive restarts surfaced as peer loss: %+v", stream.Errors)
+	}
+	if got := reg.Counter("topk.stream_restarts").Value() - before; got < 3 {
+		t.Fatalf("stream restarted %d times, want ≥ 3", got)
+	}
+	if len(stream.Results) != len(pull.Results) {
+		t.Fatalf("stream %d results, pull %d", len(stream.Results), len(pull.Results))
+	}
+	for i := range pull.Results {
+		if stream.Results[i] != pull.Results[i] {
+			t.Fatalf("result %d: stream %+v, pull %+v", i, stream.Results[i], pull.Results[i])
+		}
+	}
+}
+
 // TestStreamingMidStreamDeath kills a streamed peer after its first
 // chunk: the stream's partial entries must be dropped wholesale (the
 // dead peer contributes nothing, like an unanswered peer.query), the

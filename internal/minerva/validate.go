@@ -46,6 +46,11 @@ func (c Config) Validate() error {
 		return fmt.Errorf("minerva: DirectoryRetry has a negative duration (base %v, max %v, timeout %v)",
 			r.BaseDelay, r.MaxDelay, r.Timeout)
 	}
+	if a := c.Adaptive; a != nil {
+		if err := a.Validate(); err != nil {
+			return fmt.Errorf("minerva: Adaptive: %w", err)
+		}
+	}
 	if b := c.Breakers; b != nil {
 		if b.FailureThreshold < 0 || b.ProbeAfter < 0 || b.MaxProbeAfter < 0 {
 			return fmt.Errorf("minerva: Breakers has a negative count (threshold %d, probe-after %d, max %d)",

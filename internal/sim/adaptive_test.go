@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"testing"
+
+	"iqn/internal/adapt"
+)
+
+// TestAdaptiveParityScenario runs an adaptive workload under the
+// triple-run parity twin: the replay must be byte-identical (the prior
+// is a deterministic function of recorded observations, never of
+// scheduling) and the prior-off twin's recall is captured for
+// comparison.
+func TestAdaptiveParityScenario(t *testing.T) {
+	sc := Scenario{
+		Name:           "adaptive-parity",
+		Seed:           7,
+		Queries:        8,
+		K:              20,
+		MaxPeers:       3,
+		Retry:          fastRetry(),
+		Telemetry:      true,
+		Adaptive:       &adapt.Config{MinObservations: 1},
+		AdaptiveParity: true,
+	}
+	r, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Violations) != 0 {
+		t.Fatalf("violations: %v", r.Violations)
+	}
+	if r.Recall <= 0 {
+		t.Fatalf("adaptive run recall = %v, want > 0", r.Recall)
+	}
+	if r.PriorOffRecall <= 0 {
+		t.Fatalf("prior-off twin recall = %v, want > 0", r.PriorOffRecall)
+	}
+	if r.Metrics == nil {
+		t.Fatal("telemetry scenario produced no metrics snapshot")
+	}
+	if got := r.Metrics.Counters["adapt.records"]; got < int64(sc.Queries) {
+		t.Fatalf("adapt.records = %d across the network, want ≥ %d", got, sc.Queries)
+	}
+	if r.AdaptiveFlagged == nil {
+		t.Fatal("AdaptiveFlagged not collected for an adaptive scenario")
+	}
+	for peer, reason := range r.AdaptiveFlagged {
+		t.Fatalf("honest peer %s flagged (%s) in a fault-free run", peer, reason)
+	}
+}
+
+// TestInflateEventDetectedAndSurvivable fires the adversarial-publisher
+// event: one peer republishes with 50× inflated ListLength/MaxScore
+// claims before the workload. The divergence detector must flag exactly
+// that peer (honest peers deliver within a factor |terms| ≤ 3 of their
+// claims; the inflater cannot), the run must stay deterministic under
+// the parity replay, and recall must not collapse — the inflater still
+// answers honestly, and once flagged it is routed around, so results
+// keep coming from peers whose claims hold up.
+func TestInflateEventDetectedAndSurvivable(t *testing.T) {
+	sc := Scenario{
+		Name:           "inflated-synopsis",
+		Seed:           11,
+		Queries:        10,
+		K:              20,
+		MaxPeers:       3,
+		Retry:          fastRetry(),
+		Telemetry:      true,
+		Adaptive:       &adapt.Config{MinObservations: 1},
+		AdaptiveParity: true,
+		Events: []Event{
+			{Before: 0, Kind: Inflate, Peer: 4, Factor: 50},
+		},
+	}
+	names, err := PeerNames(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := names[4]
+	r, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Violations) != 0 {
+		t.Fatalf("violations: %v", r.Violations)
+	}
+	if reason := r.AdaptiveFlagged[victim]; reason != "maxscore" {
+		t.Fatalf("inflated publisher %s flagged as %q, want \"maxscore\" (flagged: %v)",
+			victim, reason, r.AdaptiveFlagged)
+	}
+	for peer, reason := range r.AdaptiveFlagged {
+		if peer != victim {
+			t.Errorf("honest peer %s flagged (%s)", peer, reason)
+		}
+	}
+	if r.Metrics.Counters["adapt.flagged"] < 1 {
+		t.Fatal("adapt.flagged counter never ticked")
+	}
+	if r.Recall <= 0 {
+		t.Fatalf("recall = %v under the inflater, want > 0", r.Recall)
+	}
+}

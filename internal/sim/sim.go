@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"time"
 
+	"iqn/internal/adapt"
 	"iqn/internal/core"
 	"iqn/internal/dataset"
 	"iqn/internal/directory"
@@ -95,6 +96,15 @@ const (
 	// is spliced via leave notices, and the peer stops serving. Contrast
 	// with Kill, which drops everything on the floor.
 	Leave
+	// Inflate republishes the peer's directory posts with ListLength and
+	// MaxScore multiplied by Factor (default 50) while its index — and
+	// so what it can actually deliver — is unchanged: the adversarial
+	// publisher the adaptive layer's divergence detector exists for. The
+	// inflated claims boost the peer's CORI quality, so routing prefers
+	// it; with Scenario.Adaptive armed, initiators compare its delivered
+	// scores against the inflated claims and downweight it. A later
+	// Maintenance round restores the honest posts (republish overwrites).
+	Inflate
 )
 
 // String names the event kind.
@@ -126,6 +136,8 @@ func (k EventKind) String() string {
 		return "join"
 	case Leave:
 		return "leave"
+	case Inflate:
+		return "inflate"
 	}
 	return "?"
 }
@@ -153,6 +165,8 @@ type Event struct {
 	// in-flight requests with Queue more waiting; the rest are rejected
 	// with ErrOverloaded. Limit 0 disarms admission control.
 	Limit, Queue int
+	// Factor is Inflate's claim multiplier (default 50).
+	Factor float64
 }
 
 // Scenario declares one simulation: the network, the workload, the
@@ -254,6 +268,24 @@ type Scenario struct {
 	// "zero permanently-lost directory posts under graceful churn"
 	// guarantee.
 	CheckLostPosts bool
+	// Adaptive, non-nil, arms every peer's adaptive query-log store
+	// (minerva.Config.Adaptive): initiators record which peers actually
+	// contributed merged top-k entries, blend a historical-contribution
+	// prior into routing, and downweight peers the result-vs-synopsis
+	// divergence detector flags (the Inflate event's adversary). Note
+	// the workload rotates initiators, so each peer's store sees only
+	// the queries it initiated — scenarios that want flagging after few
+	// queries should set MinObservations to 1.
+	Adaptive *adapt.Config
+	// AdaptiveParity, with Adaptive set, runs the scenario twice more:
+	// a replay with identical configuration, asserting every query's
+	// Docs, Planned peers, canonical Trace, and error text are byte-
+	// identical — the adaptive prior must be a deterministic function of
+	// the observations recorded so far, never of scheduling — and a
+	// prior-off twin (Adaptive nil, same seed and events) whose recall
+	// lands in Report.PriorOffRecall, quantifying what the adaptive
+	// layer changed. Any replay divergence is an invariant violation.
+	AdaptiveParity bool
 	// TopKParity, with TopKStreaming set, runs a pull-everything twin
 	// of the scenario (same seed, same events, TopKStreaming off) and
 	// asserts the streaming protocol is semantically invisible: every
@@ -379,6 +411,14 @@ type Report struct {
 	// directory sweep could not find (Scenario.CheckLostPosts only).
 	// Graceful churn promises zero.
 	LostPosts int
+	// AdaptiveFlagged is the union, over every live peer's adaptive
+	// store, of peers the divergence detector holds flagged after the
+	// workload, with the rule that flagged each (Scenario.Adaptive only).
+	AdaptiveFlagged map[string]string
+	// PriorOffRecall is the prior-off twin's micro-averaged recall
+	// (Scenario.AdaptiveParity only) — the same seed, workload, and
+	// fault script with the adaptive layer disarmed.
+	PriorOffRecall float64
 	// Violations lists broken invariants (empty = all held).
 	Violations []string
 }
@@ -429,9 +469,26 @@ func Run(sc Scenario) (*Report, error) {
 			sc.MergeK = sc.K
 		}
 	}
+	if sc.AdaptiveParity && sc.Adaptive == nil {
+		return nil, fmt.Errorf("sim: scenario %q sets AdaptiveParity without Adaptive", sc.Name)
+	}
 	report, err := runOnce(sc, true)
 	if err != nil {
 		return nil, err
+	}
+	if sc.AdaptiveParity {
+		replay, err := runOnce(sc, true)
+		if err != nil {
+			return nil, fmt.Errorf("sim: adaptive replay twin: %w", err)
+		}
+		report.Violations = append(report.Violations, adaptiveParityViolations(report, replay)...)
+		priorOff := sc
+		priorOff.Adaptive = nil
+		off, err := runOnce(priorOff, true)
+		if err != nil {
+			return nil, fmt.Errorf("sim: prior-off twin: %w", err)
+		}
+		report.PriorOffRecall = off.Recall
 	}
 	if sc.TopKParity {
 		pullTwin := sc
@@ -511,6 +568,7 @@ func runOnce(sc Scenario, withFaults bool) (*Report, error) {
 		AdmissionLimit:    sc.AdmissionLimit,
 		AdmissionQueue:    sc.AdmissionQueue,
 		DirectoryCacheTTL: sc.DirectoryCacheTTL,
+		Adaptive:          sc.Adaptive,
 		Metrics:           registry,
 	})
 	if err != nil {
@@ -623,6 +681,27 @@ func runOnce(sc Scenario, withFaults bool) (*Report, error) {
 			r.HandoffPosts += rep.Posts
 			r.HandoffBytes += rep.Bytes
 			converged()
+		case Inflate:
+			p := net.Peer(name(e.Peer))
+			if p == nil {
+				return fmt.Errorf("sim: inflate event peer %s not live", name(e.Peer))
+			}
+			posts, err := p.BuildPosts()
+			if err != nil {
+				return fmt.Errorf("sim: inflate posts from %s: %w", p.Name(), err)
+			}
+			factor := e.Factor
+			if factor <= 0 {
+				factor = 50
+			}
+			for i := range posts {
+				posts[i].ListLength = int(float64(posts[i].ListLength) * factor)
+				posts[i].MaxScore *= factor
+				posts[i].Epoch = epoch
+			}
+			if err := p.Directory().Publish(posts); err != nil {
+				return fmt.Errorf("sim: publish inflated posts: %w", err)
+			}
 		default:
 			return fmt.Errorf("sim: unknown event kind %d", e.Kind)
 		}
@@ -735,6 +814,17 @@ func runOnce(sc Scenario, withFaults bool) (*Report, error) {
 				"%d directory posts of live peers permanently lost", r.LostPosts))
 		}
 	}
+	if sc.Adaptive != nil {
+		r.AdaptiveFlagged = map[string]string{}
+		for _, p := range net.Peers {
+			if faulty.Crashed(p.Name()) {
+				continue
+			}
+			for peer, reason := range p.Adaptive().Flagged() {
+				r.AdaptiveFlagged[string(peer)] = reason
+			}
+		}
+	}
 	r.Schedule = faulty.ScheduleString()
 	if sc.Breakers != nil {
 		r.BreakerTrace = breakerTrace(net)
@@ -770,6 +860,35 @@ func cacheParityViolations(cached, uncached *Report) []string {
 		}
 		if c.Err != u.Err {
 			v = append(v, fmt.Sprintf("cache parity: query %d errors diverge (%q vs %q)", i, c.Err, u.Err))
+		}
+	}
+	return v
+}
+
+// adaptiveParityViolations compares an adaptive run against its
+// identically-configured replay query by query: the prior is promised
+// to be a deterministic function of the observations recorded so far,
+// so Docs, Planned peers, canonical Trace bytes, and error text must
+// all match exactly across replays.
+func adaptiveParityViolations(run, replay *Report) []string {
+	var v []string
+	if len(run.Outcomes) != len(replay.Outcomes) {
+		return []string{fmt.Sprintf("adaptive parity: %d outcomes vs %d in replay",
+			len(run.Outcomes), len(replay.Outcomes))}
+	}
+	for i := range run.Outcomes {
+		a, b := &run.Outcomes[i], &replay.Outcomes[i]
+		if !equalUint64s(a.Docs, b.Docs) {
+			v = append(v, fmt.Sprintf("adaptive parity: query %d merged docs diverge across replays", i))
+		}
+		if !equalPeerIDs(a.Planned, b.Planned) {
+			v = append(v, fmt.Sprintf("adaptive parity: query %d routing plans diverge across replays", i))
+		}
+		if a.Trace != b.Trace {
+			v = append(v, fmt.Sprintf("adaptive parity: query %d canonical traces diverge across replays", i))
+		}
+		if a.Err != b.Err {
+			v = append(v, fmt.Sprintf("adaptive parity: query %d errors diverge (%q vs %q)", i, a.Err, b.Err))
 		}
 	}
 	return v
